@@ -1,0 +1,283 @@
+//! Gateway power-state machine: Sleep-on-Idle with slow wake-up.
+//!
+//! The paper's central obstacle: a gateway may only sleep when its line
+//! carries no traffic, and waking costs ~60 s (boot + DSL resync, §5.1).
+//! [`Gateway`] is a pure FSM — the simulation driver owns the clock and
+//! schedules idle-timeout / wake-completion events; the FSM enforces legal
+//! transitions and meters energy.
+//!
+//! ```text
+//!            traffic             idle ≥ timeout
+//!   Waking ───────────► Online ────────────────► Sleeping
+//!     ▲    (wake done)     ▲                         │
+//!     └────────────────────┴───── begin_wake ◄───────┘
+//! ```
+
+use crate::power::PowerModel;
+use insomnia_simcore::{SimDuration, SimTime, TimeWeighted};
+use serde::{Deserialize, Serialize};
+
+/// Power state of a gateway (and of its DSL line: the DSLAM-side modem
+/// follows the gateway, §5.1 "when a gateway goes to sleep, the
+/// corresponding modem on the DSLAM also goes to sleep").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GwState {
+    /// Powered and synchronized; carries traffic.
+    Online,
+    /// Powered off via SoI.
+    Sleeping,
+    /// Booting and resynchronizing; draws full power but carries nothing
+    /// until the wake completes.
+    Waking,
+}
+
+/// One user gateway with SoI timers and an energy meter.
+#[derive(Debug, Clone)]
+pub struct Gateway {
+    state: GwState,
+    /// Last instant traffic traversed this gateway (valid while Online).
+    last_traffic: SimTime,
+    /// SoI idle timeout (paper: 60 s, chosen from the Fig. 4 analysis).
+    idle_timeout: SimDuration,
+    /// Boot + resync duration (paper: 60 s measured average).
+    wake_time: SimDuration,
+    /// When the in-progress wake completes (valid while Waking).
+    wake_done_at: SimTime,
+    /// Power signal in watts over time.
+    meter: TimeWeighted,
+    /// Cumulative online + waking time (for the Fig. 9b fairness metric).
+    online: TimeWeighted,
+    /// Number of sleep→wake cycles (wear metric, sensitivity analyses).
+    wake_count: u64,
+    power: PowerModel,
+}
+
+impl Gateway {
+    /// Creates a gateway at `t0` in the given initial state (the paper's
+    /// simulations start with every gateway sleeping).
+    pub fn new(
+        t0: SimTime,
+        initial: GwState,
+        idle_timeout: SimDuration,
+        wake_time: SimDuration,
+        power: PowerModel,
+    ) -> Self {
+        let w = match initial {
+            GwState::Sleeping => power.gateway_sleep_w,
+            _ => power.gateway_on_w,
+        };
+        Gateway {
+            state: initial,
+            last_traffic: t0,
+            idle_timeout,
+            wake_time,
+            wake_done_at: t0,
+            meter: TimeWeighted::new(t0.as_millis(), w),
+            online: TimeWeighted::new(
+                t0.as_millis(),
+                if initial == GwState::Sleeping { 0.0 } else { 1.0 },
+            ),
+            wake_count: 0,
+            power,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> GwState {
+        self.state
+    }
+
+    /// True when the gateway can carry traffic.
+    pub fn is_online(&self) -> bool {
+        self.state == GwState::Online
+    }
+
+    /// True when powered (online or waking) — what the energy bill sees.
+    pub fn is_powered(&self) -> bool {
+        self.state != GwState::Sleeping
+    }
+
+    /// SoI idle timeout.
+    pub fn idle_timeout(&self) -> SimDuration {
+        self.idle_timeout
+    }
+
+    /// Wake (boot + resync) duration.
+    pub fn wake_time(&self) -> SimDuration {
+        self.wake_time
+    }
+
+    /// Completion time of the wake in progress (only meaningful if Waking).
+    pub fn wake_done_at(&self) -> SimTime {
+        self.wake_done_at
+    }
+
+    /// Number of completed/initiated wake cycles.
+    pub fn wake_count(&self) -> u64 {
+        self.wake_count
+    }
+
+    /// Notes traffic on the gateway's line, postponing the idle timeout.
+    ///
+    /// # Panics
+    /// Panics if the gateway is not online — routing traffic through a
+    /// sleeping or waking gateway is a scheme bug the simulation must not
+    /// mask.
+    pub fn on_traffic(&mut self, t: SimTime) {
+        assert!(self.state == GwState::Online, "traffic on non-online gateway");
+        self.last_traffic = self.last_traffic.max(t);
+    }
+
+    /// The instant the SoI timer would fire given current history.
+    pub fn idle_deadline(&self) -> SimTime {
+        self.last_traffic + self.idle_timeout
+    }
+
+    /// Attempts the SoI transition at time `t`: succeeds iff the gateway is
+    /// online and has been idle for the full timeout.
+    pub fn try_sleep(&mut self, t: SimTime) -> bool {
+        if self.state == GwState::Online && t >= self.idle_deadline() {
+            self.state = GwState::Sleeping;
+            self.meter.set(t.as_millis(), self.power.gateway_sleep_w);
+            self.online.set(t.as_millis(), 0.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Starts waking a sleeping gateway (WoWLAN / Remote Wake). Returns the
+    /// completion time, or `None` if the gateway is not sleeping (waking an
+    /// online/waking gateway is a no-op for the caller to tolerate).
+    pub fn begin_wake(&mut self, t: SimTime) -> Option<SimTime> {
+        if self.state != GwState::Sleeping {
+            return None;
+        }
+        self.state = GwState::Waking;
+        self.wake_done_at = t + self.wake_time;
+        self.wake_count += 1;
+        self.meter.set(t.as_millis(), self.power.gateway_on_w);
+        self.online.set(t.as_millis(), 1.0);
+        Some(self.wake_done_at)
+    }
+
+    /// Completes a wake at `t` (driver calls this when the scheduled wake
+    /// event fires).
+    ///
+    /// # Panics
+    /// Panics when not waking or before the wake duration elapsed.
+    pub fn complete_wake(&mut self, t: SimTime) {
+        assert!(self.state == GwState::Waking, "complete_wake on {:?}", self.state);
+        assert!(t >= self.wake_done_at, "wake completed early");
+        self.state = GwState::Online;
+        self.last_traffic = t;
+    }
+
+    /// Finalizes meters at the end of the simulation horizon.
+    pub fn finish(&mut self, t: SimTime) {
+        self.meter.advance(t.as_millis());
+        self.online.advance(t.as_millis());
+    }
+
+    /// Energy consumed so far, in joules (requires `finish`/transition at
+    /// the query instant for exactness).
+    pub fn energy_j(&self) -> f64 {
+        self.meter.integral()
+    }
+
+    /// Total powered (online + waking) seconds.
+    pub fn online_seconds(&self) -> f64 {
+        self.online.integral()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gw(initial: GwState) -> Gateway {
+        Gateway::new(
+            SimTime::ZERO,
+            initial,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(60),
+            PowerModel::default(),
+        )
+    }
+
+    #[test]
+    fn soi_fires_only_after_full_idle_timeout() {
+        let mut g = gw(GwState::Online);
+        g.on_traffic(SimTime::from_secs(10));
+        assert_eq!(g.idle_deadline(), SimTime::from_secs(70));
+        assert!(!g.try_sleep(SimTime::from_secs(69)));
+        assert!(g.is_online());
+        assert!(g.try_sleep(SimTime::from_secs(70)));
+        assert_eq!(g.state(), GwState::Sleeping);
+    }
+
+    #[test]
+    fn traffic_postpones_idle_deadline() {
+        let mut g = gw(GwState::Online);
+        g.on_traffic(SimTime::from_secs(10));
+        g.on_traffic(SimTime::from_secs(50));
+        assert!(!g.try_sleep(SimTime::from_secs(70)));
+        assert!(g.try_sleep(SimTime::from_secs(110)));
+    }
+
+    #[test]
+    fn wake_cycle() {
+        let mut g = gw(GwState::Sleeping);
+        let done = g.begin_wake(SimTime::from_secs(100)).unwrap();
+        assert_eq!(done, SimTime::from_secs(160));
+        assert_eq!(g.state(), GwState::Waking);
+        assert!(!g.is_online());
+        assert!(g.is_powered());
+        g.complete_wake(done);
+        assert!(g.is_online());
+        assert_eq!(g.wake_count(), 1);
+    }
+
+    #[test]
+    fn begin_wake_is_noop_unless_sleeping() {
+        let mut g = gw(GwState::Online);
+        assert_eq!(g.begin_wake(SimTime::from_secs(5)), None);
+        let mut g = gw(GwState::Sleeping);
+        g.begin_wake(SimTime::from_secs(5)).unwrap();
+        assert_eq!(g.begin_wake(SimTime::from_secs(6)), None, "already waking");
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic on non-online gateway")]
+    fn traffic_while_sleeping_panics() {
+        let mut g = gw(GwState::Sleeping);
+        g.on_traffic(SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "complete_wake")]
+    fn complete_wake_requires_waking_state() {
+        let mut g = gw(GwState::Online);
+        g.complete_wake(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn energy_metering_integrates_states() {
+        // Online 100 s (9 W) → sleep 100 s (0 W) → waking 60 s (9 W).
+        let mut g = gw(GwState::Online);
+        assert!(g.try_sleep(SimTime::from_secs(100)));
+        g.begin_wake(SimTime::from_secs(200));
+        g.complete_wake(SimTime::from_secs(260));
+        g.finish(SimTime::from_secs(260));
+        assert!((g.energy_j() - (100.0 * 9.0 + 100.0 * 0.0 + 60.0 * 9.0)).abs() < 1e-9);
+        assert!((g.online_seconds() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleeping_start_draws_nothing() {
+        let mut g = gw(GwState::Sleeping);
+        g.finish(SimTime::from_hours(1));
+        assert_eq!(g.energy_j(), 0.0);
+        assert_eq!(g.online_seconds(), 0.0);
+    }
+}

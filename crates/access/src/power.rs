@@ -1,0 +1,100 @@
+//! Power model of the access network's devices.
+//!
+//! All values default to the paper's measurements (§5.1):
+//! * user gateway ≈ 9 W (Telsey CPVA642WA ADSL gateway, flat across load),
+//! * wireless-router-only ≈ 5 W (Netgear WNR3500L, <10% load variation),
+//! * DSLAM shelf ≈ 21 W typical (Alcatel ISAM 7302 datasheet),
+//! * DSL line card ≈ 98 W typical,
+//! * single ISP modem (port) ≈ 1 W.
+//!
+//! Devices are not energy proportional (§2.2), so each component is modelled
+//! as a constant draw while awake and (configurable, default zero) residual
+//! draw while asleep.
+
+use serde::{Deserialize, Serialize};
+
+/// Constant power draws in watts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// User gateway (modem + AP + router) while online or waking.
+    pub gateway_on_w: f64,
+    /// User gateway while sleeping (0 = powered off; WoWLAN wake receivers
+    /// draw milliwatts, negligible at the paper's resolution).
+    pub gateway_sleep_w: f64,
+    /// One ISP-side modem (DSLAM port) while its line is active.
+    pub isp_modem_w: f64,
+    /// One DSL line card's shared circuitry while awake.
+    pub line_card_w: f64,
+    /// DSLAM shelf (common equipment), always on.
+    pub shelf_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            gateway_on_w: 9.0,
+            gateway_sleep_w: 0.0,
+            isp_modem_w: 1.0,
+            line_card_w: 98.0,
+            shelf_w: 21.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Total draw of the no-sleep baseline: every gateway, modem and card
+    /// permanently on (§5.1's baseline scheme).
+    pub fn no_sleep_total_w(&self, n_gateways: usize, n_cards: usize) -> f64 {
+        self.gateway_on_w * n_gateways as f64
+            + self.isp_modem_w * n_gateways as f64
+            + self.line_card_w * n_cards as f64
+            + self.shelf_w
+    }
+
+    /// User-side share of the no-sleep draw.
+    pub fn no_sleep_user_w(&self, n_gateways: usize) -> f64 {
+        self.gateway_on_w * n_gateways as f64
+    }
+
+    /// ISP-side share of the no-sleep draw.
+    pub fn no_sleep_isp_w(&self, n_gateways: usize, n_cards: usize) -> f64 {
+        self.isp_modem_w * n_gateways as f64 + self.line_card_w * n_cards as f64 + self.shelf_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_measurements() {
+        let p = PowerModel::default();
+        assert_eq!(p.gateway_on_w, 9.0);
+        assert_eq!(p.isp_modem_w, 1.0);
+        assert_eq!(p.line_card_w, 98.0);
+        assert_eq!(p.shelf_w, 21.0);
+        assert_eq!(p.gateway_sleep_w, 0.0);
+    }
+
+    #[test]
+    fn paper_scenario_baseline_power() {
+        // 40 gateways, 4 line cards: 360 + 40 + 392 + 21 = 813 W.
+        let p = PowerModel::default();
+        let total = p.no_sleep_total_w(40, 4);
+        assert!((total - 813.0).abs() < 1e-9, "baseline {total} W");
+        assert!((p.no_sleep_user_w(40) - 360.0).abs() < 1e-9);
+        assert!((p.no_sleep_isp_w(40, 4) - 453.0).abs() < 1e-9);
+        assert!(
+            (p.no_sleep_user_w(40) + p.no_sleep_isp_w(40, 4) - total).abs() < 1e-9,
+            "user + ISP must equal total"
+        );
+    }
+
+    #[test]
+    fn modem_dwarfed_by_card() {
+        // §1: "a single ISP modem consumes around 1 W whereas the shared
+        // circuitry of the line card that hosts it consumes ~100 W".
+        let p = PowerModel::default();
+        assert!(p.line_card_w / p.isp_modem_w > 50.0);
+    }
+}

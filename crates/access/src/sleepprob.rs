@@ -1,0 +1,218 @@
+//! Line-card sleep probability analytics (§4, Eq. 2 and Fig. 5).
+//!
+//! With `m` k-switches over a batch of `k` line cards of `m` ports each,
+//! and every line independently active with probability `p`, the l-th card
+//! (counting from the one that sleeps easiest) sleeps iff *every* switch
+//! has at least `l` inactive lines:
+//!
+//! ```text
+//! P{l-th card sleeps} = ( P{Bin(k, 1−p) ≥ l} )^m
+//!                     = ( Σ_{j=l..k} C(k,j) (1−p)^j p^(k−j) )^m
+//! ```
+//!
+//! **Paper erratum**: Eq. (2) as printed omits the binomial coefficients
+//! `C(k,i)`. The printed formula disagrees with the paper's own Fig. 5
+//! curves for `l ≥ 2`; the binomial form above matches them (and the
+//! Monte-Carlo simulation in this module). Both forms are provided.
+
+use insomnia_simcore::SimRng;
+
+/// Exact binomial coefficient as f64 (k ≤ ~60 stays exact in f64).
+pub fn binomial_coeff(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// `P{Bin(k, q) ≥ l}` — probability that at least `l` of `k` independent
+/// lines are inactive when each is inactive with probability `q`.
+pub fn p_at_least(k: u32, q: f64, l: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    (l..=k)
+        .map(|j| {
+            binomial_coeff(u64::from(k), u64::from(j))
+                * q.powi(j as i32)
+                * (1.0 - q).powi((k - j) as i32)
+        })
+        .sum()
+}
+
+/// Corrected Eq. (2): probability that the `l`-th line card (1-based) of a
+/// `k`-card batch sleeps, with `m` ports per card and per-line activity
+/// probability `p`.
+pub fn p_card_sleeps(l: u32, k: u32, m: u32, p: f64) -> f64 {
+    assert!((1..=k).contains(&l), "card index out of batch");
+    p_at_least(k, 1.0 - p, l).powi(m as i32)
+}
+
+/// The paper's Eq. (2) exactly as printed (missing `C(k,i)`), kept for
+/// comparison and for documenting the erratum.
+pub fn p_card_sleeps_paper_formula(l: u32, k: u32, m: u32, p: f64) -> f64 {
+    assert!((1..=k).contains(&l));
+    let inner: f64 = (0..l)
+        .map(|i| (1.0 - p).powi(i as i32) * p.powi((k - i) as i32))
+        .sum();
+    (1.0 - inner).powi(m as i32)
+}
+
+/// Monte-Carlo estimate of the same probability, simulating the k-switch
+/// packing directly (validates both the formula and the fabric logic).
+pub fn p_card_sleeps_monte_carlo(
+    l: u32,
+    k: u32,
+    m: u32,
+    p: f64,
+    trials: u32,
+    rng: &mut SimRng,
+) -> f64 {
+    assert!((1..=k).contains(&l));
+    let mut sleeps = 0u32;
+    for _ in 0..trials {
+        // The l-th card sleeps iff every switch has ≥ l inactive lines.
+        let all_ok = (0..m).all(|_| {
+            let inactive = (0..k).filter(|_| !rng.chance(p)).count() as u32;
+            inactive >= l
+        });
+        if all_ok {
+            sleeps += 1;
+        }
+    }
+    f64::from(sleeps) / f64::from(trials)
+}
+
+/// Expected number of sleeping cards in a k-card batch (sum over l).
+pub fn expected_sleeping_cards(k: u32, m: u32, p: f64) -> f64 {
+    (1..=k).map(|l| p_card_sleeps(l, k, m, p)).sum()
+}
+
+/// Cards a *full* switch can power off: `⌊n·(1−p)/m⌋` of `n/m` cards
+/// (§4.1), with `n` total ports and `m` ports per card.
+pub fn full_switch_sleeping_cards(n_ports: u32, m: u32, p: f64) -> u32 {
+    ((f64::from(n_ports) * (1.0 - p)) / f64::from(m)).floor() as u32
+}
+
+/// Probability that a card with `m` ports sleeps under plain SoI with no
+/// switching: all of its `m` lines must be idle — `(1−p)^m`, the
+/// exponential decay that motivates §4.
+pub fn p_card_sleeps_no_switch(m: u32, p: f64) -> f64 {
+    (1.0 - p).powi(m as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_coefficients_known_values() {
+        assert_eq!(binomial_coeff(8, 0), 1.0);
+        assert_eq!(binomial_coeff(8, 1), 8.0);
+        assert_eq!(binomial_coeff(8, 4), 70.0);
+        assert_eq!(binomial_coeff(8, 8), 1.0);
+        assert_eq!(binomial_coeff(4, 7), 0.0);
+    }
+
+    #[test]
+    fn p_at_least_edge_cases() {
+        // At least 0 is certain.
+        assert!((p_at_least(8, 0.3, 0) - 1.0).abs() < 1e-12);
+        // All 8 inactive at q=0.5: 1/256.
+        assert!((p_at_least(8, 0.5, 8) - 1.0 / 256.0).abs() < 1e-12);
+        // q=1 ⇒ any count certain.
+        assert!((p_at_least(4, 1.0, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig5_anchor_points() {
+        // Fig. 5 middle panel: m=24, p=0.5. First card with an 8-switch:
+        // (1 − 0.5^8)^24 ≈ 0.910.
+        let p1 = p_card_sleeps(1, 8, 24, 0.5);
+        assert!((p1 - (1.0 - 0.5f64.powi(8)).powi(24)).abs() < 1e-12);
+        assert!((p1 - 0.910).abs() < 0.005, "got {p1}");
+        // Second card: P{Bin(8,0.5) ≥ 2}^24 = (1 − 9/256)^24 ≈ 0.423.
+        let p2 = p_card_sleeps(2, 8, 24, 0.5);
+        assert!((p2 - (1.0 - 9.0 / 256.0f64).powi(24)).abs() < 1e-12);
+        assert!((p2 - 0.423).abs() < 0.01, "got {p2}");
+    }
+
+    #[test]
+    fn lighter_load_lets_more_cards_sleep() {
+        // Fig. 5 right panel (p=0.25) dominates the middle one (p=0.5).
+        for l in 1..=4 {
+            let heavy = p_card_sleeps(l, 4, 24, 0.5);
+            let light = p_card_sleeps(l, 4, 24, 0.25);
+            assert!(light > heavy, "l={l}: {light} <= {heavy}");
+        }
+    }
+
+    #[test]
+    fn bigger_switches_sleep_more_cards() {
+        // At fixed l, larger k gives more chances to find inactive lines.
+        let e2 = expected_sleeping_cards(2, 24, 0.5) / 2.0;
+        let e4 = expected_sleeping_cards(4, 24, 0.5) / 4.0;
+        let e8 = expected_sleeping_cards(8, 24, 0.5) / 8.0;
+        assert!(e4 > e2, "4-switch {e4} vs 2-switch {e2}");
+        assert!(e8 > e4, "8-switch {e8} vs 4-switch {e4}");
+    }
+
+    #[test]
+    fn monotone_decreasing_in_l() {
+        for &(k, m, p) in &[(8u32, 24u32, 0.5f64), (4, 12, 0.25), (2, 48, 0.7)] {
+            let mut last = 1.0;
+            for l in 1..=k {
+                let v = p_card_sleeps(l, k, m, p);
+                assert!(v <= last + 1e-12, "k={k} l={l}");
+                assert!((0.0..=1.0).contains(&v));
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn paper_formula_agrees_only_for_l1() {
+        // l=1: the printed formula's single term has C(k,0)=1, so both agree.
+        let a = p_card_sleeps(1, 8, 24, 0.5);
+        let b = p_card_sleeps_paper_formula(1, 8, 24, 0.5);
+        assert!((a - b).abs() < 1e-12);
+        // l=2: the printed formula misses C(8,1)=8 and overestimates badly.
+        let a2 = p_card_sleeps(2, 8, 24, 0.5);
+        let b2 = p_card_sleeps_paper_formula(2, 8, 24, 0.5);
+        assert!(b2 > a2 + 0.3, "erratum demo: printed {b2} vs correct {a2}");
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytics() {
+        let mut rng = SimRng::new(42);
+        for &(l, k, m, p) in &[(1u32, 8u32, 24u32, 0.5f64), (2, 8, 24, 0.5), (1, 4, 24, 0.25), (3, 4, 12, 0.3)]
+        {
+            let analytic = p_card_sleeps(l, k, m, p);
+            let mc = p_card_sleeps_monte_carlo(l, k, m, p, 40_000, &mut rng);
+            assert!(
+                (analytic - mc).abs() < 0.015,
+                "l={l} k={k} m={m} p={p}: analytic {analytic} vs MC {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_switch_probability_decays_exponentially() {
+        // §4.1's example: 48-port card at 5% per-line activity ⇒ ~8%.
+        let p = p_card_sleeps_no_switch(48, 0.05);
+        assert!((p - 0.0853).abs() < 0.001, "got {p}");
+        assert!(p_card_sleeps_no_switch(12, 0.05) > p);
+    }
+
+    #[test]
+    fn full_switch_count() {
+        // §4.1: ⌊n(1−p)/m⌋ cards sleep with full switching.
+        assert_eq!(full_switch_sleeping_cards(48, 12, 0.5), 2);
+        assert_eq!(full_switch_sleeping_cards(48, 12, 0.25), 3);
+        assert_eq!(full_switch_sleeping_cards(48, 12, 1.0), 0);
+        assert_eq!(full_switch_sleeping_cards(48, 12, 0.0), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Regenerates the paper's figures and tables as data.
+//!
+//! Usage:
+//!   figures [--quick] [--csv DIR] [fig2 fig3 ... fig15 cards summary | all]
+//!
+//! With `--quick` the main scenario runs 2 repetitions instead of 10.
+
+use insomnia_bench::figures as fig;
+use insomnia_bench::Harness;
+use insomnia_core::FigureData;
+use std::collections::BTreeSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut wanted: BTreeSet<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != csv_dir.as_deref())
+        .cloned()
+        .collect();
+    if wanted.is_empty() || wanted.contains("all") {
+        wanted = ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
+                  "fig10", "fig12", "fig14", "fig15", "cards", "summary", "ablation"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+    }
+
+    let h = if quick { Harness::quick() } else { Harness::paper() };
+    let seed = h.scenario.seed;
+    let needs_main = ["fig6", "fig7", "fig8", "fig9a", "fig9b", "cards", "summary"]
+        .iter()
+        .any(|f| wanted.contains(**&f));
+    let runs = if needs_main {
+        eprintln!("running main scenario ({} repetitions × 8 schemes)...", h.scenario.repetitions);
+        Some(fig::run_main(&h))
+    } else {
+        None
+    };
+
+    let mut outputs: Vec<FigureData> = Vec::new();
+    for name in &wanted {
+        match name.as_str() {
+            "fig2" => outputs.push(fig::fig2(seed)),
+            "fig3" => outputs.push(fig::fig3(&h)),
+            "fig4" => outputs.push(fig::fig4(&h)),
+            "fig5" => outputs.push(fig::fig5()),
+            "fig6" => outputs.push(fig::fig6(&h, runs.as_ref().expect("main"))),
+            "fig7" => outputs.push(fig::fig7(&h, runs.as_ref().expect("main"))),
+            "fig8" => outputs.push(fig::fig8(&h, runs.as_ref().expect("main"))),
+            "fig9a" => outputs.push(fig::fig9a(runs.as_ref().expect("main"))),
+            "fig9b" => outputs.push(fig::fig9b(runs.as_ref().expect("main"))),
+            "fig10" => outputs.push(fig::fig10(&h)),
+            "fig12" => {
+                outputs.push(fig::fig12(&h));
+                outputs.push(fig::fig12_summary(&h));
+            }
+            "fig14" => {
+                outputs.push(fig::fig14_baselines(seed));
+                outputs.push(fig::fig14(seed));
+            }
+            "fig15" => outputs.push(fig::fig15(seed)),
+            "cards" => outputs.push(fig::cards_table(runs.as_ref().expect("main"))),
+            "ablation" => outputs.push(fig::ablation(&h)),
+            "summary" => outputs.push(fig::summary(runs.as_ref().expect("main"))),
+            other => eprintln!("unknown figure: {other}"),
+        }
+    }
+
+    for data in &outputs {
+        println!("{data}");
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}.csv", data.name);
+            std::fs::write(&path, data.to_csv()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}

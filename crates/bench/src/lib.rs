@@ -1,0 +1,13 @@
+//! # insomnia-bench
+//!
+//! The benchmark/figure harness of the reproduction: [`figures`] builds the
+//! data behind every figure and table in the paper's evaluation; the
+//! `figures` binary prints them; the Criterion benches under `benches/`
+//! regenerate each experiment as a measured benchmark.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+
+pub use figures::{run_main, Harness, MainRuns};

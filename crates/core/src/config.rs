@@ -1,0 +1,203 @@
+//! Evaluation scenario configuration (§5.1 defaults).
+
+use insomnia_access::{DslamConfig, PowerModel};
+use insomnia_simcore::{SimDuration, SimError, SimResult, SimTime};
+use insomnia_traffic::CrawdadConfig;
+use insomnia_wireless::ChannelModel;
+
+/// BH2 algorithm parameters (§3.1, §5.1).
+#[derive(Debug, Clone, Copy)]
+pub struct Bh2Params {
+    /// Low load threshold: below it a gateway is a candidate for sleeping
+    /// and its users look for somewhere to go (paper: 10%).
+    pub low_threshold: f64,
+    /// High load threshold: above it a gateway accepts no more hitch-hikers
+    /// and remote users return home (paper: 50%).
+    pub high_threshold: f64,
+    /// Decision epoch (paper: 150 s, with a random per-client offset).
+    pub epoch: SimDuration,
+    /// Load estimation window (paper: 1 minute).
+    pub load_window: SimDuration,
+    /// Minimum number of backup gateways (paper default: 1).
+    pub backup: usize,
+    /// Use §3.1's verbatim return-home rule when a sleepy remote gateway
+    /// has too few move candidates (ablation; see `bh2::decide`).
+    pub literal_return_home: bool,
+}
+
+impl Default for Bh2Params {
+    fn default() -> Self {
+        Bh2Params {
+            low_threshold: 0.10,
+            high_threshold: 0.50,
+            epoch: SimDuration::from_secs(150),
+            load_window: SimDuration::from_secs(60),
+            backup: 1,
+            literal_return_home: false,
+        }
+    }
+}
+
+/// Full evaluation scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Traffic generator settings (272 clients / 40 APs / 24 h).
+    pub trace: CrawdadConfig,
+    /// Mean number of networks in range per client (paper: 5.6).
+    pub mean_networks_in_range: f64,
+    /// Wireless rates (12 Mbps home / 6 Mbps neighbor).
+    pub channel: ChannelModel,
+    /// ADSL backhaul per gateway, bit/s (paper: 6 Mbps).
+    pub backhaul_bps: f64,
+    /// DSLAM geometry (4 cards × 12 ports).
+    pub dslam: DslamConfig,
+    /// k of the HDF k-switches (paper: 12 4-switches).
+    pub k_switch: usize,
+    /// Device power draws.
+    pub power: PowerModel,
+    /// SoI idle timeout (paper: 60 s).
+    pub idle_timeout: SimDuration,
+    /// Gateway wake-up time: boot + DSL resync (paper: 60 s measured).
+    pub wake_time: SimDuration,
+    /// Maximum allowed gateway utilization in the optimal ILP, `q ∈ (0,1]`.
+    pub q_max_utilization: f64,
+    /// Re-solve period of the Optimal scheme (paper: every minute).
+    pub optimal_period: SimDuration,
+    /// Metric sampling period (paper: every second of the day).
+    pub sample_period: SimDuration,
+    /// Number of repetitions to average (paper: 10).
+    pub repetitions: usize,
+    /// Master seed; repetition `r` forks stream `r`.
+    pub seed: u64,
+    /// BH2 parameters.
+    pub bh2: Bh2Params,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            trace: CrawdadConfig::default(),
+            mean_networks_in_range: 5.6,
+            channel: ChannelModel::default(),
+            backhaul_bps: 6.0e6,
+            dslam: DslamConfig::default(),
+            k_switch: 4,
+            power: PowerModel::default(),
+            idle_timeout: SimDuration::from_secs(60),
+            wake_time: SimDuration::from_secs(60),
+            q_max_utilization: 0.5,
+            optimal_period: SimDuration::from_secs(60),
+            sample_period: SimDuration::from_secs(1),
+            repetitions: 10,
+            seed: 2011,
+            bh2: Bh2Params::default(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A scaled-down scenario for tests and quick demos: a quarter of the
+    /// building, one hour horizon, two repetitions.
+    pub fn smoke() -> Self {
+        let mut cfg = ScenarioConfig::default();
+        cfg.trace.n_clients = 68;
+        cfg.trace.n_aps = 10;
+        cfg.repetitions = 2;
+        cfg
+    }
+
+    /// Simulation horizon, taken from the trace generator settings.
+    pub fn horizon(&self) -> SimTime {
+        self.trace.horizon
+    }
+
+    /// Validates cross-field constraints.
+    pub fn validate(&self) -> SimResult<()> {
+        if !(self.q_max_utilization > 0.0 && self.q_max_utilization <= 1.0) {
+            return Err(SimError::InvalidConfig("q must be in (0, 1]".into()));
+        }
+        if self.bh2.low_threshold >= self.bh2.high_threshold {
+            return Err(SimError::InvalidConfig("low threshold must be < high".into()));
+        }
+        if !(0.0..=1.0).contains(&self.bh2.low_threshold)
+            || !(0.0..=1.0).contains(&self.bh2.high_threshold)
+        {
+            return Err(SimError::InvalidConfig("thresholds must be fractions".into()));
+        }
+        if self.dslam.n_cards % self.k_switch != 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "k = {} must divide the card count {}",
+                self.k_switch, self.dslam.n_cards
+            )));
+        }
+        if self.trace.n_aps > self.dslam.n_cards * self.dslam.ports_per_card {
+            return Err(SimError::InvalidConfig("more gateways than DSLAM ports".into()));
+        }
+        if self.backhaul_bps <= 0.0 {
+            return Err(SimError::InvalidConfig("backhaul must be positive".into()));
+        }
+        if self.repetitions == 0 {
+            return Err(SimError::InvalidConfig("need at least one repetition".into()));
+        }
+        if self.sample_period.is_zero() || self.optimal_period.is_zero() {
+            return Err(SimError::InvalidConfig("periods must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_5_1() {
+        let cfg = ScenarioConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.trace.n_clients, 272);
+        assert_eq!(cfg.trace.n_aps, 40);
+        assert_eq!(cfg.backhaul_bps, 6.0e6);
+        assert_eq!(cfg.dslam.n_cards, 4);
+        assert_eq!(cfg.dslam.ports_per_card, 12);
+        assert_eq!(cfg.k_switch, 4);
+        assert_eq!(cfg.idle_timeout, SimDuration::from_secs(60));
+        assert_eq!(cfg.wake_time, SimDuration::from_secs(60));
+        assert_eq!(cfg.bh2.low_threshold, 0.10);
+        assert_eq!(cfg.bh2.high_threshold, 0.50);
+        assert_eq!(cfg.bh2.epoch, SimDuration::from_secs(150));
+        assert_eq!(cfg.bh2.backup, 1);
+        assert_eq!(cfg.repetitions, 10);
+        assert_eq!(cfg.mean_networks_in_range, 5.6);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.q_max_utilization = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::default();
+        cfg.bh2.low_threshold = 0.6;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::default();
+        cfg.k_switch = 3; // does not divide 4 cards
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::default();
+        cfg.trace.n_aps = 100; // > 48 ports
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ScenarioConfig::default();
+        cfg.repetitions = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn smoke_config_is_valid_and_small() {
+        let cfg = ScenarioConfig::smoke();
+        cfg.validate().unwrap();
+        assert!(cfg.trace.n_clients < 100);
+        assert_eq!(cfg.horizon(), SimTime::from_hours(24));
+    }
+}

@@ -1,0 +1,41 @@
+//! # insomnia-core
+//!
+//! The paper's contribution: the BH2 aggregation algorithm, the scheme zoo
+//! of §5.1, the optimal ILP solver (Eq. 1), the flow-level trace-driven
+//! simulation driver, and the metric pipelines behind Figs. 6–10 and 12.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bh2;
+pub mod config;
+pub mod density;
+pub mod driver;
+pub mod extrapolate;
+pub mod flows;
+pub mod metrics;
+pub mod optimal;
+pub mod report;
+pub mod schemes;
+pub mod sensitivity;
+pub mod testbed;
+
+pub use bh2::{decide, Bh2Decision, VisibleGateway};
+pub use config::{Bh2Params, ScenarioConfig};
+pub use density::{density_sweep, DensityPoint};
+pub use driver::{
+    build_world, run_scheme, run_scheme_on, run_single, DriverStats, RunResult, SchemeResult,
+};
+pub use extrapolate::WorldModel;
+pub use metrics::{
+    completion_variation_cdf, fraction_affected, hourly_means, isp_share_percent_series,
+    online_time_variation_cdf, savings_percent_series, summarize, window_mean, SchemeSummary,
+};
+pub use optimal::{solve, SolverInput, SolverOutput};
+pub use report::FigureData;
+pub use schemes::{Aggregation, FabricKind, SchemeSpec};
+pub use sensitivity::{
+    sweep_epoch, sweep_high_threshold, sweep_idle_timeout, sweep_low_threshold, sweep_wake_time,
+    SensitivityPoint,
+};
+pub use testbed::{run_testbed, TestbedConfig, TestbedResult};

@@ -1,0 +1,152 @@
+//! Figure-data containers and text/CSV rendering for the harness.
+//!
+//! Every experiment in the reproduction ultimately produces a
+//! [`FigureData`]: named columns, optional row labels, numeric rows. The
+//! `figures` binary prints them as aligned tables (and optionally CSV), so
+//! each paper figure can be regenerated as data even without a plotting
+//! stack.
+
+use std::fmt;
+
+/// Tabular data behind one figure or table.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig6"`.
+    pub name: String,
+    /// Short description of what the paper's figure shows.
+    pub caption: String,
+    /// Column headers (not counting the optional label column).
+    pub columns: Vec<String>,
+    /// Optional per-row labels (e.g. histogram bin names).
+    pub row_labels: Option<Vec<String>>,
+    /// Numeric rows; every row has `columns.len()` entries.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FigureData {
+    /// Creates an empty table with the given shape.
+    pub fn new(name: &str, caption: &str, columns: Vec<String>) -> Self {
+        FigureData {
+            name: name.to_string(),
+            caption: caption.to_string(),
+            columns,
+            row_labels: None,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Attaches row labels (must match the current number of rows when
+    /// rendering).
+    pub fn with_row_labels(mut self, labels: Vec<String>) -> Self {
+        self.row_labels = Some(labels);
+        self
+    }
+
+    /// Renders as CSV (header + rows; label column first when present).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if self.row_labels.is_some() {
+            out.push_str("label,");
+        }
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(labels) = &self.row_labels {
+                out.push_str(&labels[i]);
+                out.push(',');
+            }
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigureData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {}", self.name, self.caption)?;
+        let label_width = self
+            .row_labels
+            .as_ref()
+            .map(|ls| ls.iter().map(|l| l.len()).max().unwrap_or(0).max(5))
+            .unwrap_or(0);
+        if label_width > 0 {
+            write!(f, "{:label_width$} ", "")?;
+        }
+        for c in &self.columns {
+            write!(f, "{c:>12} ")?;
+        }
+        writeln!(f)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(labels) = &self.row_labels {
+                write!(f, "{:label_width$} ", labels[i])?;
+            }
+            for v in row {
+                if v.abs() >= 1000.0 {
+                    write!(f, "{v:>12.1} ")?;
+                } else {
+                    write!(f, "{v:>12.3} ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FigureData {
+        let mut t = FigureData::new(
+            "figX",
+            "test table",
+            vec!["a".into(), "b".into()],
+        );
+        t.push_row(vec![1.0, 2.0]);
+        t.push_row(vec![3.5, 4_200.0]);
+        t
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = table().to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("1.0000,2.0000"));
+        assert!(csv.contains("3.5000,4200.0000"));
+    }
+
+    #[test]
+    fn csv_with_labels() {
+        let t = table().with_row_labels(vec!["r1".into(), "r2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("label,a,b\n"));
+        assert!(csv.contains("r1,1.0000"));
+    }
+
+    #[test]
+    fn display_contains_caption_and_values() {
+        let text = table().to_string();
+        assert!(text.contains("figX"));
+        assert!(text.contains("test table"));
+        assert!(text.contains("4200.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = table();
+        t.push_row(vec![1.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! The scheme zoo of §5.1: what aggregates user traffic, and what switches
+//! lines at the DSLAM.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// User-side traffic aggregation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Clients always use their home gateway (no-sleep and SoI schemes).
+    HomeOnly,
+    /// The distributed BH2 algorithm with the given number of backups.
+    Bh2 {
+        /// Minimum backup gateways (0 = the "BH2 w/o backup" variant).
+        backup: usize,
+    },
+    /// Centralized ILP re-solved periodically with instant migration.
+    Optimal,
+}
+
+/// ISP-side switching capability at the HDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// Fixed random wiring (today's plant).
+    Fixed,
+    /// k-switches of the configured size.
+    KSwitch,
+    /// Idealized any-to-any switch.
+    Full,
+}
+
+/// A complete scheme: aggregation + fabric + whether gateways may sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemeSpec {
+    /// User-side policy.
+    pub aggregation: Aggregation,
+    /// ISP-side fabric.
+    pub fabric: FabricKind,
+    /// Whether SoI is enabled at all (false only for the no-sleep baseline).
+    pub sleep_enabled: bool,
+}
+
+impl SchemeSpec {
+    /// Today's operation: nothing sleeps (the comparison baseline).
+    pub fn no_sleep() -> Self {
+        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::Fixed, sleep_enabled: false }
+    }
+
+    /// Plain Sleep-on-Idle.
+    pub fn soi() -> Self {
+        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::Fixed, sleep_enabled: true }
+    }
+
+    /// SoI with k-switches at the HDF.
+    pub fn soi_k_switch() -> Self {
+        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::KSwitch, sleep_enabled: true }
+    }
+
+    /// SoI with a full switch (§5.2.3's SoI+full-switch data point).
+    pub fn soi_full_switch() -> Self {
+        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::Full, sleep_enabled: true }
+    }
+
+    /// BH2 (one backup) with k-switches — the paper's headline scheme.
+    pub fn bh2_k_switch() -> Self {
+        SchemeSpec {
+            aggregation: Aggregation::Bh2 { backup: 1 },
+            fabric: FabricKind::KSwitch,
+            sleep_enabled: true,
+        }
+    }
+
+    /// BH2 without backups (fairness/QoS comparison variant).
+    pub fn bh2_no_backup_k_switch() -> Self {
+        SchemeSpec {
+            aggregation: Aggregation::Bh2 { backup: 0 },
+            fabric: FabricKind::KSwitch,
+            sleep_enabled: true,
+        }
+    }
+
+    /// BH2 with a full switch (§5.2.3's BH2+full-switch data point).
+    pub fn bh2_full_switch() -> Self {
+        SchemeSpec {
+            aggregation: Aggregation::Bh2 { backup: 1 },
+            fabric: FabricKind::Full,
+            sleep_enabled: true,
+        }
+    }
+
+    /// The centralized upper bound.
+    pub fn optimal() -> Self {
+        SchemeSpec { aggregation: Aggregation::Optimal, fabric: FabricKind::Full, sleep_enabled: true }
+    }
+
+    /// All schemes plotted in Fig. 6.
+    pub fn fig6_set() -> Vec<SchemeSpec> {
+        vec![Self::optimal(), Self::soi(), Self::soi_k_switch(), Self::bh2_k_switch()]
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.sleep_enabled {
+            return write!(f, "no-sleep");
+        }
+        let agg = match self.aggregation {
+            Aggregation::HomeOnly => "SoI".to_string(),
+            Aggregation::Bh2 { backup: 0 } => "BH2(no backup)".to_string(),
+            Aggregation::Bh2 { backup } => format!("BH2({backup} backup)"),
+            Aggregation::Optimal => "Optimal".to_string(),
+        };
+        let fab = match self.fabric {
+            FabricKind::Fixed => "",
+            FabricKind::KSwitch => " + k-switch",
+            FabricKind::Full => " + full-switch",
+        };
+        write!(f, "{agg}{fab}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_descriptive() {
+        assert_eq!(SchemeSpec::no_sleep().to_string(), "no-sleep");
+        assert_eq!(SchemeSpec::soi().to_string(), "SoI");
+        assert_eq!(SchemeSpec::soi_k_switch().to_string(), "SoI + k-switch");
+        assert_eq!(SchemeSpec::bh2_k_switch().to_string(), "BH2(1 backup) + k-switch");
+        assert_eq!(SchemeSpec::bh2_no_backup_k_switch().to_string(), "BH2(no backup) + k-switch");
+        assert_eq!(SchemeSpec::optimal().to_string(), "Optimal + full-switch");
+    }
+
+    #[test]
+    fn fig6_has_four_schemes() {
+        let set = SchemeSpec::fig6_set();
+        assert_eq!(set.len(), 4);
+        assert!(set.iter().all(|s| s.sleep_enabled));
+    }
+
+    #[test]
+    fn no_sleep_never_sleeps() {
+        assert!(!SchemeSpec::no_sleep().sleep_enabled);
+        assert!(SchemeSpec::soi().sleep_enabled);
+    }
+}

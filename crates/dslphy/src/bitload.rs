@@ -1,0 +1,120 @@
+//! DMT bit-loading: per-tone SNR to bits, and aggregate line rate.
+//!
+//! Standard gap approximation: a tone with signal-to-noise ratio `SNR`
+//! carries `⌊log2(1 + SNR/Γ)⌋` bits, capped at 15, where the effective gap
+//! `Γ` combines the modulation gap (9.75 dB for 10⁻⁷ BER), the target noise
+//! margin (6 dB — the margin the paper's modems leave at sync, §6.1) and
+//! the coding gain (−3 dB for trellis/RS).
+
+use crate::units::db_to_lin;
+use serde::{Deserialize, Serialize};
+
+/// Gap-approximation parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BitLoading {
+    /// Shannon gap at target BER, dB (9.75 dB at 10⁻⁷).
+    pub gamma_db: f64,
+    /// Target noise margin, dB (paper: "a safe margin of at least 6 dB").
+    pub margin_db: f64,
+    /// Coding gain, dB (subtracted from the gap).
+    pub coding_gain_db: f64,
+    /// Per-tone bit cap.
+    pub max_bits: u32,
+}
+
+impl Default for BitLoading {
+    fn default() -> Self {
+        BitLoading { gamma_db: 9.75, margin_db: 6.0, coding_gain_db: 3.0, max_bits: 15 }
+    }
+}
+
+impl BitLoading {
+    /// Effective gap in dB.
+    pub fn effective_gap_db(&self) -> f64 {
+        self.gamma_db + self.margin_db - self.coding_gain_db
+    }
+
+    /// Bits carried by a tone with the given linear SNR.
+    pub fn bits_for_snr(&self, snr_lin: f64) -> u32 {
+        if !(snr_lin > 0.0) {
+            return 0;
+        }
+        let gap = db_to_lin(self.effective_gap_db());
+        let b = (1.0 + snr_lin / gap).log2().floor();
+        if b <= 0.0 {
+            0
+        } else {
+            (b as u32).min(self.max_bits)
+        }
+    }
+
+    /// Aggregate rate in bit/s given per-tone linear SNRs at the DMT symbol
+    /// rate.
+    pub fn rate_bps(&self, snrs: impl Iterator<Item = f64>) -> f64 {
+        let bits: u64 = snrs.map(|s| u64::from(self.bits_for_snr(s))).sum();
+        bits as f64 * crate::band::SYMBOL_RATE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_gap_is_12_75_db() {
+        assert!((BitLoading::default().effective_gap_db() - 12.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits_monotone_in_snr() {
+        let bl = BitLoading::default();
+        let mut last = 0;
+        for snr_db in (0..90).step_by(3) {
+            let b = bl.bits_for_snr(db_to_lin(f64::from(snr_db)));
+            assert!(b >= last, "bits must not decrease with SNR");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn bits_capped_at_15() {
+        let bl = BitLoading::default();
+        assert_eq!(bl.bits_for_snr(db_to_lin(120.0)), 15);
+    }
+
+    #[test]
+    fn zero_or_negative_snr_gives_zero_bits() {
+        let bl = BitLoading::default();
+        assert_eq!(bl.bits_for_snr(0.0), 0);
+        assert_eq!(bl.bits_for_snr(-1.0), 0);
+        assert_eq!(bl.bits_for_snr(f64::NAN), 0);
+    }
+
+    #[test]
+    fn known_bit_values() {
+        let bl = BitLoading::default();
+        // SNR = gap ⇒ log2(2) = 1 bit.
+        assert_eq!(bl.bits_for_snr(db_to_lin(12.75)), 1);
+        // SNR = gap + ~3 dB ⇒ log2(3) = 1 bit (floor).
+        assert_eq!(bl.bits_for_snr(db_to_lin(15.75)), 1);
+        // Just below the gap ⇒ 0 bits.
+        assert_eq!(bl.bits_for_snr(db_to_lin(12.0)), 0);
+    }
+
+    #[test]
+    fn rate_sums_tones() {
+        let bl = BitLoading::default();
+        // Three tones at 1 bit each = 12 kbps at 4000 sym/s.
+        let snr = db_to_lin(13.0);
+        let rate = bl.rate_bps([snr, snr, snr].into_iter());
+        assert!((rate - 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_margin_lowers_rate() {
+        let low = BitLoading { margin_db: 3.0, ..BitLoading::default() };
+        let high = BitLoading { margin_db: 12.0, ..BitLoading::default() };
+        let snrs: Vec<f64> = (10..50).map(|db| db_to_lin(f64::from(db))).collect();
+        assert!(low.rate_bps(snrs.iter().copied()) > high.rate_bps(snrs.into_iter()));
+    }
+}

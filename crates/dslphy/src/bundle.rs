@@ -1,0 +1,327 @@
+//! The cable-bundle simulator behind the paper's §6 crosstalk experiments.
+//!
+//! A [`BundleSim`] holds up to 24 lines in one 25-pair binder and computes
+//! each line's sync rate given which other lines are *active* (transmitting,
+//! hence disturbing). Powering lines off removes their FEXT contribution and
+//! lets the remaining modems lock at higher rates — the paper's "crosstalk
+//! bonus" (Fig. 14: ~1.1–1.2% per silenced line, ≈13.6% with half the lines
+//! off, ≈25% with three quarters off).
+
+use crate::binder::Binder;
+use crate::bitload::BitLoading;
+use crate::cable::CableModel;
+use crate::fext::{shared_length_m, FextModel};
+use crate::line::{Line, ServiceProfile};
+use crate::units::dbm_hz_to_mw_hz;
+use insomnia_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Physical-layer configuration of a bundle experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BundleConfig {
+    /// Copper loss model.
+    pub cable: CableModel,
+    /// FEXT coupling model.
+    pub fext: FextModel,
+    /// Bit-loading parameters.
+    pub bitload: BitLoading,
+    /// Downstream transmit PSD, dBm/Hz (VDSL2 mask region; flat model).
+    pub tx_psd_dbm_hz: f64,
+    /// Background (alien + receiver) noise floor, dBm/Hz.
+    pub noise_floor_dbm_hz: f64,
+    /// Std-dev of the per-sync SNR jitter in dB ("the non-deterministic
+    /// nature of the measured medium", §6.3). Zero for exact analytics.
+    pub sync_jitter_db: f64,
+}
+
+impl Default for BundleConfig {
+    fn default() -> Self {
+        BundleConfig {
+            cable: CableModel::default(),
+            fext: FextModel::default(),
+            bitload: BitLoading::default(),
+            tx_psd_dbm_hz: -60.0,
+            noise_floor_dbm_hz: -140.0,
+            sync_jitter_db: 0.4,
+        }
+    }
+}
+
+/// A set of lines sharing one binder, with a common service profile.
+#[derive(Debug, Clone)]
+pub struct BundleSim {
+    cfg: BundleConfig,
+    binder: Binder,
+    profile: ServiceProfile,
+    lines: Vec<Line>,
+}
+
+impl BundleSim {
+    /// Creates a bundle. Lines must sit on distinct binder pairs.
+    ///
+    /// # Panics
+    /// Panics if two lines share a binder pair or a pair index is out of
+    /// range — construction-time misconfiguration.
+    pub fn new(cfg: BundleConfig, profile: ServiceProfile, lines: Vec<Line>) -> Self {
+        let mut seen = [false; crate::binder::BINDER_PAIRS];
+        for l in &lines {
+            assert!(l.pair < crate::binder::BINDER_PAIRS, "pair index out of range");
+            assert!(!seen[l.pair], "duplicate binder pair {}", l.pair);
+            seen[l.pair] = true;
+        }
+        BundleSim { cfg, binder: Binder::new(), profile, lines }
+    }
+
+    /// Number of lines in the bundle.
+    pub fn n_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The service profile in force.
+    pub fn profile(&self) -> &ServiceProfile {
+        &self.profile
+    }
+
+    /// Lines in the bundle.
+    pub fn lines(&self) -> &[Line] {
+        &self.lines
+    }
+
+    /// Attainable (bit-loading) rate of `victim` when the lines flagged in
+    /// `active` transmit. `rng` supplies per-sync jitter; pass `None` for
+    /// the deterministic expectation.
+    pub fn attainable_bps(
+        &self,
+        victim: usize,
+        active: &[bool],
+        mut rng: Option<&mut SimRng>,
+    ) -> f64 {
+        assert_eq!(active.len(), self.lines.len());
+        let v = &self.lines[victim];
+        let tx = dbm_hz_to_mw_hz(self.cfg.tx_psd_dbm_hz);
+        let floor = dbm_hz_to_mw_hz(self.cfg.noise_floor_dbm_hz);
+        let extra_lin = crate::units::db_to_lin(-v.extra_loss_db);
+        let jitter_db = match rng.as_deref_mut() {
+            Some(r) if self.cfg.sync_jitter_db > 0.0 => r.normal(0.0, self.cfg.sync_jitter_db),
+            _ => 0.0,
+        };
+        let jitter_lin = crate::units::db_to_lin(jitter_db);
+
+        // Disturber set: active lines other than the victim.
+        let disturbers: Vec<(f64, f64)> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != victim && active[*j])
+            .map(|(_, d)| {
+                (self.binder.coupling(v.pair, d.pair), shared_length_m(v.length_m, d.length_m))
+            })
+            .collect();
+
+        let snrs = self.profile.plan.tones().into_iter().map(|tone| {
+            let f = crate::band::tone_freq_hz(tone);
+            let h2 = self.cfg.cable.h_squared(f, v.length_m) * extra_lin;
+            let signal = tx * h2;
+            let fext: f64 = disturbers
+                .iter()
+                .map(|&(c, shared)| tx * self.cfg.fext.transfer(f, h2, c, shared))
+                .sum();
+            signal * jitter_lin / (floor + fext)
+        });
+        self.cfg.bitload.rate_bps(snrs)
+    }
+
+    /// Sync rate of `victim` (attainable capped by the service plan).
+    pub fn sync_rate_bps(&self, victim: usize, active: &[bool], rng: Option<&mut SimRng>) -> f64 {
+        self.profile.sync_rate_bps(self.attainable_bps(victim, active, rng))
+    }
+
+    /// Mean sync rate over the *active* lines (the quantity Fig. 14 plots).
+    pub fn mean_active_sync_bps(&self, active: &[bool], rng: Option<&mut SimRng>) -> f64 {
+        let idx: Vec<usize> =
+            (0..self.lines.len()).filter(|&i| active[i]).collect();
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let mut rng = rng;
+        let sum: f64 = idx
+            .iter()
+            .map(|&i| self.sync_rate_bps(i, active, rng.as_deref_mut()))
+            .sum();
+        sum / idx.len() as f64
+    }
+}
+
+/// Builds the paper's fixed-length setup: 24 lines, all `length_m` long.
+pub fn fixed_length_lines(length_m: f64) -> Vec<Line> {
+    (0..crate::binder::BINDER_PAIRS).map(|p| Line::new(p, length_m)).collect()
+}
+
+/// Builds the paper's telco-distribution setup: 24 lines with lengths drawn
+/// from a right-leaning 50–600 m distribution ("chosen to match a real
+/// distribution of lengths between 50 and 600 m as given to us by a large
+/// telco") — most loops are long, a minority short.
+pub fn telco_length_lines(rng: &mut SimRng) -> Vec<Line> {
+    (0..crate::binder::BINDER_PAIRS)
+        .map(|p| {
+            // Triangular-ish: max(u1, u2) biases towards the long end.
+            let u = rng.f64().max(rng.f64());
+            let len = 50.0 + 550.0 * u;
+            Line::new(p, len)
+        })
+        .collect()
+}
+
+/// Adds per-line flat-loss spread (splices, in-home wiring) to a line set.
+pub fn with_loss_spread(lines: Vec<Line>, std_db: f64, rng: &mut SimRng) -> Vec<Line> {
+    lines
+        .into_iter()
+        .map(|l| {
+            let loss = rng.normal(0.0, std_db).abs();
+            l.with_extra_loss(loss)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> BundleConfig {
+        BundleConfig { sync_jitter_db: 0.0, ..BundleConfig::default() }
+    }
+
+    fn all_active(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn calibration_fixed600_62mbps_baseline() {
+        // The headline calibration target: 24 lines at 600 m, 62 Mbps
+        // profile, all active ⇒ mean sync near the paper's 43.7 Mbps.
+        let sim = BundleSim::new(quiet_cfg(), ServiceProfile::mbps62(), fixed_length_lines(600.0));
+        let mean = sim.mean_active_sync_bps(&all_active(24), None);
+        assert!(
+            (38.0e6..50.0e6).contains(&mean),
+            "fixed-600 62 Mbps baseline {:.1} Mbps (paper: 43.7)",
+            mean / 1e6
+        );
+    }
+
+    #[test]
+    fn speedup_slope_near_paper() {
+        // Fig. 14: each silenced line buys ~1.1–1.2% for the remaining ones.
+        let sim = BundleSim::new(quiet_cfg(), ServiceProfile::mbps62(), fixed_length_lines(600.0));
+        let base = sim.mean_active_sync_bps(&all_active(24), None);
+        let mut active = all_active(24);
+        // Silence 12 lines (every other one, keeping geometry balanced).
+        for i in (0..24).step_by(2) {
+            active[i] = false;
+        }
+        let half = sim.mean_active_sync_bps(&active, None);
+        let speedup = (half - base) / base * 100.0;
+        assert!(
+            (8.0..20.0).contains(&speedup),
+            "50% lines off speedup {speedup:.1}% (paper: ≈13.6%)"
+        );
+    }
+
+    #[test]
+    fn deactivating_lines_never_hurts() {
+        let mut rng = SimRng::new(1);
+        let lines = telco_length_lines(&mut rng);
+        let sim = BundleSim::new(quiet_cfg(), ServiceProfile::mbps62(), lines);
+        let mut active = all_active(24);
+        let mut last = sim.mean_active_sync_bps(&active, None);
+        // Keep line 0 as the observed victim, silence the rest one by one.
+        for i in (1..24).rev() {
+            active[i] = false;
+            let rate = sim.sync_rate_bps(0, &active, None);
+            assert!(rate >= last * 0.0, "rates remain positive");
+            let mean = sim.sync_rate_bps(0, &active, None);
+            assert!(mean >= sim.sync_rate_bps(0, &all_active(24), None) - 1.0);
+            last = rate;
+        }
+    }
+
+    #[test]
+    fn monotone_in_disturber_count_for_single_victim() {
+        let sim = BundleSim::new(quiet_cfg(), ServiceProfile::mbps62(), fixed_length_lines(600.0));
+        let mut prev = 0.0f64;
+        for n_active in [24usize, 18, 12, 6, 1] {
+            let mut active = vec![false; 24];
+            for a in active.iter_mut().take(n_active) {
+                *a = true;
+            }
+            // Victim 0 is always active; silencing disturbers must only help.
+            let r = sim.attainable_bps(0, &active, None);
+            assert!(r >= prev - 1.0, "fewer disturbers must not reduce rate");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn profile30_caps_and_narrows() {
+        let sim60 =
+            BundleSim::new(quiet_cfg(), ServiceProfile::mbps30(), fixed_length_lines(200.0));
+        // At 200 m the attainable rate far exceeds 30 Mbps: plan caps it.
+        let rate = sim60.sync_rate_bps(0, &all_active(24), None);
+        assert_eq!(rate, 30.0e6);
+        // At 600 m with full FEXT the 8b bands cannot always deliver 30.
+        let sim600 =
+            BundleSim::new(quiet_cfg(), ServiceProfile::mbps30(), fixed_length_lines(600.0));
+        let mean = sim600.mean_active_sync_bps(&all_active(24), None);
+        assert!(
+            (24.0e6..30.0e6 + 1.0).contains(&mean),
+            "fixed-600 30 Mbps baseline {:.1} Mbps (paper: 29.7)",
+            mean / 1e6
+        );
+    }
+
+    #[test]
+    fn extra_loss_lowers_rate() {
+        let cfg = quiet_cfg();
+        let mut lines = fixed_length_lines(600.0);
+        lines[0] = lines[0].clone().with_extra_loss(6.0);
+        let sim = BundleSim::new(cfg, ServiceProfile::mbps62(), lines);
+        let lossy = sim.attainable_bps(0, &all_active(24), None);
+        let clean = sim.attainable_bps(1, &all_active(24), None);
+        assert!(lossy < clean, "lossy {lossy} vs clean {clean}");
+    }
+
+    #[test]
+    fn jitter_changes_measurements_but_not_expectation_much() {
+        let cfg = BundleConfig { sync_jitter_db: 0.5, ..BundleConfig::default() };
+        let sim = BundleSim::new(cfg, ServiceProfile::mbps62(), fixed_length_lines(600.0));
+        let mut rng = SimRng::new(3);
+        let a = sim.sync_rate_bps(0, &all_active(24), Some(&mut rng));
+        let b = sim.sync_rate_bps(0, &all_active(24), Some(&mut rng));
+        assert_ne!(a, b, "jitter must perturb individual syncs");
+        let n = 50;
+        let mean: f64 = (0..n)
+            .map(|_| sim.sync_rate_bps(0, &all_active(24), Some(&mut rng)))
+            .sum::<f64>()
+            / n as f64;
+        let exact = sim.sync_rate_bps(0, &all_active(24), None);
+        assert!((mean - exact).abs() / exact < 0.02, "mean {mean} vs exact {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate binder pair")]
+    fn rejects_duplicate_pairs() {
+        let lines = vec![Line::new(0, 100.0), Line::new(0, 200.0)];
+        BundleSim::new(quiet_cfg(), ServiceProfile::mbps62(), lines);
+    }
+
+    #[test]
+    fn telco_lengths_in_range_and_long_biased() {
+        let mut rng = SimRng::new(5);
+        let lines = telco_length_lines(&mut rng);
+        assert_eq!(lines.len(), 24);
+        for l in &lines {
+            assert!((50.0..=600.0).contains(&l.length_m));
+        }
+        let mean = lines.iter().map(|l| l.length_m).sum::<f64>() / 24.0;
+        assert!(mean > 325.0, "distribution must lean long, mean {mean}");
+    }
+}

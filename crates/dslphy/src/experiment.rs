@@ -1,0 +1,202 @@
+//! The §6.2/§6.3 crosstalk experiment: Fig. 14's speedup-vs-inactive-lines
+//! series.
+//!
+//! Methodology mirrors the paper: define random orders in which to activate
+//! the 24 lines; at each step of a sequence force resynchronization and
+//! record the mean sync rate over the active lines; repeat each measurement
+//! twice (the medium is non-deterministic); report the mean and standard
+//! deviation of the per-line speedup w.r.t. the all-active baseline.
+
+use crate::bundle::{fixed_length_lines, telco_length_lines, with_loss_spread, BundleSim};
+use crate::line::ServiceProfile;
+use crate::BundleConfig;
+use insomnia_simcore::{SimRng, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Loop-length layout of the bundle under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LengthSetup {
+    /// All 24 lines at 600 m (the paper's fixed setup).
+    Fixed600,
+    /// Lengths drawn from the telco 50–600 m distribution.
+    TelcoMix,
+}
+
+/// One point of the Fig. 14 series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Number of inactive lines.
+    pub inactive: usize,
+    /// Mean per-line speedup over the baseline, percent.
+    pub mean_speedup_pct: f64,
+    /// Standard deviation across sequences/repeats, percent.
+    pub std_pct: f64,
+}
+
+/// One experiment configuration (profile × length setup).
+#[derive(Debug, Clone)]
+pub struct CrosstalkExperiment {
+    /// Service profile (30 or 62 Mbps).
+    pub profile: ServiceProfile,
+    /// Length layout.
+    pub setup: LengthSetup,
+    /// Number of random deactivation orders (paper: 5).
+    pub n_orders: usize,
+    /// Measurements per step (paper: 2).
+    pub repeats: usize,
+    /// Per-line flat-loss spread, dB (line-to-line variability).
+    pub loss_spread_db: f64,
+}
+
+impl CrosstalkExperiment {
+    /// The paper's four configurations in legend order.
+    pub fn paper_set() -> Vec<CrosstalkExperiment> {
+        let mk = |profile: ServiceProfile, setup| CrosstalkExperiment {
+            profile,
+            setup,
+            n_orders: 5,
+            repeats: 2,
+            loss_spread_db: 2.0,
+        };
+        vec![
+            mk(ServiceProfile::mbps62(), LengthSetup::TelcoMix),
+            mk(ServiceProfile::mbps62(), LengthSetup::Fixed600),
+            mk(ServiceProfile::mbps30(), LengthSetup::TelcoMix),
+            mk(ServiceProfile::mbps30(), LengthSetup::Fixed600),
+        ]
+    }
+
+    /// Human-readable label matching the paper's legend.
+    pub fn label(&self) -> String {
+        let lengths = match self.setup {
+            LengthSetup::Fixed600 => "fixed loop length 600 m",
+            LengthSetup::TelcoMix => "loop lengths 50-600 m",
+        };
+        format!("profile {}; {}", self.profile.name, lengths)
+    }
+
+    /// Runs the experiment. Returns `(baseline_mean_bps, points)`, points at
+    /// the paper's x-axis steps (0, 2, 4, 6, 8, 10, 12, 16, 20 inactive).
+    pub fn run(&self, cfg: &BundleConfig, rng: &mut SimRng) -> (f64, Vec<SpeedupPoint>) {
+        let lines = match self.setup {
+            LengthSetup::Fixed600 => fixed_length_lines(600.0),
+            LengthSetup::TelcoMix => telco_length_lines(rng),
+        };
+        let lines = with_loss_spread(lines, self.loss_spread_db, rng);
+        let n = lines.len();
+        let sim = BundleSim::new(cfg.clone(), self.profile.clone(), lines);
+
+        // Baseline: all lines active, averaged over repeats.
+        let mut base_acc = Welford::new();
+        for _ in 0..self.repeats.max(1) {
+            base_acc.push(sim.mean_active_sync_bps(&vec![true; n], Some(rng)));
+        }
+        let baseline = base_acc.mean();
+
+        let steps: Vec<usize> = vec![0, 2, 4, 6, 8, 10, 12, 16, 20];
+        let mut accs: Vec<Welford> = steps.iter().map(|_| Welford::new()).collect();
+        for _ in 0..self.n_orders {
+            // Random deactivation order (the paper randomizes activation
+            // order; measuring at matching active counts is equivalent).
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            for (si, &inactive) in steps.iter().enumerate() {
+                let mut active = vec![true; n];
+                for &line in order.iter().take(inactive) {
+                    active[line] = false;
+                }
+                for _ in 0..self.repeats.max(1) {
+                    let mean = sim.mean_active_sync_bps(&active, Some(rng));
+                    accs[si].push((mean - baseline) / baseline * 100.0);
+                }
+            }
+        }
+        let points = steps
+            .into_iter()
+            .zip(accs)
+            .map(|(inactive, acc)| SpeedupPoint {
+                inactive,
+                mean_speedup_pct: acc.mean(),
+                std_pct: acc.std_dev(),
+            })
+            .collect();
+        (baseline, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(profile: ServiceProfile, setup: LengthSetup, seed: u64) -> (f64, Vec<SpeedupPoint>) {
+        let exp = CrosstalkExperiment {
+            profile,
+            setup,
+            n_orders: 3,
+            repeats: 2,
+            loss_spread_db: 2.0,
+        };
+        let mut rng = SimRng::new(seed);
+        exp.run(&BundleConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn fixed600_62_matches_fig14_shape() {
+        let (baseline, pts) = run_one(ServiceProfile::mbps62(), LengthSetup::Fixed600, 1);
+        // Paper: baseline 43.7 Mbps; ≈13.6% at 12 off; ≈25% at 20 off;
+        // ~1.1–1.2% per line.
+        assert!((35.0e6..50.0e6).contains(&baseline), "baseline {:.1}M", baseline / 1e6);
+        let at = |k: usize| pts.iter().find(|p| p.inactive == k).expect("step exists");
+        assert!(at(0).mean_speedup_pct.abs() < 2.0);
+        let s12 = at(12).mean_speedup_pct;
+        assert!((8.0..20.0).contains(&s12), "12-off speedup {s12:.1}%");
+        let s20 = at(20).mean_speedup_pct;
+        assert!((17.0..32.0).contains(&s20), "20-off speedup {s20:.1}%");
+        // Monotone growth within noise.
+        assert!(s20 > s12 && s12 > at(4).mean_speedup_pct);
+    }
+
+    #[test]
+    fn profile30_speedups_are_capped() {
+        let (b_mix, pts_mix) = run_one(ServiceProfile::mbps30(), LengthSetup::TelcoMix, 2);
+        let (b_600, pts_600) = run_one(ServiceProfile::mbps30(), LengthSetup::Fixed600, 2);
+        // Plan-rate ceiling: 30 Mbps tier gains far less than the 62 tier.
+        let max_mix = pts_mix.iter().map(|p| p.mean_speedup_pct).fold(f64::MIN, f64::max);
+        let max_600 = pts_600.iter().map(|p| p.mean_speedup_pct).fold(f64::MIN, f64::max);
+        assert!(max_mix < 15.0, "mixed-30 speedup {max_mix:.1}%");
+        assert!(max_600 < 10.0, "600-30 speedup {max_600:.1}%");
+        // Baselines at or below plan rate (paper: 27.8 and 29.7 Mbps).
+        assert!(b_mix <= 30.0e6 + 1.0 && b_mix > 23.0e6, "mixed-30 baseline {:.1}M", b_mix / 1e6);
+        assert!(b_600 <= 30.0e6 + 1.0 && b_600 > 26.0e6, "600-30 baseline {:.1}M", b_600 / 1e6);
+    }
+
+    #[test]
+    fn per_line_slope_near_paper() {
+        let (_, pts) = run_one(ServiceProfile::mbps62(), LengthSetup::Fixed600, 3);
+        // Paper: 1.1–1.2% per silenced line over the first half.
+        let at = |k: usize| {
+            pts.iter().find(|p| p.inactive == k).expect("step exists").mean_speedup_pct
+        };
+        let slope = (at(12) - at(0)) / 12.0;
+        assert!((0.7..1.7).contains(&slope), "slope {slope:.2}%/line");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_one(ServiceProfile::mbps62(), LengthSetup::TelcoMix, 7);
+        let b = run_one(ServiceProfile::mbps62(), LengthSetup::TelcoMix, 7);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.len(), b.1.len());
+        for (x, y) in a.1.iter().zip(&b.1) {
+            assert_eq!(x.mean_speedup_pct, y.mean_speedup_pct);
+        }
+    }
+
+    #[test]
+    fn paper_set_has_four_labeled_configs() {
+        let set = CrosstalkExperiment::paper_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set[0].label(), "profile 62 Mbps; loop lengths 50-600 m");
+        assert_eq!(set[3].label(), "profile 30 Mbps; fixed loop length 600 m");
+    }
+}

@@ -1,0 +1,123 @@
+//! Individual DSL lines: service profiles and synchronization.
+//!
+//! §6.1 of the paper describes the two sync options the testbed modems use
+//! when initializing: (i) rate-adaptive — maximize bit rate subject to a
+//! ≥6 dB noise margin, or (ii) fixed-rate — sync at the subscribed plan
+//! rate and maximize margin. Operationally both reduce to
+//! `sync = min(attainable_rate, plan_rate)`: the attainable rate comes from
+//! bit-loading under the current noise (including FEXT), the plan rate from
+//! the service profile.
+//!
+//! The two profiles the paper tests are 30 Mbps and 62 Mbps downstream; the
+//! 30 Mbps tier is provisioned on the narrower VDSL2 8b band set (DS1+DS2),
+//! the 62 Mbps tier on the full 17a set — matching how operators provision
+//! tiered VDSL2 (and required to reproduce the sub-plan sync rates the
+//! paper reports for the 30 Mbps profile at 600 m).
+
+use crate::band::{Band, TonePlan};
+use serde::{Deserialize, Serialize};
+
+/// A subscription tier: plan rate cap plus the tone plan it runs on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Downstream plan rate cap, bit/s.
+    pub plan_rate_bps: f64,
+    /// Tone plan used by this tier.
+    pub plan: TonePlan,
+}
+
+impl ServiceProfile {
+    /// The paper's 62 Mbps profile (full 17a downstream bands).
+    pub fn mbps62() -> Self {
+        ServiceProfile {
+            name: "62 Mbps",
+            plan_rate_bps: 62.0e6,
+            plan: TonePlan::vdsl2_17a_down(),
+        }
+    }
+
+    /// The paper's 30 Mbps profile. Operators provision low tiers on the
+    /// narrow band set (DS1 only, as in the 8a/8b-class profiles): on long
+    /// loops the attainable rate then sits just around the 30 Mbps plan —
+    /// required to reproduce the sub-plan baselines (29.7/27.8 Mbps) the
+    /// paper measures for this tier at 600 m.
+    pub fn mbps30() -> Self {
+        ServiceProfile {
+            name: "30 Mbps",
+            plan_rate_bps: 30.0e6,
+            plan: TonePlan {
+                name: "VDSL2-998-8a-DS",
+                bands: vec![Band { lo_hz: 138_000.0, hi_hz: 3_750_000.0 }],
+            },
+        }
+    }
+
+    /// Sync rate given an attainable (bit-loading) rate: the plan caps it.
+    pub fn sync_rate_bps(&self, attainable_bps: f64) -> f64 {
+        attainable_bps.min(self.plan_rate_bps)
+    }
+}
+
+/// One copper line in the bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Line {
+    /// Binder pair index (0..24), which fixes the coupling geometry.
+    pub pair: usize,
+    /// Loop length in metres (DSLAM to modem).
+    pub length_m: f64,
+    /// Per-line additional flat loss in dB (splices, in-home wiring,
+    /// manufacturing spread) — gives line-to-line rate variability.
+    pub extra_loss_db: f64,
+}
+
+impl Line {
+    /// Creates a line on binder pair `pair` with the given length.
+    pub fn new(pair: usize, length_m: f64) -> Self {
+        Line { pair, length_m, extra_loss_db: 0.0 }
+    }
+
+    /// Adds per-line flat loss.
+    pub fn with_extra_loss(mut self, db: f64) -> Self {
+        self.extra_loss_db = db;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper() {
+        let p62 = ServiceProfile::mbps62();
+        assert_eq!(p62.plan_rate_bps, 62.0e6);
+        assert_eq!(p62.plan.bands.len(), 3);
+        let p30 = ServiceProfile::mbps30();
+        assert_eq!(p30.plan_rate_bps, 30.0e6);
+        assert_eq!(p30.plan.bands.len(), 1, "30 Mbps tier uses DS1 only");
+    }
+
+    #[test]
+    fn sync_caps_at_plan_rate() {
+        let p = ServiceProfile::mbps30();
+        assert_eq!(p.sync_rate_bps(45.0e6), 30.0e6);
+        assert_eq!(p.sync_rate_bps(12.0e6), 12.0e6);
+    }
+
+    #[test]
+    fn narrower_plan_has_fewer_tones() {
+        let p62 = ServiceProfile::mbps62();
+        let p30 = ServiceProfile::mbps30();
+        assert!(p30.plan.tones().len() < p62.plan.tones().len());
+    }
+
+    #[test]
+    fn line_builder() {
+        let l = Line::new(3, 450.0).with_extra_loss(1.5);
+        assert_eq!(l.pair, 3);
+        assert_eq!(l.length_m, 450.0);
+        assert_eq!(l.extra_loss_db, 1.5);
+    }
+}

@@ -1,0 +1,55 @@
+//! Decibel/linear conversions used throughout the PHY model.
+//!
+//! Power spectral densities are carried in dBm/Hz (the unit of every DSL
+//! standard document) and converted to linear mW/Hz only where noise
+//! contributions must be summed.
+
+/// Converts a power ratio in dB to linear scale.
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to dB. Zero/negative input maps to -inf.
+pub fn lin_to_db(lin: f64) -> f64 {
+    if lin <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * lin.log10()
+    }
+}
+
+/// Converts a PSD in dBm/Hz to linear mW/Hz.
+pub fn dbm_hz_to_mw_hz(dbm_hz: f64) -> f64 {
+    db_to_lin(dbm_hz)
+}
+
+/// Converts a linear PSD in mW/Hz to dBm/Hz.
+pub fn mw_hz_to_dbm_hz(mw_hz: f64) -> f64 {
+    lin_to_db(mw_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for &db in &[-140.0, -60.0, 0.0, 3.0103, 30.0] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((db_to_lin(0.0) - 1.0).abs() < 1e-12);
+        assert!((db_to_lin(10.0) - 10.0).abs() < 1e-12);
+        assert!((db_to_lin(3.0103) - 2.0).abs() < 1e-4);
+        assert!((dbm_hz_to_mw_hz(-60.0) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_power_is_neg_infinity_db() {
+        assert_eq!(lin_to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(lin_to_db(-1.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the DSL PHY model's physical laws.
+
+use insomnia_dslphy::{
+    db_to_lin, fixed_length_lines, lin_to_db, BitLoading, BundleConfig, BundleSim, CableModel,
+    FextModel, ServiceProfile,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// dB/linear conversions are inverse bijections on the sane range.
+    #[test]
+    fn db_roundtrip(db in -200f64..100.0) {
+        prop_assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
+    }
+
+    /// Attenuation is monotone in both frequency and length, and additive
+    /// in length.
+    #[test]
+    fn attenuation_laws(
+        f1 in 1e5f64..1.7e7,
+        df in 1e4f64..1e7,
+        l1 in 10f64..1_000.0,
+        dl in 1f64..1_000.0,
+    ) {
+        let c = CableModel::default();
+        prop_assert!(c.attenuation_db(f1 + df, l1) > c.attenuation_db(f1, l1));
+        prop_assert!(c.attenuation_db(f1, l1 + dl) > c.attenuation_db(f1, l1));
+        let split = c.attenuation_db(f1, l1) + c.attenuation_db(f1, dl);
+        prop_assert!((c.attenuation_db(f1, l1 + dl) - split).abs() < 1e-9);
+    }
+
+    /// Bit-loading is monotone in SNR and bounded by the cap.
+    #[test]
+    fn bitload_monotone(snr_db in -20f64..120.0, delta_db in 0f64..40.0) {
+        let bl = BitLoading::default();
+        let lo = bl.bits_for_snr(db_to_lin(snr_db));
+        let hi = bl.bits_for_snr(db_to_lin(snr_db + delta_db));
+        prop_assert!(hi >= lo);
+        prop_assert!(hi <= 15);
+    }
+
+    /// FEXT transfer scales linearly in coupling and shared length, and
+    /// quadratically in frequency.
+    #[test]
+    fn fext_scaling(
+        f in 2e5f64..1.7e7,
+        coupling in 0.01f64..1.0,
+        shared in 10f64..600.0,
+    ) {
+        let m = FextModel::default();
+        let base = m.transfer(f, 1.0, coupling, shared);
+        prop_assert!(base > 0.0);
+        prop_assert!((m.transfer(f, 1.0, coupling / 2.0, shared) - base / 2.0).abs() < base * 1e-9);
+        prop_assert!((m.transfer(f, 1.0, coupling, shared / 2.0) - base / 2.0).abs() < base * 1e-9);
+        prop_assert!((m.transfer(2.0 * f, 1.0, coupling, shared) - 4.0 * base).abs() < base * 1e-6);
+    }
+
+    /// Silencing any subset of disturbers never reduces a victim's
+    /// attainable rate (the crosstalk bonus is monotone).
+    #[test]
+    fn silencing_disturbers_is_monotone(
+        length in 100f64..600.0,
+        mask in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let cfg = BundleConfig { sync_jitter_db: 0.0, ..BundleConfig::default() };
+        let sim = BundleSim::new(cfg, ServiceProfile::mbps62(), fixed_length_lines(length));
+        let mut subset = mask.clone();
+        subset[0] = true; // victim stays active
+        let all = vec![true; 24];
+        let r_subset = sim.attainable_bps(0, &subset, None);
+        let r_all = sim.attainable_bps(0, &all, None);
+        prop_assert!(r_subset + 1e-6 >= r_all,
+            "fewer disturbers gave less rate: {r_subset} < {r_all}");
+    }
+
+    /// Shorter loops never sync slower than longer ones, all else equal.
+    #[test]
+    fn shorter_loops_are_faster(l in 50f64..550.0, dl in 10f64..300.0) {
+        let cfg = BundleConfig { sync_jitter_db: 0.0, ..BundleConfig::default() };
+        let short = BundleSim::new(cfg.clone(), ServiceProfile::mbps62(), fixed_length_lines(l));
+        let long = BundleSim::new(cfg, ServiceProfile::mbps62(), fixed_length_lines(l + dl));
+        let all = vec![true; 24];
+        prop_assert!(
+            short.attainable_bps(0, &all, None) + 1e-6 >= long.attainable_bps(0, &all, None)
+        );
+    }
+
+    /// Sync rate never exceeds the plan rate, for any profile and length.
+    #[test]
+    fn plan_rate_caps_sync(l in 50f64..600.0, use30 in any::<bool>()) {
+        let profile = if use30 { ServiceProfile::mbps30() } else { ServiceProfile::mbps62() };
+        let plan = profile.plan_rate_bps;
+        let cfg = BundleConfig { sync_jitter_db: 0.0, ..BundleConfig::default() };
+        let sim = BundleSim::new(cfg, profile, fixed_length_lines(l));
+        let rate = sim.sync_rate_bps(0, &vec![true; 24], None);
+        prop_assert!(rate <= plan + 1e-6);
+        prop_assert!(rate > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The simulation driver: a clock plus an event queue.
+//!
+//! The engine is deliberately minimal (in the spirit of smoltcp's
+//! "simplicity and robustness" design goals): the application owns its world
+//! state and defines one event enum; the engine owns time. Handlers receive
+//! `&mut Scheduler<E>` so they can schedule follow-up events, which sidesteps
+//! the usual borrow-checker fights of callback-based DES designs without any
+//! `Rc<RefCell>` or trait-object machinery.
+
+use crate::queue::{EventQueue, EventToken};
+use crate::time::{SimDuration, SimTime};
+
+/// Clock plus pending-event queue for one simulation run.
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    delivered: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at time zero.
+    pub fn new() -> Self {
+        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, delivered: 0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — delivering events out of causal order
+    /// would silently corrupt every downstream statistic, so this is a
+    /// programming error worth failing loudly on.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(at >= self.now, "scheduled event at {at} before current time {}", self.now);
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Cancels a pending event (no-op if already delivered/cancelled).
+    pub fn cancel(&mut self, token: EventToken) {
+        self.queue.cancel(token);
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now);
+        self.now = t;
+        self.delivered += 1;
+        Some((t, e))
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Runs the event loop until the queue drains or the clock passes `end`.
+    ///
+    /// Events timestamped exactly at `end` are still delivered; the first
+    /// event strictly after `end` is left in the queue and the clock is
+    /// advanced to `end`. The handler may schedule further events.
+    pub fn run_until<W>(
+        &mut self,
+        world: &mut W,
+        end: SimTime,
+        mut handler: impl FnMut(&mut Self, &mut W, SimTime, E),
+    ) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= end => {
+                    let (t, e) = self.next_event().expect("peeked event exists");
+                    handler(self, world, t, e);
+                }
+                _ => break,
+            }
+        }
+        if self.now < end {
+            self.now = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s: Scheduler<Ev> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), Ev::Tick(1));
+        s.schedule_after(SimDuration::from_secs(1), Ev::Tick(0));
+        let (t0, e0) = s.next_event().unwrap();
+        assert_eq!((t0, e0), (SimTime::from_secs(1), Ev::Tick(0)));
+        assert_eq!(s.now(), SimTime::from_secs(1));
+        let (t1, _) = s.next_event().unwrap();
+        assert_eq!(t1, SimTime::from_secs(3));
+        assert_eq!(s.delivered(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut s: Scheduler<Ev> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), Ev::Stop);
+        s.next_event();
+        s.schedule_at(SimTime::from_secs(1), Ev::Stop);
+    }
+
+    #[test]
+    fn run_until_respects_horizon_and_allows_rescheduling() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 0);
+        let mut seen = Vec::new();
+        s.run_until(&mut seen, SimTime::from_secs(5), |s, seen, t, n| {
+            seen.push((t.as_secs(), n));
+            // Periodic self-rescheduling, the common pattern for samplers.
+            s.schedule_after(SimDuration::from_secs(2), n + 1);
+        });
+        // Events at 1, 3, 5 delivered; the one at 7 stays pending.
+        assert_eq!(seen, vec![(1, 0), (3, 1), (5, 2)]);
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_drains() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 7);
+        let mut world = ();
+        s.run_until(&mut world, SimTime::from_secs(100), |_, _, _, _| {});
+        assert_eq!(s.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn cancelled_events_are_not_delivered() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let tok = s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(2), 2);
+        s.cancel(tok);
+        let mut seen = Vec::new();
+        s.run_until(&mut seen, SimTime::from_hours(1), |_, seen, _, n| seen.push(n));
+        assert_eq!(seen, vec![2]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Pending-event queue with stable FIFO ordering among simultaneous events.
+//!
+//! Determinism requirement: two events scheduled for the same instant must be
+//! delivered in the order they were scheduled, on every run. A plain binary
+//! heap does not guarantee that, so every entry carries a monotonically
+//! increasing sequence number used as a tie-breaker.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] marks a token and the entry is
+//! discarded when it reaches the head of the heap. This keeps both schedule
+//! and cancel at `O(log n)` amortized without intrusive handles.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq) out
+    // first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of simulation events ordered by `(time, insertion order)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at `time`. Returns a token usable with [`cancel`].
+    ///
+    /// [`cancel`]: EventQueue::cancel
+    pub fn push(&mut self, time: SimTime, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-delivered
+    /// or already-cancelled event is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Removes and returns the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Time of the earliest pending (non-cancelled) event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled heads so peek reflects the next deliverable event.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of entries in the heap, including not-yet-reaped cancellations.
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True when no deliverable event remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "b");
+        q.push(t(1), "a");
+        q.push(t(9), "c");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        assert_eq!(q.pop(), Some((t(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(7), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_entry() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(1), "dead");
+        q.push(t(2), "alive");
+        q.cancel(tok);
+        assert_eq!(q.pop(), Some((t(2), "alive")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_twice_and_cancel_delivered_are_noops() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(1), 1u8);
+        assert_eq!(q.pop(), Some((t(1), 1)));
+        q.cancel(tok); // already delivered
+        q.push(t(2), 2);
+        assert_eq!(q.pop(), Some((t(2), 2)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let tok1 = q.push(t(1), 1u8);
+        let tok2 = q.push(t(2), 2u8);
+        q.push(t(3), 3u8);
+        q.cancel(tok1);
+        q.cancel(tok2);
+        assert_eq!(q.peek_time(), Some(t(3)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_pending_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1u8);
+        q.push(t(2), 2u8);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

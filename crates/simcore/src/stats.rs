@@ -1,0 +1,421 @@
+//! Statistics primitives: streaming moments, time-weighted signals,
+//! histograms with explicit bin edges, and empirical CDFs.
+//!
+//! These are the building blocks behind every number the harness reports:
+//! energy = time-integral of power ([`TimeWeighted::integral`]), Fig. 4 is a
+//! [`Histogram`] with the paper's custom gap bins, Fig. 9 is a pair of
+//! [`Cdf`]s, and so on.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance via Welford's algorithm (numerically stable).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// A piecewise-constant signal tracked over simulated time.
+///
+/// Feed it `(time, new_value)` change points; it accumulates
+/// `∫ value · dt`, which gives both the time-weighted average and, when the
+/// value is a power in watts and time is in seconds, an energy in joules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_t_ms: u64,
+    value: f64,
+    integral_value_seconds: f64,
+    started_ms: u64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `t0_ms` with the given initial value.
+    pub fn new(t0_ms: u64, initial: f64) -> Self {
+        TimeWeighted {
+            last_t_ms: t0_ms,
+            value: initial,
+            integral_value_seconds: 0.0,
+            started_ms: t0_ms,
+        }
+    }
+
+    /// Records a change of value at time `t_ms` (milliseconds). Times must be
+    /// non-decreasing.
+    pub fn set(&mut self, t_ms: u64, value: f64) {
+        self.advance(t_ms);
+        self.value = value;
+    }
+
+    /// Advances the clock without changing the value.
+    pub fn advance(&mut self, t_ms: u64) {
+        debug_assert!(t_ms >= self.last_t_ms, "time went backwards");
+        let dt_s = (t_ms - self.last_t_ms) as f64 / 1_000.0;
+        self.integral_value_seconds += self.value * dt_s;
+        self.last_t_ms = t_ms;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// `∫ value · dt` in value·seconds up to the last `set`/`advance` call.
+    pub fn integral(&self) -> f64 {
+        self.integral_value_seconds
+    }
+
+    /// Time-weighted average over the observed window (0 if no time elapsed).
+    pub fn average(&self) -> f64 {
+        let span_s = (self.last_t_ms - self.started_ms) as f64 / 1_000.0;
+        if span_s <= 0.0 {
+            0.0
+        } else {
+            self.integral_value_seconds / span_s
+        }
+    }
+}
+
+/// Histogram over explicit, contiguous bin edges plus an overflow bin.
+///
+/// Bin `i` covers `[edges[i], edges[i+1])`; values `>= last edge` land in the
+/// overflow bin and values `< first edge` in an underflow bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<f64>, // weights, so gap histograms can weight by duration
+    underflow: f64,
+    overflow: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending edges (at least two).
+    ///
+    /// # Panics
+    /// Panics if fewer than two edges are supplied or they are not strictly
+    /// ascending.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least one bin");
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must ascend");
+        let nbins = edges.len() - 1;
+        Histogram { edges, counts: vec![0.0; nbins], underflow: 0.0, overflow: 0.0 }
+    }
+
+    /// Creates `n` uniform bins over `[lo, hi)`.
+    pub fn uniform(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && hi > lo);
+        let step = (hi - lo) / n as f64;
+        Histogram::new((0..=n).map(|i| lo + step * i as f64).collect())
+    }
+
+    /// Adds a value with weight 1.
+    pub fn add(&mut self, x: f64) {
+        self.add_weighted(x, 1.0);
+    }
+
+    /// Adds a value with an explicit weight (e.g. a gap weighted by its
+    /// duration, as in the paper's Fig. 4 "fraction of idle time").
+    pub fn add_weighted(&mut self, x: f64, w: f64) {
+        if x < self.edges[0] {
+            self.underflow += w;
+            return;
+        }
+        if x >= *self.edges.last().expect("non-empty edges") {
+            self.overflow += w;
+            return;
+        }
+        // Binary search for the bin: first edge > x, minus one.
+        let idx = match self.edges.binary_search_by(|e| e.partial_cmp(&x).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += w;
+    }
+
+    /// Total weight including under/overflow.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum::<f64>() + self.underflow + self.overflow
+    }
+
+    /// Weight in the overflow bin.
+    pub fn overflow(&self) -> f64 {
+        self.overflow
+    }
+
+    /// Per-bin weights.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Per-bin fraction of the total weight (empty histogram gives zeros).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total <= 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|c| c / total).collect()
+    }
+
+    /// Overflow fraction of the total weight.
+    pub fn overflow_fraction(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.overflow / total
+        }
+    }
+
+    /// Bin edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Human-readable labels like `"0-1"`, `"1-2"`, …, `">60"`.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .edges
+            .windows(2)
+            .map(|w| format!("{:.0}-{:.0}", w[0], w[1]))
+            .collect();
+        out.push(format!(">{:.0}", self.edges.last().expect("non-empty")));
+        out
+    }
+}
+
+/// Empirical cumulative distribution function built from samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (non-finite samples are dropped).
+    pub fn from_samples(mut xs: Vec<f64>) -> Self {
+        xs.retain(|x| x.is_finite());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite after retain"));
+        Cdf { sorted: xs }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0 for an empty CDF.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile by nearest-rank, `q` clamped to `[0,1]`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[idx - 1])
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// `(x, F(x))` points suitable for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average_and_integral() {
+        // 10 W for 10 s, then 0 W for 30 s: avg 2.5 W, integral 100 J.
+        let mut p = TimeWeighted::new(0, 10.0);
+        p.set(10_000, 0.0);
+        p.advance(40_000);
+        assert!((p.integral() - 100.0).abs() < 1e-9);
+        assert!((p.average() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let p = TimeWeighted::new(5_000, 3.0);
+        assert_eq!(p.average(), 0.0);
+        assert_eq!(p.integral(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0, 5.0]);
+        h.add(0.5); // bin 0
+        h.add(1.0); // bin 1 (left-closed)
+        h.add(4.99); // bin 2
+        h.add(5.0); // overflow
+        h.add(-1.0); // underflow
+        assert_eq!(h.counts(), &[1.0, 1.0, 1.0]);
+        assert_eq!(h.overflow(), 1.0);
+        assert_eq!(h.total(), 5.0);
+        let f = h.fractions();
+        assert!((f[0] - 0.2).abs() < 1e-12);
+        assert!((h.overflow_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_weighted_adds() {
+        let mut h = Histogram::uniform(0.0, 10.0, 2);
+        h.add_weighted(1.0, 3.0);
+        h.add_weighted(7.0, 1.0);
+        assert_eq!(h.counts(), &[3.0, 1.0]);
+        assert_eq!(h.labels(), vec!["0-5", "5-10", ">10"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges must ascend")]
+    fn histogram_rejects_unsorted_edges() {
+        Histogram::new(vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn cdf_quantiles_and_fractions() {
+        let cdf = Cdf::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(4.0));
+        assert!((cdf.fraction_leq(2.0) - 0.5).abs() < 1e-12);
+        assert!((cdf.fraction_leq(0.5) - 0.0).abs() < 1e-12);
+        assert!((cdf.fraction_leq(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.quantile(0.5), Some(2.0));
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0)); // clamped nearest-rank
+    }
+
+    #[test]
+    fn cdf_drops_non_finite() {
+        let cdf = Cdf::from_samples(vec![f64::NAN, 1.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let cdf = Cdf::from_samples((0..100).map(|i| ((i * 37) % 100) as f64).collect());
+        let pts = cdf.points();
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((pts.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+    }
+}

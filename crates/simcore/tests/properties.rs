@@ -1,0 +1,163 @@
+//! Property-based tests of the simulation engine's invariants.
+
+use insomnia_simcore::{Cdf, EventQueue, SimRng, SimTime, TimeWeighted, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and simultaneous
+    /// events preserve insertion order.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated for simultaneous events");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_is_exact(
+        times in prop::collection::vec(0u64..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.push(SimTime::from_millis(t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, tok) in &tokens {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                q.cancel(*tok);
+            } else {
+                expect.push(*i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Welford matches the naive two-pass computation.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// Splitting samples arbitrarily and merging gives the same moments.
+    #[test]
+    fn welford_merge_is_order_independent(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-7);
+    }
+
+    /// A time-weighted signal's integral is additive over segmentation and
+    /// bounded by span × max value.
+    #[test]
+    fn time_weighted_integral_bounds(
+        segs in prop::collection::vec((1u64..10_000, 0f64..100.0), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new(0, segs[0].1);
+        let mut t = 0u64;
+        let mut manual = 0.0;
+        let mut max_v: f64 = 0.0;
+        for &(dt, v) in &segs {
+            // current value applies for dt ms, then switches to v
+            let cur = tw.value();
+            manual += cur * dt as f64 / 1_000.0;
+            max_v = max_v.max(cur);
+            t += dt;
+            tw.set(t, v);
+        }
+        prop_assert!((tw.integral() - manual).abs() < 1e-6 * (1.0 + manual));
+        prop_assert!(tw.integral() <= max_v * t as f64 / 1_000.0 + 1e-9);
+    }
+
+    /// CDFs are monotone with range [0, 1] and consistent quantiles.
+    #[test]
+    fn cdf_monotone_and_consistent(xs in prop::collection::vec(-1e5f64..1e5, 1..300)) {
+        let cdf = Cdf::from_samples(xs.clone());
+        let probes: Vec<f64> = vec![-1e6, -10.0, 0.0, 10.0, 1e6];
+        let mut last = 0.0;
+        for p in probes {
+            let f = cdf.fraction_leq(p);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last - 1e-12);
+            last = f;
+        }
+        // The q-quantile has at least fraction q of mass at or below it.
+        for q in [0.1, 0.5, 0.9] {
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(cdf.fraction_leq(v) >= q - 1e-9);
+        }
+    }
+
+    /// pick_weighted only ever returns indices with strictly positive weight.
+    #[test]
+    fn pick_weighted_respects_support(
+        weights in prop::collection::vec(0f64..10.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            if let Some(i) = rng.pick_weighted(&weights) {
+                prop_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
+            } else {
+                prop_assert!(weights.iter().all(|&w| w <= 0.0));
+            }
+        }
+    }
+
+    /// below(n) is always in range and deterministic per seed.
+    #[test]
+    fn rng_below_in_range(n in 1u64..1_000_000, seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..20 {
+            let x = a.below(n);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, b.below(n));
+        }
+    }
+}

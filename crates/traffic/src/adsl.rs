@@ -1,0 +1,214 @@
+//! Synthetic equivalent of the paper's commercial-ISP ADSL dataset (Fig. 2).
+//!
+//! The paper plots the daily *average* and *median* link utilization of 10K
+//! residential ADSL subscribers (1–20 Mbps down, 256 kbps–1 Mbps up, July
+//! 2009): the average stays below ~9% even at peak while the median is two
+//! orders of magnitude smaller (≤0.05%) — i.e. a few heavy hitters carry
+//! almost all bytes while the majority only trickles keepalive-level
+//! traffic. This module synthesizes per-user hourly utilizations with that
+//! structure; Fig. 2 is regenerated from its aggregates.
+
+use crate::diurnal::DiurnalProfile;
+use insomnia_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Traffic direction for utilization queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards the subscriber.
+    Down,
+    /// Towards the ISP.
+    Up,
+}
+
+/// Configuration for the synthetic subscriber population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdslConfig {
+    /// Number of subscribers (paper: 10 000).
+    pub n_users: usize,
+    /// Fraction of subscribers running long-lived bulk transfers (P2P,
+    /// backups) — the heavy hitters that dominate the average.
+    pub heavy_frac: f64,
+    /// Fraction of subscribers whose gateway is effectively always online
+    /// (keepalive trickle even with nobody home).
+    pub always_on_frac: f64,
+}
+
+impl Default for AdslConfig {
+    fn default() -> Self {
+        AdslConfig { n_users: 10_000, heavy_frac: 0.13, always_on_frac: 0.80 }
+    }
+}
+
+/// Per-user hourly utilization (fraction of link capacity in `[0,1]`) for a
+/// synthetic residential population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdslPopulation {
+    /// `down[user][hour]` downlink utilization fraction.
+    pub down: Vec<[f64; 24]>,
+    /// `up[user][hour]` uplink utilization fraction.
+    pub up: Vec<[f64; 24]>,
+}
+
+impl AdslPopulation {
+    /// Number of subscribers.
+    pub fn n_users(&self) -> usize {
+        self.down.len()
+    }
+
+    fn table(&self, dir: Direction) -> &Vec<[f64; 24]> {
+        match dir {
+            Direction::Down => &self.down,
+            Direction::Up => &self.up,
+        }
+    }
+
+    /// Hourly average utilization across users, in percent (Fig. 2 left).
+    pub fn average_percent(&self, dir: Direction) -> [f64; 24] {
+        let t = self.table(dir);
+        let mut out = [0.0; 24];
+        for row in t {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o = *o / t.len() as f64 * 100.0;
+        }
+        out
+    }
+
+    /// Hourly median utilization across users, in percent (Fig. 2 right).
+    pub fn median_percent(&self, dir: Direction) -> [f64; 24] {
+        let t = self.table(dir);
+        let mut out = [0.0; 24];
+        let mut col: Vec<f64> = Vec::with_capacity(t.len());
+        for (h, o) in out.iter_mut().enumerate() {
+            col.clear();
+            col.extend(t.iter().map(|row| row[h]));
+            col.sort_by(|a, b| a.partial_cmp(b).expect("finite utilizations"));
+            let n = col.len();
+            let median = if n % 2 == 1 {
+                col[n / 2]
+            } else {
+                (col[n / 2 - 1] + col[n / 2]) / 2.0
+            };
+            *o = median * 100.0;
+        }
+        out
+    }
+}
+
+/// Generates the synthetic population. Deterministic in the RNG seed.
+pub fn generate(cfg: &AdslConfig, rng: &mut SimRng) -> AdslPopulation {
+    assert!(cfg.n_users > 0);
+    let profile = DiurnalProfile::residential();
+    let mut down = Vec::with_capacity(cfg.n_users);
+    let mut up = Vec::with_capacity(cfg.n_users);
+
+    for _ in 0..cfg.n_users {
+        let heavy = rng.chance(cfg.heavy_frac);
+        let always_on = rng.chance(cfg.always_on_frac);
+        // Keepalive trickle level for this user's gateway (fraction).
+        let trickle = rng.lognormal((0.0002f64).ln(), 0.7);
+        // Interactive-usage appetite (fraction of capacity when active).
+        let appetite = rng.lognormal((0.004f64).ln(), 1.3);
+
+        let mut d = [0.0f64; 24];
+        let mut u = [0.0f64; 24];
+        for h in 0..24 {
+            let w = profile.weight_at_hour(h);
+            let mut util = 0.0;
+            if always_on {
+                util += trickle;
+            }
+            // Interactive use: present with diurnal probability.
+            if rng.chance(0.08 + 0.45 * w) {
+                util += appetite * rng.range_f64(0.3, 1.5);
+            }
+            // Heavy hitters saturate a big chunk of the line for hours.
+            if heavy && rng.chance(0.30 + 0.60 * w) {
+                util += rng.range_f64(0.35, 1.0);
+            }
+            d[h] = util.min(1.0);
+            // Uplink: ACK traffic plus a share of uploads; heavy hitters
+            // (P2P) push comparatively more upstream.
+            let up_share = if heavy { rng.range_f64(0.3, 0.9) } else { rng.range_f64(0.05, 0.25) };
+            u[h] = (d[h] * up_share).min(1.0);
+        }
+        down.push(d);
+        up.push(u);
+    }
+    AdslPopulation { down, up }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> AdslPopulation {
+        let mut rng = SimRng::new(2011);
+        generate(&AdslConfig { n_users: 4_000, ..AdslConfig::default() }, &mut rng)
+    }
+
+    #[test]
+    fn average_calibrated_to_fig2_left() {
+        let p = population();
+        let avg = p.average_percent(Direction::Down);
+        let peak = avg.iter().cloned().fold(0.0f64, f64::max);
+        let trough = avg.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Paper: "very low average utilization ... does not exceed 9% even
+        // during the peak hour", with a clear diurnal swing.
+        assert!(peak > 3.0 && peak < 9.5, "peak avg {peak:.2}%");
+        assert!(trough > 0.3, "trough avg {trough:.2}%");
+        assert!(peak / trough > 1.8, "diurnal swing too flat: {peak:.2}/{trough:.2}");
+        // Evening peak (paper's residential pattern).
+        let peak_hour = avg.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!((18..=23).contains(&peak_hour), "peak at hour {peak_hour}");
+    }
+
+    #[test]
+    fn median_is_orders_of_magnitude_below_average() {
+        let p = population();
+        let avg = p.average_percent(Direction::Down);
+        let med = p.median_percent(Direction::Down);
+        for h in 0..24 {
+            // Fig. 2 right: median ≤ 0.05%, strictly positive (keepalives).
+            assert!(med[h] <= 0.12, "median at {h}h = {}%", med[h]);
+            assert!(med[h] > 0.0, "median at {h}h must be positive");
+            assert!(avg[h] / med[h] > 20.0, "avg/median ratio at {h}h = {}", avg[h] / med[h]);
+        }
+    }
+
+    #[test]
+    fn uplink_is_smaller_than_downlink() {
+        let p = population();
+        let down = p.average_percent(Direction::Down);
+        let up = p.average_percent(Direction::Up);
+        let dsum: f64 = down.iter().sum();
+        let usum: f64 = up.iter().sum();
+        assert!(usum < dsum, "uplink {usum:.2} >= downlink {dsum:.2}");
+        assert!(usum > dsum * 0.05, "uplink implausibly tiny");
+    }
+
+    #[test]
+    fn utilizations_are_valid_fractions() {
+        let p = population();
+        for row in p.down.iter().chain(p.up.iter()) {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        let cfg = AdslConfig { n_users: 100, ..AdslConfig::default() };
+        let pa = generate(&cfg, &mut a);
+        let pb = generate(&cfg, &mut b);
+        assert_eq!(pa.down, pb.down);
+        assert_eq!(pa.up, pb.up);
+    }
+}

@@ -1,0 +1,70 @@
+//! Entity identifiers shared across the workspace.
+//!
+//! Newtypes rather than bare integers: mixing up a client index and an AP
+//! index is exactly the kind of bug a 24-hour stochastic simulation will
+//! happily hide.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A wireless client (a user terminal in the paper's terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// A wireless access point / home gateway. In the evaluation scenario each
+/// trace AP maps 1:1 onto a broadband gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ApId(pub u32);
+
+impl ClientId {
+    /// Index into client-ordered arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds from an array index.
+    pub fn from_index(i: usize) -> Self {
+        ClientId(u32::try_from(i).expect("client index fits u32"))
+    }
+}
+
+impl ApId {
+    /// Index into AP-ordered arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds from an array index.
+    pub fn from_index(i: usize) -> Self {
+        ApId(u32::try_from(i).expect("AP index fits u32"))
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+impl fmt::Display for ApId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ap{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        assert_eq!(ClientId::from_index(7).index(), 7);
+        assert_eq!(ApId::from_index(0).index(), 0);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(ClientId(3).to_string(), "client3");
+        assert_eq!(ApId(12).to_string(), "ap12");
+    }
+}

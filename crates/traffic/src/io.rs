@@ -1,0 +1,73 @@
+//! Trace (de)serialization.
+//!
+//! Traces are stored as JSON — self-describing, diffable, and good enough
+//! for the workspace's trace sizes (a synthetic CRAWDAD day is ~100k flows).
+//! Loading re-validates all structural invariants so a hand-edited file
+//! cannot smuggle an inconsistent trace into a simulation.
+
+use crate::trace::Trace;
+use insomnia_simcore::{SimError, SimResult};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Saves a trace to a JSON file (pretty-printed for inspectability).
+pub fn save_json(trace: &Trace, path: &Path) -> SimResult<()> {
+    trace.validate()?;
+    let file = File::create(path)
+        .map_err(|e| SimError::InvalidInput(format!("create {}: {e}", path.display())))?;
+    serde_json::to_writer(BufWriter::new(file), trace)
+        .map_err(|e| SimError::InvalidInput(format!("serialize trace: {e}")))
+}
+
+/// Loads and validates a trace from a JSON file.
+pub fn load_json(path: &Path) -> SimResult<Trace> {
+    let file = File::open(path)
+        .map_err(|e| SimError::InvalidInput(format!("open {}: {e}", path.display())))?;
+    let trace: Trace = serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| SimError::InvalidInput(format!("parse trace: {e}")))?;
+    trace.validate()?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawdad::{generate, CrawdadConfig};
+    use insomnia_simcore::SimRng;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let mut rng = SimRng::new(3);
+        let cfg = CrawdadConfig { n_clients: 20, n_aps: 4, ..CrawdadConfig::default() };
+        let trace = generate(&cfg, &mut rng);
+        let path = std::env::temp_dir().join("insomnia_trace_roundtrip.json");
+        save_json(&trace, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(loaded.n_aps, trace.n_aps);
+        assert_eq!(loaded.home, trace.home);
+        assert_eq!(loaded.flows.len(), trace.flows.len());
+        assert_eq!(loaded.total_bytes(), trace.total_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        let err = load_json(Path::new("/nonexistent/insomnia.json")).unwrap_err();
+        assert!(err.to_string().contains("open"));
+    }
+
+    #[test]
+    fn load_rejects_invalid_trace() {
+        let path = std::env::temp_dir().join("insomnia_invalid_trace.json");
+        // Structurally valid JSON, semantically broken: home AP out of range.
+        std::fs::write(
+            &path,
+            r#"{"horizon":3600000,"n_aps":1,"home":[5],"flows":[],"sessions":[]}"#,
+        )
+        .unwrap();
+        let err = load_json(&path).unwrap_err();
+        assert!(err.to_string().contains("out-of-range"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

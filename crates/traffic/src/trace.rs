@@ -1,0 +1,221 @@
+//! The trace container: clients, their home APs, presence sessions and flows
+//! over a fixed horizon.
+
+use crate::flow::FlowRecord;
+use crate::ids::{ApId, ClientId};
+use crate::session::Session;
+use insomnia_simcore::{SimError, SimResult, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A complete traffic trace: the synthetic equivalent of the paper's CRAWDAD
+/// day (272 clients, 40 APs, 24 hours).
+///
+/// Invariants (checked by [`Trace::validate`]):
+/// * `home.len() == n_clients`, every home AP index `< n_aps`,
+/// * flows are sorted by start time and reference valid clients,
+/// * flows and sessions end within the horizon,
+/// * every flow lies inside one of its client's sessions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// End of the observation window (typically 24 h).
+    pub horizon: SimTime,
+    /// Number of access points (= candidate home gateways).
+    pub n_aps: usize,
+    /// `home[c]` is the AP that client `c`'s traffic enters/leaves through
+    /// when no aggregation scheme redirects it.
+    pub home: Vec<ApId>,
+    /// Downlink flows, sorted by `start`.
+    pub flows: Vec<FlowRecord>,
+    /// Presence sessions (arbitrary order, may overlap across clients).
+    pub sessions: Vec<Session>,
+}
+
+impl Trace {
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.home.len()
+    }
+
+    /// The home AP of a client.
+    pub fn home_of(&self, c: ClientId) -> ApId {
+        self.home[c.index()]
+    }
+
+    /// Clients whose home is `ap`.
+    pub fn clients_of(&self, ap: ApId) -> Vec<ClientId> {
+        self.home
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == ap)
+            .map(|(i, _)| ClientId::from_index(i))
+            .collect()
+    }
+
+    /// Total downlink bytes across all flows.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Flows whose start falls in `[from, to)`.
+    pub fn flows_between(&self, from: SimTime, to: SimTime) -> &[FlowRecord] {
+        let lo = self.flows.partition_point(|f| f.start < from);
+        let hi = self.flows.partition_point(|f| f.start < to);
+        &self.flows[lo..hi]
+    }
+
+    /// Checks all structural invariants; see the type-level docs.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.n_aps == 0 {
+            return Err(SimError::InvalidInput("trace has no APs".into()));
+        }
+        if self.home.is_empty() {
+            return Err(SimError::InvalidInput("trace has no clients".into()));
+        }
+        for (i, ap) in self.home.iter().enumerate() {
+            if ap.index() >= self.n_aps {
+                return Err(SimError::InvalidInput(format!(
+                    "client {i} homed at out-of-range {ap}"
+                )));
+            }
+        }
+        if !self.flows.windows(2).all(|w| w[0].start <= w[1].start) {
+            return Err(SimError::InvalidInput("flows not sorted by start".into()));
+        }
+        for f in &self.flows {
+            if f.client.index() >= self.home.len() {
+                return Err(SimError::InvalidInput(format!("flow for unknown {}", f.client)));
+            }
+            if f.start >= self.horizon {
+                return Err(SimError::InvalidInput("flow starts past the horizon".into()));
+            }
+            if f.bytes == 0 {
+                return Err(SimError::InvalidInput("zero-byte flow".into()));
+            }
+        }
+        for s in &self.sessions {
+            if s.client.index() >= self.home.len() {
+                return Err(SimError::InvalidInput(format!("session for unknown {}", s.client)));
+            }
+            if s.end <= s.start || s.end > self.horizon {
+                return Err(SimError::InvalidInput("malformed session interval".into()));
+            }
+        }
+        // Every flow must belong to an active session of its client.
+        for f in &self.flows {
+            let covered = self
+                .sessions
+                .iter()
+                .any(|s| s.client == f.client && s.contains(f.start));
+            if !covered {
+                return Err(SimError::InvalidInput(format!(
+                    "flow at {} for {} outside any session",
+                    f.start, f.client
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKind;
+
+    fn tiny_trace() -> Trace {
+        Trace {
+            horizon: SimTime::from_hours(1),
+            n_aps: 2,
+            home: vec![ApId(0), ApId(1), ApId(0)],
+            flows: vec![
+                FlowRecord {
+                    client: ClientId(0),
+                    start: SimTime::from_secs(10),
+                    bytes: 1_000,
+                    kind: FlowKind::Web,
+                },
+                FlowRecord {
+                    client: ClientId(2),
+                    start: SimTime::from_secs(20),
+                    bytes: 2_000,
+                    kind: FlowKind::Keepalive,
+                },
+            ],
+            sessions: vec![
+                Session {
+                    client: ClientId(0),
+                    start: SimTime::ZERO,
+                    end: SimTime::from_mins(30),
+                },
+                Session {
+                    client: ClientId(2),
+                    start: SimTime::ZERO,
+                    end: SimTime::from_mins(30),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        tiny_trace().validate().unwrap();
+    }
+
+    #[test]
+    fn home_lookup_and_reverse() {
+        let t = tiny_trace();
+        assert_eq!(t.home_of(ClientId(2)), ApId(0));
+        assert_eq!(t.clients_of(ApId(0)), vec![ClientId(0), ClientId(2)]);
+        assert_eq!(t.clients_of(ApId(1)), vec![ClientId(1)]);
+        assert_eq!(t.n_clients(), 3);
+    }
+
+    #[test]
+    fn flows_between_is_half_open() {
+        let t = tiny_trace();
+        assert_eq!(t.flows_between(SimTime::from_secs(10), SimTime::from_secs(20)).len(), 1);
+        assert_eq!(t.flows_between(SimTime::ZERO, SimTime::from_mins(1)).len(), 2);
+        assert_eq!(t.flows_between(SimTime::from_secs(11), SimTime::from_secs(20)).len(), 0);
+    }
+
+    #[test]
+    fn total_bytes_sums() {
+        assert_eq!(tiny_trace().total_bytes(), 3_000);
+    }
+
+    #[test]
+    fn detects_unsorted_flows() {
+        let mut t = tiny_trace();
+        t.flows.swap(0, 1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn detects_out_of_range_home() {
+        let mut t = tiny_trace();
+        t.home[0] = ApId(9);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn detects_flow_outside_session() {
+        let mut t = tiny_trace();
+        t.flows[0].start = SimTime::from_mins(45); // session ended at 30 min
+        t.flows.swap(0, 1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn detects_zero_byte_flow() {
+        let mut t = tiny_trace();
+        t.flows[0].bytes = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn detects_session_past_horizon() {
+        let mut t = tiny_trace();
+        t.sessions[0].end = SimTime::from_hours(2);
+        assert!(t.validate().is_err());
+    }
+}

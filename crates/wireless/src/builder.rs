@@ -1,0 +1,166 @@
+//! Topology builders for the paper's two evaluation settings.
+//!
+//! * [`overlap_topology`] — the main scenario: a gateway overlap graph with
+//!   a prescribed (household-like) degree distribution; a client reaches its
+//!   home gateway plus the gateways adjacent to it (§5.1, mean 5.6 networks
+//!   in range).
+//! * [`binomial_topology`] — the density sweep of Fig. 10: every non-home
+//!   gateway is reachable independently with a probability chosen to hit a
+//!   target mean number of available gateways per client.
+
+use crate::channel::ChannelModel;
+use crate::degree::{household_degree_sequence, prescribed_degree_graph};
+use crate::topology::{Link, Topology};
+use insomnia_simcore::{SimError, SimResult, SimRng};
+
+/// Builds the main-scenario topology: gateway overlap graph with mean degree
+/// `mean_networks_in_range − 1`, clients reaching home + home's neighbors.
+///
+/// `home[c]` gives each client's home gateway (from the trace).
+pub fn overlap_topology(
+    home: &[usize],
+    n_gateways: usize,
+    mean_networks_in_range: f64,
+    channel: ChannelModel,
+    rng: &mut SimRng,
+) -> SimResult<Topology> {
+    if !channel.is_valid() {
+        return Err(SimError::InvalidConfig("invalid channel model".into()));
+    }
+    if mean_networks_in_range < 1.0 {
+        return Err(SimError::InvalidConfig("mean networks in range must be ≥ 1".into()));
+    }
+    if n_gateways < 2 {
+        return Err(SimError::InvalidConfig("need at least two gateways".into()));
+    }
+    // A client sees its home plus the home's graph neighbors, so the gateway
+    // graph needs mean degree (networks-in-range − 1), floored at the
+    // generator's minimum overlap of 2.
+    let gw_mean = (mean_networks_in_range - 1.0).max(2.0);
+    let degrees = household_degree_sequence(n_gateways, gw_mean, rng);
+    let graph = prescribed_degree_graph(&degrees, rng)?;
+
+    let links = home
+        .iter()
+        .map(|&h| {
+            let mut ls = vec![Link { gateway: h, rate_bps: channel.home_bps }];
+            for nb in graph.neighbors(h) {
+                ls.push(Link { gateway: nb, rate_bps: channel.neighbor_bps });
+            }
+            ls
+        })
+        .collect();
+    Topology::new(n_gateways, home.to_vec(), links)
+}
+
+/// Builds the Fig. 10 density-sweep topology: each non-home gateway is in
+/// range independently with probability `(mean_in_range − 1)/(n − 1)`.
+///
+/// `mean_in_range = 1` reproduces the paper's leftmost point: clients can
+/// only reach their own gateway.
+pub fn binomial_topology(
+    home: &[usize],
+    n_gateways: usize,
+    mean_in_range: f64,
+    channel: ChannelModel,
+    rng: &mut SimRng,
+) -> SimResult<Topology> {
+    if !channel.is_valid() {
+        return Err(SimError::InvalidConfig("invalid channel model".into()));
+    }
+    if n_gateways < 1 {
+        return Err(SimError::InvalidConfig("need at least one gateway".into()));
+    }
+    if mean_in_range < 1.0 || mean_in_range > n_gateways as f64 {
+        return Err(SimError::InvalidConfig(format!(
+            "mean_in_range {mean_in_range} outside [1, {n_gateways}]"
+        )));
+    }
+    let p = if n_gateways == 1 { 0.0 } else { (mean_in_range - 1.0) / (n_gateways as f64 - 1.0) };
+    let links = home
+        .iter()
+        .map(|&h| {
+            let mut ls = vec![Link { gateway: h, rate_bps: channel.home_bps }];
+            for g in 0..n_gateways {
+                if g != h && rng.chance(p) {
+                    ls.push(Link { gateway: g, rate_bps: channel.neighbor_bps });
+                }
+            }
+            ls
+        })
+        .collect();
+    Topology::new(n_gateways, home.to_vec(), links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn homes(n_clients: usize, n_gateways: usize) -> Vec<usize> {
+        (0..n_clients).map(|c| c % n_gateways).collect()
+    }
+
+    #[test]
+    fn overlap_matches_paper_density() {
+        let mut rng = SimRng::new(1);
+        let home = homes(272, 40);
+        let t = overlap_topology(&home, 40, 5.6, ChannelModel::default(), &mut rng).unwrap();
+        assert_eq!(t.n_clients(), 272);
+        let mean = t.mean_degree();
+        assert!((mean - 5.6).abs() < 0.8, "mean networks in range {mean}");
+        // Every client reaches home at 12 Mbps and neighbors at 6 Mbps.
+        for c in 0..t.n_clients() {
+            let h = t.home_of(c);
+            assert_eq!(t.rate_bps(c, h), Some(12.0e6));
+            for l in t.reachable(c) {
+                if l.gateway != h {
+                    assert_eq!(l.rate_bps, 6.0e6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clients_sharing_home_share_neighborhood() {
+        let mut rng = SimRng::new(2);
+        let home = homes(80, 10);
+        let t = overlap_topology(&home, 10, 4.0, ChannelModel::default(), &mut rng).unwrap();
+        // Clients 0 and 10 share home gateway 0, so they see the same set.
+        let a: Vec<usize> = t.reachable(0).iter().map(|l| l.gateway).collect();
+        let b: Vec<usize> = t.reachable(10).iter().map(|l| l.gateway).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binomial_hits_target_mean() {
+        let mut rng = SimRng::new(3);
+        let home = homes(1000, 40);
+        for target in [1.0, 2.0, 5.0, 10.0] {
+            let t =
+                binomial_topology(&home, 40, target, ChannelModel::default(), &mut rng).unwrap();
+            let mean = t.mean_degree();
+            assert!((mean - target).abs() < 0.35, "target {target}, got {mean}");
+        }
+    }
+
+    #[test]
+    fn binomial_mean_one_is_home_only() {
+        let mut rng = SimRng::new(4);
+        let home = homes(50, 10);
+        let t = binomial_topology(&home, 10, 1.0, ChannelModel::default(), &mut rng).unwrap();
+        for c in 0..50 {
+            assert_eq!(t.reachable(c).len(), 1);
+            assert_eq!(t.reachable(c)[0].gateway, t.home_of(c));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = SimRng::new(5);
+        let home = homes(4, 2);
+        assert!(overlap_topology(&home, 2, 0.5, ChannelModel::default(), &mut rng).is_err());
+        assert!(binomial_topology(&home, 2, 3.0, ChannelModel::default(), &mut rng).is_err());
+        let bad = ChannelModel { home_bps: 1.0, neighbor_bps: 2.0 };
+        assert!(overlap_topology(&home, 2, 2.0, bad, &mut rng).is_err());
+    }
+}

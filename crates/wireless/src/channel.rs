@@ -1,0 +1,50 @@
+//! Wireless channel rate model.
+//!
+//! The paper's evaluation scenario (§5.1) assigns 12 Mbps between a client
+//! and its home gateway and — based on the Mark-and-Sweep measurements it
+//! cites — half of that (6 Mbps) towards gateways adjacent to the home.
+
+use serde::{Deserialize, Serialize};
+
+/// Wireless rates used when building topologies.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Rate between a client and its own (home) gateway, bit/s.
+    pub home_bps: f64,
+    /// Rate between a client and a neighboring gateway, bit/s.
+    pub neighbor_bps: f64,
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        // Paper §5.1: 12 Mbps to the home gateway, 6 Mbps to neighbors.
+        ChannelModel { home_bps: 12.0e6, neighbor_bps: 6.0e6 }
+    }
+}
+
+impl ChannelModel {
+    /// Validates that rates are positive and home ≥ neighbor (clients are
+    /// closest to their own AP).
+    pub fn is_valid(&self) -> bool {
+        self.home_bps > 0.0 && self.neighbor_bps > 0.0 && self.home_bps >= self.neighbor_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ChannelModel::default();
+        assert_eq!(c.home_bps, 12.0e6);
+        assert_eq!(c.neighbor_bps, 6.0e6);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(!ChannelModel { home_bps: 1.0, neighbor_bps: 2.0 }.is_valid());
+        assert!(!ChannelModel { home_bps: 0.0, neighbor_bps: 0.0 }.is_valid());
+    }
+}

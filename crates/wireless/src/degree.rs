@@ -1,0 +1,398 @@
+//! Random simple connected graphs with a prescribed degree sequence.
+//!
+//! The paper (§5.1) builds its wireless overlap topology with the generator
+//! of Viger & Latapy ("Efficient and simple generation of random simple
+//! connected graphs with prescribed degree sequence", COCOON'05): realize
+//! the degree sequence as a simple graph, randomize it with double edge
+//! swaps, and restore connectivity with swaps that preserve degrees. This
+//! module implements that pipeline for the gateway overlap graph.
+
+use insomnia_simcore::{SimError, SimResult, SimRng};
+use std::collections::HashSet;
+
+/// An undirected simple graph on `n` nodes stored as adjacency sets.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<HashSet<usize>>,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![HashSet::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Adds the undirected edge `{u, v}`. No-op for self-loops/duplicates.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        if u != v {
+            self.adj[u].insert(v);
+            self.adj[v].insert(u);
+        }
+    }
+
+    /// Removes the undirected edge `{u, v}` if present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        self.adj[u].remove(&v);
+        self.adj[v].remove(&u);
+    }
+
+    /// True if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Neighbors of `u`, sorted (for deterministic iteration).
+    pub fn neighbors(&self, u: usize) -> Vec<usize> {
+        let mut ns: Vec<usize> = self.adj[u].iter().copied().collect();
+        ns.sort_unstable();
+        ns
+    }
+
+    /// All edges as sorted `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.m());
+        for (u, ns) in self.adj.iter().enumerate() {
+            for &v in ns {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Connected components as lists of nodes.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.n();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for &v in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// True if the graph is connected (singleton graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+}
+
+/// Generates a random simple *connected* graph with the given degree
+/// sequence, following Viger–Latapy: Havel–Hakimi realization, edge-swap
+/// randomization, connectivity repair via degree-preserving swaps.
+///
+/// Fails if the sequence is not graphical or cannot be connected (sum of
+/// degrees < 2(n−1) or any degree is 0 with n > 1).
+pub fn prescribed_degree_graph(degrees: &[usize], rng: &mut SimRng) -> SimResult<Graph> {
+    let n = degrees.len();
+    if n == 0 {
+        return Err(SimError::InvalidInput("empty degree sequence".into()));
+    }
+    let sum: usize = degrees.iter().sum();
+    if sum % 2 != 0 {
+        return Err(SimError::InvalidInput("degree sum must be even".into()));
+    }
+    if n > 1 && degrees.iter().any(|&d| d == 0) {
+        return Err(SimError::InvalidInput("zero-degree node cannot be connected".into()));
+    }
+    if sum / 2 < n.saturating_sub(1) {
+        return Err(SimError::InvalidInput("too few edges to connect the graph".into()));
+    }
+
+    let mut g = havel_hakimi(degrees)?;
+    let swap_attempts = 10 * g.m().max(1);
+    randomize_edges(&mut g, rng, swap_attempts);
+    connect(&mut g, rng)?;
+    debug_assert!(g.is_connected());
+    debug_assert!((0..n).all(|u| g.degree(u) == degrees[u]));
+    Ok(g)
+}
+
+/// Havel–Hakimi: deterministic realization of a graphical sequence.
+fn havel_hakimi(degrees: &[usize]) -> SimResult<Graph> {
+    let n = degrees.len();
+    let mut g = Graph::new(n);
+    let mut remaining: Vec<(usize, usize)> = degrees.iter().copied().zip(0..n).collect();
+    loop {
+        remaining.sort_unstable_by(|a, b| b.cmp(a));
+        let (d, u) = remaining[0];
+        if d == 0 {
+            break;
+        }
+        if d >= remaining.len() {
+            return Err(SimError::InvalidInput("degree sequence not graphical".into()));
+        }
+        for item in remaining.iter_mut().take(d + 1).skip(1) {
+            if item.0 == 0 {
+                return Err(SimError::InvalidInput("degree sequence not graphical".into()));
+            }
+            g.add_edge(u, item.1);
+            item.0 -= 1;
+        }
+        remaining[0].0 = 0;
+    }
+    Ok(g)
+}
+
+/// Randomizes a graph in place with double edge swaps that keep it simple
+/// and preserve all degrees.
+fn randomize_edges(g: &mut Graph, rng: &mut SimRng, attempts: usize) {
+    let mut edges = g.edges();
+    if edges.len() < 2 {
+        return;
+    }
+    for _ in 0..attempts {
+        let i = rng.below_usize(edges.len());
+        let j = rng.below_usize(edges.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        // Swap to (a,c),(b,d) or (a,d),(b,c), chosen at random.
+        let ((p, q), (r, s)) = if rng.chance(0.5) { ((a, c), (b, d)) } else { ((a, d), (b, c)) };
+        if p == q || r == s || g.has_edge(p, q) || g.has_edge(r, s) {
+            continue;
+        }
+        g.remove_edge(a, b);
+        g.remove_edge(c, d);
+        g.add_edge(p, q);
+        g.add_edge(r, s);
+        edges[i] = if p < q { (p, q) } else { (q, p) };
+        edges[j] = if r < s { (r, s) } else { (s, r) };
+    }
+}
+
+/// Makes the graph connected with degree-preserving swaps: take an edge
+/// `(c, d)` inside a cycle-containing component and an edge `(a, b)` of
+/// another component, rewire to `(a, d), (c, b)`. Falls back to an error if
+/// the structure makes repair impossible within a bounded number of rounds.
+fn connect(g: &mut Graph, rng: &mut SimRng) -> SimResult<()> {
+    for _round in 0..4 * g.n().max(4) {
+        let comps = g.components();
+        if comps.len() <= 1 {
+            return Ok(());
+        }
+        // Pick any edge from the first component and any from the second;
+        // a double swap merges the two components while preserving degrees.
+        let edge_in = |comp: &[usize], g: &Graph, rng: &mut SimRng| -> Option<(usize, usize)> {
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for &u in comp {
+                for v in g.neighbors(u) {
+                    if u < v {
+                        candidates.push((u, v));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                None
+            } else {
+                Some(candidates[rng.below_usize(candidates.len())])
+            }
+        };
+        let (a, b) = edge_in(&comps[0], g, rng)
+            .ok_or_else(|| SimError::InvalidInput("isolated component without edges".into()))?;
+        let (c, d) = edge_in(&comps[1], g, rng)
+            .ok_or_else(|| SimError::InvalidInput("isolated component without edges".into()))?;
+        // (a,c) and (b,d) are cross-component, hence cannot be existing edges.
+        g.remove_edge(a, b);
+        g.remove_edge(c, d);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+    }
+    if g.is_connected() {
+        Ok(())
+    } else {
+        Err(SimError::BudgetExhausted("connectivity repair did not converge".into()))
+    }
+}
+
+/// Draws a right-skewed degree sequence with the given mean (matching the
+/// per-household "networks in range" distributions measured in the paper's
+/// references): shifted Poisson with a minimum overlap of two (urban
+/// deployments in the cited measurements see several networks everywhere),
+/// clamped to `[2, n-1]`, parity-corrected.
+pub fn household_degree_sequence(n: usize, mean: f64, rng: &mut SimRng) -> Vec<usize> {
+    assert!(n >= 3, "need at least three gateways");
+    assert!(mean >= 2.0, "mean gateway-overlap degree below 2 unsupported");
+    // Rejection-sample until the sequence is graphical (Erdős–Gallai) —
+    // clamping high draws to n−1 on small graphs can otherwise produce
+    // unrealizable sequences.
+    for _ in 0..200 {
+        let mut degrees: Vec<usize> = (0..n)
+            .map(|_| {
+                let d = 2 + rng.poisson((mean - 2.0).max(0.0)) as usize;
+                d.min(n - 1)
+            })
+            .collect();
+        // Parity fix: bump one node (without exceeding n-1).
+        if degrees.iter().sum::<usize>() % 2 == 1 {
+            if let Some(d) = degrees.iter_mut().find(|d| **d < n - 1) {
+                *d += 1;
+            } else {
+                degrees[0] -= 1; // all at n-1 (only possible for tiny n)
+            }
+        }
+        if is_graphical(&degrees) {
+            return degrees;
+        }
+    }
+    // Pathological parameters (mean ≈ n): fall back to a near-regular
+    // sequence, which is always graphical for even sums.
+    let d = (mean.round() as usize).clamp(2, n - 1);
+    let mut degrees = vec![d; n];
+    if degrees.iter().sum::<usize>() % 2 == 1 {
+        degrees[0] = if d < n - 1 { d + 1 } else { d - 1 };
+    }
+    degrees
+}
+
+/// Erdős–Gallai test: is the (even-sum) degree sequence realizable as a
+/// simple graph?
+pub fn is_graphical(degrees: &[usize]) -> bool {
+    let mut d: Vec<usize> = degrees.to_vec();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    let n = d.len();
+    let total: usize = d.iter().sum();
+    if total % 2 != 0 {
+        return false;
+    }
+    if d.first().is_some_and(|&x| x >= n) {
+        return false;
+    }
+    let mut lhs = 0usize;
+    for k in 1..=n {
+        lhs += d[k - 1];
+        let rhs: usize =
+            k * (k - 1) + d[k..].iter().map(|&x| x.min(k)).sum::<usize>();
+        if lhs > rhs {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn havel_hakimi_realizes_simple_sequences() {
+        let g = havel_hakimi(&[2, 2, 2]).unwrap(); // triangle
+        assert_eq!(g.m(), 3);
+        assert!(g.is_connected());
+        let g = havel_hakimi(&[3, 1, 1, 1]).unwrap(); // star
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn rejects_non_graphical() {
+        assert!(havel_hakimi(&[3, 1, 1]).is_err()); // odd handshake handled upstream, this is ungraphical
+        assert!(prescribed_degree_graph(&[5, 1, 1, 1, 1, 1], &mut SimRng::new(1)).is_ok());
+        assert!(prescribed_degree_graph(&[4, 4, 1, 1], &mut SimRng::new(1)).is_err());
+    }
+
+    #[test]
+    fn rejects_odd_sum_and_zero_degrees() {
+        let mut rng = SimRng::new(2);
+        assert!(prescribed_degree_graph(&[1, 1, 1], &mut rng).is_err());
+        assert!(prescribed_degree_graph(&[0, 2, 2, 2], &mut rng).is_err());
+    }
+
+    #[test]
+    fn preserves_degrees_and_connectivity() {
+        let rng = SimRng::new(3);
+        for seed in 0..5u64 {
+            let mut r = rng.fork_idx("case", seed);
+            let degrees = household_degree_sequence(40, 4.6, &mut r);
+            let g = prescribed_degree_graph(&degrees, &mut r).unwrap();
+            assert!(g.is_connected());
+            for (u, &d) in degrees.iter().enumerate() {
+                assert_eq!(g.degree(u), d, "node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomization_changes_structure_but_not_degrees() {
+        let degrees = vec![3usize; 20]; // 3-regular on 20 nodes
+        let g1 = prescribed_degree_graph(&degrees, &mut SimRng::new(10)).unwrap();
+        let g2 = prescribed_degree_graph(&degrees, &mut SimRng::new(11)).unwrap();
+        assert_ne!(g1.edges(), g2.edges(), "different seeds should differ");
+        assert!(g1.edges().len() == 30 && g2.edges().len() == 30);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let degrees = vec![4usize; 30];
+        let g1 = prescribed_degree_graph(&degrees, &mut SimRng::new(7)).unwrap();
+        let g2 = prescribed_degree_graph(&degrees, &mut SimRng::new(7)).unwrap();
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn household_sequence_hits_target_mean() {
+        let mut rng = SimRng::new(4);
+        let degrees = household_degree_sequence(400, 4.6, &mut rng);
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!((mean - 4.6).abs() < 0.4, "mean degree {mean}");
+        assert!(degrees.iter().all(|&d| (2..400).contains(&d)), "min overlap is 2");
+        assert_eq!(degrees.iter().sum::<usize>() % 2, 0);
+    }
+
+    #[test]
+    fn erdos_gallai_known_cases() {
+        assert!(is_graphical(&[2, 2, 2])); // triangle
+        assert!(is_graphical(&[3, 3, 3, 3])); // K4
+        assert!(is_graphical(&[3, 1, 1, 1])); // star
+        assert!(is_graphical(&[4, 1, 1, 1, 1, 0])); // K1,4 star + isolate
+        assert!(!is_graphical(&[3, 1, 1])); // odd sum
+        assert!(!is_graphical(&[4, 4, 1, 1])); // degree 4 impossible on 4 nodes
+        assert!(!is_graphical(&[5, 5, 5, 1, 1, 1])); // Erdős–Gallai violation
+    }
+
+    #[test]
+    fn components_and_edges_helpers() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert_eq!(g.components().len(), 3); // {0,1} {2,3} {4}
+        assert!(!g.is_connected());
+        assert_eq!(g.edges(), vec![(0, 1), (2, 3)]);
+        g.add_edge(1, 1); // self loop ignored
+        assert_eq!(g.m(), 2);
+    }
+}

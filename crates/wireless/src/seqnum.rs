@@ -1,0 +1,208 @@
+//! Passive gateway-load estimation via 802.11 MAC sequence numbers (§3.2).
+//!
+//! Every 802.11 frame a gateway transmits carries a 12-bit MAC Sequence
+//! Number (SN) that increments per frame, modulo 4096. A BH2 terminal
+//! periodically tunes to each gateway in range, records the SN, and
+//! estimates the gateway's transmit rate from the SN delta — no association
+//! or cooperation needed. This module models both ends: the gateway-side
+//! counter and the terminal-side estimator (including wraparound handling).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// 802.11 sequence numbers live in `[0, 4096)`.
+pub const SEQ_MODULUS: u32 = 4096;
+
+/// Gateway-side frame counter: the ground truth the estimator observes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SeqCounter {
+    frames: u64,
+}
+
+impl SeqCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` transmitted frames.
+    pub fn add_frames(&mut self, n: u64) {
+        self.frames += n;
+    }
+
+    /// Records a byte volume transmitted as `ceil(bytes / frame_payload)`
+    /// frames.
+    pub fn add_bytes(&mut self, bytes: u64, frame_payload: u64) {
+        assert!(frame_payload > 0);
+        self.add_frames(bytes.div_ceil(frame_payload));
+    }
+
+    /// Total frames ever sent.
+    pub fn total_frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The 12-bit sequence number currently visible in the air.
+    pub fn current_sn(&self) -> u32 {
+        (self.frames % u64::from(SEQ_MODULUS)) as u32
+    }
+}
+
+/// Terminal-side rate estimator from periodic SN observations.
+///
+/// Wraparound: consecutive observations are assumed to be less than one
+/// modulus (4096 frames) apart — with ≤1000 frames/s on a 6 Mbps backhaul
+/// and ~1 s observation spacing this always holds, as in the paper's
+/// implementation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeqNumEstimator {
+    window_ms: u64,
+    /// Observations `(t_ms, sn)`, oldest first.
+    samples: VecDeque<(u64, u32)>,
+    /// Cumulative unwrapped frame count across retained samples.
+    unwrapped: VecDeque<u64>,
+}
+
+impl SeqNumEstimator {
+    /// Creates an estimator averaging over the given window (paper: load is
+    /// estimated over 1-minute intervals).
+    pub fn new(window_ms: u64) -> Self {
+        assert!(window_ms > 0);
+        SeqNumEstimator { window_ms, samples: VecDeque::new(), unwrapped: VecDeque::new() }
+    }
+
+    /// Records an SN observed at time `t_ms`. Observations must be
+    /// time-ordered.
+    pub fn observe(&mut self, t_ms: u64, sn: u32) {
+        debug_assert!(sn < SEQ_MODULUS);
+        let unwrapped = match (self.samples.back(), self.unwrapped.back()) {
+            (Some(&(last_t, last_sn)), Some(&last_u)) => {
+                debug_assert!(t_ms >= last_t, "observations out of order");
+                let delta = (sn + SEQ_MODULUS - last_sn) % SEQ_MODULUS;
+                last_u + u64::from(delta)
+            }
+            _ => 0,
+        };
+        self.samples.push_back((t_ms, sn));
+        self.unwrapped.push_back(unwrapped);
+        // Evict samples that fell out of the window (keep one preceding
+        // sample so the window always has a left edge).
+        while self.samples.len() > 2
+            && self.samples[1].0 + self.window_ms <= t_ms
+        {
+            self.samples.pop_front();
+            self.unwrapped.pop_front();
+        }
+    }
+
+    /// Estimated frame rate (frames/s) over the observation window.
+    /// `None` until two observations exist.
+    pub fn frames_per_sec(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let (t0, _) = self.samples[0];
+        let (t1, _) = *self.samples.back().expect("len >= 2");
+        if t1 == t0 {
+            return None;
+        }
+        let frames = self.unwrapped.back().expect("len >= 2") - self.unwrapped[0];
+        Some(frames as f64 * 1_000.0 / (t1 - t0) as f64)
+    }
+
+    /// Estimated backhaul load fraction, given the mean frame payload and
+    /// the backhaul capacity.
+    pub fn load_fraction(&self, frame_payload_bytes: f64, backhaul_bps: f64) -> Option<f64> {
+        let fps = self.frames_per_sec()?;
+        Some((fps * frame_payload_bytes * 8.0 / backhaul_bps).min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_tracks_frames_and_wraps() {
+        let mut c = SeqCounter::new();
+        c.add_frames(4095);
+        assert_eq!(c.current_sn(), 4095);
+        c.add_frames(2);
+        assert_eq!(c.current_sn(), 1);
+        assert_eq!(c.total_frames(), 4097);
+    }
+
+    #[test]
+    fn add_bytes_rounds_up_frames() {
+        let mut c = SeqCounter::new();
+        c.add_bytes(1, 1500);
+        assert_eq!(c.total_frames(), 1);
+        c.add_bytes(3000, 1500);
+        assert_eq!(c.total_frames(), 3);
+        c.add_bytes(3001, 1500);
+        assert_eq!(c.total_frames(), 6);
+    }
+
+    #[test]
+    fn estimator_recovers_constant_rate() {
+        // Gateway sends 100 frames/s; observe every second for 30 s.
+        let mut gw = SeqCounter::new();
+        let mut est = SeqNumEstimator::new(60_000);
+        for t in 0..30u64 {
+            est.observe(t * 1_000, gw.current_sn());
+            gw.add_frames(100);
+        }
+        let fps = est.frames_per_sec().unwrap();
+        assert!((fps - 100.0).abs() < 1e-9, "estimated {fps}");
+    }
+
+    #[test]
+    fn estimator_handles_wraparound() {
+        // 1000 frames/s wraps every ~4 s through the 12-bit space.
+        let mut gw = SeqCounter::new();
+        let mut est = SeqNumEstimator::new(60_000);
+        for t in 0..20u64 {
+            est.observe(t * 1_000, gw.current_sn());
+            gw.add_frames(1_000);
+        }
+        let fps = est.frames_per_sec().unwrap();
+        assert!((fps - 1_000.0).abs() < 1e-9, "estimated {fps}");
+    }
+
+    #[test]
+    fn estimator_window_slides() {
+        let mut est = SeqNumEstimator::new(10_000);
+        // 10 fps for 10 s, then silence for 20 s: windowed estimate → 0.
+        let mut gw = SeqCounter::new();
+        for t in 0..10u64 {
+            est.observe(t * 1_000, gw.current_sn());
+            gw.add_frames(10);
+        }
+        for t in 10..30u64 {
+            est.observe(t * 1_000, gw.current_sn());
+        }
+        let fps = est.frames_per_sec().unwrap();
+        assert!(fps < 0.5, "stale traffic must age out, got {fps}");
+    }
+
+    #[test]
+    fn load_fraction_caps_at_one() {
+        let mut est = SeqNumEstimator::new(10_000);
+        let mut gw = SeqCounter::new();
+        for t in 0..5u64 {
+            est.observe(t * 1_000, gw.current_sn());
+            gw.add_frames(2_000);
+        }
+        // 2000 fps × 1500 B = 24 Mbps on a 6 Mbps link ⇒ clamped to 1.
+        assert_eq!(est.load_fraction(1_500.0, 6.0e6), Some(1.0));
+    }
+
+    #[test]
+    fn needs_two_observations() {
+        let mut est = SeqNumEstimator::new(1_000);
+        assert_eq!(est.frames_per_sec(), None);
+        est.observe(0, 5);
+        assert_eq!(est.frames_per_sec(), None);
+        assert_eq!(est.load_fraction(1_500.0, 6.0e6), None);
+    }
+}

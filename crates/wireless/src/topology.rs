@@ -1,0 +1,180 @@
+//! Client ↔ gateway reachability with per-link available bandwidth.
+//!
+//! This is the `w_ij` of the paper's problem formulation (§3.1): the maximum
+//! available bandwidth between user `i` and gateway `j` given the wireless
+//! channel, with `w_ij = 0` meaning "out of range".
+
+use insomnia_simcore::{SimError, SimResult};
+use serde::{Deserialize, Serialize};
+
+/// A reachable gateway and the wireless rate towards it, in bit/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Gateway index.
+    pub gateway: usize,
+    /// Maximum available wireless bandwidth on this link, bit/s.
+    pub rate_bps: f64,
+}
+
+/// Bipartite reachability between clients and gateways.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    n_gateways: usize,
+    /// `links[c]` lists the gateways client `c` can reach, sorted by index;
+    /// always contains the client's home gateway.
+    links: Vec<Vec<Link>>,
+    /// `home[c]` is client `c`'s own gateway.
+    home: Vec<usize>,
+}
+
+impl Topology {
+    /// Builds a topology from per-client home gateways and link lists.
+    ///
+    /// Each client's link list is sorted and must include its home gateway;
+    /// duplicate gateway entries are rejected.
+    pub fn new(n_gateways: usize, home: Vec<usize>, mut links: Vec<Vec<Link>>) -> SimResult<Self> {
+        if home.len() != links.len() {
+            return Err(SimError::InvalidInput("home/links length mismatch".into()));
+        }
+        for (c, ls) in links.iter_mut().enumerate() {
+            ls.sort_by_key(|l| l.gateway);
+            if ls.windows(2).any(|w| w[0].gateway == w[1].gateway) {
+                return Err(SimError::InvalidInput(format!("client {c} has duplicate links")));
+            }
+            if ls.iter().any(|l| l.gateway >= n_gateways) {
+                return Err(SimError::InvalidInput(format!("client {c} links out of range")));
+            }
+            if ls.iter().any(|l| !(l.rate_bps > 0.0)) {
+                return Err(SimError::InvalidInput(format!("client {c} has non-positive rate")));
+            }
+            if home[c] >= n_gateways {
+                return Err(SimError::InvalidInput(format!("client {c} home out of range")));
+            }
+            if !ls.iter().any(|l| l.gateway == home[c]) {
+                return Err(SimError::InvalidInput(format!(
+                    "client {c} cannot reach its own home gateway"
+                )));
+            }
+        }
+        Ok(Topology { n_gateways, links, home })
+    }
+
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of gateways.
+    pub fn n_gateways(&self) -> usize {
+        self.n_gateways
+    }
+
+    /// Client `c`'s home gateway.
+    pub fn home_of(&self, c: usize) -> usize {
+        self.home[c]
+    }
+
+    /// Gateways reachable by client `c` (sorted by index, includes home).
+    pub fn reachable(&self, c: usize) -> &[Link] {
+        &self.links[c]
+    }
+
+    /// Wireless rate between client `c` and gateway `g`, if in range.
+    pub fn rate_bps(&self, c: usize, g: usize) -> Option<f64> {
+        self.links[c]
+            .binary_search_by_key(&g, |l| l.gateway)
+            .ok()
+            .map(|i| self.links[c][i].rate_bps)
+    }
+
+    /// True if client `c` can reach gateway `g`.
+    pub fn in_range(&self, c: usize, g: usize) -> bool {
+        self.rate_bps(c, g).is_some()
+    }
+
+    /// Mean number of gateways in range per client ("networks in range";
+    /// the paper's scenario has 5.6).
+    pub fn mean_degree(&self) -> f64 {
+        if self.links.is_empty() {
+            return 0.0;
+        }
+        self.links.iter().map(|l| l.len()).sum::<usize>() as f64 / self.links.len() as f64
+    }
+
+    /// Clients that can reach gateway `g`.
+    pub fn clients_in_range_of(&self, g: usize) -> Vec<usize> {
+        (0..self.n_clients()).filter(|&c| self.in_range(c, g)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(g: usize, mbps: f64) -> Link {
+        Link { gateway: g, rate_bps: mbps * 1e6 }
+    }
+
+    fn simple() -> Topology {
+        Topology::new(
+            3,
+            vec![0, 1],
+            vec![
+                vec![link(0, 12.0), link(1, 6.0)],
+                vec![link(1, 12.0), link(0, 6.0), link(2, 6.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_work() {
+        let t = simple();
+        assert_eq!(t.n_clients(), 2);
+        assert_eq!(t.n_gateways(), 3);
+        assert_eq!(t.home_of(0), 0);
+        assert_eq!(t.rate_bps(0, 0), Some(12e6));
+        assert_eq!(t.rate_bps(0, 2), None);
+        assert!(t.in_range(1, 2));
+        assert!((t.mean_degree() - 2.5).abs() < 1e-12);
+        assert_eq!(t.clients_in_range_of(1), vec![0, 1]);
+        assert_eq!(t.clients_in_range_of(2), vec![1]);
+    }
+
+    #[test]
+    fn links_are_sorted_even_if_input_is_not() {
+        let t = simple();
+        let gws: Vec<usize> = t.reachable(1).iter().map(|l| l.gateway).collect();
+        assert_eq!(gws, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_home_not_in_links() {
+        let err = Topology::new(2, vec![1], vec![vec![link(0, 6.0)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_links() {
+        let err = Topology::new(2, vec![0], vec![vec![link(0, 6.0), link(0, 12.0)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_gateway() {
+        let err = Topology::new(2, vec![0], vec![vec![link(0, 6.0), link(5, 6.0)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_zero_rate() {
+        let err = Topology::new(1, vec![0], vec![vec![Link { gateway: 0, rate_bps: 0.0 }]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = Topology::new(1, vec![0, 0], vec![vec![link(0, 6.0)]]);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! FatVAP/THEMIS-style virtualized wireless card (§3.2, §5.3).
+//!
+//! BH2 terminals stay associated with *all* gateways in range using a
+//! single radio: the card is virtualized and time-division multiplexed with
+//! a fixed period (100 ms in the paper's implementation), devoting a large
+//! share (60%) to the currently selected gateway — enough to collect the
+//! full ADSL backhaul bandwidth — and splitting the rest evenly across the
+//! remaining gateways to keep estimating their load.
+
+use serde::{Deserialize, Serialize};
+
+/// TDMA schedule of one virtualized wireless card.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TdmaSchedule {
+    /// Cycle period in milliseconds (paper: 100 ms).
+    pub period_ms: u64,
+    /// Fraction of the period devoted to the selected gateway (paper: 0.6).
+    pub selected_share: f64,
+}
+
+impl Default for TdmaSchedule {
+    fn default() -> Self {
+        TdmaSchedule { period_ms: 100, selected_share: 0.6 }
+    }
+}
+
+impl TdmaSchedule {
+    /// Validates the schedule parameters.
+    pub fn is_valid(&self) -> bool {
+        self.period_ms > 0 && self.selected_share > 0.0 && self.selected_share <= 1.0
+    }
+
+    /// Effective data throughput towards the selected gateway given the raw
+    /// wireless link rate: the card only listens there 60% of the time.
+    pub fn effective_selected_bps(&self, raw_bps: f64) -> f64 {
+        raw_bps * self.selected_share
+    }
+
+    /// Fraction of the period each *monitored* (non-selected) gateway gets
+    /// when `n_others` gateways share the remainder.
+    pub fn monitor_share(&self, n_others: usize) -> f64 {
+        if n_others == 0 {
+            0.0
+        } else {
+            (1.0 - self.selected_share) / n_others as f64
+        }
+    }
+
+    /// Milliseconds per period spent on one monitored gateway.
+    pub fn monitor_slot_ms(&self, n_others: usize) -> f64 {
+        self.monitor_share(n_others) * self.period_ms as f64
+    }
+
+    /// Checks the paper's feasibility claim: the 60% share collects the full
+    /// backhaul bandwidth iff `selected_share × wireless ≥ backhaul`.
+    pub fn can_drain_backhaul(&self, wireless_bps: f64, backhaul_bps: f64) -> bool {
+        self.effective_selected_bps(wireless_bps) >= backhaul_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let t = TdmaSchedule::default();
+        assert_eq!(t.period_ms, 100);
+        assert!((t.selected_share - 0.6).abs() < 1e-12);
+        assert!(t.is_valid());
+    }
+
+    #[test]
+    fn testbed_feasibility_claim_holds() {
+        // §5.3: 3 Mbps ADSL, wireless > 6 Mbps ⇒ 60% suffices.
+        let t = TdmaSchedule::default();
+        assert!(t.can_drain_backhaul(6.0e6, 3.0e6));
+        // Main scenario home link: 12 Mbps wireless vs 6 Mbps ADSL.
+        assert!(t.can_drain_backhaul(12.0e6, 6.0e6));
+        // A neighbor link at 6 Mbps cannot drain a 6 Mbps backhaul at 60%.
+        assert!(!t.can_drain_backhaul(6.0e6, 6.0e6));
+    }
+
+    #[test]
+    fn monitor_slots_split_evenly() {
+        let t = TdmaSchedule::default();
+        // 4.5 gateways in range on average besides the selected one.
+        assert!((t.monitor_share(4) - 0.1).abs() < 1e-12);
+        assert!((t.monitor_slot_ms(4) - 10.0).abs() < 1e-12);
+        assert_eq!(t.monitor_share(0), 0.0);
+    }
+
+    #[test]
+    fn effective_rate_scales() {
+        let t = TdmaSchedule::default();
+        assert!((t.effective_selected_bps(10.0e6) - 6.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(!TdmaSchedule { period_ms: 0, selected_share: 0.6 }.is_valid());
+        assert!(!TdmaSchedule { period_ms: 100, selected_share: 0.0 }.is_valid());
+        assert!(!TdmaSchedule { period_ms: 100, selected_share: 1.1 }.is_valid());
+    }
+}

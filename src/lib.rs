@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the full Insomnia reproduction API.
+#![forbid(unsafe_code)]
+pub use insomnia_access as access;
+pub use insomnia_core as core;
+pub use insomnia_dslphy as dslphy;
+pub use insomnia_simcore as simcore;
+pub use insomnia_traffic as traffic;
+pub use insomnia_wireless as wireless;

@@ -1,0 +1,82 @@
+//! Smoke tests for the figure harness: every analytic/light figure builds
+//! with sane shapes. (The heavy scheme figures are exercised by the bench
+//! harness and the examples; their shape assertions live in the crates'
+//! own tests.)
+
+use insomnia_bench::figures;
+use insomnia_bench::Harness;
+
+#[test]
+fn fig2_has_24_hours_and_plausible_ranges() {
+    let t = figures::fig2(2011);
+    assert_eq!(t.rows.len(), 24);
+    for row in &t.rows {
+        let (avg_down, median_down) = (row[1], row[3]);
+        assert!(avg_down > 0.0 && avg_down < 15.0);
+        assert!(median_down >= 0.0 && median_down < 1.0);
+        assert!(avg_down > median_down, "mean must dominate median");
+    }
+}
+
+#[test]
+fn fig5_matches_paper_anchor_values() {
+    let t = figures::fig5();
+    assert_eq!(t.rows.len(), 8);
+    // Row l=1, column k8_p50 ≈ 0.910; row l=2 ≈ 0.424 (the Fig. 5 middle
+    // panel values).
+    assert!((t.rows[0][3] - 0.910).abs() < 0.005);
+    assert!((t.rows[1][3] - 0.424).abs() < 0.005);
+    // p=0.25 dominates p=0.5 for every switch size.
+    for row in &t.rows {
+        assert!(row[6] >= row[3] - 1e-12, "k8: lighter load sleeps more");
+    }
+}
+
+#[test]
+fn fig15_reports_14_uniform_cards() {
+    let t = figures::fig15(2011);
+    assert_eq!(t.rows.len(), 14);
+    let means: Vec<f64> = t.rows.iter().map(|r| r[1]).collect();
+    let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+        - means.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 20.0, "card means must look alike (got spread {spread})");
+}
+
+#[test]
+fn fig3_fig4_build_from_the_scenario_trace() {
+    let h = Harness::quick();
+    let f3 = figures::fig3(&h);
+    assert_eq!(f3.rows.len(), 24);
+    let peak = f3.rows.iter().map(|r| r[1]).fold(f64::MIN, f64::max);
+    assert!(peak > 3.0 && peak < 10.0, "Fig 3 peak {peak}%");
+
+    let f4 = figures::fig4(&h);
+    let total: f64 = f4.rows.iter().map(|r| r[0]).sum();
+    assert!((total - 1.0).abs() < 1e-6, "fractions must sum to 1, got {total}");
+    // >60 s bin (last row) near the paper's ~18%.
+    let over60 = f4.rows.last().unwrap()[0];
+    assert!(over60 > 0.08 && over60 < 0.35, ">60s share {over60}");
+}
+
+#[test]
+fn fig14_baselines_match_calibration() {
+    let t = figures::fig14_baselines(2011);
+    assert_eq!(t.rows.len(), 4);
+    let mixed62 = t.rows[0][0];
+    let fixed62 = t.rows[1][0];
+    let mixed30 = t.rows[2][0];
+    let fixed30 = t.rows[3][0];
+    assert!(fixed62 > 35.0 && fixed62 < 50.0, "62/600m baseline {fixed62}");
+    assert!(mixed62 > fixed62, "shorter mixed loops sync faster");
+    assert!(mixed30 <= 30.0 + 1e-9 && fixed30 <= 30.0 + 1e-9, "plan cap");
+    assert!(fixed30 > 26.0, "62/600m 30-profile baseline {fixed30}");
+}
+
+#[test]
+fn csv_export_roundtrips_structure() {
+    let t = figures::fig5();
+    let csv = t.to_csv();
+    let lines: Vec<&str> = csv.trim().lines().collect();
+    assert_eq!(lines.len(), 1 + t.rows.len());
+    assert_eq!(lines[0].split(',').count(), t.columns.len());
+}
