@@ -191,13 +191,8 @@ mod tests {
     fn kswitch_dslam_keeps_cards_asleep() {
         let mut rng = SimRng::new(2);
         let fabric = Fabric::KSwitch(KSwitchFabric::new(40, 4, 12, 4, &mut rng));
-        let mut d = Dslam::new(
-            SimTime::ZERO,
-            DslamConfig::default(),
-            PowerModel::default(),
-            fabric,
-            40,
-        );
+        let mut d =
+            Dslam::new(SimTime::ZERO, DslamConfig::default(), PowerModel::default(), fabric, 40);
         // Twelve fresh wakes: k-switch packing needs at most a few cards
         // (max lines per switch), against ~4 for the fixed fabric.
         for line in 0..12 {
@@ -214,13 +209,8 @@ mod tests {
     #[test]
     fn full_switch_repack_consolidates() {
         let fabric = Fabric::Full(FullFabric::new(40, 4, 12));
-        let mut d = Dslam::new(
-            SimTime::ZERO,
-            DslamConfig::default(),
-            PowerModel::default(),
-            fabric,
-            40,
-        );
+        let mut d =
+            Dslam::new(SimTime::ZERO, DslamConfig::default(), PowerModel::default(), fabric, 40);
         for line in 0..40 {
             d.line_powering_on(SimTime::ZERO, line);
         }

@@ -158,17 +158,13 @@ impl KSwitchFabric {
         k: usize,
         rng: &mut SimRng,
     ) -> Self {
-        assert!(k >= 1 && n_cards % k == 0, "k must divide the card count");
+        assert!(k >= 1 && n_cards.is_multiple_of(k), "k must divide the card count");
         assert!(n_lines <= n_cards * ports_per_card, "more lines than ports");
         let n_groups = n_cards / k;
         let mut switches = Vec::with_capacity(n_groups * ports_per_card);
         for g in 0..n_groups {
             for port in 0..ports_per_card {
-                switches.push(SwitchGroup {
-                    group_base: g * k,
-                    port,
-                    slots: vec![None; k],
-                });
+                switches.push(SwitchGroup { group_base: g * k, port, slots: vec![None; k] });
             }
         }
         // Deal lines into switches round-robin after a shuffle (arbitrary
@@ -281,10 +277,8 @@ impl FullFabric {
     /// (the Optimal scheme's zero-disruption migration, §5.1). Sleeping
     /// lines fill the remaining ports arbitrarily.
     pub fn repack_all(&mut self) {
-        let mut actives: Vec<usize> =
-            (0..self.locs.len()).filter(|&l| self.active[l]).collect();
-        let sleepers: Vec<usize> =
-            (0..self.locs.len()).filter(|&l| !self.active[l]).collect();
+        let mut actives: Vec<usize> = (0..self.locs.len()).filter(|&l| self.active[l]).collect();
+        let sleepers: Vec<usize> = (0..self.locs.len()).filter(|&l| !self.active[l]).collect();
         actives.extend(sleepers);
         for row in &mut self.port_line {
             row.fill(None);

@@ -31,7 +31,6 @@ pub use kswitch::{
 };
 pub use power::PowerModel;
 pub use sleepprob::{
-    binomial_coeff, expected_sleeping_cards, full_switch_sleeping_cards, p_at_least,
-    p_card_sleeps, p_card_sleeps_monte_carlo, p_card_sleeps_no_switch,
-    p_card_sleeps_paper_formula,
+    binomial_coeff, expected_sleeping_cards, full_switch_sleeping_cards, p_at_least, p_card_sleeps,
+    p_card_sleeps_monte_carlo, p_card_sleeps_no_switch, p_card_sleeps_paper_formula,
 };

@@ -55,9 +55,7 @@ pub fn p_card_sleeps(l: u32, k: u32, m: u32, p: f64) -> f64 {
 /// comparison and for documenting the erratum.
 pub fn p_card_sleeps_paper_formula(l: u32, k: u32, m: u32, p: f64) -> f64 {
     assert!((1..=k).contains(&l));
-    let inner: f64 = (0..l)
-        .map(|i| (1.0 - p).powi(i as i32) * p.powi((k - i) as i32))
-        .sum();
+    let inner: f64 = (0..l).map(|i| (1.0 - p).powi(i as i32) * p.powi((k - i) as i32)).sum();
     (1.0 - inner).powi(m as i32)
 }
 
@@ -188,7 +186,8 @@ mod tests {
     #[test]
     fn monte_carlo_matches_analytics() {
         let mut rng = SimRng::new(42);
-        for &(l, k, m, p) in &[(1u32, 8u32, 24u32, 0.5f64), (2, 8, 24, 0.5), (1, 4, 24, 0.25), (3, 4, 12, 0.3)]
+        for &(l, k, m, p) in
+            &[(1u32, 8u32, 24u32, 0.5f64), (2, 8, 24, 0.5), (1, 4, 24, 0.25), (3, 4, 12, 0.3)]
         {
             let analytic = p_card_sleeps(l, k, m, p);
             let mc = p_card_sleeps_monte_carlo(l, k, m, p, 40_000, &mut rng);

@@ -78,7 +78,7 @@ proptest! {
         let mut rng = SimRng::new(seed);
         let mut k = Fabric::KSwitch(KSwitchFabric::new(40, 4, 12, 4, &mut rng));
         let mut full = Fabric::Full(FullFabric::new(40, 4, 12));
-        let mut active = vec![false; 40];
+        let mut active = [false; 40];
         for &(line, wake) in &ops {
             let line = line % 40;
             if wake && !active[line] {
@@ -144,7 +144,7 @@ proptest! {
         );
         let mut t = SimTime::ZERO;
         for &step in &events {
-            t = t + SimDuration::from_millis(step * 100);
+            t += SimDuration::from_millis(step * 100);
             match g.state() {
                 GwState::Sleeping => {
                     g.begin_wake(t);

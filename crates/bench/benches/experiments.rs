@@ -16,7 +16,7 @@ use insomnia_core::{
 use insomnia_dslphy::{
     fixed_length_lines, BundleConfig, BundleSim, CrosstalkExperiment, ServiceProfile,
 };
-use insomnia_simcore::{Scheduler, SimDuration, SimRng, SimTime};
+use insomnia_simcore::{Scheduler, SimRng, SimTime};
 use insomnia_traffic::adsl::{self, AdslConfig};
 use insomnia_traffic::crawdad::{self, CrawdadConfig};
 use std::hint::black_box;
@@ -61,7 +61,8 @@ fn bench_fig02_adsl(c: &mut Criterion) {
     c.bench_function("fig02/adsl_population_1k", |b| {
         b.iter(|| {
             let mut rng = SimRng::new(7);
-            let pop = adsl::generate(&AdslConfig { n_users: 1_000, ..Default::default() }, &mut rng);
+            let pop =
+                adsl::generate(&AdslConfig { n_users: 1_000, ..Default::default() }, &mut rng);
             black_box(pop.average_percent(insomnia_traffic::Direction::Down))
         })
     });
@@ -154,9 +155,7 @@ fn bench_fig12_testbed(c: &mut Criterion) {
     let tb = TestbedConfig { runs: 1, ..TestbedConfig::default() };
     let mut group = c.benchmark_group("fig12/testbed");
     group.sample_size(10);
-    group.bench_function("replay_30min", |b| {
-        b.iter(|| black_box(run_testbed(&scenario, &tb)))
-    });
+    group.bench_function("replay_30min", |b| b.iter(|| black_box(run_testbed(&scenario, &tb))));
     group.finish();
 }
 

@@ -13,11 +13,7 @@ use std::collections::BTreeSet;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let csv_dir = args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).cloned();
     let mut wanted: BTreeSet<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -25,18 +21,20 @@ fn main() {
         .cloned()
         .collect();
     if wanted.is_empty() || wanted.contains("all") {
-        wanted = ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-                  "fig10", "fig12", "fig14", "fig15", "cards", "summary", "ablation"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        wanted = [
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10",
+            "fig12", "fig14", "fig15", "cards", "summary", "ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
 
     let h = if quick { Harness::quick() } else { Harness::paper() };
     let seed = h.scenario.seed;
     let needs_main = ["fig6", "fig7", "fig8", "fig9a", "fig9b", "cards", "summary"]
         .iter()
-        .any(|f| wanted.contains(**&f));
+        .any(|f| wanted.contains(*f));
     let runs = if needs_main {
         eprintln!("running main scenario ({} repetitions × 8 schemes)...", h.scenario.repetitions);
         Some(fig::run_main(&h))

@@ -7,10 +7,9 @@
 
 use insomnia_access::{p_card_sleeps, PowerModel};
 use insomnia_core::{
-    build_world, completion_variation_cdf, density_sweep, hourly_means,
-    isp_share_percent_series, online_time_variation_cdf, run_scheme_on, run_testbed,
-    savings_percent_series, summarize, FigureData, ScenarioConfig, SchemeResult, SchemeSpec,
-    TestbedConfig, WorldModel,
+    build_world, completion_variation_cdf, density_sweep, hourly_means, isp_share_percent_series,
+    online_time_variation_cdf, run_scheme_on, run_testbed, savings_percent_series, summarize,
+    FigureData, ScenarioConfig, SchemeResult, SchemeSpec, TestbedConfig, WorldModel,
 };
 use insomnia_dslphy::{sample_attenuations, AttenuationConfig, BundleConfig, CrosstalkExperiment};
 use insomnia_simcore::{Cdf, SimRng, SimTime};
@@ -18,6 +17,11 @@ use insomnia_traffic::adsl::{self, AdslConfig, Direction};
 use insomnia_traffic::stats::{ap_utilization_percent_series, gap_histogram_paper_bins};
 
 /// Scenario + run-size knobs for the harness.
+///
+/// Scenarios come from the `insomnia-scenarios` registry rather than
+/// bespoke config code, so the figure harness runs the exact same
+/// `paper-default` the CLI batch runner exposes — and any registry preset
+/// via [`Harness::from_preset`].
 #[derive(Debug, Clone)]
 pub struct Harness {
     /// The evaluation scenario.
@@ -25,17 +29,24 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// The paper's full configuration (10 repetitions).
+    /// The paper's full configuration (the `paper-default` registry
+    /// preset, 10 repetitions).
     pub fn paper() -> Self {
-        Harness { scenario: ScenarioConfig::default() }
+        Harness::from_preset("paper-default").expect("builtin preset resolves")
     }
 
     /// Reduced repetitions for quick regeneration (~10× faster, same
     /// shapes).
     pub fn quick() -> Self {
-        let mut scenario = ScenarioConfig::default();
-        scenario.repetitions = 2;
-        Harness { scenario }
+        let mut h = Harness::paper();
+        h.scenario.repetitions = 2;
+        h
+    }
+
+    /// A harness over any scenario registry preset.
+    pub fn from_preset(name: &str) -> insomnia_simcore::SimResult<Self> {
+        let scenario = insomnia_scenarios::Registry::builtin().resolve(name)?;
+        Ok(Harness { scenario })
     }
 }
 
@@ -126,8 +137,7 @@ pub fn fig3(h: &Harness) -> FigureData {
 /// Fig. 4: fraction of peak-hour idle time per inter-packet-gap bin.
 pub fn fig4(h: &Harness) -> FigureData {
     let (trace, _) = build_world(&h.scenario);
-    let hist =
-        gap_histogram_paper_bins(&trace, SimTime::from_hours(16), SimTime::from_hours(17));
+    let hist = gap_histogram_paper_bins(&trace, SimTime::from_hours(16), SimTime::from_hours(17));
     let mut labels = hist.labels();
     let mut fractions = hist.fractions();
     fractions.push(hist.overflow_fraction());
@@ -188,7 +198,8 @@ pub fn fig6(h: &Harness, runs: &MainRuns) -> FigureData {
         ],
     );
     let dt = h.scenario.sample_period.as_secs_f64();
-    let series = |r: &SchemeResult| hourly_means(&savings_percent_series(&r.total_power_w(), base), dt);
+    let series =
+        |r: &SchemeResult| hourly_means(&savings_percent_series(&r.total_power_w(), base), dt);
     let opt = series(&runs.optimal);
     let soi = series(&runs.soi);
     let soik = series(&runs.soi_k);
@@ -205,13 +216,7 @@ pub fn fig7(h: &Harness, runs: &MainRuns) -> FigureData {
     let mut t = FigureData::new(
         "fig7",
         "number of online gateways, hourly means",
-        vec![
-            "hour".into(),
-            "soi".into(),
-            "bh2".into(),
-            "bh2_no_backup".into(),
-            "optimal".into(),
-        ],
+        vec!["hour".into(), "soi".into(), "bh2".into(), "bh2_no_backup".into(), "optimal".into()],
     );
     let series = |r: &SchemeResult| hourly_means(&r.powered_gateways, dt);
     let soi = series(&runs.soi);
@@ -239,8 +244,12 @@ pub fn fig8(h: &Harness, runs: &MainRuns) -> FigureData {
         ],
     );
     let series = |r: &SchemeResult| {
-        let shares =
-            isp_share_percent_series(&r.user_power_w, &r.isp_power_w, runs.base_user_w, runs.base_isp_w);
+        let shares = isp_share_percent_series(
+            &r.user_power_w,
+            &r.isp_power_w,
+            runs.base_user_w,
+            runs.base_isp_w,
+        );
         let filled: Vec<f64> = shares.into_iter().map(|s| s.unwrap_or(0.0)).collect();
         hourly_means(&filled, dt)
     };
@@ -265,12 +274,7 @@ pub fn fig9a(runs: &MainRuns) -> FigureData {
     let mut t = FigureData::new(
         "fig9a",
         "CDF of completion-time increase vs no-sleep [% -> P(X<=x)]",
-        vec![
-            "variation_pct".into(),
-            "soi".into(),
-            "bh2".into(),
-            "bh2_no_backup".into(),
-        ],
+        vec!["variation_pct".into(), "soi".into(), "bh2".into(), "bh2_no_backup".into()],
     );
     let soi = cdf_rows(&completion_variation_cdf(&runs.soi, &runs.no_sleep), &xs);
     let bh2 = cdf_rows(&completion_variation_cdf(&runs.bh2_k, &runs.no_sleep), &xs);
@@ -357,10 +361,8 @@ pub fn fig14(seed: u64) -> FigureData {
         ],
     );
     let cfg = BundleConfig::default();
-    let results: Vec<_> = CrosstalkExperiment::paper_set()
-        .into_iter()
-        .map(|e| e.run(&cfg, &mut rng))
-        .collect();
+    let results: Vec<_> =
+        CrosstalkExperiment::paper_set().into_iter().map(|e| e.run(&cfg, &mut rng)).collect();
     let steps = results[0].1.len();
     for si in 0..steps {
         let mut row = vec![results[0].1[si].inactive as f64];
@@ -425,12 +427,7 @@ pub fn cards_table(runs: &MainRuns) -> FigureData {
     let mut labels = Vec::new();
     for (name, r) in entries {
         labels.push(name.to_string());
-        t.push_row(vec![insomnia_core::window_mean(
-            &r.awake_cards,
-            r.sample_period_s,
-            11.0,
-            19.0,
-        )]);
+        t.push_row(vec![insomnia_core::window_mean(&r.awake_cards, r.sample_period_s, 11.0, 19.0)]);
     }
     t.with_row_labels(labels)
 }
@@ -446,16 +443,33 @@ pub fn ablation(h: &Harness) -> FigureData {
         vec!["value".into(), "mean_savings_pct".into(), "peak_gw".into(), "wakes".into()],
     );
     let mut labels = Vec::new();
-    let push = |name: &str, pts: Vec<insomnia_core::SensitivityPoint>,
-                    t: &mut FigureData, labels: &mut Vec<String>| {
+    let push = |name: &str,
+                pts: Vec<insomnia_core::SensitivityPoint>,
+                t: &mut FigureData,
+                labels: &mut Vec<String>| {
         for p in pts {
             labels.push(name.to_string());
             t.push_row(vec![p.value, p.mean_savings_pct, p.peak_gateways, p.total_wakes]);
         }
     };
-    push("low_thresh", insomnia_core::sweep_low_threshold(&cfg, &[0.05, 0.10, 0.20]), &mut t, &mut labels);
-    push("high_thresh", insomnia_core::sweep_high_threshold(&cfg, &[0.30, 0.50, 0.80]), &mut t, &mut labels);
-    push("idle_timeout_s", insomnia_core::sweep_idle_timeout(&cfg, &[30, 60, 120]), &mut t, &mut labels);
+    push(
+        "low_thresh",
+        insomnia_core::sweep_low_threshold(&cfg, &[0.05, 0.10, 0.20]),
+        &mut t,
+        &mut labels,
+    );
+    push(
+        "high_thresh",
+        insomnia_core::sweep_high_threshold(&cfg, &[0.30, 0.50, 0.80]),
+        &mut t,
+        &mut labels,
+    );
+    push(
+        "idle_timeout_s",
+        insomnia_core::sweep_idle_timeout(&cfg, &[30, 60, 120]),
+        &mut t,
+        &mut labels,
+    );
     push("wake_time_s", insomnia_core::sweep_wake_time(&cfg, &[30, 60, 180]), &mut t, &mut labels);
     push("epoch_s", insomnia_core::sweep_epoch(&cfg, &[60, 150, 600]), &mut t, &mut labels);
     t.with_row_labels(labels)

@@ -1,0 +1,123 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/trait surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `bench_function`,
+//! `benchmark_group`) with a minimal runner: each bench closure executes a
+//! small fixed number of iterations and the mean wall-clock time is printed.
+//! No statistics, no HTML reports — just enough to keep `cargo bench`
+//! meaningful offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Number of timed iterations per bench (plus one warm-up).
+const ITERS: u32 = 3;
+
+/// Bench registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total_ns: 0, iters: 0 };
+        f(&mut b);
+        b.report(name.as_ref());
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, prefix: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample sizes.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores measurement time.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total_ns: 0, iters: 0 };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.prefix, name.as_ref()));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each bench closure.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations (after one warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters > 0 {
+            let mean = self.total_ns / u128::from(self.iters);
+            println!("bench {name:<48} {:>12.3} ms/iter", mean as f64 / 1e6);
+        } else {
+            println!("bench {name:<48} (no iterations)");
+        }
+    }
+}
+
+/// Re-export point used by generated code and benches.
+pub use std::hint::black_box;
+
+/// Declares a bench group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

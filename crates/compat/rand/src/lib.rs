@@ -1,0 +1,60 @@
+//! Offline stand-in for `rand`: the `SeedableRng` constructor trait and an
+//! infallible [`Rng`] facade blanket-implemented for every
+//! [`rand_core::TryRng`] whose error is [`Infallible`] — mirroring how the
+//! real crates make `SimRng` interoperate with the rand ecosystem.
+
+#![forbid(unsafe_code)]
+
+use std::convert::Infallible;
+
+pub use rand_core::TryRng;
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed material type.
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Infallible random number generator.
+pub trait Rng {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<T> Rng for T
+where
+    T: TryRng<Error = Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(x) => x,
+            Err(e) => match e {},
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(x) => x,
+            Err(e) => match e {},
+        }
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => {}
+            Err(e) => match e {},
+        }
+    }
+}

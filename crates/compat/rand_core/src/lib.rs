@@ -1,0 +1,20 @@
+//! Offline stand-in for `rand_core`: just the fallible generator trait the
+//! workspace's `SimRng` implements.
+
+#![forbid(unsafe_code)]
+
+/// A fallible random number generator.
+pub trait TryRng {
+    /// Error produced on generation failure ([`std::convert::Infallible`]
+    /// for deterministic software generators).
+    type Error;
+
+    /// Next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dst` with random bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}

@@ -1,0 +1,422 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment vendors no crates, so this proc-macro crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! subset of shapes the workspace actually uses, parsing the item token
+//! stream by hand (no `syn`/`quote`):
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, like real serde),
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generics are not supported and produce a compile error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let code = match mode {
+        Mode::Ser => gen_serialize(&name, &shape),
+        Mode::De => gen_deserialize(&name, &shape),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parses the derive input down to the type name and field/variant shape.
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the offline shim");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Parses `ident: Type, ...` out of a brace-group stream, skipping
+/// attributes and visibility. Type tokens are consumed with angle-bracket
+/// depth tracking so generic types containing commas parse correctly.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect ':' then the type; consume until a comma at angle
+                // depth zero.
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+                    other => panic!("serde_derive: expected `:` after field, got {other}"),
+                }
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in fields: {other}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body (`pub u32, pub f64`, ...).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing = false;
+    }
+    if trailing {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantShape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantShape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) if present.
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '=' {
+                        while i < tokens.len() {
+                            if let TokenTree::Punct(p) = &tokens[i] {
+                                if p.as_char() == ',' {
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                variants.push(Variant { name, shape });
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut __m = ::std::vec::Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut s = String::from("let mut __v = ::std::vec::Vec::new();\n");
+            for k in 0..*n {
+                s.push_str(&format!("__v.push(::serde::Serialize::to_value(&self.{k}));\n"));
+            }
+            s.push_str("::serde::Value::Seq(__v)");
+            s
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::expected(\"map for struct {name}\", __v))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!("{f}: ::serde::__field(__m, \"{f}\")?,\n"));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::expected(\"sequence for tuple struct {name}\", __v))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::new(\"wrong tuple arity for {name}\")); }}\n"
+            );
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?")).collect();
+            s.push_str(&format!("::std::result::Result::Ok({name}({}))", items.join(", ")));
+            s
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            // Externally tagged: "Variant" or {"Variant": payload}.
+            let mut s = String::from(
+                "if let ::std::option::Option::Some(__tag) = __v.as_str() {\n\
+                 match __tag {\n",
+            );
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    s.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "__other => return ::std::result::Result::Err(::serde::Error::new(\
+                 &format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n"
+            ));
+            s.push_str(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::expected(\"string or map for enum\", __v))?;\n\
+                 let (__tag, __payload) = match __m.first() {\n\
+                 ::std::option::Option::Some((k, p)) if __m.len() == 1 => (k.as_str(), p),\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::new(\
+                 \"enum map must have exactly one key\")),\n};\n",
+            );
+            s.push_str("match __tag {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(1) => s.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                            .collect();
+                        s.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __s = __payload.as_seq().ok_or_else(|| \
+                             ::serde::Error::expected(\"sequence\", __payload))?;\n\
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::new(\"wrong arity\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(__fm, \"{f}\")?"))
+                            .collect();
+                        s.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __fm = __payload.as_map().ok_or_else(|| \
+                             ::serde::Error::expected(\"map\", __payload))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::Error::new(\
+                 &format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

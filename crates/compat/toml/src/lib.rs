@@ -1,0 +1,342 @@
+//! Offline stand-in for the `toml` crate, covering the subset the scenario
+//! subsystem needs:
+//!
+//! * top-level and `[dotted.table]` sections,
+//! * `key = value` with strings, integers, floats, booleans and arrays,
+//! * dotted keys (`bh2.low_threshold = 0.05`),
+//! * `#` comments and blank lines.
+//!
+//! Values parse into the mini-serde [`Value`] tree, so any
+//! `#[derive(Serialize, Deserialize)]` type round-trips through TOML text.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+/// Deserializes a typed value from TOML text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse_document(s)?)
+}
+
+/// Parses TOML text into a [`Value::Map`] tree.
+pub fn parse_document(s: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the currently open `[section]`; empty = top level.
+    let mut section: Vec<String> = Vec::new();
+    for (lineno, raw) in s.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error::new(&format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest.strip_suffix(']').ok_or_else(|| err("unclosed `[section]`"))?.trim();
+            if inner.is_empty() || inner.starts_with('[') {
+                return Err(err("unsupported section header"));
+            }
+            section = inner.split('.').map(|p| p.trim().to_string()).collect();
+            // Materialize the section so empty tables still deserialize.
+            ensure_table(&mut root, &section);
+        } else {
+            let (key, val) = line.split_once('=').ok_or_else(|| err("expected `key = value`"))?;
+            let mut path = section.clone();
+            path.extend(key.trim().split('.').map(|p| p.trim().to_string()));
+            let value = parse_value(val.trim()).map_err(|e| err(&e.to_string()))?;
+            insert(&mut root, &path, value).map_err(|e| err(&e.to_string()))?;
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+/// Serializes a typed value to TOML text. The root must serialize to a map.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    let Value::Map(entries) = &v else {
+        return Err(Error::new("TOML documents must be maps at the root"));
+    };
+    let mut out = String::new();
+    write_table(&mut out, entries, &[])?;
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // No escape handling needed: a `#` inside a basic string is the only
+    // false positive, so scan with a quote flag.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn ensure_table<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> &'a mut Vec<(String, Value)> {
+    if path.is_empty() {
+        return root;
+    }
+    let key = &path[0];
+    let idx = match root.iter().position(|(k, _)| k == key) {
+        Some(i) => i,
+        None => {
+            root.push((key.clone(), Value::Map(Vec::new())));
+            root.len() - 1
+        }
+    };
+    // Key already holding a scalar is replaced with a table (later
+    // assignments win, matching `insert`).
+    if !matches!(root[idx].1, Value::Map(_)) {
+        root[idx].1 = Value::Map(Vec::new());
+    }
+    match &mut root[idx].1 {
+        Value::Map(m) => ensure_table(m, &path[1..]),
+        _ => unreachable!(),
+    }
+}
+
+fn insert(root: &mut Vec<(String, Value)>, path: &[String], value: Value) -> Result<(), Error> {
+    let (last, parents) = path.split_last().expect("non-empty key path");
+    let table = ensure_table(root, parents);
+    match table.iter_mut().find(|(k, _)| k == last) {
+        Some((_, slot)) => {
+            // Later assignments win: this is what lets sweep overrides and
+            // preset overlays merge TOML fragments.
+            *slot = value;
+        }
+        None => table.push((last.clone(), value)),
+    }
+    Ok(())
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    if s.is_empty() {
+        return Err(Error::new("empty value"));
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        let inner = rest.strip_suffix('"').ok_or_else(|| Error::new("unterminated string"))?;
+        return Ok(Value::Str(unescape(inner)?));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let inner = rest.strip_suffix(']').ok_or_else(|| Error::new("unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part)?);
+            }
+        }
+        return Ok(Value::Seq(items));
+    }
+    let cleaned: String = s.chars().filter(|c| *c != '_').collect();
+    if cleaned.contains(['.', 'e', 'E'])
+        || cleaned == "inf"
+        || cleaned == "-inf"
+        || cleaned == "nan"
+    {
+        if let Ok(x) = cleaned.parse::<f64>() {
+            return Ok(Value::Float(x));
+        }
+    }
+    if let Ok(i) = cleaned.parse::<i128>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = cleaned.parse::<f64>() {
+        return Ok(Value::Float(x));
+    }
+    Err(Error::new(&format!("cannot parse value `{s}`")))
+}
+
+/// Splits an array body on commas that are not nested in strings/brackets.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unescape(s: &str) -> Result<String, Error> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            other => return Err(Error::new(&format!("unknown escape {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn write_table(out: &mut String, entries: &[(String, Value)], path: &[&str]) -> Result<(), Error> {
+    // Scalars and arrays first, then sub-tables as sections — the classic
+    // TOML layout.
+    let mut tables = Vec::new();
+    let mut wrote_scalar = false;
+    for (k, v) in entries {
+        match v {
+            Value::Map(m) => tables.push((k.as_str(), m)),
+            Value::Null => {} // omitted: TOML has no null
+            other => {
+                out.push_str(k);
+                out.push_str(" = ");
+                write_inline(out, other)?;
+                out.push('\n');
+                wrote_scalar = true;
+            }
+        }
+    }
+    for (k, m) in tables {
+        let mut sub: Vec<&str> = path.to_vec();
+        sub.push(k);
+        if wrote_scalar || !out.is_empty() {
+            out.push('\n');
+        }
+        out.push('[');
+        out.push_str(&sub.join("."));
+        out.push_str("]\n");
+        write_table(out, m, &sub)?;
+    }
+    Ok(())
+}
+
+fn write_inline(out: &mut String, v: &Value) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("\"\""),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            let s = format!("{x}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E', 'n', 'i']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(_) => {
+            return Err(Error::new("nested inline tables are not supported"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_dotted_keys_and_comments() {
+        let doc = r#"
+# header
+name = "rural-sparse"  # inline comment
+seeds = [1, 2, 3]
+bh2.low_threshold = 0.05
+
+[trace]
+n_clients = 120
+rate_scale = 0.6
+"#;
+        let v = parse_document(doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("rural-sparse"));
+        assert_eq!(v.get("seeds").unwrap().as_seq().unwrap().len(), 3);
+        let bh2 = v.get("bh2").unwrap();
+        assert_eq!(bh2.get("low_threshold"), Some(&Value::Float(0.05)));
+        let trace = v.get("trace").unwrap();
+        assert_eq!(trace.get("n_clients"), Some(&Value::Int(120)));
+    }
+
+    #[test]
+    fn document_roundtrips() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Int(1)),
+            ("s".into(), Value::Str("x".into())),
+            (
+                "t".into(),
+                Value::Map(vec![
+                    ("b".into(), Value::Float(0.5)),
+                    ("flag".into(), Value::Bool(true)),
+                ]),
+            ),
+        ]);
+        let text = {
+            let Value::Map(entries) = &v else { unreachable!() };
+            let mut out = String::new();
+            write_table(&mut out, entries, &[]).unwrap();
+            out
+        };
+        let back = parse_document(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn later_assignment_wins() {
+        let v = parse_document("a = 1\na = 2\n").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(2)));
+    }
+}

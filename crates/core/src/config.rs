@@ -4,6 +4,20 @@ use insomnia_access::{DslamConfig, PowerModel};
 use insomnia_simcore::{SimDuration, SimError, SimResult, SimTime};
 use insomnia_traffic::CrawdadConfig;
 use insomnia_wireless::ChannelModel;
+use serde::{Deserialize, Serialize};
+
+/// How client↔gateway reachability is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Household overlap graph with a prescribed degree distribution — the
+    /// paper's main setting (§5.1, mean 5.6 networks in range).
+    #[default]
+    Overlap,
+    /// Binomial reachability as in the Fig. 10 density sweep; supports
+    /// densities all the way down to 1.0 (clients reach only their home
+    /// gateway — the no-wireless-sharing control).
+    Binomial,
+}
 
 /// BH2 algorithm parameters (§3.1, §5.1).
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +59,8 @@ pub struct ScenarioConfig {
     pub trace: CrawdadConfig,
     /// Mean number of networks in range per client (paper: 5.6).
     pub mean_networks_in_range: f64,
+    /// Topology generator used by `build_world`.
+    pub topology: TopologyKind,
     /// Wireless rates (12 Mbps home / 6 Mbps neighbor).
     pub channel: ChannelModel,
     /// ADSL backhaul per gateway, bit/s (paper: 6 Mbps).
@@ -78,6 +94,7 @@ impl Default for ScenarioConfig {
         ScenarioConfig {
             trace: CrawdadConfig::default(),
             mean_networks_in_range: 5.6,
+            topology: TopologyKind::default(),
             channel: ChannelModel::default(),
             backhaul_bps: 6.0e6,
             dslam: DslamConfig::default(),
@@ -124,7 +141,56 @@ impl ScenarioConfig {
         {
             return Err(SimError::InvalidConfig("thresholds must be fractions".into()));
         }
-        if self.dslam.n_cards % self.k_switch != 0 {
+        // Trace-generator preconditions: the scenario layer lets users set
+        // these freely, and catching them here beats an assert in a worker
+        // thread or NaN summary metrics after a full run.
+        if self.trace.n_clients == 0 {
+            return Err(SimError::InvalidConfig("need at least one client".into()));
+        }
+        // The overlap degree-graph generator needs three nodes; binomial
+        // reachability works from two.
+        let min_aps = match self.topology {
+            TopologyKind::Overlap => 3,
+            TopologyKind::Binomial => 2,
+        };
+        if self.trace.n_aps < min_aps {
+            return Err(SimError::InvalidConfig(format!(
+                "{:?} topology needs at least {min_aps} gateways, got {}",
+                self.topology, self.trace.n_aps
+            )));
+        }
+        if self.trace.horizon.as_millis() == 0 {
+            return Err(SimError::InvalidConfig("horizon must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.trace.always_on_frac)
+            || !(0.0..=1.0).contains(&self.trace.worker_frac)
+            || self.trace.always_on_frac + self.trace.worker_frac > 1.0
+        {
+            return Err(SimError::InvalidConfig(
+                "always-on and worker fractions must be in [0, 1] and sum to ≤ 1".into(),
+            ));
+        }
+        if !(self.trace.rate_scale > 0.0) || !self.trace.rate_scale.is_finite() {
+            return Err(SimError::InvalidConfig("rate scale must be a positive number".into()));
+        }
+        match self.topology {
+            TopologyKind::Overlap if self.mean_networks_in_range < 1.0 => {
+                return Err(SimError::InvalidConfig(
+                    "overlap topology needs mean networks in range ≥ 1".into(),
+                ));
+            }
+            TopologyKind::Binomial
+                if self.mean_networks_in_range < 1.0
+                    || self.mean_networks_in_range > self.trace.n_aps as f64 =>
+            {
+                return Err(SimError::InvalidConfig(format!(
+                    "binomial density {} outside [1, {}]",
+                    self.mean_networks_in_range, self.trace.n_aps
+                )));
+            }
+            _ => {}
+        }
+        if !self.dslam.n_cards.is_multiple_of(self.k_switch) {
             return Err(SimError::InvalidConfig(format!(
                 "k = {} must divide the card count {}",
                 self.k_switch, self.dslam.n_cards

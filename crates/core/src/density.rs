@@ -40,14 +40,9 @@ pub fn density_sweep(cfg: &ScenarioConfig, densities: &[f64]) -> Vec<DensityPoin
             let mut acc = 0.0;
             for rep in 0..cfg.repetitions {
                 let mut topo_rng = master.fork_idx("density-topo", hash_pair(mean, rep));
-                let topo = binomial_topology(
-                    &home,
-                    cfg.trace.n_aps,
-                    mean,
-                    cfg.channel,
-                    &mut topo_rng,
-                )
-                .expect("valid density parameters");
+                let topo =
+                    binomial_topology(&home, cfg.trace.n_aps, mean, cfg.channel, &mut topo_rng)
+                        .expect("valid density parameters");
                 let rng = master.fork_idx("density-run", hash_pair(mean, rep));
                 let r: RunResult = run_single(cfg, spec, &trace, &topo, rng);
                 acc += window_mean(&r.powered_gateways, r.sample_period_s, 11.0, 19.0);

@@ -13,7 +13,7 @@
 //! and the metric sampler. The simulation starts with every gateway asleep.
 
 use crate::bh2::{decide, Bh2Decision, VisibleGateway};
-use crate::config::ScenarioConfig;
+use crate::config::{ScenarioConfig, TopologyKind};
 use crate::flows::FlowEngine;
 use crate::optimal::{solve, SolverInput};
 use crate::schemes::{Aggregation, FabricKind, SchemeSpec};
@@ -22,7 +22,7 @@ use insomnia_access::{
 };
 use insomnia_simcore::{average_runs, Scheduler, SimDuration, SimRng, SimTime};
 use insomnia_traffic::Trace;
-use insomnia_wireless::{overlap_topology, LoadWindow, Topology};
+use insomnia_wireless::{binomial_topology, overlap_topology, LoadWindow, Topology};
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -168,19 +168,11 @@ impl World<'_> {
 
     /// Starts a flow on an online gateway or parks it at a waking one
     /// (waking the gateway first if needed).
-    fn start_or_queue(
-        &mut self,
-        s: &mut Scheduler<Ev>,
-        t: SimTime,
-        gw: usize,
-        f: PendingFlow,
-    ) {
+    fn start_or_queue(&mut self, s: &mut Scheduler<Ev>, t: SimTime, gw: usize, f: PendingFlow) {
         match self.gateways[gw].state() {
             GwState::Online => {
-                let wireless = self
-                    .topo
-                    .rate_bps(f.client, gw)
-                    .expect("routed gateway must be in range");
+                let wireless =
+                    self.topo.rate_bps(f.client, gw).expect("routed gateway must be in range");
                 let moved = self.engine.advance(gw, t);
                 self.deposit(t, gw, moved);
                 self.engine.add(t, gw, f.client, f.trace_idx, f.arrival, f.bytes, wireless);
@@ -270,9 +262,8 @@ pub fn run_single(
         (cfg.idle_timeout, cfg.wake_time)
     };
     let initial = if spec.sleep_enabled { GwState::Sleeping } else { GwState::Online };
-    let gateways: Vec<Gateway> = (0..n_gw)
-        .map(|_| Gateway::new(t0, initial, idle_timeout, wake_time, cfg.power))
-        .collect();
+    let gateways: Vec<Gateway> =
+        (0..n_gw).map(|_| Gateway::new(t0, initial, idle_timeout, wake_time, cfg.power)).collect();
 
     let fabric = match spec.fabric {
         FabricKind::Fixed => Fabric::Fixed(FixedFabric::new(
@@ -302,8 +293,7 @@ pub fn run_single(
         }
     }
 
-    let n_samples =
-        (horizon.as_millis() / cfg.sample_period.as_millis()) as usize;
+    let n_samples = (horizon.as_millis() / cfg.sample_period.as_millis()) as usize;
     let mut world = World {
         cfg,
         spec,
@@ -312,9 +302,7 @@ pub fn run_single(
         gateways,
         dslam,
         engine: FlowEngine::new(n_gw),
-        gw_load: (0..n_gw)
-            .map(|_| LoadWindow::new(cfg.bh2.load_window.as_millis()))
-            .collect(),
+        gw_load: (0..n_gw).map(|_| LoadWindow::new(cfg.bh2.load_window.as_millis())).collect(),
         client_load: (0..topo.n_clients())
             .map(|_| LoadWindow::new(cfg.optimal_period.as_millis()))
             .collect(),
@@ -411,8 +399,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
             }
             let queued = std::mem::take(&mut w.pending[gw]);
             for f in queued {
-                let wireless =
-                    w.topo.rate_bps(f.client, gw).expect("pending flow client in range");
+                let wireless = w.topo.rate_bps(f.client, gw).expect("pending flow client in range");
                 w.engine.add(now, gw, f.client, f.trace_idx, f.arrival, f.bytes, wireless);
             }
             w.gateways[gw].on_traffic(now);
@@ -558,15 +545,13 @@ fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
         let d = w.client_load[c].rate_bps(now_ms).min(usable);
         if d > 0.0 {
             demands.push(d);
-            reach.push(
-                w.topo.reachable(c).iter().map(|l| (l.gateway, l.rate_bps)).collect(),
-            );
+            reach.push(w.topo.reachable(c).iter().map(|l| (l.gateway, l.rate_bps)).collect());
         }
     }
     let n_gw = w.n_gateways();
     let capacity = vec![usable; n_gw];
-    let input = SolverInput::new(demands, reach, n_gw, capacity, 0)
-        .expect("well-formed solver input");
+    let input =
+        SolverInput::new(demands, reach, n_gw, capacity, 0).expect("well-formed solver input");
     let out = solve(&input);
     let mut want = vec![false; n_gw];
     for g in out.online {
@@ -581,6 +566,8 @@ fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
                 s.schedule_at(done, Ev::WakeDone { gw });
             }
             (false, GwState::Online) => {
+                // try_sleep mutates gateway state; keep the call in the arm
+                // body rather than a match guard so dispatch stays pure.
                 if w.gateways[gw].try_sleep(now) {
                     w.dslam.line_powering_off(now, gw);
                 }
@@ -619,11 +606,7 @@ pub struct SchemeResult {
 impl SchemeResult {
     /// Mean total power per sample, W.
     pub fn total_power_w(&self) -> Vec<f64> {
-        self.user_power_w
-            .iter()
-            .zip(&self.isp_power_w)
-            .map(|(u, i)| u + i)
-            .collect()
+        self.user_power_w.iter().zip(&self.isp_power_w).map(|(u, i)| u + i).collect()
     }
 }
 
@@ -631,18 +614,34 @@ impl SchemeResult {
 /// across schemes and repetitions (the paper uses one real trace and one
 /// topology; randomness lives in the algorithms).
 pub fn build_world(cfg: &ScenarioConfig) -> (Trace, Topology) {
-    let master = SimRng::new(cfg.seed);
+    build_world_seeded(cfg, cfg.seed)
+}
+
+/// [`build_world`] with an explicit master seed — the per-job entry point
+/// the batch runner uses so a (scenario × seed) job matrix gets independent
+/// worlds without cloning configs.
+pub fn build_world_seeded(cfg: &ScenarioConfig, seed: u64) -> (Trace, Topology) {
+    let master = SimRng::new(seed);
     let mut trace_rng = master.fork("trace");
     let trace = insomnia_traffic::crawdad::generate(&cfg.trace, &mut trace_rng);
     let mut topo_rng = master.fork("topology");
     let home: Vec<usize> = trace.home.iter().map(|ap| ap.index()).collect();
-    let topo = overlap_topology(
-        &home,
-        cfg.trace.n_aps,
-        cfg.mean_networks_in_range,
-        cfg.channel,
-        &mut topo_rng,
-    )
+    let topo = match cfg.topology {
+        TopologyKind::Overlap => overlap_topology(
+            &home,
+            cfg.trace.n_aps,
+            cfg.mean_networks_in_range,
+            cfg.channel,
+            &mut topo_rng,
+        ),
+        TopologyKind::Binomial => binomial_topology(
+            &home,
+            cfg.trace.n_aps,
+            cfg.mean_networks_in_range,
+            cfg.channel,
+            &mut topo_rng,
+        ),
+    }
     .expect("valid scenario topology");
     (trace, topo)
 }
@@ -658,7 +657,23 @@ pub fn run_scheme_on(
     trace: &Trace,
     topo: &Topology,
 ) -> SchemeResult {
-    let master = SimRng::new(cfg.seed);
+    run_scheme_seeded(cfg, spec, trace, topo, cfg.seed)
+}
+
+/// [`run_scheme_on`] with an explicit master seed for the repetition
+/// streams. Together with [`build_world_seeded`] this lets a batch runner
+/// fan a (scenario × scheme × seed) matrix across threads with fully
+/// deterministic per-job randomness. All inputs are `Send + Sync`
+/// (asserted at compile time below), so jobs can share worlds by
+/// reference.
+pub fn run_scheme_seeded(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    trace: &Trace,
+    topo: &Topology,
+    seed: u64,
+) -> SchemeResult {
+    let master = SimRng::new(seed);
     let results: Vec<RunResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.repetitions)
             .map(|rep| {
@@ -711,6 +726,19 @@ pub fn run_scheme(cfg: &ScenarioConfig, spec: SchemeSpec) -> SchemeResult {
     let (trace, topo) = build_world(cfg);
     run_scheme_on(cfg, spec, &trace, &topo)
 }
+
+/// Compile-time guarantee that everything a batch job needs can cross
+/// thread boundaries (`run_scheme_seeded` borrows these from worker
+/// threads).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ScenarioConfig>();
+    assert_send_sync::<SchemeSpec>();
+    assert_send_sync::<Trace>();
+    assert_send_sync::<Topology>();
+    assert_send_sync::<SchemeResult>();
+    assert_send_sync::<RunResult>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -812,12 +840,8 @@ mod tests {
         let (trace, topo) = build_world(&cfg);
         let r = run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(4));
         let dt = r.sample_period_s;
-        let series_j: f64 = r
-            .user_power_w
-            .iter()
-            .zip(&r.isp_power_w)
-            .map(|(u, i)| (u + i) * dt)
-            .sum();
+        let series_j: f64 =
+            r.user_power_w.iter().zip(&r.isp_power_w).map(|(u, i)| (u + i) * dt).sum();
         let metered = r.energy.total_j();
         let rel = (series_j - metered).abs() / metered;
         assert!(rel < 0.02, "series {series_j:.0} J vs metered {metered:.0} J");

@@ -21,10 +21,11 @@ pub mod sensitivity;
 pub mod testbed;
 
 pub use bh2::{decide, Bh2Decision, VisibleGateway};
-pub use config::{Bh2Params, ScenarioConfig};
+pub use config::{Bh2Params, ScenarioConfig, TopologyKind};
 pub use density::{density_sweep, DensityPoint};
 pub use driver::{
-    build_world, run_scheme, run_scheme_on, run_single, DriverStats, RunResult, SchemeResult,
+    build_world, build_world_seeded, run_scheme, run_scheme_on, run_scheme_seeded, run_single,
+    DriverStats, RunResult, SchemeResult,
 };
 pub use extrapolate::WorldModel;
 pub use metrics::{

@@ -74,7 +74,11 @@ pub fn completion_variation_cdf(scheme: &SchemeResult, baseline: &SchemeResult) 
 /// Fraction of flows whose completion time increased by more than
 /// `threshold_pct` percent (the paper quotes "8% of flows affected" for SoI,
 /// "as few as 2%" for BH2).
-pub fn fraction_affected(scheme: &SchemeResult, baseline: &SchemeResult, threshold_pct: f64) -> f64 {
+pub fn fraction_affected(
+    scheme: &SchemeResult,
+    baseline: &SchemeResult,
+    threshold_pct: f64,
+) -> f64 {
     let cdf = completion_variation_cdf(scheme, baseline);
     if cdf.is_empty() {
         return 0.0;
@@ -127,8 +131,7 @@ pub fn summarize(result: &SchemeResult, base_user_w: f64, base_isp_w: f64) -> Sc
     let baseline = base_user_w + base_isp_w;
     let savings = savings_percent_series(&total, baseline);
     let dt = result.sample_period_s;
-    let user_saved: f64 =
-        result.user_power_w.iter().map(|u| base_user_w - u).sum::<f64>() * dt;
+    let user_saved: f64 = result.user_power_w.iter().map(|u| base_user_w - u).sum::<f64>() * dt;
     let isp_saved: f64 = result.isp_power_w.iter().map(|i| base_isp_w - i).sum::<f64>() * dt;
     let isp_share = if user_saved + isp_saved > 1e-9 {
         Some(isp_saved / (user_saved + isp_saved) * 100.0)
@@ -207,16 +210,8 @@ mod tests {
 
     #[test]
     fn completion_variation_requires_both_completions() {
-        let scheme = fake_result(
-            vec![vec![Some(2.0), Some(10.0), None]],
-            vec![vec![]],
-            vec![1.0],
-        );
-        let base = fake_result(
-            vec![vec![Some(1.0), None, Some(5.0)]],
-            vec![vec![]],
-            vec![1.0],
-        );
+        let scheme = fake_result(vec![vec![Some(2.0), Some(10.0), None]], vec![vec![]], vec![1.0]);
+        let base = fake_result(vec![vec![Some(1.0), None, Some(5.0)]], vec![vec![]], vec![1.0]);
         let cdf = completion_variation_cdf(&scheme, &base);
         // Only the first flow matches: (2-1)/1 = +100%.
         assert_eq!(cdf.len(), 1);
@@ -226,16 +221,8 @@ mod tests {
 
     #[test]
     fn online_variation_edge_cases() {
-        let scheme = fake_result(
-            vec![vec![]],
-            vec![vec![0.0, 3_600.0, 1_800.0, 500.0]],
-            vec![1.0],
-        );
-        let soi = fake_result(
-            vec![vec![]],
-            vec![vec![0.0, 0.0, 3_600.0, 1_000.0]],
-            vec![1.0],
-        );
+        let scheme = fake_result(vec![vec![]], vec![vec![0.0, 3_600.0, 1_800.0, 500.0]], vec![1.0]);
+        let soi = fake_result(vec![vec![]], vec![vec![0.0, 0.0, 3_600.0, 1_000.0]], vec![1.0]);
         let cdf = online_time_variation_cdf(&scheme, &soi);
         assert_eq!(cdf.len(), 4);
         // idle→idle: 0; idle→on: +100 (clamped); halved: -50; halved: -50.

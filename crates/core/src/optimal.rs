@@ -121,8 +121,7 @@ pub fn solve(input: &SolverInput) -> SolverOutput {
 
     // Lower bound: capacity (every user places its demand on `slots`
     // gateways) and the trivial cover bound.
-    let total_load: f64 =
-        (0..n_users).map(|i| input.demands[i] * input.slots(i) as f64).sum();
+    let total_load: f64 = (0..n_users).map(|i| input.demands[i] * input.slots(i) as f64).sum();
     let max_cap = input.capacity.iter().cloned().fold(0.0f64, f64::max);
     let cap_lb = if max_cap > 0.0 { (total_load / max_cap).ceil() as usize } else { 1 };
     let min_slots = (0..n_users).map(|i| input.slots(i)).max().unwrap_or(1);
@@ -132,14 +131,7 @@ pub fn solve(input: &SolverInput) -> SolverOutput {
     let upper = incumbent.len();
     let mut budget = input.node_budget;
     for k in lb..upper {
-        let mut search = Search {
-            input,
-            k,
-            chosen: Vec::new(),
-            nodes: 0,
-            budget,
-            found: None,
-        };
+        let mut search = Search { input, k, chosen: Vec::new(), nodes: 0, budget, found: None };
         search.dfs();
         nodes += search.nodes;
         budget = budget.saturating_sub(search.nodes);
@@ -241,12 +233,8 @@ fn capacity_feasible(input: &SolverInput, online: &[usize]) -> bool {
     order.sort_by(|&a, &b| input.demands[b].partial_cmp(&input.demands[a]).expect("finite"));
     for i in order {
         let d = input.demands[i];
-        let mut options: Vec<usize> = input
-            .reach[i]
-            .iter()
-            .filter(|&&(g, _)| online_mask[g])
-            .map(|&(g, _)| g)
-            .collect();
+        let mut options: Vec<usize> =
+            input.reach[i].iter().filter(|&&(g, _)| online_mask[g]).map(|&(g, _)| g).collect();
         options.sort_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite load"));
         let slots = input.slots(i);
         let mut placed = 0;
@@ -288,14 +276,10 @@ impl Search<'_> {
         }
         let mut branch_user: Option<(usize, usize)> = None; // (user, missing)
         for i in 0..self.input.demands.len() {
-            let have =
-                self.input.reach[i].iter().filter(|&&(g, _)| chosen_mask[g]).count();
+            let have = self.input.reach[i].iter().filter(|&&(g, _)| chosen_mask[g]).count();
             let need = self.input.slots(i);
             if have < need {
-                let options = self.input.reach[i]
-                    .iter()
-                    .filter(|&&(g, _)| !chosen_mask[g])
-                    .count();
+                let options = self.input.reach[i].iter().filter(|&&(g, _)| !chosen_mask[g]).count();
                 let missing = need - have;
                 if options < missing {
                     return; // infeasible branch
@@ -362,10 +346,8 @@ mod tests {
         cap: f64,
         backup: usize,
     ) -> SolverInput {
-        let reach = reach
-            .into_iter()
-            .map(|gs| gs.into_iter().map(|g| (g, 12.0e6)).collect())
-            .collect();
+        let reach =
+            reach.into_iter().map(|gs| gs.into_iter().map(|g| (g, 12.0e6)).collect()).collect();
         SolverInput::new(demands, reach, n_gw, vec![cap; n_gw], backup).unwrap()
     }
 
@@ -388,13 +370,8 @@ mod tests {
     #[test]
     fn shared_gateway_covers_everyone() {
         // Three users all reaching gateway 1: one gateway suffices.
-        let input = mk(
-            vec![0.5e6, 0.5e6, 0.5e6],
-            vec![vec![0, 1], vec![1, 2], vec![1, 3]],
-            4,
-            3.0e6,
-            0,
-        );
+        let input =
+            mk(vec![0.5e6, 0.5e6, 0.5e6], vec![vec![0, 1], vec![1, 2], vec![1, 3]], 4, 3.0e6, 0);
         let out = solve(&input);
         assert_eq!(out.online.len(), 1);
         assert_eq!(out.online, vec![1]);
@@ -499,8 +476,7 @@ mod tests {
             reach.push(gs.into_iter().map(|g| (g, 12.0e6)).collect());
             demands.push(rng.range_f64(0.05e6, 0.5e6));
         }
-        let mut input =
-            SolverInput::new(demands, reach, n_gw, vec![3.0e6; n_gw], 1).unwrap();
+        let mut input = SolverInput::new(demands, reach, n_gw, vec![3.0e6; n_gw], 1).unwrap();
         input.node_budget = 1;
         let out = solve(&input);
         assert!(capacity_feasible(&input, &out.online), "fallback must be feasible");

@@ -109,11 +109,7 @@ mod tests {
     use super::*;
 
     fn table() -> FigureData {
-        let mut t = FigureData::new(
-            "figX",
-            "test table",
-            vec!["a".into(), "b".into()],
-        );
+        let mut t = FigureData::new("figX", "test table", vec!["a".into(), "b".into()]);
         t.push_row(vec![1.0, 2.0]);
         t.push_row(vec![3.5, 4_200.0]);
         t

@@ -43,22 +43,38 @@ pub struct SchemeSpec {
 impl SchemeSpec {
     /// Today's operation: nothing sleeps (the comparison baseline).
     pub fn no_sleep() -> Self {
-        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::Fixed, sleep_enabled: false }
+        SchemeSpec {
+            aggregation: Aggregation::HomeOnly,
+            fabric: FabricKind::Fixed,
+            sleep_enabled: false,
+        }
     }
 
     /// Plain Sleep-on-Idle.
     pub fn soi() -> Self {
-        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::Fixed, sleep_enabled: true }
+        SchemeSpec {
+            aggregation: Aggregation::HomeOnly,
+            fabric: FabricKind::Fixed,
+            sleep_enabled: true,
+        }
     }
 
     /// SoI with k-switches at the HDF.
     pub fn soi_k_switch() -> Self {
-        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::KSwitch, sleep_enabled: true }
+        SchemeSpec {
+            aggregation: Aggregation::HomeOnly,
+            fabric: FabricKind::KSwitch,
+            sleep_enabled: true,
+        }
     }
 
     /// SoI with a full switch (§5.2.3's SoI+full-switch data point).
     pub fn soi_full_switch() -> Self {
-        SchemeSpec { aggregation: Aggregation::HomeOnly, fabric: FabricKind::Full, sleep_enabled: true }
+        SchemeSpec {
+            aggregation: Aggregation::HomeOnly,
+            fabric: FabricKind::Full,
+            sleep_enabled: true,
+        }
     }
 
     /// BH2 (one backup) with k-switches — the paper's headline scheme.
@@ -90,7 +106,11 @@ impl SchemeSpec {
 
     /// The centralized upper bound.
     pub fn optimal() -> Self {
-        SchemeSpec { aggregation: Aggregation::Optimal, fabric: FabricKind::Full, sleep_enabled: true }
+        SchemeSpec {
+            aggregation: Aggregation::Optimal,
+            fabric: FabricKind::Full,
+            sleep_enabled: true,
+        }
     }
 
     /// All schemes plotted in Fig. 6.

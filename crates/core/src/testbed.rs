@@ -62,11 +62,7 @@ pub struct TestbedResult {
 
 /// Extracts a 30-minute testbed trace: assign one random source AP to each
 /// testbed gateway and replay its clients' flows, re-based to t=0.
-fn slice_trace(
-    source: &Trace,
-    cfg: &TestbedConfig,
-    rng: &mut SimRng,
-) -> Trace {
+fn slice_trace(source: &Trace, cfg: &TestbedConfig, rng: &mut SimRng) -> Trace {
     // Pick n distinct source APs.
     let mut aps: Vec<usize> = (0..source.n_aps).collect();
     rng.shuffle(&mut aps);
@@ -100,13 +96,7 @@ fn slice_trace(
             flows.push(nf);
         }
     }
-    Trace {
-        horizon: SimTime::ZERO + window,
-        n_aps: cfg.n_gateways,
-        home,
-        flows,
-        sessions,
-    }
+    Trace { horizon: SimTime::ZERO + window, n_aps: cfg.n_gateways, home, flows, sessions }
 }
 
 /// Ring topology: terminal i reaches gateways i−1, i, i+1 (max 3, §5.3).
@@ -158,7 +148,8 @@ pub fn run_testbed(scenario: &ScenarioConfig, cfg: &TestbedConfig) -> TestbedRes
         for (is_bh2, spec) in
             [(false, SchemeSpec::soi()), (true, SchemeSpec::bh2_no_backup_k_switch())]
         {
-            let rng = master.fork_idx(if is_bh2 { "testbed-bh2" } else { "testbed-soi" }, rep as u64);
+            let rng =
+                master.fork_idx(if is_bh2 { "testbed-bh2" } else { "testbed-soi" }, rep as u64);
             let r = run_single(&run_cfg, spec, &trace, &topo, rng);
             let per_min: Vec<f64> = r
                 .powered_gateways

@@ -129,7 +129,7 @@ proptest! {
             e.add(t, 0, 0, i, t, bytes, 12.0e6);
             offered += bytes as f64;
             e.recompute(0, t, capacity);
-            t = t + SimDuration::from_millis(gap_ds * 100);
+            t += SimDuration::from_millis(gap_ds * 100);
             moved += e.advance(0, t);
             e.take_completed(0);
         }
@@ -137,7 +137,7 @@ proptest! {
         let mut guard = 0;
         while e.n_active() > 0 && guard < 20_000 {
             e.recompute(0, t, capacity);
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
             let delta = e.advance(0, t);
             // Capacity respected: at most capacity × 1 s of bytes per step.
             prop_assert!(delta <= capacity / 8.0 + 1.0);

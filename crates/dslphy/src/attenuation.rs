@@ -76,9 +76,7 @@ pub fn sample(cfg: &AttenuationConfig, rng: &mut SimRng) -> AttenuationSamples {
         .map(|_| {
             let card_mean =
                 cfg.mean_db + rng.range_f64(-cfg.card_mean_jitter_db, cfg.card_mean_jitter_db);
-            (0..cfg.ports_per_card)
-                .map(|_| rng.normal(card_mean, cfg.std_db).max(0.0))
-                .collect()
+            (0..cfg.ports_per_card).map(|_| rng.normal(card_mean, cfg.std_db).max(0.0)).collect()
         })
         .collect();
     AttenuationSamples { cards }
@@ -104,8 +102,8 @@ mod tests {
         let summaries = s.card_summaries();
         let means: Vec<f64> = summaries.iter().map(|x| x.0).collect();
         let stds: Vec<f64> = summaries.iter().map(|x| x.1).collect();
-        let mean_spread =
-            means.iter().cloned().fold(f64::MIN, f64::max) - means.iter().cloned().fold(f64::MAX, f64::min);
+        let mean_spread = means.iter().cloned().fold(f64::MIN, f64::max)
+            - means.iter().cloned().fold(f64::MAX, f64::min);
         // "Similar Gaussian distribution ... with minimal variations in
         // mean": card means within a few dB (sampling noise ≈ 23/√72 ≈ 2.7).
         assert!(mean_spread < 12.0, "card mean spread {mean_spread} dB");

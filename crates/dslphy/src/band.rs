@@ -60,7 +60,7 @@ impl TonePlan {
         TonePlan {
             name: "VDSL2-998-17a-DS",
             bands: vec![
-                Band { lo_hz: 138_000.0, hi_hz: 3_750_000.0 },  // DS1
+                Band { lo_hz: 138_000.0, hi_hz: 3_750_000.0 },   // DS1
                 Band { lo_hz: 5_200_000.0, hi_hz: 8_500_000.0 }, // DS2
                 Band { lo_hz: 12_000_000.0, hi_hz: 17_664_000.0 }, // DS3
             ],
@@ -70,10 +70,7 @@ impl TonePlan {
     /// ADSL2+ downstream (0.138–2.208 MHz), used by the evaluation's 6 Mbps
     /// residential lines and the appendix attenuation analysis.
     pub fn adsl2plus_down() -> Self {
-        TonePlan {
-            name: "ADSL2+-DS",
-            bands: vec![Band { lo_hz: 138_000.0, hi_hz: 2_208_000.0 }],
-        }
+        TonePlan { name: "ADSL2+-DS", bands: vec![Band { lo_hz: 138_000.0, hi_hz: 2_208_000.0 }] }
     }
 
     /// All downstream tone indices of this plan.
@@ -132,7 +129,7 @@ mod tests {
         let tones: Vec<u32> = b.tones().collect();
         for t in tones {
             let f = tone_freq_hz(t);
-            assert!(f >= 138_000.0 && f < 143_000.0);
+            assert!((138_000.0..143_000.0).contains(&f));
         }
     }
 

@@ -68,10 +68,7 @@ impl Binder {
 
     /// Sum of coupling weights from a set of disturbers into victim `i`.
     pub fn coupling_sum(&self, victim: usize, disturbers: impl Iterator<Item = usize>) -> f64 {
-        disturbers
-            .filter(|&d| d != victim)
-            .map(|d| self.coupling[victim][d])
-            .sum()
+        disturbers.filter(|&d| d != victim).map(|d| self.coupling[victim][d]).sum()
     }
 }
 

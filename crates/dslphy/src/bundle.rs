@@ -90,18 +90,13 @@ impl BundleSim {
     /// Attainable (bit-loading) rate of `victim` when the lines flagged in
     /// `active` transmit. `rng` supplies per-sync jitter; pass `None` for
     /// the deterministic expectation.
-    pub fn attainable_bps(
-        &self,
-        victim: usize,
-        active: &[bool],
-        mut rng: Option<&mut SimRng>,
-    ) -> f64 {
+    pub fn attainable_bps(&self, victim: usize, active: &[bool], rng: Option<&mut SimRng>) -> f64 {
         assert_eq!(active.len(), self.lines.len());
         let v = &self.lines[victim];
         let tx = dbm_hz_to_mw_hz(self.cfg.tx_psd_dbm_hz);
         let floor = dbm_hz_to_mw_hz(self.cfg.noise_floor_dbm_hz);
         let extra_lin = crate::units::db_to_lin(-v.extra_loss_db);
-        let jitter_db = match rng.as_deref_mut() {
+        let jitter_db = match rng {
             Some(r) if self.cfg.sync_jitter_db > 0.0 => r.normal(0.0, self.cfg.sync_jitter_db),
             _ => 0.0,
         };
@@ -138,16 +133,12 @@ impl BundleSim {
 
     /// Mean sync rate over the *active* lines (the quantity Fig. 14 plots).
     pub fn mean_active_sync_bps(&self, active: &[bool], rng: Option<&mut SimRng>) -> f64 {
-        let idx: Vec<usize> =
-            (0..self.lines.len()).filter(|&i| active[i]).collect();
+        let idx: Vec<usize> = (0..self.lines.len()).filter(|&i| active[i]).collect();
         if idx.is_empty() {
             return 0.0;
         }
         let mut rng = rng;
-        let sum: f64 = idx
-            .iter()
-            .map(|&i| self.sync_rate_bps(i, active, rng.as_deref_mut()))
-            .sum();
+        let sum: f64 = idx.iter().map(|&i| self.sync_rate_bps(i, active, rng.as_deref_mut())).sum();
         sum / idx.len() as f64
     }
 }
@@ -298,10 +289,9 @@ mod tests {
         let b = sim.sync_rate_bps(0, &all_active(24), Some(&mut rng));
         assert_ne!(a, b, "jitter must perturb individual syncs");
         let n = 50;
-        let mean: f64 = (0..n)
-            .map(|_| sim.sync_rate_bps(0, &all_active(24), Some(&mut rng)))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|_| sim.sync_rate_bps(0, &all_active(24), Some(&mut rng))).sum::<f64>()
+                / n as f64;
         let exact = sim.sync_rate_bps(0, &all_active(24), None);
         assert!((mean - exact).abs() / exact < 0.02, "mean {mean} vs exact {exact}");
     }

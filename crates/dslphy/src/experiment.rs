@@ -129,13 +129,8 @@ mod tests {
     use super::*;
 
     fn run_one(profile: ServiceProfile, setup: LengthSetup, seed: u64) -> (f64, Vec<SpeedupPoint>) {
-        let exp = CrosstalkExperiment {
-            profile,
-            setup,
-            n_orders: 3,
-            repeats: 2,
-            loss_spread_db: 2.0,
-        };
+        let exp =
+            CrosstalkExperiment { profile, setup, n_orders: 3, repeats: 2, loss_spread_db: 2.0 };
         let mut rng = SimRng::new(seed);
         exp.run(&BundleConfig::default(), &mut rng)
     }
@@ -174,9 +169,8 @@ mod tests {
     fn per_line_slope_near_paper() {
         let (_, pts) = run_one(ServiceProfile::mbps62(), LengthSetup::Fixed600, 3);
         // Paper: 1.1–1.2% per silenced line over the first half.
-        let at = |k: usize| {
-            pts.iter().find(|p| p.inactive == k).expect("step exists").mean_speedup_pct
-        };
+        let at =
+            |k: usize| pts.iter().find(|p| p.inactive == k).expect("step exists").mean_speedup_pct;
         let slope = (at(12) - at(0)) / 12.0;
         assert!((0.7..1.7).contains(&slope), "slope {slope:.2}%/line");
     }

@@ -109,13 +109,7 @@ mod tests {
         let cable = CableModel::default();
         let tx = dbm_hz_to_mw_hz(-60.0);
         let one = m.total_fext_mw_hz(5e6, &cable, 600.0, tx, std::iter::once((1.0, 600.0)));
-        let four = m.total_fext_mw_hz(
-            5e6,
-            &cable,
-            600.0,
-            tx,
-            std::iter::repeat_n((1.0, 600.0), 4),
-        );
+        let four = m.total_fext_mw_hz(5e6, &cable, 600.0, tx, std::iter::repeat_n((1.0, 600.0), 4));
         assert!((four / one - 4.0).abs() < 1e-9);
     }
 
@@ -134,13 +128,7 @@ mod tests {
         let tx = dbm_hz_to_mw_hz(-60.0);
         let f = 1e6;
         let signal = tx * cable.h_squared(f, 600.0);
-        let fext = m.total_fext_mw_hz(
-            f,
-            &cable,
-            600.0,
-            tx,
-            std::iter::repeat_n((1.0, 600.0), 23),
-        );
+        let fext = m.total_fext_mw_hz(f, &cable, 600.0, tx, std::iter::repeat_n((1.0, 600.0), 23));
         assert!(fext < signal, "FEXT {fext} >= signal {signal}");
     }
 }

@@ -31,11 +31,7 @@ pub struct ServiceProfile {
 impl ServiceProfile {
     /// The paper's 62 Mbps profile (full 17a downstream bands).
     pub fn mbps62() -> Self {
-        ServiceProfile {
-            name: "62 Mbps",
-            plan_rate_bps: 62.0e6,
-            plan: TonePlan::vdsl2_17a_down(),
-        }
+        ServiceProfile { name: "62 Mbps", plan_rate_bps: 62.0e6, plan: TonePlan::vdsl2_17a_down() }
     }
 
     /// The paper's 30 Mbps profile. Operators provision low tiers on the

@@ -94,7 +94,7 @@ proptest! {
         let plan = profile.plan_rate_bps;
         let cfg = BundleConfig { sync_jitter_db: 0.0, ..BundleConfig::default() };
         let sim = BundleSim::new(cfg, profile, fixed_length_lines(l));
-        let rate = sim.sync_rate_bps(0, &vec![true; 24], None);
+        let rate = sim.sync_rate_bps(0, &[true; 24], None);
         prop_assert!(rate <= plan + 1e-6);
         prop_assert!(rate > 0.0);
     }

@@ -1,0 +1,474 @@
+//! The parallel batch runner.
+//!
+//! A [`BatchRun`] expands into a (scenario × scheme × seed) job matrix.
+//! Worlds (trace + topology) are built once per (scenario, seed) and
+//! shared by reference across that pair's scheme jobs; jobs execute on a
+//! scoped worker pool (the environment vendors no rayon, so this is a
+//! work-stealing-free equivalent: an atomic job cursor over the matrix).
+//!
+//! Determinism: job `k` of scenario `s` derives its RNG master from the
+//! scenario's configured seed via the same fork discipline the driver
+//! uses (`SimRng::fork_idx`), so results depend only on the spec — never
+//! on thread count or completion order. JSONL output is streamed through a
+//! reorder buffer that releases lines strictly in job order, making the
+//! byte stream identical at 1 and N threads (asserted by
+//! `tests/scenarios.rs`).
+
+use crate::schemes::scheme_key;
+use insomnia_core::{
+    build_world_seeded, run_scheme_seeded, summarize, ScenarioConfig, SchemeResult, SchemeSpec,
+};
+use insomnia_simcore::{SimError, SimResult, SimRng};
+use insomnia_traffic::Trace;
+use insomnia_wireless::Topology;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// One expanded batch: named scenarios × schemes × seed indices.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// `(name, resolved config)` per scenario.
+    pub scenarios: Vec<(String, ScenarioConfig)>,
+    /// Schemes to run per scenario.
+    pub schemes: Vec<SchemeSpec>,
+    /// Number of seeds per (scenario, scheme) cell. Seed index `k` maps to
+    /// an independent RNG stream forked from the scenario's master seed.
+    pub seeds: usize,
+    /// Total thread budget, 0 = one per available core. Scheme jobs spawn
+    /// `cfg.repetitions` internal threads each (the driver parallelizes
+    /// repetitions), so the number of concurrent jobs is the budget
+    /// divided by the widest scenario's repetition count.
+    pub threads: usize,
+}
+
+/// One JSONL record: the outcome of a single (scenario, scheme, seed) job.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Machine scheme key (`bh2`, `soi`, ...).
+    pub scheme: String,
+    /// Seed index within the batch.
+    pub seed_index: usize,
+    /// Resolved RNG master seed of this job.
+    pub seed: u64,
+    /// Gateways in the world.
+    pub n_gateways: usize,
+    /// Clients in the world.
+    pub n_clients: usize,
+    /// Trace flows simulated.
+    pub n_flows: usize,
+    /// Day-average energy savings vs the no-sleep baseline, percent.
+    pub mean_savings_pct: f64,
+    /// Savings inside the 11–19 h peak window, percent.
+    pub peak_savings_pct: f64,
+    /// Mean powered gateways over the day.
+    pub mean_gateways: f64,
+    /// Mean powered gateways in the peak window.
+    pub peak_gateways: f64,
+    /// Mean awake line cards in the peak window.
+    pub peak_cards: f64,
+    /// ISP share of the saved energy, percent (absent when nothing saved).
+    pub isp_share_pct: Option<f64>,
+    /// Total energy over the day, kWh.
+    pub energy_kwh: f64,
+    /// Mean wake cycles per gateway per day.
+    pub mean_wake_count: f64,
+    /// Median completion time over finished flows, seconds (absent for
+    /// schemes that do not simulate flows, e.g. Optimal).
+    pub completion_p50_s: Option<f64>,
+    /// 95th-percentile completion time, seconds.
+    pub completion_p95_s: Option<f64>,
+    /// Fraction of trace flows that completed by the horizon.
+    pub completed_frac: Option<f64>,
+}
+
+/// Per (scenario, scheme) aggregate over seeds.
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Machine scheme key.
+    pub scheme: String,
+    /// Seeds aggregated.
+    pub seeds: usize,
+    /// Mean of the per-seed day-average savings, percent.
+    pub mean_savings_pct: f64,
+    /// Sample standard deviation of the savings across seeds.
+    pub std_savings_pct: f64,
+    /// Mean powered gateways.
+    pub mean_gateways: f64,
+    /// Mean energy, kWh.
+    pub energy_kwh: f64,
+    /// Mean wake cycles per gateway per day.
+    pub mean_wake_count: f64,
+}
+
+/// Everything a finished batch reports.
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Per-job records, in job order.
+    pub records: Vec<JobRecord>,
+    /// Aggregates, in (scenario, scheme) matrix order.
+    pub rows: Vec<SummaryRow>,
+}
+
+impl BatchRun {
+    /// Total number of jobs in the matrix.
+    pub fn n_jobs(&self) -> usize {
+        self.scenarios.len() * self.schemes.len() * self.seeds
+    }
+
+    fn validate(&self) -> SimResult<()> {
+        if self.scenarios.is_empty() {
+            return Err(SimError::InvalidInput("batch has no scenarios".into()));
+        }
+        if self.schemes.is_empty() {
+            return Err(SimError::InvalidInput("batch has no schemes".into()));
+        }
+        if self.seeds == 0 {
+            return Err(SimError::InvalidInput("batch needs at least one seed".into()));
+        }
+        for (i, spec) in self.schemes.iter().enumerate() {
+            // Schemes key the records via scheme_key; a duplicate would
+            // silently pool two copies into one summary row.
+            if self.schemes[..i].contains(spec) {
+                return Err(SimError::InvalidInput(format!("duplicate scheme `{spec}` in batch")));
+            }
+        }
+        for (i, (name, cfg)) in self.scenarios.iter().enumerate() {
+            cfg.validate()
+                .map_err(|e| SimError::InvalidConfig(format!("scenario `{name}`: {e}")))?;
+            // Names key the JSONL records and summary aggregation; a
+            // duplicate would silently pool two scenarios into one row.
+            if self.scenarios[..i].iter().any(|(other, _)| other == name) {
+                return Err(SimError::InvalidInput(format!(
+                    "duplicate scenario name `{name}` in batch"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The configured thread budget (defaults to the core count).
+    fn thread_budget(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Workers for the world-build phase, which spawns no inner threads.
+    fn world_threads(&self) -> usize {
+        self.thread_budget()
+    }
+
+    /// Workers for the scheme-job phase: each job internally runs
+    /// `cfg.repetitions` scoped threads, so divide the budget by the
+    /// widest job to keep total live threads near the budget.
+    fn job_threads(&self) -> usize {
+        let widest = self.scenarios.iter().map(|(_, c)| c.repetitions).max().unwrap_or(1);
+        (self.thread_budget() / widest.max(1)).max(1)
+    }
+}
+
+/// Master seed of job seed-index `k` under a scenario: fork `k` of the
+/// scenario seed's `"batch"` stream. Stable against how many seeds, schemes
+/// or threads a batch uses.
+pub fn job_seed(scenario_seed: u64, seed_index: usize) -> u64 {
+    let mut rng = SimRng::new(scenario_seed).fork_idx("batch", seed_index as u64);
+    // One draw decorrelates the seed value itself from neighboring forks.
+    rng.range_u64(0, u64::MAX)
+}
+
+/// Runs the batch, streaming one JSON line per job (in job order) into
+/// `out`, and returns all records plus the aggregated summary.
+pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSummary> {
+    batch.validate()?;
+    let n_jobs = batch.n_jobs();
+    let threads = batch.job_threads().min(n_jobs.max(1));
+
+    // Phase 1: one world per (scenario, seed), built in parallel — schemes
+    // share worlds, exactly like the paper shares one trace across schemes.
+    let n_worlds = batch.scenarios.len() * batch.seeds;
+    let worlds: Vec<(Trace, Topology)> =
+        run_indexed(n_worlds, batch.world_threads().min(n_worlds.max(1)), |w| {
+            let (si, ki) = (w / batch.seeds, w % batch.seeds);
+            let (_, cfg) = &batch.scenarios[si];
+            build_world_seeded(cfg, job_seed(cfg.seed, ki))
+        });
+
+    // Phase 2: the scheme jobs. Workers send finished records through a
+    // channel; the collector releases JSONL lines strictly in job order.
+    let (tx, rx) = mpsc::channel::<(usize, JobRecord)>();
+    let cursor = AtomicUsize::new(0);
+    let mut records: Vec<Option<JobRecord>> = Vec::new();
+    records.resize_with(n_jobs, || None);
+
+    std::thread::scope(|scope| -> SimResult<()> {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let worlds = &worlds;
+            scope.spawn(move || loop {
+                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= n_jobs {
+                    break;
+                }
+                let rec = run_job(batch, worlds, j);
+                if tx.send((j, rec)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Reorder buffer: write line `k` only once lines `0..k` are out.
+        let mut pending: BTreeMap<usize, JobRecord> = BTreeMap::new();
+        let mut next = 0usize;
+        for (j, rec) in rx {
+            pending.insert(j, rec);
+            while let Some(rec) = pending.remove(&next) {
+                let line = serde_json::to_string(&rec)
+                    .map_err(|e| SimError::InvalidInput(format!("serialize record: {e}")))?;
+                writeln!(out, "{line}")
+                    .map_err(|e| SimError::InvalidInput(format!("write JSONL: {e}")))?;
+                records[next] = Some(rec);
+                next += 1;
+            }
+        }
+        Ok(())
+    })?;
+
+    let records: Vec<JobRecord> =
+        records.into_iter().map(|r| r.expect("all jobs completed")).collect();
+    let rows = aggregate(batch, &records);
+    Ok(BatchSummary { records, rows })
+}
+
+/// Runs `n` independent index-addressed tasks on `threads` workers and
+/// returns results in index order (same channel-and-place pattern as the
+/// job phase above).
+fn run_indexed<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            slots[i] = Some(v);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("task completed")).collect()
+}
+
+/// Decodes job index `j` into (scenario, scheme, seed) and runs it.
+fn run_job(batch: &BatchRun, worlds: &[(Trace, Topology)], j: usize) -> JobRecord {
+    let per_scenario = batch.schemes.len() * batch.seeds;
+    let si = j / per_scenario;
+    let rem = j % per_scenario;
+    let ci = rem / batch.seeds;
+    let ki = rem % batch.seeds;
+    let (name, cfg) = &batch.scenarios[si];
+    let spec = batch.schemes[ci];
+    let (trace, topo) = &worlds[si * batch.seeds + ki];
+    let seed = job_seed(cfg.seed, ki);
+    let result = run_scheme_seeded(cfg, spec, trace, topo, seed);
+    make_record(name, cfg, spec, ki, seed, trace, topo, &result)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_record(
+    scenario: &str,
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    seed_index: usize,
+    seed: u64,
+    trace: &Trace,
+    topo: &Topology,
+    result: &SchemeResult,
+) -> JobRecord {
+    let base_user = cfg.power.no_sleep_user_w(topo.n_gateways());
+    let base_isp = cfg.power.no_sleep_isp_w(topo.n_gateways(), cfg.dslam.n_cards);
+    let s = summarize(result, base_user, base_isp);
+
+    // Pool completion times across repetitions for the tail quantiles.
+    let mut done: Vec<f64> =
+        result.completion_s.iter().flat_map(|rep| rep.iter().flatten().copied()).collect();
+    done.sort_by(|a, b| a.partial_cmp(b).expect("finite completion times"));
+    let total_flows: usize = result.completion_s.iter().map(Vec::len).sum();
+    let quantile = |q: f64| -> Option<f64> {
+        if done.is_empty() {
+            None
+        } else {
+            let idx = ((done.len() - 1) as f64 * q).round() as usize;
+            Some(done[idx])
+        }
+    };
+
+    JobRecord {
+        scenario: scenario.to_string(),
+        scheme: scheme_key(spec),
+        seed_index,
+        seed,
+        n_gateways: topo.n_gateways(),
+        n_clients: topo.n_clients(),
+        n_flows: trace.flows.len(),
+        mean_savings_pct: s.mean_savings_pct,
+        peak_savings_pct: s.peak_savings_pct,
+        mean_gateways: s.mean_gateways,
+        peak_gateways: s.peak_gateways,
+        peak_cards: s.peak_cards,
+        isp_share_pct: s.isp_share_pct,
+        energy_kwh: insomnia_access::joules_to_kwh(result.energy.total_j()),
+        mean_wake_count: result.mean_wake_count,
+        completion_p50_s: quantile(0.5),
+        completion_p95_s: quantile(0.95),
+        completed_frac: if total_flows > 0 {
+            Some(done.len() as f64 / total_flows as f64)
+        } else {
+            None
+        },
+    }
+}
+
+fn aggregate(batch: &BatchRun, records: &[JobRecord]) -> Vec<SummaryRow> {
+    let mut rows = Vec::new();
+    for (name, _) in &batch.scenarios {
+        for &spec in &batch.schemes {
+            let key = scheme_key(spec);
+            let cell: Vec<&JobRecord> =
+                records.iter().filter(|r| &r.scenario == name && r.scheme == key).collect();
+            if cell.is_empty() {
+                continue;
+            }
+            let n = cell.len() as f64;
+            let mean = |f: fn(&JobRecord) -> f64| cell.iter().map(|r| f(r)).sum::<f64>() / n;
+            let mean_savings = mean(|r| r.mean_savings_pct);
+            let var = if cell.len() > 1 {
+                cell.iter().map(|r| (r.mean_savings_pct - mean_savings).powi(2)).sum::<f64>()
+                    / (n - 1.0)
+            } else {
+                0.0
+            };
+            rows.push(SummaryRow {
+                scenario: name.clone(),
+                scheme: key,
+                seeds: cell.len(),
+                mean_savings_pct: mean_savings,
+                std_savings_pct: var.sqrt(),
+                mean_gateways: mean(|r| r.mean_gateways),
+                energy_kwh: mean(|r| r.energy_kwh),
+                mean_wake_count: mean(|r| r.mean_wake_count),
+            });
+        }
+    }
+    rows
+}
+
+impl BatchSummary {
+    /// Renders the aggregate rows as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:<9} {:>5} {:>14} {:>9} {:>11} {:>9}\n",
+            "scenario", "scheme", "seeds", "savings [%]", "mean gw", "kWh/day", "wakes/gw"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<22} {:<9} {:>5} {:>8.1} ±{:<4.1} {:>9.2} {:>11.2} {:>9.1}\n",
+                r.scenario,
+                r.scheme,
+                r.seeds,
+                r.mean_savings_pct,
+                r.std_savings_pct,
+                r.mean_gateways,
+                r.energy_kwh,
+                r.mean_wake_count,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_batch(threads: usize) -> BatchRun {
+        let mut cfg = ScenarioConfig::smoke();
+        cfg.trace.horizon = insomnia_simcore::SimTime::from_hours(2);
+        cfg.repetitions = 1;
+        BatchRun {
+            scenarios: vec![("smoke".into(), cfg)],
+            schemes: vec![SchemeSpec::no_sleep(), SchemeSpec::soi()],
+            seeds: 2,
+            threads,
+        }
+    }
+
+    #[test]
+    fn job_seeds_are_stable_and_distinct() {
+        assert_eq!(job_seed(2011, 0), job_seed(2011, 0));
+        assert_ne!(job_seed(2011, 0), job_seed(2011, 1));
+        assert_ne!(job_seed(2011, 0), job_seed(2012, 0));
+    }
+
+    #[test]
+    fn batch_produces_matrix_order_records() {
+        let batch = tiny_batch(2);
+        let mut buf = Vec::new();
+        let summary = run_batch(&batch, &mut buf).unwrap();
+        assert_eq!(summary.records.len(), 4);
+        // Matrix order: scheme-major within scenario, then seeds.
+        assert_eq!(summary.records[0].scheme, "no-sleep");
+        assert_eq!(summary.records[0].seed_index, 0);
+        assert_eq!(summary.records[1].seed_index, 1);
+        assert_eq!(summary.records[2].scheme, "soi");
+        let lines = buf.split(|b| *b == b'\n').filter(|l| !l.is_empty()).count();
+        assert_eq!(lines, 4);
+        assert_eq!(summary.rows.len(), 2);
+        assert_eq!(summary.rows[0].seeds, 2);
+        // SoI saves energy vs no-sleep in every aggregate.
+        assert!(summary.rows[1].energy_kwh < summary.rows[0].energy_kwh);
+        assert!(!summary.table().is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_scenario_names() {
+        let mut b = tiny_batch(1);
+        let clone = b.scenarios[0].clone();
+        b.scenarios.push(clone);
+        let err = run_batch(&b, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("duplicate scenario name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_batches() {
+        let mut b = tiny_batch(1);
+        b.schemes.clear();
+        assert!(run_batch(&b, &mut Vec::new()).is_err());
+        let mut b = tiny_batch(1);
+        b.seeds = 0;
+        assert!(run_batch(&b, &mut Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! The `insomnia` CLI: declarative scenarios in, JSONL + summary tables out.
+//!
+//! ```text
+//! insomnia list
+//! insomnia show rural-sparse
+//! insomnia run --scenario paper-default --schemes no-sleep,soi,bh2 --seeds 3 --out runs.jsonl
+//! insomnia sweep --scenario paper-default --set bh2.low_threshold=0.05 --schemes bh2 --seeds 2
+//! ```
+
+use insomnia_scenarios::{parse_scheme_list, run_batch, BatchRun, Registry, ScenarioSpec};
+use insomnia_simcore::{SimError, SimResult};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+insomnia — scenario orchestration for the Insomnia in the Access reproduction
+
+USAGE:
+    insomnia list
+        Show the scenario registry.
+
+    insomnia show <scenario | --spec FILE>
+        Print the fully-resolved scenario as TOML.
+
+    insomnia run [--scenario NAME[,NAME...]] [--spec FILE]
+                 --schemes KEY[,KEY...] [--seeds N] [--threads N]
+                 [--out FILE] [--set dotted.key=value]... [--quick]
+        Expand the (scenario x scheme x seed) matrix, run it in parallel,
+        stream one JSON line per job (stdout, or FILE with --out) and print
+        the aggregated summary table.
+
+    insomnia sweep --param dotted.key --values V1,V2,...
+                 [--scenario NAME] [--spec FILE]
+                 --schemes KEY[,KEY...] [--seeds N] [--threads N] [--out FILE]
+        Like run, but clones the scenario once per value of the swept key.
+
+SCHEME KEYS:
+    no-sleep  soi  soi+k  soi+full  bh2  bh2-nb  bh2+full  optimal
+
+OPTIONS:
+    --seeds N      seeds per (scenario, scheme) cell        [default: 1]
+    --threads N    total thread budget, including each job's internal
+                   repetition threads (0 = all cores)       [default: 0]
+    --quick        force repetitions <= 2 for fast smoke runs
+    --set K=V      override a spec key (repeatable), e.g. --set n_clients=68
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("insomnia: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> SimResult<()> {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("show") => cmd_show(&args[1..]),
+        Some("run") => cmd_run(&args[1..], None),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => {
+            Err(SimError::InvalidInput(format!("unknown subcommand `{other}` (try --help)")))
+        }
+    }
+}
+
+/// Simple flag parser: `--key value` pairs plus positionals.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], valued: &[&str], bare: &[&str]) -> SimResult<Flags> {
+        let mut f = Flags { positional: Vec::new(), pairs: Vec::new(), switches: Vec::new() };
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if bare.contains(&name) {
+                    f.switches.push(name.to_string());
+                } else if valued.contains(&name) {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or_else(|| SimError::InvalidInput(format!("--{name} needs a value")))?;
+                    f.pairs.push((name.to_string(), v.clone()));
+                } else {
+                    return Err(SimError::InvalidInput(format!("unknown flag --{name}")));
+                }
+            } else {
+                f.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(f)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(k, _)| k == name).map(|(_, v)| v.as_str()).collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> SimResult<usize> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                SimError::InvalidInput(format!("--{name} expects an integer, got `{v}`"))
+            }),
+        }
+    }
+}
+
+fn cmd_list() -> SimResult<()> {
+    let reg = Registry::builtin();
+    println!("{:<22} {:>8} {:>6} summary", "scenario", "clients", "APs");
+    for p in reg.presets() {
+        match reg.resolve(p.name) {
+            Ok(cfg) => println!(
+                "{:<22} {:>8} {:>6} {}",
+                p.name, cfg.trace.n_clients, cfg.trace.n_aps, p.summary
+            ),
+            Err(e) => println!("{:<22} {:>8} {:>6} INVALID: {e}", p.name, "-", "-"),
+        }
+    }
+    Ok(())
+}
+
+fn load_specs(flags: &Flags, reg: &Registry) -> SimResult<Vec<(String, ScenarioSpec)>> {
+    let mut specs = Vec::new();
+    if let Some(path) = flags.get("spec") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SimError::InvalidInput(format!("read {path}: {e}")))?;
+        let spec = ScenarioSpec::from_toml(&text)?;
+        let name = spec.name.clone().unwrap_or_else(|| {
+            path.rsplit('/').next().unwrap_or(path).trim_end_matches(".toml").to_string()
+        });
+        specs.push((name, spec));
+    }
+    for list in flags.get_all("scenario") {
+        for name in list.split(',').filter(|s| !s.is_empty()) {
+            let p = reg.get_or_err(name)?;
+            specs.push((name.to_string(), p.spec.clone()));
+        }
+    }
+    if specs.is_empty() {
+        return Err(SimError::InvalidInput(
+            "pick scenarios with --scenario NAME[,NAME...] and/or --spec FILE".into(),
+        ));
+    }
+    Ok(specs)
+}
+
+fn cmd_show(args: &[String]) -> SimResult<()> {
+    let flags = Flags::parse(args, &["spec"], &[])?;
+    let reg = Registry::builtin();
+    let (name, spec) = if let Some(pos) = flags.positional.first() {
+        (pos.clone(), reg.get_or_err(pos)?.spec.clone())
+    } else {
+        load_specs(&flags, &reg)?.remove(0)
+    };
+    let flat = reg.flatten(&spec, 0)?;
+    let cfg = flat.to_config()?;
+    let summary = spec.summary.clone();
+    let explicit = ScenarioSpec::explicit(&name, summary.as_deref(), &cfg);
+    print!("{}", explicit.to_toml());
+    Ok(())
+}
+
+fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
+    let flags = Flags::parse(
+        args,
+        &["scenario", "spec", "schemes", "seeds", "threads", "out", "set", "param", "values"],
+        &["quick"],
+    )?;
+    if sweep.is_none() && (flags.get("param").is_some() || flags.get("values").is_some()) {
+        return Err(SimError::InvalidInput(
+            "--param/--values belong to the `sweep` subcommand (plain `run` would ignore them)"
+                .into(),
+        ));
+    }
+    let reg = Registry::builtin();
+    let mut specs = load_specs(&flags, &reg)?;
+
+    // Apply --set overrides to every selected scenario.
+    for assignment in flags.get_all("set") {
+        let (key, value) = assignment.split_once('=').ok_or_else(|| {
+            SimError::InvalidInput(format!("--set expects key=value, got `{assignment}`"))
+        })?;
+        for (_, spec) in &mut specs {
+            *spec = spec.with_assignment(key.trim(), value.trim())?;
+        }
+    }
+
+    // A sweep clones each scenario per swept value.
+    let specs: Vec<(String, ScenarioSpec)> = match sweep {
+        None => specs,
+        Some((param, values)) => {
+            let mut out = Vec::new();
+            for (name, spec) in &specs {
+                for v in values {
+                    let swept = spec.with_assignment(param, v)?;
+                    out.push((format!("{name}/{param}={v}"), swept));
+                }
+            }
+            out
+        }
+    };
+
+    let schemes = parse_scheme_list(flags.get("schemes").ok_or_else(|| {
+        SimError::InvalidInput("pick schemes with --schemes KEY[,KEY...]".into())
+    })?)?;
+
+    let mut scenarios = Vec::new();
+    for (name, spec) in &specs {
+        let flat = reg.flatten(spec, 0)?;
+        let mut cfg = flat
+            .to_config()
+            .map_err(|e| SimError::InvalidConfig(format!("scenario `{name}`: {e}")))?;
+        if flags.has("quick") {
+            cfg.repetitions = cfg.repetitions.min(2);
+        }
+        scenarios.push((name.clone(), cfg));
+    }
+
+    let batch = BatchRun {
+        scenarios,
+        schemes,
+        seeds: flags.get_usize("seeds", 1)?,
+        threads: flags.get_usize("threads", 0)?,
+    };
+    eprintln!(
+        "running {} jobs ({} scenarios x {} schemes x {} seeds) on {} threads...",
+        batch.n_jobs(),
+        batch.scenarios.len(),
+        batch.schemes.len(),
+        batch.seeds,
+        if batch.threads == 0 { "all".to_string() } else { batch.threads.to_string() },
+    );
+
+    let summary = match flags.get("out") {
+        Some(path) => {
+            let mut file = std::io::BufWriter::new(
+                std::fs::File::create(path)
+                    .map_err(|e| SimError::InvalidInput(format!("create {path}: {e}")))?,
+            );
+            let s = run_batch(&batch, &mut file)?;
+            file.flush().map_err(|e| SimError::InvalidInput(format!("flush {path}: {e}")))?;
+            eprintln!("wrote {} records to {path}", s.records.len());
+            s
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let s = run_batch(&batch, &mut lock)?;
+            lock.flush().ok();
+            s
+        }
+    };
+    eprint!("\n{}", summary.table());
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> SimResult<()> {
+    let flags = Flags::parse(
+        args,
+        &["scenario", "spec", "schemes", "seeds", "threads", "out", "set", "param", "values"],
+        &["quick"],
+    )?;
+    let param = flags
+        .get("param")
+        .ok_or_else(|| SimError::InvalidInput("sweep needs --param dotted.key".into()))?
+        .to_string();
+    let values: Vec<&str> = flags
+        .get("values")
+        .ok_or_else(|| SimError::InvalidInput("sweep needs --values V1,V2,...".into()))?
+        .split(',')
+        .filter(|v| !v.is_empty())
+        .collect();
+    if values.is_empty() {
+        return Err(SimError::InvalidInput("--values is empty".into()));
+    }
+    cmd_run(args, Some((&param, &values)))
+}

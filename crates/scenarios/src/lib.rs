@@ -1,0 +1,37 @@
+//! # insomnia-scenarios
+//!
+//! Scenario orchestration for the *Insomnia in the Access* reproduction:
+//! the layer that turns "one hard-coded §5.1 evaluation" into "as many
+//! scenarios as you can imagine, run as fast as the hardware allows".
+//!
+//! Three pieces:
+//!
+//! * [`spec`] — a declarative scenario description ([`ScenarioSpec`],
+//!   TOML + serde) covering every knob of
+//!   [`ScenarioConfig`](insomnia_core::ScenarioConfig), trace generation
+//!   and topology generation, with inheritance from named presets
+//!   (`base = "rural-sparse"`),
+//! * [`registry`] — the built-in preset catalogue ([`Registry`]), shipping
+//!   the paper's default plus dense-urban, rural-sparse, flash-crowd,
+//!   weekend-diurnal and a no-wireless-sharing control,
+//! * [`batch`] — a parallel batch runner ([`BatchRun`]) that expands a
+//!   (scenario × scheme × seed) matrix into jobs, executes them on a
+//!   worker pool with per-job deterministic RNG streams, streams one JSON
+//!   line per job in job order (byte-identical at any thread count), and
+//!   aggregates a summary table.
+//!
+//! The `insomnia` binary (`src/bin/insomnia.rs`) puts `list`, `show`,
+//! `run` and `sweep` subcommands on top.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod registry;
+pub mod schemes;
+pub mod spec;
+
+pub use batch::{run_batch, BatchRun, BatchSummary, JobRecord, SummaryRow};
+pub use registry::{Preset, Registry};
+pub use schemes::{parse_scheme, parse_scheme_list, scheme_key};
+pub use spec::{Bh2Spec, ScenarioSpec, SurgeSpec};

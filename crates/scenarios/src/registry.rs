@@ -1,0 +1,237 @@
+//! The built-in scenario preset catalogue.
+//!
+//! Presets are [`ScenarioSpec`]s with a name and a one-line story. They
+//! exercise the knobs the substrate crates expose — diurnal shapes and
+//! surge windows (`insomnia-traffic`), overlap vs binomial reachability
+//! (`insomnia-wireless` via `TopologyKind`), backhaul/channel rates and
+//! DSLAM geometry — and every one of them validates through
+//! [`ScenarioConfig::validate`](insomnia_core::ScenarioConfig).
+//!
+//! The sparse/low-cost variants follow the deployment regimes of Verma et
+//! al. (low-cost rural access networks) and the edge-greening variants of
+//! Ansari et al. (GATE); the control preset isolates how much of BH2's
+//! saving depends on wireless sharing at all.
+
+use crate::spec::ScenarioSpec;
+use insomnia_core::ScenarioConfig;
+use insomnia_simcore::{SimError, SimResult};
+
+/// A named, documented scenario spec.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// Registry key (`insomnia run --scenario <name>`).
+    pub name: &'static str,
+    /// One-line story.
+    pub summary: &'static str,
+    /// The spec (sparse: only deviations from the paper defaults).
+    pub spec: ScenarioSpec,
+}
+
+/// The preset catalogue.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    presets: Vec<Preset>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+impl Registry {
+    /// The built-in catalogue.
+    pub fn builtin() -> Self {
+        let preset = |name: &'static str, summary: &'static str, toml: &str| Preset {
+            name,
+            summary,
+            spec: {
+                let mut s = ScenarioSpec::from_toml(toml).expect("builtin preset TOML parses");
+                s.name = Some(name.to_string());
+                s.summary = Some(summary.to_string());
+                s
+            },
+        };
+        Registry {
+            presets: vec![
+                preset(
+                    "paper-default",
+                    "the paper's §5.1 evaluation: 272 clients, 40 gateways, 24 h office day",
+                    "",
+                ),
+                preset(
+                    "dense-urban",
+                    "packed metro block: more clients per gateway, rich overlap, heavier demand",
+                    r#"
+n_clients = 480
+n_aps = 48
+mean_networks_in_range = 9.0
+rate_scale = 1.4
+always_on_frac = 0.12
+"#,
+                ),
+                preset(
+                    "rural-sparse",
+                    "low-cost rural deployment: long loops at 2.5 Mbps, thin overlap, light demand",
+                    r#"
+n_clients = 96
+n_aps = 24
+topology = "binomial"
+mean_networks_in_range = 1.8
+backhaul_mbps = 2.5
+neighbor_mbps = 3.0
+rate_scale = 0.5
+worker_frac = 0.30
+always_on_frac = 0.04
+wake_time_s = 90.0
+"#,
+                ),
+                preset(
+                    "flash-crowd",
+                    "an evening event floods the network: 19-22 h surge at 6x burst intensity",
+                    r#"
+rate_scale = 1.2
+always_on_frac = 0.10
+
+[surge]
+start_h = 19.0
+end_h = 22.0
+intensity = 6.0
+"#,
+                ),
+                preset(
+                    "weekend-diurnal",
+                    "the same building on a weekend: shallow afternoon bump, machines left on",
+                    r#"
+diurnal = "weekend"
+worker_frac = 0.18
+always_on_frac = 0.12
+rate_scale = 0.8
+"#,
+                ),
+                preset(
+                    "no-wireless-sharing",
+                    "control: clients reach only their home gateway, so BH2 degenerates to SoI",
+                    r#"
+topology = "binomial"
+mean_networks_in_range = 1.0
+"#,
+                ),
+            ],
+        }
+    }
+
+    /// All presets, in catalogue order.
+    pub fn presets(&self) -> &[Preset] {
+        &self.presets
+    }
+
+    /// Preset names, in catalogue order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.presets.iter().map(|p| p.name).collect()
+    }
+
+    /// Looks a preset up by name.
+    pub fn get(&self, name: &str) -> Option<&Preset> {
+        self.presets.iter().find(|p| p.name == name)
+    }
+
+    /// Looks a preset up by name, with the canonical "unknown scenario"
+    /// error listing what exists.
+    pub fn get_or_err(&self, name: &str) -> SimResult<&Preset> {
+        self.get(name).ok_or_else(|| self.unknown(name))
+    }
+
+    /// Resolves a spec against the catalogue: walks the `base` inheritance
+    /// chain (child fields win), then materializes the config.
+    pub fn resolve_spec(&self, spec: &ScenarioSpec) -> SimResult<ScenarioConfig> {
+        self.flatten(spec, 0)?.to_config()
+    }
+
+    /// Resolves a preset by name.
+    pub fn resolve(&self, name: &str) -> SimResult<ScenarioConfig> {
+        self.resolve_spec(&self.get_or_err(name)?.spec)
+    }
+
+    /// Applies the whole inheritance chain, returning a base-free spec.
+    pub fn flatten(&self, spec: &ScenarioSpec, depth: usize) -> SimResult<ScenarioSpec> {
+        if depth > 8 {
+            return Err(SimError::InvalidConfig("scenario `base` chain too deep (cycle?)".into()));
+        }
+        let Some(base_name) = &spec.base else {
+            return Ok(spec.clone());
+        };
+        let base = self.get_or_err(base_name)?;
+        let parent = self.flatten(&base.spec, depth + 1)?;
+        let mut merged = spec.merged_over(&parent);
+        merged.base = None;
+        Ok(merged)
+    }
+
+    fn unknown(&self, name: &str) -> SimError {
+        SimError::InvalidInput(format!(
+            "unknown scenario `{name}` (known: {})",
+            self.names().join(", ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insomnia_core::TopologyKind;
+
+    #[test]
+    fn catalogue_has_at_least_six_distinct_presets() {
+        let r = Registry::builtin();
+        assert!(r.presets().len() >= 6, "got {}", r.presets().len());
+        let mut names = r.names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), r.presets().len(), "duplicate preset names");
+    }
+
+    #[test]
+    fn every_preset_resolves_and_validates() {
+        let r = Registry::builtin();
+        for p in r.presets() {
+            let cfg = r.resolve(p.name).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn paper_default_is_the_paper_default() {
+        let cfg = Registry::builtin().resolve("paper-default").unwrap();
+        let def = ScenarioConfig::default();
+        assert_eq!(cfg.trace.n_clients, def.trace.n_clients);
+        assert_eq!(cfg.trace.n_aps, def.trace.n_aps);
+        assert_eq!(cfg.backhaul_bps, def.backhaul_bps);
+        assert_eq!(cfg.mean_networks_in_range, def.mean_networks_in_range);
+    }
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        let r = Registry::builtin();
+        let rural = r.resolve("rural-sparse").unwrap();
+        assert_eq!(rural.topology, TopologyKind::Binomial);
+        assert!(rural.backhaul_bps < 3.0e6);
+        let control = r.resolve("no-wireless-sharing").unwrap();
+        assert_eq!(control.mean_networks_in_range, 1.0);
+        let crowd = r.resolve("flash-crowd").unwrap();
+        assert!(crowd.trace.surge.is_some());
+        let weekend = r.resolve("weekend-diurnal").unwrap();
+        assert_eq!(weekend.trace.profile, insomnia_traffic::DiurnalKind::Weekend);
+    }
+
+    #[test]
+    fn base_inheritance_resolves_through_the_registry() {
+        let r = Registry::builtin();
+        let child = ScenarioSpec::from_toml("base = \"rural-sparse\"\nrate_scale = 2.0\n").unwrap();
+        let cfg = r.resolve_spec(&child).unwrap();
+        assert_eq!(cfg.trace.rate_scale, 2.0, "child override");
+        assert_eq!(cfg.backhaul_bps, 2.5e6, "inherited from rural-sparse");
+        let bad = ScenarioSpec::from_toml("base = \"missing\"\n").unwrap();
+        assert!(r.resolve_spec(&bad).is_err());
+    }
+}

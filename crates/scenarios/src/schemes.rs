@@ -1,0 +1,83 @@
+//! Stable string keys for the scheme zoo, for CLIs, TOML specs and JSONL
+//! records.
+//!
+//! [`SchemeSpec::to_string`](insomnia_core::SchemeSpec) is the *display*
+//! name ("BH2(1 backup) + k-switch"); these keys are the *machine* names
+//! ("bh2"), kept short enough for `--schemes no-sleep,soi,bh2`.
+
+use insomnia_core::SchemeSpec;
+use insomnia_simcore::{SimError, SimResult};
+
+/// All `(key, scheme)` pairs, in canonical order.
+pub fn all() -> Vec<(&'static str, SchemeSpec)> {
+    vec![
+        ("no-sleep", SchemeSpec::no_sleep()),
+        ("soi", SchemeSpec::soi()),
+        ("soi+k", SchemeSpec::soi_k_switch()),
+        ("soi+full", SchemeSpec::soi_full_switch()),
+        ("bh2", SchemeSpec::bh2_k_switch()),
+        ("bh2-nb", SchemeSpec::bh2_no_backup_k_switch()),
+        ("bh2+full", SchemeSpec::bh2_full_switch()),
+        ("optimal", SchemeSpec::optimal()),
+    ]
+}
+
+/// Machine key of a scheme (inverse of [`parse_scheme`] for the canonical
+/// zoo; ad-hoc specs fall back to the display name).
+pub fn scheme_key(spec: SchemeSpec) -> String {
+    all()
+        .into_iter()
+        .find(|(_, s)| *s == spec)
+        .map(|(k, _)| k.to_string())
+        .unwrap_or_else(|| spec.to_string())
+}
+
+/// Parses one scheme key (case-insensitive).
+pub fn parse_scheme(key: &str) -> SimResult<SchemeSpec> {
+    let norm = key.trim().to_ascii_lowercase();
+    all().into_iter().find(|(k, _)| *k == norm).map(|(_, s)| s).ok_or_else(|| {
+        let known: Vec<&str> = all().iter().map(|(k, _)| *k).collect();
+        SimError::InvalidInput(format!("unknown scheme `{key}` (known: {})", known.join(", ")))
+    })
+}
+
+/// Parses a comma-separated scheme list, preserving order and rejecting
+/// duplicates.
+pub fn parse_scheme_list(list: &str) -> SimResult<Vec<SchemeSpec>> {
+    let mut out = Vec::new();
+    for part in list.split(',').filter(|p| !p.trim().is_empty()) {
+        let s = parse_scheme(part)?;
+        if out.contains(&s) {
+            return Err(SimError::InvalidInput(format!("duplicate scheme `{part}`")));
+        }
+        out.push(s);
+    }
+    if out.is_empty() {
+        return Err(SimError::InvalidInput("empty scheme list".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_roundtrip() {
+        for (key, spec) in all() {
+            assert_eq!(parse_scheme(key).unwrap(), spec);
+            assert_eq!(scheme_key(spec), key);
+        }
+    }
+
+    #[test]
+    fn list_parses_in_order() {
+        let l = parse_scheme_list("no-sleep,soi,bh2").unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[0], SchemeSpec::no_sleep());
+        assert_eq!(l[2], SchemeSpec::bh2_k_switch());
+        assert!(parse_scheme_list("soi,soi").is_err());
+        assert!(parse_scheme_list("what").is_err());
+        assert!(parse_scheme_list("").is_err());
+    }
+}

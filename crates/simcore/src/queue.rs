@@ -39,10 +39,7 @@ impl<E> Ord for Entry<E> {
     // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq) out
     // first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

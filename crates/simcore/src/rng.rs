@@ -77,18 +77,17 @@ impl SimRng {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let mix = self
-            .id
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left(17)
-            ^ self.id.rotate_left(33);
+        let mix =
+            self.id.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ self.id.rotate_left(33);
         SimRng::new(h ^ mix)
     }
 
     /// Derives a child stream from an integer index (e.g. per-repetition).
     pub fn fork_idx(&self, label: &str, idx: u64) -> SimRng {
         let base = self.fork(label);
-        SimRng::new(base.id ^ idx.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(0x632B_E59B_D9B4_E019))
+        SimRng::new(
+            base.id ^ idx.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(0x632B_E59B_D9B4_E019),
+        )
     }
 
     #[inline]

@@ -70,9 +70,7 @@ impl BinSeries {
 
     /// Center time of each bin, in hours (for plotting daily series).
     pub fn bin_centers_hours(&self) -> Vec<f64> {
-        (0..self.sums.len())
-            .map(|i| (i as f64 + 0.5) * self.bin_ms as f64 / 3_600_000.0)
-            .collect()
+        (0..self.sums.len()).map(|i| (i as f64 + 0.5) * self.bin_ms as f64 / 3_600_000.0).collect()
     }
 
     /// Mean over a contiguous hour window `[from_h, to_h)` of the bin means,
@@ -123,10 +121,7 @@ pub fn average_runs(runs: &[Vec<f64>]) -> Vec<f64> {
 /// (e.g. per-hour) by grouping `factor` consecutive values.
 pub fn downsample_mean(values: &[f64], factor: usize) -> Vec<f64> {
     assert!(factor > 0);
-    values
-        .chunks(factor)
-        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-        .collect()
+    values.chunks(factor).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
 }
 
 #[cfg(test)]

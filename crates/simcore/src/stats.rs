@@ -66,8 +66,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
     }
 }
@@ -230,11 +230,8 @@ impl Histogram {
 
     /// Human-readable labels like `"0-1"`, `"1-2"`, …, `">60"`.
     pub fn labels(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .edges
-            .windows(2)
-            .map(|w| format!("{:.0}-{:.0}", w[0], w[1]))
-            .collect();
+        let mut out: Vec<String> =
+            self.edges.windows(2).map(|w| format!("{:.0}-{:.0}", w[0], w[1])).collect();
         out.push(format!(">{:.0}", self.edges.last().expect("non-empty")));
         out
     }
@@ -296,11 +293,7 @@ impl Cdf {
     /// `(x, F(x))` points suitable for plotting.
     pub fn points(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
-        self.sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
-            .collect()
+        self.sorted.iter().enumerate().map(|(i, &x)| (x, (i + 1) as f64 / n as f64)).collect()
     }
 }
 

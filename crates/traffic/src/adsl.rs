@@ -88,11 +88,7 @@ impl AdslPopulation {
             col.extend(t.iter().map(|row| row[h]));
             col.sort_by(|a, b| a.partial_cmp(b).expect("finite utilizations"));
             let n = col.len();
-            let median = if n % 2 == 1 {
-                col[n / 2]
-            } else {
-                (col[n / 2 - 1] + col[n / 2]) / 2.0
-            };
+            let median = if n % 2 == 1 { col[n / 2] } else { (col[n / 2 - 1] + col[n / 2]) / 2.0 };
             *o = median * 100.0;
         }
         out
@@ -163,7 +159,8 @@ mod tests {
         assert!(trough > 0.3, "trough avg {trough:.2}%");
         assert!(peak / trough > 1.8, "diurnal swing too flat: {peak:.2}/{trough:.2}");
         // Evening peak (paper's residential pattern).
-        let peak_hour = avg.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak_hour =
+            avg.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!((18..=23).contains(&peak_hour), "peak at hour {peak_hour}");
     }
 

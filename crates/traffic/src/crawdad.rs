@@ -16,7 +16,7 @@
 //! Calibration is enforced by the tests at the bottom of this file; the
 //! EXPERIMENTS.md ledger records the generated-vs-paper aggregates.
 
-use crate::diurnal::DiurnalProfile;
+use crate::diurnal::{DiurnalKind, DiurnalProfile};
 use crate::flow::{FlowKind, FlowRecord};
 use crate::gaps::GapModel;
 use crate::ids::{ApId, ClientId};
@@ -44,6 +44,38 @@ pub struct CrawdadConfig {
     pub rate_scale: f64,
     /// Gap mixture at peak intensity.
     pub gap_model: GapModel,
+    /// Diurnal shape driving session placement and burst intensity.
+    pub profile: DiurnalKind,
+    /// Optional flash-crowd window multiplying the burst intensity.
+    pub surge: Option<SurgeWindow>,
+}
+
+/// A window of the day during which burst intensity is multiplied — the
+/// "flash crowd" knob (a campus event, a live stream, a patch day).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SurgeWindow {
+    /// Window start, hour of day `[0, 24)`.
+    pub start_h: f64,
+    /// Window end, hour of day `[0, 24)`. An end before the start wraps
+    /// past midnight (22→2 covers 22:00-24:00 and 00:00-02:00).
+    pub end_h: f64,
+    /// Intensity multiplier inside the window (> 1 shortens inter-burst
+    /// gaps: 6.0 means clients burst six times as fast as the diurnal
+    /// profile alone would make them).
+    pub intensity: f64,
+}
+
+impl SurgeWindow {
+    /// Whether `t` falls inside the window (wrapping at midnight when
+    /// `end_h < start_h`).
+    pub fn contains(&self, t: SimTime) -> bool {
+        let h = t.as_secs_f64() / 3_600.0 % 24.0;
+        if self.start_h <= self.end_h {
+            h >= self.start_h && h < self.end_h
+        } else {
+            h >= self.start_h || h < self.end_h
+        }
+    }
 }
 
 impl Default for CrawdadConfig {
@@ -56,6 +88,8 @@ impl Default for CrawdadConfig {
             worker_frac: 0.52,
             rate_scale: 1.0,
             gap_model: GapModel::default(),
+            profile: DiurnalKind::default(),
+            surge: None,
         }
     }
 }
@@ -77,14 +111,12 @@ struct Personality {
 pub fn generate(cfg: &CrawdadConfig, rng: &mut SimRng) -> Trace {
     assert!(cfg.n_clients > 0 && cfg.n_aps > 0);
     assert!(cfg.gap_model.is_normalized(), "gap mixture must sum to 1");
-    let profile = DiurnalProfile::office_building();
+    let profile = cfg.profile.profile();
 
     // Uniform client → AP distribution (shuffled round-robin keeps the
     // per-AP counts within ±1 of each other, the paper's "uniformly
     // distribute the 272 clients over the 40 gateways").
-    let mut home: Vec<ApId> = (0..cfg.n_clients)
-        .map(|i| ApId::from_index(i % cfg.n_aps))
-        .collect();
+    let mut home: Vec<ApId> = (0..cfg.n_clients).map(|i| ApId::from_index(i % cfg.n_aps)).collect();
     rng.shuffle(&mut home);
 
     let mut sessions: Vec<Session> = Vec::new();
@@ -128,8 +160,8 @@ fn draw_sessions(cfg: &CrawdadConfig, rng: &mut SimRng) -> Vec<(SimTime, SimTime
         ));
     } else {
         // Visitor: one to three short sessions, placed preferentially in
-        // working hours via rejection sampling against the office profile.
-        let profile = DiurnalProfile::office_building();
+        // busy hours via rejection sampling against the diurnal profile.
+        let profile = cfg.profile.profile();
         let n = 1 + rng.below(3);
         for _ in 0..n {
             let mut start_h;
@@ -191,8 +223,15 @@ fn generate_bursts(
         // Users are much less active when the building empties: the same
         // renewal process runs at the diurnal intensity, which stretches
         // gaps overnight (machines only poll) and keeps them short at peak.
-        let intensity = profile.weight_at(t).clamp(0.05, 1.0);
-        t += cfg.gap_model.sample(rng, intensity);
+        let mut intensity = profile.weight_at(t).clamp(0.05, 1.0);
+        if let Some(s) = cfg.surge {
+            if s.contains(t) {
+                // The gap model divides gaps by the intensity, so a surge
+                // multiplier > 1 packs bursts tighter than any diurnal peak.
+                intensity *= s.intensity.max(0.0);
+            }
+        }
+        t += cfg.gap_model.sample(rng, intensity.max(0.05));
     }
 }
 
@@ -242,6 +281,36 @@ mod tests {
         assert_eq!(t.n_clients(), 68);
         assert_eq!(t.n_aps, 10);
         assert!(!t.flows.is_empty());
+    }
+
+    #[test]
+    fn surge_window_contains_handles_midnight_wrap() {
+        let plain = SurgeWindow { start_h: 19.0, end_h: 22.0, intensity: 6.0 };
+        assert!(plain.contains(SimTime::from_hours(20)));
+        assert!(!plain.contains(SimTime::from_hours(22)));
+        assert!(!plain.contains(SimTime::from_hours(3)));
+        let wrapped = SurgeWindow { start_h: 22.0, end_h: 2.0, intensity: 6.0 };
+        assert!(wrapped.contains(SimTime::from_hours(23)));
+        assert!(wrapped.contains(SimTime::from_hours(1)));
+        assert!(!wrapped.contains(SimTime::from_hours(12)));
+    }
+
+    #[test]
+    fn surge_packs_more_flows_into_its_window() {
+        let mut calm = small_cfg();
+        calm.always_on_frac = 1.0; // everyone present all night
+        let mut surging = calm.clone();
+        surging.surge = Some(SurgeWindow { start_h: 22.0, end_h: 2.0, intensity: 8.0 });
+        let in_window = |t: &Trace| {
+            let w = SurgeWindow { start_h: 22.0, end_h: 2.0, intensity: 8.0 };
+            t.flows.iter().filter(|f| w.contains(f.start)).count()
+        };
+        let base = in_window(&generate(&calm, &mut SimRng::new(9)));
+        let crowd = in_window(&generate(&surging, &mut SimRng::new(9)));
+        assert!(
+            crowd as f64 > 3.0 * base as f64,
+            "surge must pack the window: {crowd} vs {base} flows"
+        );
     }
 
     #[test]

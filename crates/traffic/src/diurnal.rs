@@ -9,6 +9,30 @@
 use insomnia_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Named diurnal shape — the serializable selector scenario specs use to
+/// pick a [`DiurnalProfile`] without spelling out 24 hourly weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DiurnalKind {
+    /// [`DiurnalProfile::office_building`] — the paper's main setting.
+    #[default]
+    OfficeBuilding,
+    /// [`DiurnalProfile::residential`] — the Fig. 2 ADSL population shape.
+    Residential,
+    /// [`DiurnalProfile::weekend`] — sparse weekend occupancy.
+    Weekend,
+}
+
+impl DiurnalKind {
+    /// Materializes the selected profile.
+    pub fn profile(self) -> DiurnalProfile {
+        match self {
+            DiurnalKind::OfficeBuilding => DiurnalProfile::office_building(),
+            DiurnalKind::Residential => DiurnalProfile::residential(),
+            DiurnalKind::Weekend => DiurnalProfile::weekend(),
+        }
+    }
+}
+
 /// Relative activity level per hour of day, interpolated between hours.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DiurnalProfile {
@@ -57,6 +81,18 @@ impl DiurnalProfile {
             0.12, 0.18, 0.30, 0.42, 0.52, 0.58, // 06-11
             0.62, 0.64, 0.66, 0.70, 0.74, 0.80, // 12-17
             0.86, 0.92, 0.97, 1.00, 0.95, 0.60, // 18-23
+        ])
+    }
+
+    /// Weekend profile of the same office building: a shallow afternoon
+    /// bump from the few people who come in, always-on machines otherwise.
+    /// Used by the `weekend-diurnal` scenario preset.
+    pub fn weekend() -> Self {
+        DiurnalProfile::new([
+            0.12, 0.10, 0.08, 0.07, 0.07, 0.07, // 00-05: machines left on
+            0.08, 0.10, 0.14, 0.22, 0.35, 0.50, // 06-11: slow trickle in
+            0.65, 0.80, 0.95, 1.00, 0.95, 0.80, // 12-17: shallow afternoon bump
+            0.60, 0.45, 0.35, 0.28, 0.20, 0.15, // 18-23: early decay
         ])
     }
 

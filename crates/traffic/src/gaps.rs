@@ -64,11 +64,13 @@ impl GapModel {
         self.sample(rng, 1.0)
     }
 
-    /// Samples one gap at the given intensity in `(0, 1]`; lower intensity
-    /// stretches gaps proportionally. Intensity is clamped to `[0.02, 1.0]`
-    /// so pathological inputs cannot produce near-infinite gaps.
+    /// Samples one gap at the given intensity; `1.0` is the calibrated peak,
+    /// lower intensities stretch gaps proportionally and intensities above 1
+    /// compress them (flash-crowd surges). Intensity is clamped to
+    /// `[0.02, 50.0]` so pathological inputs can produce neither
+    /// near-infinite nor sub-millisecond-degenerate gaps.
     pub fn sample(&self, rng: &mut SimRng, intensity: f64) -> SimDuration {
-        let intensity = intensity.clamp(0.02, 1.0);
+        let intensity = intensity.clamp(0.02, 50.0);
         let u = rng.f64();
         let gap_s = if u < self.w_short {
             rng.exp(self.short_mean_s)
@@ -157,9 +159,7 @@ mod tests {
         let m = GapModel::default();
         let mut rng = SimRng::new(11);
         let n = 100_000;
-        let below = (0..n)
-            .filter(|_| m.sample_peak(&mut rng).as_secs_f64() < 60.0)
-            .count();
+        let below = (0..n).filter(|_| m.sample_peak(&mut rng).as_secs_f64() < 60.0).count();
         let frac = below as f64 / n as f64;
         // Count-wise (unweighted), the overwhelming majority of client-level
         // gaps are short; the idle-time-weighted AP-level fraction is

@@ -33,8 +33,8 @@ pub mod stats;
 pub mod trace;
 
 pub use adsl::{AdslConfig, AdslPopulation, Direction};
-pub use crawdad::CrawdadConfig;
-pub use diurnal::DiurnalProfile;
+pub use crawdad::{CrawdadConfig, SurgeWindow};
+pub use diurnal::{DiurnalKind, DiurnalProfile};
 pub use flow::{FlowKind, FlowRecord};
 pub use gaps::GapModel;
 pub use ids::{ApId, ClientId};

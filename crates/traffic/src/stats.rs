@@ -107,11 +107,7 @@ pub fn per_client_bytes(trace: &Trace) -> Vec<(ClientId, u64)> {
     for f in &trace.flows {
         bytes[f.client.index()] += f.bytes;
     }
-    bytes
-        .into_iter()
-        .enumerate()
-        .map(|(i, b)| (ClientId::from_index(i), b))
-        .collect()
+    bytes.into_iter().enumerate().map(|(i, b)| (ClientId::from_index(i), b)).collect()
 }
 
 #[cfg(test)]

@@ -102,10 +102,7 @@ impl Trace {
         }
         // Every flow must belong to an active session of its client.
         for f in &self.flows {
-            let covered = self
-                .sessions
-                .iter()
-                .any(|s| s.client == f.client && s.contains(f.start));
+            let covered = self.sessions.iter().any(|s| s.client == f.client && s.contains(f.start));
             if !covered {
                 return Err(SimError::InvalidInput(format!(
                     "flow at {} for {} outside any session",
@@ -142,16 +139,8 @@ mod tests {
                 },
             ],
             sessions: vec![
-                Session {
-                    client: ClientId(0),
-                    start: SimTime::ZERO,
-                    end: SimTime::from_mins(30),
-                },
-                Session {
-                    client: ClientId(2),
-                    start: SimTime::ZERO,
-                    end: SimTime::from_mins(30),
-                },
+                Session { client: ClientId(0), start: SimTime::ZERO, end: SimTime::from_mins(30) },
+                Session { client: ClientId(2), start: SimTime::ZERO, end: SimTime::from_mins(30) },
             ],
         }
     }

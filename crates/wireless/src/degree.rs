@@ -122,10 +122,10 @@ pub fn prescribed_degree_graph(degrees: &[usize], rng: &mut SimRng) -> SimResult
         return Err(SimError::InvalidInput("empty degree sequence".into()));
     }
     let sum: usize = degrees.iter().sum();
-    if sum % 2 != 0 {
+    if !sum.is_multiple_of(2) {
         return Err(SimError::InvalidInput("degree sum must be even".into()));
     }
-    if n > 1 && degrees.iter().any(|&d| d == 0) {
+    if n > 1 && degrees.contains(&0) {
         return Err(SimError::InvalidInput("zero-degree node cannot be connected".into()));
     }
     if sum / 2 < n.saturating_sub(1) {
@@ -287,7 +287,7 @@ pub fn is_graphical(degrees: &[usize]) -> bool {
     d.sort_unstable_by(|a, b| b.cmp(a));
     let n = d.len();
     let total: usize = d.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return false;
     }
     if d.first().is_some_and(|&x| x >= n) {
@@ -296,8 +296,7 @@ pub fn is_graphical(degrees: &[usize]) -> bool {
     let mut lhs = 0usize;
     for k in 1..=n {
         lhs += d[k - 1];
-        let rhs: usize =
-            k * (k - 1) + d[k..].iter().map(|&x| x.min(k)).sum::<usize>();
+        let rhs: usize = k * (k - 1) + d[k..].iter().map(|&x| x.min(k)).sum::<usize>();
         if lhs > rhs {
             return false;
         }

@@ -87,9 +87,7 @@ impl SeqNumEstimator {
         self.unwrapped.push_back(unwrapped);
         // Evict samples that fell out of the window (keep one preceding
         // sample so the window always has a left edge).
-        while self.samples.len() > 2
-            && self.samples[1].0 + self.window_ms <= t_ms
-        {
+        while self.samples.len() > 2 && self.samples[1].0 + self.window_ms <= t_ms {
             self.samples.pop_front();
             self.unwrapped.pop_front();
         }

@@ -28,7 +28,7 @@ fn main() {
             "  {:>2} lines active -> {:5.1} Mbps ({:+5.1}% vs full bundle)",
             n_active,
             rate / 1e6,
-            (rate / sim.sync_rate_bps(0, &vec![true; 24], None) - 1.0) * 100.0
+            (rate / sim.sync_rate_bps(0, &[true; 24], None) - 1.0) * 100.0
         );
     }
 

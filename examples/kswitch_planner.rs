@@ -11,8 +11,8 @@
 //! ```
 
 use insomnia::access::{
-    expected_sleeping_cards, full_switch_sleeping_cards, p_card_sleeps,
-    p_card_sleeps_monte_carlo, p_card_sleeps_no_switch,
+    expected_sleeping_cards, full_switch_sleeping_cards, p_card_sleeps, p_card_sleeps_monte_carlo,
+    p_card_sleeps_no_switch,
 };
 use insomnia::simcore::SimRng;
 
@@ -22,7 +22,10 @@ fn main() {
 
     for p in [0.5, 0.25] {
         println!("== line activity p = {p} (BH2 leaves {:.0}% of lines off)", (1.0 - p) * 100.0);
-        println!("   without switching, P{{card sleeps}} = (1-p)^m = {:.6}", p_card_sleeps_no_switch(m, p));
+        println!(
+            "   without switching, P{{card sleeps}} = (1-p)^m = {:.6}",
+            p_card_sleeps_no_switch(m, p)
+        );
         for k in [2u32, 4, 8] {
             print!("   {k}-switch: P(card l sleeps) =");
             for l in 1..=k.min(4) {

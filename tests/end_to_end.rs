@@ -32,9 +32,7 @@ fn wrap(run: insomnia::core::RunResult, spec: SchemeSpec) -> SchemeResult {
 fn scheme_energy_ordering_matches_the_paper() {
     let cfg = mini_cfg();
     let (trace, topo) = build_world(&cfg);
-    let energy = |spec| {
-        run_single(&cfg, spec, &trace, &topo, SimRng::new(11)).energy.total_j()
-    };
+    let energy = |spec| run_single(&cfg, spec, &trace, &topo, SimRng::new(11)).energy.total_j();
     let no_sleep = energy(SchemeSpec::no_sleep());
     let soi = energy(SchemeSpec::soi());
     let soi_k = energy(SchemeSpec::soi_k_switch());
@@ -79,10 +77,8 @@ fn wake_stalls_stretch_completion_times() {
         run_single(&cfg, SchemeSpec::no_sleep(), &trace, &topo, SimRng::new(5)),
         SchemeSpec::no_sleep(),
     );
-    let soi = wrap(
-        run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(5)),
-        SchemeSpec::soi(),
-    );
+    let soi =
+        wrap(run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(5)), SchemeSpec::soi());
     let cdf = insomnia::core::completion_variation_cdf(&soi, &base);
     assert!(!cdf.is_empty());
     // Most flows are unaffected...
@@ -100,10 +96,8 @@ fn fairness_backup_reduces_extremes() {
     let mut cfg = mini_cfg();
     cfg.trace.horizon = SimTime::from_hours(16);
     let (trace, topo) = build_world(&cfg);
-    let soi = wrap(
-        run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(7)),
-        SchemeSpec::soi(),
-    );
+    let soi =
+        wrap(run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(7)), SchemeSpec::soi());
     let bh2 = wrap(
         run_single(&cfg, SchemeSpec::bh2_k_switch(), &trace, &topo, SimRng::new(7)),
         SchemeSpec::bh2_k_switch(),

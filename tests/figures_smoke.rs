@@ -13,7 +13,7 @@ fn fig2_has_24_hours_and_plausible_ranges() {
     for row in &t.rows {
         let (avg_down, median_down) = (row[1], row[3]);
         assert!(avg_down > 0.0 && avg_down < 15.0);
-        assert!(median_down >= 0.0 && median_down < 1.0);
+        assert!((0.0..1.0).contains(&median_down));
         assert!(avg_down > median_down, "mean must dominate median");
     }
 }
