@@ -45,10 +45,7 @@ impl PowerModel {
     /// Total draw of the no-sleep baseline: every gateway, modem and card
     /// permanently on (§5.1's baseline scheme).
     pub fn no_sleep_total_w(&self, n_gateways: usize, n_cards: usize) -> f64 {
-        self.gateway_on_w * n_gateways as f64
-            + self.isp_modem_w * n_gateways as f64
-            + self.line_card_w * n_cards as f64
-            + self.shelf_w
+        self.no_sleep_user_w(n_gateways) + self.no_sleep_isp_w(n_gateways, n_cards)
     }
 
     /// User-side share of the no-sleep draw.
@@ -58,7 +55,20 @@ impl PowerModel {
 
     /// ISP-side share of the no-sleep draw.
     pub fn no_sleep_isp_w(&self, n_gateways: usize, n_cards: usize) -> f64 {
-        self.isp_modem_w * n_gateways as f64 + self.line_card_w * n_cards as f64 + self.shelf_w
+        self.no_sleep_isp_w_sharded(n_gateways, n_cards, 1)
+    }
+
+    /// ISP-side share of the no-sleep draw for a sharded deployment:
+    /// `n_gateways` lines spread over `n_shards` DSLAMs, each DSLAM
+    /// contributing its own always-on shelf and `n_cards` line cards.
+    pub fn no_sleep_isp_w_sharded(
+        &self,
+        n_gateways: usize,
+        n_cards: usize,
+        n_shards: usize,
+    ) -> f64 {
+        self.isp_modem_w * n_gateways as f64
+            + (self.line_card_w * n_cards as f64 + self.shelf_w) * n_shards.max(1) as f64
     }
 }
 
@@ -88,6 +98,16 @@ mod tests {
             (p.no_sleep_user_w(40) + p.no_sleep_isp_w(40, 4) - total).abs() < 1e-9,
             "user + ISP must equal total"
         );
+    }
+
+    #[test]
+    fn sharded_baseline_counts_one_shelf_per_dslam() {
+        let p = PowerModel::default();
+        // 64 shards of the paper's DSLAM: 64 shelves + 64×4 cards + 2560 modems.
+        let sharded = p.no_sleep_isp_w_sharded(64 * 40, 4, 64);
+        assert!((sharded - 64.0 * p.no_sleep_isp_w(40, 4)).abs() < 1e-9);
+        // One shard is exactly the unsharded baseline.
+        assert_eq!(p.no_sleep_isp_w_sharded(40, 4, 1), p.no_sleep_isp_w(40, 4));
     }
 
     #[test]

@@ -7,9 +7,10 @@
 
 use insomnia_access::{p_card_sleeps, PowerModel};
 use insomnia_core::{
-    build_world, completion_variation_cdf, density_sweep, hourly_means, isp_share_percent_series,
-    online_time_variation_cdf, run_scheme_on, run_testbed, savings_percent_series, summarize,
-    FigureData, ScenarioConfig, SchemeResult, SchemeSpec, TestbedConfig, WorldModel,
+    build_sharded_world, build_world, completion_variation_cdf, density_sweep, hourly_means,
+    isp_share_percent_series, online_time_variation_cdf, run_scheme_sharded, run_testbed,
+    savings_percent_series, summarize, FigureData, ScenarioConfig, SchemeResult, SchemeSpec,
+    TestbedConfig, WorldModel,
 };
 use insomnia_dslphy::{sample_attenuations, AttenuationConfig, BundleConfig, CrosstalkExperiment};
 use insomnia_simcore::{Cdf, SimRng, SimTime};
@@ -76,10 +77,16 @@ pub struct MainRuns {
 
 /// Runs every scheme of the main scenario once (the expensive step; reuse
 /// the result for all dependent figures).
+///
+/// The world is built through the sharded path, so a registry preset with
+/// a `shards` axis (e.g. `dense-metro`) drives the exact same figure
+/// pipeline as the paper's single-DSLAM scenario — per-shard results are
+/// merged before any series math happens.
 pub fn run_main(h: &Harness) -> MainRuns {
     let cfg = &h.scenario;
-    let (trace, topo) = build_world(cfg);
-    let run = |spec| run_scheme_on(cfg, spec, &trace, &topo);
+    let world = build_sharded_world(cfg);
+    let threads = insomnia_simcore::default_threads();
+    let run = |spec| run_scheme_sharded(cfg, spec, &world, cfg.seed, threads);
     MainRuns {
         no_sleep: run(SchemeSpec::no_sleep()),
         soi: run(SchemeSpec::soi()),
@@ -89,8 +96,12 @@ pub fn run_main(h: &Harness) -> MainRuns {
         bh2_nb_k: run(SchemeSpec::bh2_no_backup_k_switch()),
         bh2_full: run(SchemeSpec::bh2_full_switch()),
         optimal: run(SchemeSpec::optimal()),
-        base_user_w: cfg.power.no_sleep_user_w(cfg.trace.n_aps),
-        base_isp_w: cfg.power.no_sleep_isp_w(cfg.trace.n_aps, cfg.dslam.n_cards),
+        base_user_w: cfg.power.no_sleep_user_w(world.n_gateways()),
+        base_isp_w: cfg.power.no_sleep_isp_w_sharded(
+            world.n_gateways(),
+            cfg.dslam.n_cards,
+            world.n_shards(),
+        ),
     }
 }
 

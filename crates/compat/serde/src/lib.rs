@@ -131,6 +131,21 @@ pub fn __field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T,
     }
 }
 
+// `Value` round-trips through itself, so generic front-ends
+// (`serde_json::from_str::<Value>`) can parse arbitrary documents for
+// schema-agnostic processing (e.g. the JSONL compare tool).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

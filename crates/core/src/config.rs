@@ -81,6 +81,11 @@ pub struct ScenarioConfig {
     pub optimal_period: SimDuration,
     /// Metric sampling period (paper: every second of the day).
     pub sample_period: SimDuration,
+    /// Number of independent DSLAM-neighborhood shards the client/gateway
+    /// population is split over (1 = the paper's single-DSLAM world).
+    /// Each shard gets its own trace slice, topology, DSLAM and event
+    /// loop; shards run in parallel and their results are merged.
+    pub shards: usize,
     /// Number of repetitions to average (paper: 10).
     pub repetitions: usize,
     /// Master seed; repetition `r` forks stream `r`.
@@ -105,6 +110,7 @@ impl Default for ScenarioConfig {
             q_max_utilization: 0.5,
             optimal_period: SimDuration::from_secs(60),
             sample_period: SimDuration::from_secs(1),
+            shards: 1,
             repetitions: 10,
             seed: 2011,
             bh2: Bh2Params::default(),
@@ -147,17 +153,47 @@ impl ScenarioConfig {
         if self.trace.n_clients == 0 {
             return Err(SimError::InvalidConfig("need at least one client".into()));
         }
+        if self.shards == 0 {
+            return Err(SimError::InvalidConfig("need at least one shard".into()));
+        }
+        if self.trace.n_clients < self.shards || self.trace.n_aps < self.shards {
+            return Err(SimError::InvalidConfig(format!(
+                "{} clients / {} gateways cannot fill {} shards",
+                self.trace.n_clients, self.trace.n_aps, self.shards
+            )));
+        }
         // The overlap degree-graph generator needs three nodes; binomial
-        // reachability works from two.
+        // reachability works from two. With shards, the *smallest* shard
+        // must clear the bar.
         let min_aps = match self.topology {
             TopologyKind::Overlap => 3,
             TopologyKind::Binomial => 2,
         };
-        if self.trace.n_aps < min_aps {
+        let min_shard_aps = insomnia_wireless::min_per_shard(self.trace.n_aps, self.shards);
+        if min_shard_aps < min_aps {
             return Err(SimError::InvalidConfig(format!(
-                "{:?} topology needs at least {min_aps} gateways, got {}",
-                self.topology, self.trace.n_aps
+                "{:?} topology needs at least {min_aps} gateways per shard, got {min_shard_aps} \
+                 ({} gateways over {} shards)",
+                self.topology, self.trace.n_aps, self.shards
             )));
+        }
+        // Reject shard sizes whose client × gateway pair enumeration
+        // overflows the topology work budget: the overlap builder and the
+        // per-epoch candidate scans would otherwise stall for hours (or the
+        // product would overflow outright) instead of failing fast.
+        let max_shard_clients = insomnia_wireless::max_per_shard(self.trace.n_clients, self.shards);
+        let max_shard_aps = insomnia_wireless::max_per_shard(self.trace.n_aps, self.shards);
+        match insomnia_wireless::topology_pair_count(max_shard_clients, max_shard_aps) {
+            Some(pairs) if pairs <= insomnia_wireless::MAX_TOPOLOGY_PAIRS => {}
+            oversized => {
+                let shown = oversized.map_or("overflowing u64".to_string(), |p| p.to_string());
+                return Err(SimError::InvalidConfig(format!(
+                    "a shard of {max_shard_clients} clients x {max_shard_aps} gateways enumerates \
+                     {shown} reachability pairs (budget {}); raise `shards` to split the \
+                     population into smaller neighborhoods",
+                    insomnia_wireless::MAX_TOPOLOGY_PAIRS
+                )));
+            }
         }
         if self.trace.horizon.as_millis() == 0 {
             return Err(SimError::InvalidConfig("horizon must be positive".into()));
@@ -196,8 +232,13 @@ impl ScenarioConfig {
                 self.k_switch, self.dslam.n_cards
             )));
         }
-        if self.trace.n_aps > self.dslam.n_cards * self.dslam.ports_per_card {
-            return Err(SimError::InvalidConfig("more gateways than DSLAM ports".into()));
+        if max_shard_aps > self.dslam.n_cards * self.dslam.ports_per_card {
+            return Err(SimError::InvalidConfig(format!(
+                "a shard of {max_shard_aps} gateways exceeds the {} DSLAM ports ({} cards x {})",
+                self.dslam.n_cards * self.dslam.ports_per_card,
+                self.dslam.n_cards,
+                self.dslam.ports_per_card
+            )));
         }
         if self.backhaul_bps <= 0.0 {
             return Err(SimError::InvalidConfig("backhaul must be positive".into()));
@@ -257,6 +298,52 @@ mod tests {
         let mut cfg = ScenarioConfig::default();
         cfg.repetitions = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn shard_validation_bounds_the_split() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.shards = 0;
+        assert!(cfg.validate().is_err(), "zero shards");
+
+        // 40 APs over 20 shards leaves 2 per shard: under overlap's minimum.
+        let mut cfg = ScenarioConfig::default();
+        cfg.shards = 20;
+        assert!(cfg.validate().is_err(), "overlap needs 3 gateways per shard");
+
+        // The same split works for binomial reachability.
+        let mut cfg = ScenarioConfig::default();
+        cfg.topology = TopologyKind::Binomial;
+        cfg.mean_networks_in_range = 1.5;
+        cfg.shards = 20;
+        cfg.validate().unwrap();
+
+        // A valid multi-shard overlap split.
+        let mut cfg = ScenarioConfig::default();
+        cfg.trace.n_clients = 544;
+        cfg.trace.n_aps = 80;
+        cfg.shards = 2;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn oversized_pair_enumeration_is_rejected_not_stalled() {
+        // 10⁵ clients on one shard: the overlap pair enumeration would
+        // stall for hours; validation must refuse and point at `shards`.
+        let mut cfg = ScenarioConfig::default();
+        cfg.trace.n_clients = 100_000;
+        cfg.trace.n_aps = 12_800;
+        cfg.dslam.n_cards = 1600;
+        cfg.dslam.ports_per_card = 8;
+        cfg.k_switch = 4;
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("shards"), "must point at the shards axis: {err}");
+
+        // The same population over 64 shards is fine.
+        cfg.shards = 64;
+        cfg.dslam.n_cards = 20;
+        cfg.dslam.ports_per_card = 10;
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -20,9 +20,11 @@ use crate::schemes::{Aggregation, FabricKind, SchemeSpec};
 use insomnia_access::{
     Dslam, EnergyBreakdown, Fabric, FixedFabric, FullFabric, Gateway, GwState, KSwitchFabric,
 };
-use insomnia_simcore::{average_runs, Scheduler, SimDuration, SimRng, SimTime};
+use insomnia_simcore::{
+    average_runs, default_threads, par_map_indexed, Scheduler, SimDuration, SimRng, SimTime,
+};
 use insomnia_traffic::Trace;
-use insomnia_wireless::{binomial_topology, overlap_topology, LoadWindow, Topology};
+use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWindow, Topology};
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +99,9 @@ pub struct RunResult {
     pub wake_counts: Vec<u64>,
     /// Wake-cause and decision counters.
     pub stats: DriverStats,
+    /// Scheduler events delivered during the run (telemetry; summed when
+    /// shards are merged).
+    pub events: u64,
 }
 
 struct World<'a> {
@@ -361,6 +366,7 @@ pub fn run_single(
         gateway_online_s: world.gateways.iter().map(|g| g.online_seconds()).collect(),
         wake_counts: world.gateways.iter().map(|g| g.wake_count()).collect(),
         stats: world.stats,
+        events: sched.delivered(),
     }
 }
 
@@ -585,20 +591,44 @@ pub struct SchemeResult {
     pub spec: SchemeSpec,
     /// Sampling period, seconds.
     pub sample_period_s: f64,
-    /// Mean powered gateways per sample.
+    /// Mean powered gateways per sample (summed over shards).
     pub powered_gateways: Vec<f64>,
-    /// Mean awake cards per sample.
+    /// Mean awake cards per sample (summed over shards).
     pub awake_cards: Vec<f64>,
-    /// Mean user-side power per sample, W.
+    /// Mean user-side power per sample, W (summed over shards).
     pub user_power_w: Vec<f64>,
-    /// Mean ISP-side power per sample, W.
+    /// Mean ISP-side power per sample, W (summed over shards).
     pub isp_power_w: Vec<f64>,
     /// Mean energy breakdown over the day.
     pub energy: EnergyBreakdown,
-    /// Per-repetition completion times (for pooled CDFs).
+    /// Per-repetition completion times (for pooled CDFs); shards
+    /// concatenated in shard order within each repetition.
     pub completion_s: Vec<Vec<Option<f64>>>,
-    /// Per-repetition per-gateway online seconds.
+    /// Per-repetition per-gateway online seconds; gateway `g` of shard `s`
+    /// sits at `s`'s gateway offset + `g`.
     pub gateway_online_s: Vec<Vec<f64>>,
+    /// Mean wake cycles per gateway per day.
+    pub mean_wake_count: f64,
+    /// Scheduler events delivered, summed over repetitions and shards
+    /// (telemetry — reported to stderr by the batch runner, never JSONL).
+    pub events: u64,
+    /// Per-shard aggregates, in shard order (one entry for unsharded runs).
+    pub shard_summaries: Vec<ShardSummary>,
+}
+
+/// Per-shard aggregate of one scheme run (averaged over repetitions).
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Clients simulated in the shard.
+    pub n_clients: usize,
+    /// Gateways in the shard.
+    pub n_gateways: usize,
+    /// Trace flows of the shard.
+    pub n_flows: usize,
+    /// Mean energy over the day, joules.
+    pub energy_j: f64,
+    /// Mean powered gateways over the day.
+    pub mean_gateways: f64,
     /// Mean wake cycles per gateway per day.
     pub mean_wake_count: f64,
 }
@@ -646,6 +676,151 @@ pub fn build_world_seeded(cfg: &ScenarioConfig, seed: u64) -> (Trace, Topology) 
     (trace, topo)
 }
 
+/// One scenario's worlds: `cfg.shards` independent DSLAM neighborhoods,
+/// each a `(Trace, Topology)` pair with local client/gateway indices.
+///
+/// A one-shard world is exactly what [`build_world_seeded`] builds, so the
+/// sharded entry points are drop-in supersets of the single-DSLAM ones.
+#[derive(Debug, Clone)]
+pub struct ShardedWorld {
+    /// Per-shard `(trace, topology)` pairs, in shard order.
+    pub shards: Vec<(Trace, Topology)>,
+}
+
+impl ShardedWorld {
+    /// Wraps a single prebuilt world as a one-shard [`ShardedWorld`].
+    pub fn single(trace: Trace, topo: Topology) -> Self {
+        ShardedWorld { shards: vec![(trace, topo)] }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total clients across shards.
+    pub fn n_clients(&self) -> usize {
+        self.shards.iter().map(|(_, t)| t.n_clients()).sum()
+    }
+
+    /// Total gateways across shards.
+    pub fn n_gateways(&self) -> usize {
+        self.shards.iter().map(|(_, t)| t.n_gateways()).sum()
+    }
+
+    /// Total trace flows across shards.
+    pub fn n_flows(&self) -> usize {
+        self.shards.iter().map(|(t, _)| t.flows.len()).sum()
+    }
+
+    fn as_refs(&self) -> Vec<(&Trace, &Topology)> {
+        self.shards.iter().map(|(t, topo)| (t, topo)).collect()
+    }
+}
+
+/// Builds shard `shard` of the scenario's world from the master seed.
+///
+/// A `shards = 1` config delegates to [`build_world_seeded`] (same RNG
+/// labels, byte-identical world); with more shards, shard `s` draws from
+/// `master.fork_idx("shard-trace", s)` / `fork_idx("shard-topology", s)`,
+/// so shards are decorrelated and each is independent of how many others
+/// exist or who builds them. Batch runners flatten (world × shard) build
+/// tasks onto one pool through this entry point.
+pub fn build_world_shard(cfg: &ScenarioConfig, seed: u64, shard: usize) -> (Trace, Topology) {
+    if cfg.shards <= 1 {
+        assert_eq!(shard, 0, "unsharded world has exactly one shard");
+        return build_world_seeded(cfg, seed);
+    }
+    let spans = shard_spans(cfg.trace.n_clients, cfg.trace.n_aps, cfg.shards)
+        .expect("validated shard split");
+    let span = spans[shard];
+    let master = SimRng::new(seed);
+    let mut shard_trace = cfg.trace.clone();
+    shard_trace.n_clients = span.n_clients;
+    shard_trace.n_aps = span.n_gateways;
+    let mut trace_rng = master.fork_idx("shard-trace", shard as u64);
+    let trace = insomnia_traffic::crawdad::generate(&shard_trace, &mut trace_rng);
+    let mut topo_rng = master.fork_idx("shard-topology", shard as u64);
+    let home: Vec<usize> = trace.home.iter().map(|ap| ap.index()).collect();
+    let topo = match cfg.topology {
+        TopologyKind::Overlap => overlap_topology(
+            &home,
+            span.n_gateways,
+            cfg.mean_networks_in_range,
+            cfg.channel,
+            &mut topo_rng,
+        ),
+        TopologyKind::Binomial => binomial_topology(
+            &home,
+            span.n_gateways,
+            cfg.mean_networks_in_range,
+            cfg.channel,
+            &mut topo_rng,
+        ),
+    }
+    .expect("valid shard topology");
+    (trace, topo)
+}
+
+/// Builds every shard of the scenario from the master seed; shards build
+/// in parallel (the split is index-addressed, so the result is identical
+/// at any thread count).
+pub fn build_sharded_world_seeded(cfg: &ScenarioConfig, seed: u64) -> ShardedWorld {
+    let shards =
+        par_map_indexed(cfg.shards.max(1), default_threads(), |s| build_world_shard(cfg, seed, s));
+    ShardedWorld { shards }
+}
+
+/// [`build_sharded_world_seeded`] with the scenario's own seed.
+pub fn build_sharded_world(cfg: &ScenarioConfig) -> ShardedWorld {
+    build_sharded_world_seeded(cfg, cfg.seed)
+}
+
+/// Merges the per-shard runs of one repetition into one [`RunResult`]:
+/// series are summed sample-wise (total gateways/cards/watts over all
+/// DSLAMs), energies summed, per-flow and per-gateway vectors concatenated
+/// in shard order.
+fn merge_shard_runs(mut runs: Vec<RunResult>) -> RunResult {
+    assert!(!runs.is_empty(), "merging zero shards");
+    if runs.len() == 1 {
+        return runs.pop().expect("one shard");
+    }
+    let mut merged = runs.remove(0);
+    for r in runs {
+        for (acc, v) in merged.powered_gateways.iter_mut().zip(&r.powered_gateways) {
+            *acc += v;
+        }
+        for (acc, v) in merged.awake_cards.iter_mut().zip(&r.awake_cards) {
+            *acc += v;
+        }
+        for (acc, v) in merged.user_power_w.iter_mut().zip(&r.user_power_w) {
+            *acc += v;
+        }
+        for (acc, v) in merged.isp_power_w.iter_mut().zip(&r.isp_power_w) {
+            *acc += v;
+        }
+        merged.energy = merged.energy.plus(&r.energy);
+        merged.completion_s.extend(r.completion_s);
+        merged.gateway_online_s.extend(r.gateway_online_s);
+        merged.wake_counts.extend(r.wake_counts);
+        merged.stats = add_stats(merged.stats, r.stats);
+        merged.events += r.events;
+    }
+    merged
+}
+
+fn add_stats(a: DriverStats, b: DriverStats) -> DriverStats {
+    DriverStats {
+        wakes_stranded_arrival: a.wakes_stranded_arrival + b.wakes_stranded_arrival,
+        wakes_return_home: a.wakes_return_home + b.wakes_return_home,
+        wakes_optimal: a.wakes_optimal + b.wakes_optimal,
+        bh2_moves: a.bh2_moves + b.bh2_moves,
+        bh2_returns_overload: a.bh2_returns_overload + b.bh2_returns_overload,
+        bh2_returns_backup: a.bh2_returns_backup + b.bh2_returns_backup,
+        bh2_stays: a.bh2_stays + b.bh2_stays,
+    }
+}
+
 /// Runs all repetitions of one scheme over a prebuilt world.
 ///
 /// Repetitions are independent (each gets its own forked RNG stream), so
@@ -673,16 +848,82 @@ pub fn run_scheme_seeded(
     topo: &Topology,
     seed: u64,
 ) -> SchemeResult {
+    run_scheme_shards(cfg, spec, &[(trace, topo)], seed, default_threads())
+}
+
+/// Runs all repetitions of one scheme over every shard of a
+/// [`ShardedWorld`], on at most `max_threads` worker threads.
+///
+/// The `(repetition × shard)` tasks are fully independent: repetition `r`
+/// of shard `s` draws from `master.fork_idx("rep", r).fork_idx("shard", s)`
+/// (with the `"shard"` fork skipped for one-shard worlds, which keeps
+/// `shards = 1` byte-identical to the pre-shard driver). Per-shard runs of
+/// each repetition are merged with [`merge_shard_runs`], then repetitions
+/// are folded in order, so the aggregate never depends on thread count.
+pub fn run_scheme_sharded(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    world: &ShardedWorld,
+    seed: u64,
+    max_threads: usize,
+) -> SchemeResult {
+    run_scheme_shards(cfg, spec, &world.as_refs(), seed, max_threads)
+}
+
+fn run_scheme_shards(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    worlds: &[(&Trace, &Topology)],
+    seed: u64,
+    max_threads: usize,
+) -> SchemeResult {
     let master = SimRng::new(seed);
-    let results: Vec<RunResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.repetitions)
-            .map(|rep| {
-                let rng = master.fork_idx("rep", rep as u64);
-                scope.spawn(move || run_single(cfg, spec, trace, topo, rng))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("repetition thread")).collect()
+    let n_shards = worlds.len();
+    let n_tasks = cfg.repetitions * n_shards;
+    let results: Vec<RunResult> = par_map_indexed(n_tasks, max_threads, |i| {
+        let (rep, sh) = (i / n_shards, i % n_shards);
+        let rng = if n_shards == 1 {
+            master.fork_idx("rep", rep as u64)
+        } else {
+            master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
+        };
+        let (trace, topo) = worlds[sh];
+        run_single(cfg, spec, trace, topo, rng)
     });
+
+    let k = cfg.repetitions as f64;
+    let n_gateways: usize = worlds.iter().map(|(_, t)| t.n_gateways()).sum();
+    let shard_summaries: Vec<ShardSummary> = (0..n_shards)
+        .map(|sh| {
+            let (trace, topo) = worlds[sh];
+            let reps = || (0..cfg.repetitions).map(|rep| &results[rep * n_shards + sh]);
+            ShardSummary {
+                n_clients: topo.n_clients(),
+                n_gateways: topo.n_gateways(),
+                n_flows: trace.flows.len(),
+                energy_j: reps().map(|r| r.energy.total_j()).sum::<f64>() / k,
+                mean_gateways: reps()
+                    .map(|r| {
+                        r.powered_gateways.iter().sum::<f64>()
+                            / r.powered_gateways.len().max(1) as f64
+                    })
+                    .sum::<f64>()
+                    / k,
+                mean_wake_count: reps()
+                    .map(|r| {
+                        r.wake_counts.iter().sum::<u64>() as f64 / topo.n_gateways().max(1) as f64
+                    })
+                    .sum::<f64>()
+                    / k,
+            }
+        })
+        .collect();
+
+    let mut results = results;
+    let merged: Vec<RunResult> = (0..cfg.repetitions)
+        .map(|_| merge_shard_runs(results.drain(..n_shards).collect()))
+        .collect();
+
     let mut powered = Vec::new();
     let mut cards = Vec::new();
     let mut user_w = Vec::new();
@@ -691,7 +932,8 @@ pub fn run_scheme_seeded(
     let mut completions = Vec::new();
     let mut online_s = Vec::new();
     let mut wakes = 0.0;
-    for r in results {
+    let mut events = 0u64;
+    for r in merged {
         powered.push(r.powered_gateways);
         cards.push(r.awake_cards);
         user_w.push(r.user_power_w);
@@ -699,9 +941,9 @@ pub fn run_scheme_seeded(
         energy = energy.plus(&r.energy);
         completions.push(r.completion_s);
         online_s.push(r.gateway_online_s);
-        wakes += r.wake_counts.iter().sum::<u64>() as f64 / topo.n_gateways() as f64;
+        wakes += r.wake_counts.iter().sum::<u64>() as f64 / n_gateways as f64;
+        events += r.events;
     }
-    let k = cfg.repetitions as f64;
     SchemeResult {
         spec,
         sample_period_s: cfg.sample_period.as_secs_f64(),
@@ -718,6 +960,8 @@ pub fn run_scheme_seeded(
         completion_s: completions,
         gateway_online_s: online_s,
         mean_wake_count: wakes / k,
+        events,
+        shard_summaries,
     }
 }
 
@@ -736,6 +980,7 @@ const _: () = {
     assert_send_sync::<SchemeSpec>();
     assert_send_sync::<Trace>();
     assert_send_sync::<Topology>();
+    assert_send_sync::<ShardedWorld>();
     assert_send_sync::<SchemeResult>();
     assert_send_sync::<RunResult>();
 };
@@ -855,5 +1100,86 @@ mod tests {
         assert_eq!(res.completion_s.len(), 2);
         assert_eq!(res.gateway_online_s.len(), 2);
         assert!(!res.powered_gateways.is_empty());
+        assert!(res.events > 0, "telemetry counts the event loop");
+        assert_eq!(res.shard_summaries.len(), 1);
+        assert_eq!(res.shard_summaries[0].n_gateways, 10);
+    }
+
+    fn sharded_cfg(shards: usize) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::default();
+        cfg.trace.n_clients = 136;
+        cfg.trace.n_aps = 20;
+        cfg.trace.horizon = SimTime::from_hours(2);
+        cfg.repetitions = 1;
+        cfg.shards = shards;
+        cfg.validate().unwrap();
+        cfg
+    }
+
+    #[test]
+    fn one_shard_world_is_byte_identical_to_unsharded_build() {
+        let cfg = sharded_cfg(1);
+        let (trace, topo) = build_world_seeded(&cfg, 99);
+        let world = build_sharded_world_seeded(&cfg, 99);
+        assert_eq!(world.n_shards(), 1);
+        let (st, stopo) = &world.shards[0];
+        assert_eq!(st.flows.len(), trace.flows.len());
+        assert_eq!(st.home, trace.home);
+        assert_eq!(st.total_bytes(), trace.total_bytes());
+        for c in 0..topo.n_clients() {
+            assert_eq!(stopo.reachable(c), topo.reachable(c));
+        }
+        // And running through the sharded entry point reproduces the
+        // single-world runner exactly.
+        let a = run_scheme_seeded(&cfg, SchemeSpec::bh2_k_switch(), &trace, &topo, 7);
+        let b = run_scheme_sharded(&cfg, SchemeSpec::bh2_k_switch(), &world, 7, 4);
+        assert_eq!(a.energy.total_j(), b.energy.total_j());
+        assert_eq!(a.powered_gateways, b.powered_gateways);
+        assert_eq!(a.completion_s, b.completion_s);
+        assert_eq!(a.mean_wake_count, b.mean_wake_count);
+    }
+
+    #[test]
+    fn sharded_runs_are_thread_count_invariant() {
+        let cfg = sharded_cfg(4);
+        let world = build_sharded_world_seeded(&cfg, 5);
+        assert_eq!(world.n_shards(), 4);
+        assert_eq!(world.n_clients(), 136);
+        assert_eq!(world.n_gateways(), 20);
+        let serial = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, 5, 1);
+        let parallel = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, 5, 8);
+        assert_eq!(serial.energy.total_j(), parallel.energy.total_j());
+        assert_eq!(serial.powered_gateways, parallel.powered_gateways);
+        assert_eq!(serial.completion_s, parallel.completion_s);
+        assert_eq!(serial.events, parallel.events);
+    }
+
+    #[test]
+    fn merged_shards_sum_series_and_concatenate_vectors() {
+        let cfg = sharded_cfg(4);
+        let world = build_sharded_world_seeded(&cfg, 11);
+        let r = run_scheme_sharded(&cfg, SchemeSpec::no_sleep(), &world, 11, 0);
+        // No-sleep powers every gateway of every shard, all day.
+        for p in &r.powered_gateways {
+            assert!((p - 20.0).abs() < 1e-9, "all 20 gateways across 4 shards powered, got {p}");
+        }
+        assert_eq!(r.gateway_online_s[0].len(), 20);
+        assert_eq!(r.completion_s[0].len(), world.n_flows());
+        assert_eq!(r.shard_summaries.len(), 4);
+        assert_eq!(r.shard_summaries.iter().map(|s| s.n_clients).sum::<usize>(), 136);
+        assert_eq!(r.shard_summaries.iter().map(|s| s.n_flows).sum::<usize>(), world.n_flows());
+        // Four shards mean four DSLAM shelves in the energy ledger.
+        let shelf_j = cfg.power.shelf_w * cfg.horizon().as_secs_f64();
+        assert!((r.energy.shelf_j - 4.0 * shelf_j).abs() < 1.0);
+    }
+
+    #[test]
+    fn shards_decorrelate_but_preserve_population() {
+        let cfg = sharded_cfg(2);
+        let world = build_sharded_world_seeded(&cfg, 3);
+        let (a, _) = &world.shards[0];
+        let (b, _) = &world.shards[1];
+        assert_ne!(a.total_bytes(), b.total_bytes(), "shards draw independent streams");
+        assert_eq!(a.n_clients() + b.n_clients(), 136);
     }
 }

@@ -24,8 +24,9 @@ pub use bh2::{decide, Bh2Decision, VisibleGateway};
 pub use config::{Bh2Params, ScenarioConfig, TopologyKind};
 pub use density::{density_sweep, DensityPoint};
 pub use driver::{
-    build_world, build_world_seeded, run_scheme, run_scheme_on, run_scheme_seeded, run_single,
-    DriverStats, RunResult, SchemeResult,
+    build_sharded_world, build_sharded_world_seeded, build_world, build_world_seeded,
+    build_world_shard, run_scheme, run_scheme_on, run_scheme_seeded, run_scheme_sharded,
+    run_single, DriverStats, RunResult, SchemeResult, ShardSummary, ShardedWorld,
 };
 pub use extrapolate::WorldModel;
 pub use metrics::{

@@ -172,6 +172,8 @@ mod tests {
             completion_s: completion,
             gateway_online_s: online,
             mean_wake_count: 0.0,
+            events: 0,
+            shard_summaries: Vec::new(),
         }
     }
 

@@ -1,10 +1,13 @@
 //! The parallel batch runner.
 //!
 //! A [`BatchRun`] expands into a (scenario × scheme × seed) job matrix.
-//! Worlds (trace + topology) are built once per (scenario, seed) and
-//! shared by reference across that pair's scheme jobs; jobs execute on a
-//! scoped worker pool (the environment vendors no rayon, so this is a
-//! work-stealing-free equivalent: an atomic job cursor over the matrix).
+//! Worlds ([`ShardedWorld`]s: one trace + topology per DSLAM-neighborhood
+//! shard) are built once per (scenario, seed) — with the (world × shard)
+//! build tasks flattened onto one pool — and shared by reference across
+//! that pair's scheme jobs; jobs execute on a scoped worker pool (the
+//! environment vendors no rayon, so this is a work-stealing-free
+//! equivalent: an atomic job cursor over the matrix), and each job fans
+//! its (repetition × shard) runs over its own slice of the thread budget.
 //!
 //! Determinism: job `k` of scenario `s` derives its RNG master from the
 //! scenario's configured seed via the same fork discipline the driver
@@ -12,20 +15,21 @@
 //! on thread count or completion order. JSONL output is streamed through a
 //! reorder buffer that releases lines strictly in job order, making the
 //! byte stream identical at 1 and N threads (asserted by
-//! `tests/scenarios.rs`).
+//! `tests/scenarios.rs`). Wall-clock and event-count telemetry go to
+//! stderr, also in job order, and never into the JSONL.
 
 use crate::schemes::scheme_key;
 use insomnia_core::{
-    build_world_seeded, run_scheme_seeded, summarize, ScenarioConfig, SchemeResult, SchemeSpec,
+    build_world_shard, run_scheme_sharded, summarize, ScenarioConfig, SchemeResult, SchemeSpec,
+    ShardedWorld,
 };
-use insomnia_simcore::{SimError, SimResult, SimRng};
-use insomnia_traffic::Trace;
-use insomnia_wireless::Topology;
-use serde::Serialize;
+use insomnia_simcore::{par_map_indexed, SimError, SimResult, SimRng};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// One expanded batch: named scenarios × schemes × seed indices.
 #[derive(Debug, Clone)]
@@ -44,8 +48,29 @@ pub struct BatchRun {
     pub threads: usize,
 }
 
+/// Per-shard summary inside a sharded [`JobRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// Clients simulated in the shard.
+    pub n_clients: usize,
+    /// Gateways in the shard.
+    pub n_gateways: usize,
+    /// Trace flows of the shard.
+    pub n_flows: usize,
+    /// Mean energy over the day, kWh.
+    pub energy_kwh: f64,
+    /// Mean powered gateways over the day.
+    pub mean_gateways: f64,
+    /// Mean wake cycles per gateway per day.
+    pub mean_wake_count: f64,
+}
+
 /// One JSONL record: the outcome of a single (scenario, scheme, seed) job.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `Serialize` is written by hand (not derived) so the two shard fields
+/// are *omitted* for unsharded runs: a `shards = 1` batch must stay
+/// byte-identical to the pre-shard JSONL schema.
+#[derive(Debug, Clone, Deserialize)]
 pub struct JobRecord {
     /// Scenario name.
     pub scenario: String,
@@ -84,6 +109,54 @@ pub struct JobRecord {
     pub completion_p95_s: Option<f64>,
     /// Fraction of trace flows that completed by the horizon.
     pub completed_frac: Option<f64>,
+    /// DSLAM-neighborhood shards of the world (`None` = 1, unsharded; the
+    /// field only appears in the JSONL when sharding is on).
+    pub shards: Option<usize>,
+    /// Per-shard summaries, in shard order (only present when sharded).
+    pub shard_summaries: Option<Vec<ShardRecord>>,
+}
+
+impl Serialize for JobRecord {
+    fn to_value(&self) -> Value {
+        // Field order mirrors the struct declaration; the shard fields are
+        // appended only for sharded runs so the unsharded byte stream is
+        // exactly the pre-shard schema.
+        let mut m: Vec<(String, Value)> = vec![
+            ("scenario".into(), self.scenario.to_value()),
+            ("scheme".into(), self.scheme.to_value()),
+            ("seed_index".into(), self.seed_index.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("n_gateways".into(), self.n_gateways.to_value()),
+            ("n_clients".into(), self.n_clients.to_value()),
+            ("n_flows".into(), self.n_flows.to_value()),
+            ("mean_savings_pct".into(), self.mean_savings_pct.to_value()),
+            ("peak_savings_pct".into(), self.peak_savings_pct.to_value()),
+            ("mean_gateways".into(), self.mean_gateways.to_value()),
+            ("peak_gateways".into(), self.peak_gateways.to_value()),
+            ("peak_cards".into(), self.peak_cards.to_value()),
+            ("isp_share_pct".into(), self.isp_share_pct.to_value()),
+            ("energy_kwh".into(), self.energy_kwh.to_value()),
+            ("mean_wake_count".into(), self.mean_wake_count.to_value()),
+            ("completion_p50_s".into(), self.completion_p50_s.to_value()),
+            ("completion_p95_s".into(), self.completion_p95_s.to_value()),
+            ("completed_frac".into(), self.completed_frac.to_value()),
+        ];
+        if self.shards.unwrap_or(1) > 1 {
+            m.push(("shards".into(), self.shards.to_value()));
+            m.push(("shard_summaries".into(), self.shard_summaries.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+/// Per-job wall-clock and event-loop telemetry: written to stderr so slow
+/// scenarios/shards are visible, and deliberately kept out of the
+/// deterministic JSONL stream.
+#[derive(Debug, Clone, Copy)]
+struct JobTelemetry {
+    wall_ms: f64,
+    events: u64,
+    shards: usize,
 }
 
 /// Per (scenario, scheme) aggregate over seeds.
@@ -162,17 +235,25 @@ impl BatchRun {
         }
     }
 
-    /// Workers for the world-build phase, which spawns no inner threads.
+    /// Workers for the world-build phase; (world × shard) build tasks are
+    /// flattened onto one pool, so no task spawns inner threads.
     fn world_threads(&self) -> usize {
         self.thread_budget()
     }
 
-    /// Workers for the scheme-job phase: each job internally runs
-    /// `cfg.repetitions` scoped threads, so divide the budget by the
-    /// widest job to keep total live threads near the budget.
+    /// Concurrent scheme jobs: each job internally fans `repetitions ×
+    /// shards` runs over its per-job thread slice, so divide the budget by
+    /// the widest job to keep total live threads near the budget.
     fn job_threads(&self) -> usize {
-        let widest = self.scenarios.iter().map(|(_, c)| c.repetitions).max().unwrap_or(1);
+        let widest =
+            self.scenarios.iter().map(|(_, c)| c.repetitions * c.shards.max(1)).max().unwrap_or(1);
         (self.thread_budget() / widest.max(1)).max(1)
+    }
+
+    /// Thread slice each concurrent job may use for its internal
+    /// (repetition × shard) fan-out.
+    fn threads_per_job(&self) -> usize {
+        (self.thread_budget() / self.job_threads().max(1)).max(1)
     }
 }
 
@@ -191,20 +272,18 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
     batch.validate()?;
     let n_jobs = batch.n_jobs();
     let threads = batch.job_threads().min(n_jobs.max(1));
+    let threads_per_job = batch.threads_per_job();
 
-    // Phase 1: one world per (scenario, seed), built in parallel — schemes
-    // share worlds, exactly like the paper shares one trace across schemes.
-    let n_worlds = batch.scenarios.len() * batch.seeds;
-    let worlds: Vec<(Trace, Topology)> =
-        run_indexed(n_worlds, batch.world_threads().min(n_worlds.max(1)), |w| {
-            let (si, ki) = (w / batch.seeds, w % batch.seeds);
-            let (_, cfg) = &batch.scenarios[si];
-            build_world_seeded(cfg, job_seed(cfg.seed, ki))
-        });
+    // Phase 1: one sharded world per (scenario, seed), shared by that
+    // pair's scheme jobs — exactly like the paper shares one trace across
+    // schemes. The (world × shard) build tasks are flattened onto one pool
+    // so a single 64-shard scenario still builds on every core.
+    let worlds = build_worlds(batch);
 
     // Phase 2: the scheme jobs. Workers send finished records through a
-    // channel; the collector releases JSONL lines strictly in job order.
-    let (tx, rx) = mpsc::channel::<(usize, JobRecord)>();
+    // channel; the collector releases JSONL lines strictly in job order,
+    // then prints the job's telemetry to stderr.
+    let (tx, rx) = mpsc::channel::<(usize, (JobRecord, JobTelemetry))>();
     let cursor = AtomicUsize::new(0);
     let mut records: Vec<Option<JobRecord>> = Vec::new();
     records.resize_with(n_jobs, || None);
@@ -219,7 +298,7 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
                 if j >= n_jobs {
                     break;
                 }
-                let rec = run_job(batch, worlds, j);
+                let rec = run_job(batch, worlds, j, threads_per_job);
                 if tx.send((j, rec)).is_err() {
                     break;
                 }
@@ -228,15 +307,24 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
         drop(tx);
 
         // Reorder buffer: write line `k` only once lines `0..k` are out.
-        let mut pending: BTreeMap<usize, JobRecord> = BTreeMap::new();
+        let mut pending: BTreeMap<usize, (JobRecord, JobTelemetry)> = BTreeMap::new();
         let mut next = 0usize;
         for (j, rec) in rx {
             pending.insert(j, rec);
-            while let Some(rec) = pending.remove(&next) {
+            while let Some((rec, telemetry)) = pending.remove(&next) {
                 let line = serde_json::to_string(&rec)
                     .map_err(|e| SimError::InvalidInput(format!("serialize record: {e}")))?;
                 writeln!(out, "{line}")
                     .map_err(|e| SimError::InvalidInput(format!("write JSONL: {e}")))?;
+                eprintln!(
+                    "# job {next}: {}/{} seed {} — {:.0} ms, {} events, {} shard(s)",
+                    rec.scenario,
+                    rec.scheme,
+                    rec.seed_index,
+                    telemetry.wall_ms,
+                    telemetry.events,
+                    telemetry.shards,
+                );
                 records[next] = Some(rec);
                 next += 1;
             }
@@ -250,39 +338,43 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
     Ok(BatchSummary { records, rows })
 }
 
-/// Runs `n` independent index-addressed tasks on `threads` workers and
-/// returns results in index order (same channel-and-place pattern as the
-/// job phase above).
-fn run_indexed<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    let mut slots: Vec<Option<T>> = Vec::new();
-    slots.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
-            });
+/// Phase-1 world construction: every (scenario, seed, shard) build task on
+/// one flat pool, then regrouped into one [`ShardedWorld`] per
+/// (scenario, seed) pair.
+fn build_worlds(batch: &BatchRun) -> Vec<ShardedWorld> {
+    // Flatten: world w = (scenario si, seed ki) owns cfg.shards tasks.
+    let n_worlds = batch.scenarios.len() * batch.seeds;
+    let mut task_world = Vec::new(); // task index -> world index
+    let mut task_shard = Vec::new(); // task index -> shard within world
+    for w in 0..n_worlds {
+        let (_, cfg) = &batch.scenarios[w / batch.seeds];
+        for s in 0..cfg.shards.max(1) {
+            task_world.push(w);
+            task_shard.push(s);
         }
-        drop(tx);
-        for (i, v) in rx {
-            slots[i] = Some(v);
-        }
+    }
+    let built = par_map_indexed(task_world.len(), batch.world_threads(), |t| {
+        let w = task_world[t];
+        let (si, ki) = (w / batch.seeds, w % batch.seeds);
+        let (_, cfg) = &batch.scenarios[si];
+        build_world_shard(cfg, job_seed(cfg.seed, ki), task_shard[t])
     });
-    slots.into_iter().map(|s| s.expect("task completed")).collect()
+    let mut worlds: Vec<ShardedWorld> =
+        (0..n_worlds).map(|_| ShardedWorld { shards: Vec::new() }).collect();
+    for (t, shard) in built.into_iter().enumerate() {
+        worlds[task_world[t]].shards.push(shard);
+    }
+    worlds
 }
 
-/// Decodes job index `j` into (scenario, scheme, seed) and runs it.
-fn run_job(batch: &BatchRun, worlds: &[(Trace, Topology)], j: usize) -> JobRecord {
+/// Decodes job index `j` into (scenario, scheme, seed) and runs it on a
+/// `max_threads`-wide slice of the pool, timing the run.
+fn run_job(
+    batch: &BatchRun,
+    worlds: &[ShardedWorld],
+    j: usize,
+    max_threads: usize,
+) -> (JobRecord, JobTelemetry) {
     let per_scenario = batch.schemes.len() * batch.seeds;
     let si = j / per_scenario;
     let rem = j % per_scenario;
@@ -290,25 +382,31 @@ fn run_job(batch: &BatchRun, worlds: &[(Trace, Topology)], j: usize) -> JobRecor
     let ki = rem % batch.seeds;
     let (name, cfg) = &batch.scenarios[si];
     let spec = batch.schemes[ci];
-    let (trace, topo) = &worlds[si * batch.seeds + ki];
+    let world = &worlds[si * batch.seeds + ki];
     let seed = job_seed(cfg.seed, ki);
-    let result = run_scheme_seeded(cfg, spec, trace, topo, seed);
-    make_record(name, cfg, spec, ki, seed, trace, topo, &result)
+    let started = Instant::now();
+    let result = run_scheme_sharded(cfg, spec, world, seed, max_threads);
+    let telemetry = JobTelemetry {
+        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+        events: result.events,
+        shards: world.n_shards(),
+    };
+    (make_record(name, cfg, spec, ki, seed, world, &result), telemetry)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn make_record(
     scenario: &str,
     cfg: &ScenarioConfig,
     spec: SchemeSpec,
     seed_index: usize,
     seed: u64,
-    trace: &Trace,
-    topo: &Topology,
+    world: &ShardedWorld,
     result: &SchemeResult,
 ) -> JobRecord {
-    let base_user = cfg.power.no_sleep_user_w(topo.n_gateways());
-    let base_isp = cfg.power.no_sleep_isp_w(topo.n_gateways(), cfg.dslam.n_cards);
+    let n_shards = world.n_shards();
+    let base_user = cfg.power.no_sleep_user_w(world.n_gateways());
+    let base_isp =
+        cfg.power.no_sleep_isp_w_sharded(world.n_gateways(), cfg.dslam.n_cards, n_shards);
     let s = summarize(result, base_user, base_isp);
 
     // Pool completion times across repetitions for the tail quantiles.
@@ -330,9 +428,9 @@ fn make_record(
         scheme: scheme_key(spec),
         seed_index,
         seed,
-        n_gateways: topo.n_gateways(),
-        n_clients: topo.n_clients(),
-        n_flows: trace.flows.len(),
+        n_gateways: world.n_gateways(),
+        n_clients: world.n_clients(),
+        n_flows: world.n_flows(),
         mean_savings_pct: s.mean_savings_pct,
         peak_savings_pct: s.peak_savings_pct,
         mean_gateways: s.mean_gateways,
@@ -345,6 +443,25 @@ fn make_record(
         completion_p95_s: quantile(0.95),
         completed_frac: if total_flows > 0 {
             Some(done.len() as f64 / total_flows as f64)
+        } else {
+            None
+        },
+        shards: Some(n_shards),
+        shard_summaries: if n_shards > 1 {
+            Some(
+                result
+                    .shard_summaries
+                    .iter()
+                    .map(|sh| ShardRecord {
+                        n_clients: sh.n_clients,
+                        n_gateways: sh.n_gateways,
+                        n_flows: sh.n_flows,
+                        energy_kwh: insomnia_access::joules_to_kwh(sh.energy_j),
+                        mean_gateways: sh.mean_gateways,
+                        mean_wake_count: sh.mean_wake_count,
+                    })
+                    .collect(),
+            )
         } else {
             None
         },
@@ -451,6 +568,76 @@ mod tests {
         // SoI saves energy vs no-sleep in every aggregate.
         assert!(summary.rows[1].energy_kwh < summary.rows[0].energy_kwh);
         assert!(!summary.table().is_empty());
+    }
+
+    #[test]
+    fn unsharded_jsonl_schema_is_frozen() {
+        // The exact key list of the pre-shard schema: sharded fields must
+        // never leak into `shards = 1` output (byte-compat guarantee).
+        let batch = tiny_batch(1);
+        let mut buf = Vec::new();
+        run_batch(&batch, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let first: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        let keys: Vec<&str> = first.as_map().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "scenario",
+                "scheme",
+                "seed_index",
+                "seed",
+                "n_gateways",
+                "n_clients",
+                "n_flows",
+                "mean_savings_pct",
+                "peak_savings_pct",
+                "mean_gateways",
+                "peak_gateways",
+                "peak_cards",
+                "isp_share_pct",
+                "energy_kwh",
+                "mean_wake_count",
+                "completion_p50_s",
+                "completion_p95_s",
+                "completed_frac",
+            ]
+        );
+    }
+
+    #[test]
+    fn sharded_records_carry_per_shard_summaries() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.trace.n_clients = 136;
+        cfg.trace.n_aps = 20;
+        cfg.trace.horizon = insomnia_simcore::SimTime::from_hours(2);
+        cfg.repetitions = 1;
+        cfg.shards = 4;
+        let batch = BatchRun {
+            scenarios: vec![("mini-metro".into(), cfg)],
+            schemes: vec![SchemeSpec::soi()],
+            seeds: 1,
+            threads: 2,
+        };
+        let mut buf = Vec::new();
+        let summary = run_batch(&batch, &mut buf).unwrap();
+        let rec = &summary.records[0];
+        assert_eq!(rec.shards, Some(4));
+        assert_eq!(rec.n_clients, 136);
+        assert_eq!(rec.n_gateways, 20);
+        let shards = rec.shard_summaries.as_ref().unwrap();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(|s| s.n_clients).sum::<usize>(), 136);
+        assert_eq!(shards.iter().map(|s| s.n_flows).sum::<usize>(), rec.n_flows);
+        // Per-shard energies sum (approximately — each is a rounded mean)
+        // to the job total.
+        let sum_kwh: f64 = shards.iter().map(|s| s.energy_kwh).sum();
+        assert!((sum_kwh - rec.energy_kwh).abs() / rec.energy_kwh < 1e-6);
+        // And the JSONL line round-trips through the parser.
+        let text = String::from_utf8(buf).unwrap();
+        let back: JobRecord = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(back.shards, Some(4));
+        assert_eq!(back.shard_summaries.unwrap().len(), 4);
     }
 
     #[test]

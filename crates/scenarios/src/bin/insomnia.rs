@@ -7,7 +7,9 @@
 //! insomnia sweep --scenario paper-default --set bh2.low_threshold=0.05 --schemes bh2 --seeds 2
 //! ```
 
-use insomnia_scenarios::{parse_scheme_list, run_batch, BatchRun, Registry, ScenarioSpec};
+use insomnia_scenarios::{
+    compare_jsonl, parse_scheme_list, run_batch, BatchRun, Registry, ScenarioSpec,
+};
 use insomnia_simcore::{SimError, SimResult};
 use std::io::Write;
 use std::process::ExitCode;
@@ -24,15 +26,22 @@ USAGE:
 
     insomnia run [--scenario NAME[,NAME...]] [--spec FILE]
                  --schemes KEY[,KEY...] [--seeds N] [--threads N]
-                 [--out FILE] [--set dotted.key=value]... [--quick]
+                 [--shards N] [--out FILE] [--set dotted.key=value]...
+                 [--quick]
         Expand the (scenario x scheme x seed) matrix, run it in parallel,
         stream one JSON line per job (stdout, or FILE with --out) and print
-        the aggregated summary table.
+        the aggregated summary table. Per-job wall-clock and event-count
+        telemetry goes to stderr, never into the JSONL.
 
     insomnia sweep --param dotted.key --values V1,V2,...
                  [--scenario NAME] [--spec FILE]
                  --schemes KEY[,KEY...] [--seeds N] [--threads N] [--out FILE]
         Like run, but clones the scenario once per value of the swept key.
+
+    insomnia compare A.jsonl B.jsonl [--tol REL]
+        Diff two batch outputs record-by-record with a per-metric relative
+        tolerance (default 0 = byte-equivalent numbers). Exits non-zero on
+        any difference: the regression gate for algorithm changes.
 
 SCHEME KEYS:
     no-sleep  soi  soi+k  soi+full  bh2  bh2-nb  bh2+full  optimal
@@ -40,9 +49,12 @@ SCHEME KEYS:
 OPTIONS:
     --seeds N      seeds per (scenario, scheme) cell        [default: 1]
     --threads N    total thread budget, including each job's internal
-                   repetition threads (0 = all cores)       [default: 0]
+                   repetition x shard threads (0 = all cores) [default: 0]
+    --shards N     override the scenario's shard count (N independent
+                   DSLAM neighborhoods; 1 = the paper's single DSLAM)
     --quick        force repetitions <= 2 for fast smoke runs
     --set K=V      override a spec key (repeatable), e.g. --set n_clients=68
+    --tol REL      compare: per-metric relative tolerance   [default: 0]
 ";
 
 fn main() -> ExitCode {
@@ -62,6 +74,7 @@ fn dispatch(args: &[String]) -> SimResult<()> {
         Some("show") => cmd_show(&args[1..]),
         Some("run") => cmd_run(&args[1..], None),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -186,7 +199,10 @@ fn cmd_show(args: &[String]) -> SimResult<()> {
 fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
     let flags = Flags::parse(
         args,
-        &["scenario", "spec", "schemes", "seeds", "threads", "out", "set", "param", "values"],
+        &[
+            "scenario", "spec", "schemes", "seeds", "threads", "shards", "out", "set", "param",
+            "values",
+        ],
         &["quick"],
     )?;
     if sweep.is_none() && (flags.get("param").is_some() || flags.get("values").is_some()) {
@@ -236,6 +252,13 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
         if flags.has("quick") {
             cfg.repetitions = cfg.repetitions.min(2);
         }
+        if let Some(n) = flags.get("shards") {
+            cfg.shards = n.parse().map_err(|_| {
+                SimError::InvalidInput(format!("--shards expects a positive integer, got `{n}`"))
+            })?;
+            cfg.validate()
+                .map_err(|e| SimError::InvalidConfig(format!("scenario `{name}`: {e}")))?;
+        }
         scenarios.push((name.clone(), cfg));
     }
 
@@ -277,10 +300,41 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
     Ok(())
 }
 
+fn cmd_compare(args: &[String]) -> SimResult<()> {
+    let flags = Flags::parse(args, &["tol"], &[])?;
+    let [a_path, b_path] = flags.positional.as_slice() else {
+        return Err(SimError::InvalidInput(
+            "compare needs exactly two JSONL files: insomnia compare a.jsonl b.jsonl".into(),
+        ));
+    };
+    let tol: f64 = match flags.get("tol") {
+        None => 0.0,
+        Some(v) => v.parse().map_err(|_| {
+            SimError::InvalidInput(format!("--tol expects a relative tolerance, got `{v}`"))
+        })?,
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| SimError::InvalidInput(format!("read {path}: {e}")))
+    };
+    let report = compare_jsonl(a_path, &read(a_path)?, b_path, &read(b_path)?, tol)?;
+    print!("{}", report.render());
+    if report.matches() {
+        Ok(())
+    } else {
+        Err(SimError::InvalidInput(format!(
+            "{a_path} and {b_path} differ beyond relative tolerance {tol}"
+        )))
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> SimResult<()> {
     let flags = Flags::parse(
         args,
-        &["scenario", "spec", "schemes", "seeds", "threads", "out", "set", "param", "values"],
+        &[
+            "scenario", "spec", "schemes", "seeds", "threads", "shards", "out", "set", "param",
+            "values",
+        ],
         &["quick"],
     )?;
     let param = flags

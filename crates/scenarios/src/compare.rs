@@ -1,0 +1,307 @@
+//! Diffing two batch JSONL outputs — the regression gate.
+//!
+//! `insomnia compare a.jsonl b.jsonl` aligns records by their identity key
+//! (scenario, scheme, seed index) and compares every other field with a
+//! per-metric *relative* tolerance. The comparison is schema-agnostic: it
+//! walks the parsed JSON values, so new fields (e.g. the sharded runs'
+//! `shard_summaries`) are covered automatically, and a field present on
+//! one side only is always a difference.
+//!
+//! Exit semantics (used by CI): identical-within-tolerance compares return
+//! an empty diff list; anything else lists every differing metric with
+//! both values and the observed relative error.
+
+use insomnia_simcore::{SimError, SimResult};
+use serde::Value;
+
+/// One field-level difference between two aligned records.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Identity of the record (`scenario/scheme#seed_index`).
+    pub record: String,
+    /// Dotted path of the differing field inside the record.
+    pub field: String,
+    /// Value in the first file, rendered as text.
+    pub a: String,
+    /// Value in the second file, rendered as text.
+    pub b: String,
+    /// Observed relative error for numeric fields (`None` for
+    /// type/shape/string mismatches, which never pass any tolerance).
+    pub rel_err: Option<f64>,
+}
+
+/// Outcome of comparing two JSONL batch outputs.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Records aligned by identity key and compared.
+    pub compared: usize,
+    /// Differences exceeding the tolerance, in first-file record order.
+    pub diffs: Vec<MetricDiff>,
+    /// Identity keys present in exactly one of the files.
+    pub unmatched: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when both files describe the same runs within tolerance.
+    pub fn matches(&self) -> bool {
+        self.diffs.is_empty() && self.unmatched.is_empty()
+    }
+
+    /// Human-readable summary (one line per problem).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for key in &self.unmatched {
+            out.push_str(&format!("only in one file: {key}\n"));
+        }
+        for d in &self.diffs {
+            let rel = d
+                .rel_err
+                .map(|e| format!(" (rel err {e:.3e})"))
+                .unwrap_or_else(|| " (shape/type mismatch)".to_string());
+            out.push_str(&format!("{} {}: {} vs {}{rel}\n", d.record, d.field, d.a, d.b));
+        }
+        out.push_str(&format!(
+            "{} record(s) compared, {} difference(s), {} unmatched\n",
+            self.compared,
+            self.diffs.len(),
+            self.unmatched.len()
+        ));
+        out
+    }
+}
+
+/// Parses one JSONL text into `(identity key, record value)` pairs.
+fn parse_jsonl(name: &str, text: &str) -> SimResult<Vec<(String, Value)>> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| SimError::InvalidInput(format!("{name}:{}: not JSON: {e}", lineno + 1)))?;
+        let field = |k: &str| -> String {
+            match v.get(k) {
+                Some(Value::Str(s)) => s.clone(),
+                Some(Value::Int(i)) => i.to_string(),
+                _ => "?".to_string(),
+            }
+        };
+        let key = format!("{}/{}#{}", field("scenario"), field("scheme"), field("seed_index"));
+        out.push((key, v));
+    }
+    Ok(out)
+}
+
+/// Recursively compares two values, pushing differences onto `diffs`.
+fn diff_value(
+    record: &str,
+    path: &str,
+    a: &Value,
+    b: &Value,
+    tol: f64,
+    diffs: &mut Vec<MetricDiff>,
+) {
+    let render = |v: &Value| match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(x) => x.to_string(),
+        Value::Int(x) => x.to_string(),
+        Value::Float(x) => format!("{x}"),
+        Value::Str(x) => x.clone(),
+        Value::Seq(x) => format!("[{} items]", x.len()),
+        Value::Map(x) => format!("{{{} fields}}", x.len()),
+    };
+    let push = |diffs: &mut Vec<MetricDiff>, rel: Option<f64>| {
+        diffs.push(MetricDiff {
+            record: record.to_string(),
+            field: path.to_string(),
+            a: render(a),
+            b: render(b),
+            rel_err: rel,
+        });
+    };
+    let num = |v: &Value| -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    };
+    // A key present on one side only is always a difference — even when
+    // its value is `null`, which would otherwise compare equal to the
+    // substitute for "absent" (a schema regression the gate must catch).
+    let push_absent = |diffs: &mut Vec<MetricDiff>, sub: &str, present: &Value, a_side: bool| {
+        let (a, b) = if a_side {
+            (render(present), "<absent>".to_string())
+        } else {
+            ("<absent>".to_string(), render(present))
+        };
+        diffs.push(MetricDiff {
+            record: record.to_string(),
+            field: sub.to_string(),
+            a,
+            b,
+            rel_err: None,
+        });
+    };
+    match (a, b) {
+        (Value::Map(ma), Value::Map(mb)) => {
+            for (k, va) in ma {
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                match mb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => diff_value(record, &sub, va, vb, tol, diffs),
+                    None => push_absent(diffs, &sub, va, true),
+                }
+            }
+            for (k, vb) in mb {
+                if !ma.iter().any(|(ka, _)| ka == k) {
+                    let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                    push_absent(diffs, &sub, vb, false);
+                }
+            }
+        }
+        (Value::Seq(sa), Value::Seq(sb)) => {
+            if sa.len() != sb.len() {
+                push(diffs, None);
+                return;
+            }
+            for (i, (va, vb)) in sa.iter().zip(sb).enumerate() {
+                diff_value(record, &format!("{path}[{i}]"), va, vb, tol, diffs);
+            }
+        }
+        _ => match (num(a), num(b)) {
+            (Some(x), Some(y)) => {
+                let scale = x.abs().max(y.abs());
+                let rel = if scale > 0.0 { (x - y).abs() / scale } else { 0.0 };
+                if rel > tol {
+                    push(diffs, Some(rel));
+                }
+            }
+            _ => {
+                if a != b {
+                    push(diffs, None);
+                }
+            }
+        },
+    }
+}
+
+/// Compares two JSONL batch outputs with a per-metric relative tolerance.
+///
+/// `names` label the two inputs in error messages (file paths, usually).
+pub fn compare_jsonl(
+    a_name: &str,
+    a_text: &str,
+    b_name: &str,
+    b_text: &str,
+    tol: f64,
+) -> SimResult<CompareReport> {
+    if !(0.0..1.0).contains(&tol) {
+        return Err(SimError::InvalidInput(format!(
+            "relative tolerance must be in [0, 1), got {tol}"
+        )));
+    }
+    let a = parse_jsonl(a_name, a_text)?;
+    let b = parse_jsonl(b_name, b_text)?;
+    // Key → record maps give O(n log n) alignment (a 50k-line sweep grid
+    // must gate in milliseconds) and detect duplicates on insert.
+    let index = |side: &[(String, Value)]| -> SimResult<std::collections::BTreeMap<String, usize>> {
+        let mut map = std::collections::BTreeMap::new();
+        for (i, (key, _)) in side.iter().enumerate() {
+            if map.insert(key.clone(), i).is_some() {
+                return Err(SimError::InvalidInput(format!("duplicate record key `{key}`")));
+            }
+        }
+        Ok(map)
+    };
+    let a_index = index(&a)?;
+    let b_index = index(&b)?;
+    let mut diffs = Vec::new();
+    let mut unmatched = Vec::new();
+    let mut compared = 0usize;
+    for (key, va) in &a {
+        match b_index.get(key) {
+            Some(&bi) => {
+                compared += 1;
+                diff_value(key, "", va, &b[bi].1, tol, &mut diffs);
+            }
+            None => unmatched.push(key.clone()),
+        }
+    }
+    for (key, _) in &b {
+        if !a_index.contains_key(key) {
+            unmatched.push(key.clone());
+        }
+    }
+    Ok(CompareReport { compared, diffs, unmatched })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str = r#"{"scenario":"s","scheme":"soi","seed_index":0,"energy_kwh":10.0,"mean_gateways":4.5}
+{"scenario":"s","scheme":"bh2","seed_index":0,"energy_kwh":8.0,"mean_gateways":3.0}
+"#;
+
+    #[test]
+    fn identical_files_match() {
+        let r = compare_jsonl("a", A, "b", A, 0.0).unwrap();
+        assert!(r.matches(), "{}", r.render());
+        assert_eq!(r.compared, 2);
+    }
+
+    #[test]
+    fn tolerance_is_relative_and_per_metric() {
+        let b = A.replace("10.0", "10.0000001");
+        let strict = compare_jsonl("a", A, "b", &b, 0.0).unwrap();
+        assert!(!strict.matches());
+        assert_eq!(strict.diffs[0].field, "energy_kwh");
+        assert!(strict.diffs[0].rel_err.unwrap() < 1e-7);
+        let loose = compare_jsonl("a", A, "b", &b, 1e-6).unwrap();
+        assert!(loose.matches(), "{}", loose.render());
+    }
+
+    #[test]
+    fn missing_records_and_fields_are_reported() {
+        let (first, _) = A.split_once('\n').unwrap();
+        let r = compare_jsonl("a", A, "b", first, 0.0).unwrap();
+        assert!(!r.matches());
+        assert_eq!(r.unmatched, vec!["s/bh2#0".to_string()]);
+
+        let extra = A.replace(r#""mean_gateways":4.5}"#, r#""mean_gateways":4.5,"shards":4}"#);
+        let r = compare_jsonl("a", A, "b", &extra, 0.5).unwrap();
+        assert!(!r.matches(), "added fields are differences");
+        assert_eq!(r.diffs[0].field, "shards");
+    }
+
+    #[test]
+    fn null_valued_field_is_not_equal_to_missing_field() {
+        // `completion_p50_s: null` is a real schema field (Option::None);
+        // dropping the field entirely is a schema regression the gate must
+        // flag even though null == null.
+        let with_null = r#"{"scenario":"s","scheme":"opt","seed_index":0,"completion_p50_s":null}"#;
+        let without = r#"{"scenario":"s","scheme":"opt","seed_index":0}"#;
+        let r = compare_jsonl("a", with_null, "b", without, 0.5).unwrap();
+        assert!(!r.matches(), "missing field must differ from null field");
+        assert_eq!(r.diffs[0].field, "completion_p50_s");
+        assert_eq!(r.diffs[0].b, "<absent>");
+    }
+
+    #[test]
+    fn nested_shard_summaries_are_compared() {
+        let a = r#"{"scenario":"m","scheme":"soi","seed_index":0,"shards":2,"shard_summaries":[{"energy_kwh":1.0},{"energy_kwh":2.0}]}"#;
+        let b = a.replace(r#"{"energy_kwh":2.0}"#, r#"{"energy_kwh":3.0}"#);
+        let r = compare_jsonl("a", a, "b", &b, 1e-9).unwrap();
+        assert!(!r.matches());
+        assert_eq!(r.diffs[0].field, "shard_summaries[1].energy_kwh");
+        assert!((r.diffs[0].rel_err.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage_inputs() {
+        assert!(compare_jsonl("a", "not json\n", "b", A, 0.0).is_err());
+        assert!(compare_jsonl("a", A, "b", A, 1.5).is_err(), "tolerance over 1");
+        let dup = format!("{}{}", A, A.lines().next().unwrap());
+        assert!(compare_jsonl("a", &dup, "b", A, 0.0).is_err(), "duplicate keys");
+    }
+}

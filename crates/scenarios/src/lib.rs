@@ -4,7 +4,7 @@
 //! the layer that turns "one hard-coded §5.1 evaluation" into "as many
 //! scenarios as you can imagine, run as fast as the hardware allows".
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`spec`] — a declarative scenario description ([`ScenarioSpec`],
 //!   TOML + serde) covering every knob of
@@ -15,23 +15,28 @@
 //!   the paper's default plus dense-urban, rural-sparse, flash-crowd,
 //!   weekend-diurnal and a no-wireless-sharing control,
 //! * [`batch`] — a parallel batch runner ([`BatchRun`]) that expands a
-//!   (scenario × scheme × seed) matrix into jobs, executes them on a
-//!   worker pool with per-job deterministic RNG streams, streams one JSON
-//!   line per job in job order (byte-identical at any thread count), and
-//!   aggregates a summary table.
+//!   (scenario × scheme × seed) matrix into jobs over sharded worlds
+//!   (`shards` axis: N independent DSLAM neighborhoods per scenario),
+//!   executes them on a worker pool with per-job deterministic RNG
+//!   streams, streams one JSON line per job in job order (byte-identical
+//!   at any thread count), and aggregates a summary table,
+//! * [`compare`] — the regression gate: diff two batch JSONL outputs with
+//!   a per-metric relative tolerance.
 //!
 //! The `insomnia` binary (`src/bin/insomnia.rs`) puts `list`, `show`,
-//! `run` and `sweep` subcommands on top.
+//! `run`, `sweep` and `compare` subcommands on top.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod compare;
 pub mod registry;
 pub mod schemes;
 pub mod spec;
 
-pub use batch::{run_batch, BatchRun, BatchSummary, JobRecord, SummaryRow};
+pub use batch::{run_batch, BatchRun, BatchSummary, JobRecord, ShardRecord, SummaryRow};
+pub use compare::{compare_jsonl, CompareReport, MetricDiff};
 pub use registry::{Preset, Registry};
 pub use schemes::{parse_scheme, parse_scheme_list, scheme_key};
 pub use spec::{Bh2Spec, ScenarioSpec, SurgeSpec};

@@ -117,6 +117,27 @@ topology = "binomial"
 mean_networks_in_range = 1.0
 "#,
                 ),
+                // Each of the 64 shards is one dense-urban-like DSLAM
+                // neighborhood (1600 clients / 200 gateways on a 20 x 10
+                // port DSLAM); minute-level sampling and a single
+                // repetition keep a 10^5-client day tractable.
+                preset(
+                    "dense-metro",
+                    "metro aggregation area: 64 DSLAM neighborhoods, 102400 clients sharing wireless",
+                    r#"
+n_clients = 102400
+n_aps = 12800
+shards = 64
+n_cards = 20
+ports_per_card = 10
+k_switch = 4
+mean_networks_in_range = 7.0
+rate_scale = 1.2
+always_on_frac = 0.12
+sample_period_s = 60.0
+repetitions = 1
+"#,
+                ),
             ],
         }
     }
@@ -222,6 +243,22 @@ mod tests {
         assert!(crowd.trace.surge.is_some());
         let weekend = r.resolve("weekend-diurnal").unwrap();
         assert_eq!(weekend.trace.profile, insomnia_traffic::DiurnalKind::Weekend);
+    }
+
+    #[test]
+    fn dense_metro_is_a_six_figure_sharded_scenario() {
+        let cfg = Registry::builtin().resolve("dense-metro").unwrap();
+        assert!(cfg.trace.n_clients >= 100_000, "got {}", cfg.trace.n_clients);
+        assert!(cfg.shards >= 64, "got {}", cfg.shards);
+        // Every shard fits its DSLAM and the topology pair budget.
+        cfg.validate().unwrap();
+        // All other presets stay on the paper's single DSLAM.
+        for p in Registry::builtin().presets() {
+            if p.name != "dense-metro" {
+                let c = Registry::builtin().resolve(p.name).unwrap();
+                assert_eq!(c.shards, 1, "{} must stay unsharded", p.name);
+            }
+        }
     }
 
     #[test]

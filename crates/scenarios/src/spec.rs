@@ -112,6 +112,9 @@ pub struct ScenarioSpec {
     pub optimal_period_s: Option<f64>,
     /// Metric sampling period, seconds (paper: 1).
     pub sample_period_s: Option<f64>,
+    /// Independent DSLAM-neighborhood shards the population splits over
+    /// (1 = the paper's single-DSLAM world).
+    pub shards: Option<usize>,
     /// Repetitions averaged per job (paper: 10).
     pub repetitions: Option<usize>,
     /// Master seed (per-batch-job seeds derive from it).
@@ -239,6 +242,7 @@ impl ScenarioSpec {
         set(&mut cfg.q_max_utilization, &self.q_max_utilization);
         set_duration(&mut cfg.optimal_period, &self.optimal_period_s);
         set_duration(&mut cfg.sample_period, &self.sample_period_s);
+        set(&mut cfg.shards, &self.shards);
         set(&mut cfg.repetitions, &self.repetitions);
         set(&mut cfg.seed, &self.seed);
 
@@ -293,6 +297,7 @@ impl ScenarioSpec {
             q_max_utilization: Some(cfg.q_max_utilization),
             optimal_period_s: Some(cfg.optimal_period.as_secs_f64()),
             sample_period_s: Some(cfg.sample_period.as_secs_f64()),
+            shards: Some(cfg.shards),
             repetitions: Some(cfg.repetitions),
             seed: Some(cfg.seed),
             bh2: Some(Bh2Spec {

@@ -8,9 +8,12 @@
 //! * a millisecond-granular simulation clock ([`SimTime`], [`SimDuration`]),
 //! * a pending-event queue with stable FIFO tie-breaking and lazy
 //!   cancellation ([`EventQueue`]) plus the driver loop ([`Scheduler`]),
-//! * reproducible randomness with named sub-streams ([`SimRng`]), and
+//! * reproducible randomness with named sub-streams ([`SimRng`]),
 //! * the statistics primitives every experiment reports through
-//!   ([`Welford`], [`TimeWeighted`], [`Histogram`], [`Cdf`], [`BinSeries`]).
+//!   ([`Welford`], [`TimeWeighted`], [`Histogram`], [`Cdf`], [`BinSeries`]),
+//!   and
+//! * deterministic index-addressed fan-out ([`par_map_indexed`]) for the
+//!   layers above that run independent shards/repetitions/jobs in parallel.
 //!
 //! ## Design notes
 //!
@@ -48,6 +51,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod series;
@@ -56,6 +60,7 @@ pub mod time;
 
 pub use engine::Scheduler;
 pub use error::{SimError, SimResult};
+pub use par::{default_threads, par_map_indexed};
 pub use queue::{EventQueue, EventToken};
 pub use rng::{SimRng, SplitMix64};
 pub use series::{average_runs, downsample_mean, BinSeries};

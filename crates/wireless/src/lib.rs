@@ -11,7 +11,9 @@
 //! * [`virtualnic`] — the FatVAP/THEMIS TDMA model of a single virtualized
 //!   radio (100 ms period, 60% to the selected gateway),
 //! * [`seqnum`] — passive load estimation from 802.11 MAC sequence numbers,
-//! * [`estimator`] — byte-based sliding-window load tracking.
+//! * [`estimator`] — byte-based sliding-window load tracking,
+//! * [`shard`] — splitting one scenario's population into independent
+//!   DSLAM-neighborhood shards, each with its own (small) topology.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +23,7 @@ pub mod channel;
 pub mod degree;
 pub mod estimator;
 pub mod seqnum;
+pub mod shard;
 pub mod topology;
 pub mod virtualnic;
 
@@ -29,5 +32,8 @@ pub use channel::ChannelModel;
 pub use degree::{household_degree_sequence, is_graphical, prescribed_degree_graph, Graph};
 pub use estimator::LoadWindow;
 pub use seqnum::{SeqCounter, SeqNumEstimator, SEQ_MODULUS};
+pub use shard::{
+    max_per_shard, min_per_shard, shard_spans, topology_pair_count, ShardSpan, MAX_TOPOLOGY_PAIRS,
+};
 pub use topology::{Link, Topology};
 pub use virtualnic::TdmaSchedule;

@@ -1,0 +1,157 @@
+//! Shard planning: splitting one scenario's client/gateway population into
+//! independent DSLAM neighborhoods.
+//!
+//! The paper evaluates a single DSLAM's neighborhood (40 gateways, 272
+//! clients), but its energy argument is about the whole access network. A
+//! *shard* is one such neighborhood: an independent trace, overlap
+//! topology and DSLAM, simulated on its own event loop. Wireless sharing
+//! never crosses a shard boundary — exactly as a household cannot reach a
+//! gateway wired into a DSLAM across town — so per-shard topologies
+//! replace one global adjacency and the quadratic topology cost becomes
+//! linear in the shard count.
+
+use insomnia_simcore::{SimError, SimResult};
+
+/// Budget on `clients × gateways` reachability pairs one shard may
+/// enumerate. The overlap builder, the BH2 candidate scans and the Optimal
+/// re-solve all walk per-client gateway lists, so the pair count is the
+/// unit of topology work; past ~10⁸ pairs a single shard stops being "a
+/// neighborhood" and the run silently stalls instead of finishing.
+/// Validation rejects such configs and points at the `shards` axis.
+pub const MAX_TOPOLOGY_PAIRS: u64 = 1 << 27;
+
+/// Number of client × gateway pairs a shard's topology enumerates, or
+/// `None` when the product overflows `u64` (absurdly oversized configs
+/// must not wrap around into "looks fine").
+pub fn topology_pair_count(n_clients: usize, n_gateways: usize) -> Option<u64> {
+    (n_clients as u64).checked_mul(n_gateways as u64)
+}
+
+/// One shard's slice of the global client and gateway populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// Clients simulated in this shard.
+    pub n_clients: usize,
+    /// Gateways (DSLAM ports in use) in this shard.
+    pub n_gateways: usize,
+    /// Global index of this shard's first client (client `c` of the shard
+    /// is global client `client_offset + c`).
+    pub client_offset: usize,
+    /// Global index of this shard's first gateway.
+    pub gateway_offset: usize,
+}
+
+/// Splits `n_clients` clients and `n_gateways` gateways over `n_shards`
+/// independent neighborhoods, spreading remainders over the leading shards
+/// so shard sizes differ by at most one.
+///
+/// Every shard must end up with at least one client and one gateway;
+/// thinner splits are configuration errors, not degenerate worlds.
+pub fn shard_spans(
+    n_clients: usize,
+    n_gateways: usize,
+    n_shards: usize,
+) -> SimResult<Vec<ShardSpan>> {
+    if n_shards == 0 {
+        return Err(SimError::InvalidConfig("need at least one shard".into()));
+    }
+    if n_clients < n_shards {
+        return Err(SimError::InvalidConfig(format!(
+            "{n_clients} clients cannot fill {n_shards} shards"
+        )));
+    }
+    if n_gateways < n_shards {
+        return Err(SimError::InvalidConfig(format!(
+            "{n_gateways} gateways cannot fill {n_shards} shards"
+        )));
+    }
+    let mut spans = Vec::with_capacity(n_shards);
+    let (mut client_offset, mut gateway_offset) = (0usize, 0usize);
+    for s in 0..n_shards {
+        let clients = n_clients / n_shards + usize::from(s < n_clients % n_shards);
+        let gateways = n_gateways / n_shards + usize::from(s < n_gateways % n_shards);
+        spans.push(ShardSpan {
+            n_clients: clients,
+            n_gateways: gateways,
+            client_offset,
+            gateway_offset,
+        });
+        client_offset += clients;
+        gateway_offset += gateways;
+    }
+    Ok(spans)
+}
+
+/// Largest per-shard count of a population split the [`shard_spans`] way
+/// (remainder over the leading shards) — the bound a per-shard resource
+/// check must use, e.g. gateways against DSLAM ports.
+pub fn max_per_shard(n: usize, n_shards: usize) -> usize {
+    n / n_shards.max(1) + usize::from(!n.is_multiple_of(n_shards.max(1)))
+}
+
+/// Smallest per-shard count of a [`shard_spans`] split — the bound a
+/// per-shard minimum must use, e.g. gateways against the topology
+/// generator's floor.
+pub fn min_per_shard(n: usize, n_shards: usize) -> usize {
+    n / n_shards.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_everything_exactly_once() {
+        let spans = shard_spans(272, 40, 4).unwrap();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans.iter().map(|s| s.n_clients).sum::<usize>(), 272);
+        assert_eq!(spans.iter().map(|s| s.n_gateways).sum::<usize>(), 40);
+        let mut client_cursor = 0;
+        let mut gw_cursor = 0;
+        for s in &spans {
+            assert_eq!(s.client_offset, client_cursor);
+            assert_eq!(s.gateway_offset, gw_cursor);
+            client_cursor += s.n_clients;
+            gw_cursor += s.n_gateways;
+        }
+    }
+
+    #[test]
+    fn remainders_spread_over_leading_shards() {
+        let spans = shard_spans(10, 7, 3).unwrap();
+        assert_eq!(spans.iter().map(|s| s.n_clients).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(spans.iter().map(|s| s.n_gateways).collect::<Vec<_>>(), vec![3, 2, 2]);
+        // The bounds helpers agree with the realized split, clients and
+        // gateways alike.
+        assert_eq!(max_per_shard(10, 3), 4);
+        assert_eq!(min_per_shard(10, 3), 3);
+        assert_eq!(max_per_shard(7, 3), 3);
+        assert_eq!(min_per_shard(7, 3), 2);
+        assert_eq!(max_per_shard(8, 4), 2);
+        assert_eq!(min_per_shard(8, 4), 2);
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_world() {
+        let spans = shard_spans(272, 40, 1).unwrap();
+        assert_eq!(
+            spans,
+            vec![ShardSpan { n_clients: 272, n_gateways: 40, client_offset: 0, gateway_offset: 0 }]
+        );
+    }
+
+    #[test]
+    fn rejects_unfillable_splits() {
+        assert!(shard_spans(3, 40, 4).is_err(), "fewer clients than shards");
+        assert!(shard_spans(272, 3, 4).is_err(), "fewer gateways than shards");
+        assert!(shard_spans(10, 10, 0).is_err());
+    }
+
+    #[test]
+    fn pair_count_checks_overflow() {
+        assert_eq!(topology_pair_count(272, 40), Some(10_880));
+        assert_eq!(topology_pair_count(usize::MAX, 2), None);
+        assert!(topology_pair_count(100_000, 12_800).unwrap() > MAX_TOPOLOGY_PAIRS);
+        assert!(topology_pair_count(1_600, 200).unwrap() < MAX_TOPOLOGY_PAIRS);
+    }
+}

@@ -29,6 +29,8 @@ fn run(cfg: &ScenarioConfig, spec: SchemeSpec, label: &str) {
         completion_s: vec![r.completion_s],
         gateway_online_s: vec![r.gateway_online_s],
         mean_wake_count: 0.0,
+        events: r.events,
+        shard_summaries: Vec::new(),
     };
     let base_user = cfg.power.no_sleep_user_w(topo.n_gateways());
     let base_isp = cfg.power.no_sleep_isp_w(topo.n_gateways(), cfg.dslam.n_cards);

@@ -53,6 +53,8 @@ fn main() {
             completion_s: vec![run.completion_s],
             gateway_online_s: vec![run.gateway_online_s],
             mean_wake_count: 0.0,
+            events: run.events,
+            shard_summaries: Vec::new(),
         };
         let s = summarize(&result, base_user, base_isp);
         println!(

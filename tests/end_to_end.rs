@@ -25,6 +25,8 @@ fn wrap(run: insomnia::core::RunResult, spec: SchemeSpec) -> SchemeResult {
         completion_s: vec![run.completion_s],
         gateway_online_s: vec![run.gateway_online_s],
         mean_wake_count: 0.0,
+        events: run.events,
+        shard_summaries: Vec::new(),
     }
 }
 

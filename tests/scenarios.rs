@@ -3,7 +3,9 @@
 //! guarantee (byte-identical JSONL regardless of thread count).
 
 use insomnia::core::{ScenarioConfig, SchemeSpec, TopologyKind};
-use insomnia::scenarios::{parse_scheme_list, run_batch, BatchRun, Registry, ScenarioSpec};
+use insomnia::scenarios::{
+    compare_jsonl, parse_scheme_list, run_batch, BatchRun, Registry, ScenarioSpec,
+};
 use insomnia::simcore::SimTime;
 
 #[test]
@@ -128,6 +130,69 @@ fn batch_results_reproduce_the_papers_ordering_everywhere_sharing_exists() {
         assert!(row("soi").energy_kwh < row("no-sleep").energy_kwh, "{scenario}");
         assert!(row("bh2").mean_gateways <= row("soi").mean_gateways + 0.3, "{scenario}");
     }
+}
+
+fn sharded_batch(shards: usize, threads: usize) -> BatchRun {
+    let mut cfg = ScenarioConfig::default();
+    cfg.trace.n_clients = 136;
+    cfg.trace.n_aps = 20;
+    cfg.trace.horizon = SimTime::from_hours(2);
+    cfg.repetitions = 2;
+    cfg.shards = shards;
+    BatchRun {
+        scenarios: vec![("mini-metro".into(), cfg)],
+        schemes: parse_scheme_list("soi,bh2").unwrap(),
+        seeds: 2,
+        threads,
+    }
+}
+
+#[test]
+fn sharded_batch_jsonl_is_byte_identical_across_thread_counts() {
+    let mut single = Vec::new();
+    run_batch(&sharded_batch(4, 1), &mut single).unwrap();
+    for threads in [2, 8] {
+        let mut multi = Vec::new();
+        run_batch(&sharded_batch(4, threads), &mut multi).unwrap();
+        assert_eq!(single, multi, "sharded JSONL must not depend on threads (= {threads})");
+    }
+    let text = String::from_utf8(single).unwrap();
+    assert_eq!(text.lines().count(), 4);
+    for line in text.lines() {
+        assert!(line.contains("\"shards\":4"), "sharded records carry the axis: {line}");
+        assert!(line.contains("\"shard_summaries\":["), "and per-shard summaries: {line}");
+    }
+}
+
+#[test]
+fn unsharded_runs_never_leak_shard_fields() {
+    let mut out = Vec::new();
+    run_batch(&sharded_batch(1, 0), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    for line in text.lines() {
+        assert!(!line.contains("shard"), "shards = 1 must keep the pre-shard schema: {line}");
+    }
+}
+
+#[test]
+fn compare_gates_batch_outputs() {
+    let mut a = Vec::new();
+    run_batch(&sharded_batch(4, 0), &mut a).unwrap();
+    let a = String::from_utf8(a).unwrap();
+
+    // Identical runs pass at zero tolerance.
+    let same = compare_jsonl("a", &a, "b", &a, 0.0).unwrap();
+    assert!(same.matches(), "{}", same.render());
+
+    // A different shard split is a different world: the gate must trip and
+    // name real metrics.
+    let mut b = Vec::new();
+    run_batch(&sharded_batch(2, 0), &mut b).unwrap();
+    let b = String::from_utf8(b).unwrap();
+    let diff = compare_jsonl("a", &a, "b", &b, 1e-6).unwrap();
+    assert!(!diff.matches());
+    assert!(diff.diffs.iter().any(|d| d.field == "shards"));
+    assert!(diff.diffs.iter().any(|d| d.field == "energy_kwh"));
 }
 
 #[test]
