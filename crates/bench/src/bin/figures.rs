@@ -22,8 +22,23 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains("all") {
         wanted = [
-            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10",
-            "fig12", "fig14", "fig15", "cards", "summary", "ablation",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "fig10",
+            "fig12",
+            "fig14",
+            "fig15",
+            "cards",
+            "completion",
+            "summary",
+            "ablation",
         ]
         .into_iter()
         .map(String::from)
@@ -32,7 +47,7 @@ fn main() {
 
     let h = if quick { Harness::quick() } else { Harness::paper() };
     let seed = h.scenario.seed;
-    let needs_main = ["fig6", "fig7", "fig8", "fig9a", "fig9b", "cards", "summary"]
+    let needs_main = ["fig6", "fig7", "fig8", "fig9a", "fig9b", "cards", "completion", "summary"]
         .iter()
         .any(|f| wanted.contains(*f));
     let runs = if needs_main {
@@ -65,6 +80,7 @@ fn main() {
             }
             "fig15" => outputs.push(fig::fig15(seed)),
             "cards" => outputs.push(fig::cards_table(runs.as_ref().expect("main"))),
+            "completion" => outputs.push(fig::completion_table(runs.as_ref().expect("main"))),
             "ablation" => outputs.push(fig::ablation(&h)),
             "summary" => outputs.push(fig::summary(runs.as_ref().expect("main"))),
             other => eprintln!("unknown figure: {other}"),

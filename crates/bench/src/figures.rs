@@ -420,6 +420,44 @@ pub fn fig15(seed: u64) -> FigureData {
     t
 }
 
+/// Completion-time quantile table per scheme, read from the merged
+/// streaming sketches (`CompletionStats`) rather than per-flow vectors —
+/// the figure backend works unchanged at mega-city scale, where only the
+/// sketch survives. The `exact` column is 1 while the pooled flow count
+/// sits under the scenario's `completion_cutoff` (all paper presets).
+pub fn completion_table(runs: &MainRuns) -> FigureData {
+    let mut t = FigureData::new(
+        "completion",
+        "flow completion-time quantiles per scheme [s] (streaming sketch)",
+        vec![
+            "p25".into(),
+            "p50".into(),
+            "p75".into(),
+            "p90".into(),
+            "p95".into(),
+            "p99".into(),
+            "exact".into(),
+        ],
+    );
+    let entries: Vec<(&str, &SchemeResult)> = vec![
+        ("no-sleep", &runs.no_sleep),
+        ("soi", &runs.soi),
+        ("soi+k", &runs.soi_k),
+        ("bh2+k", &runs.bh2_k),
+        ("bh2-nb+k", &runs.bh2_nb_k),
+        ("bh2+full", &runs.bh2_full),
+    ];
+    let mut labels = Vec::new();
+    for (name, r) in entries {
+        let Some(q) = insomnia_core::completion_quantiles(&r.pooled_completion()) else {
+            continue;
+        };
+        labels.push(name.to_string());
+        t.push_row(vec![q.p25, q.p50, q.p75, q.p90, q.p95, q.p99, f64::from(u8::from(q.exact))]);
+    }
+    t.with_row_labels(labels)
+}
+
 /// §5.2.3's table: average online line cards during peak hours.
 pub fn cards_table(runs: &MainRuns) -> FigureData {
     let mut t = FigureData::new(

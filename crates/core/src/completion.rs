@@ -1,0 +1,210 @@
+//! Completion-time accounting with bounded memory.
+//!
+//! The paper's Fig. 9a is a distribution statement over per-flow completion
+//! times. Storing one `Option<f64>` per trace flow is fine for the §5.1
+//! building (2 × 10⁵ flows) but caps sharded worlds near the 10⁵-client
+//! `dense-metro` preset; a mega-city day generates 10⁸ flows. This module
+//! wraps the [`QuantileSketch`] in the flow-aware bookkeeping the driver
+//! needs:
+//!
+//! * every completed flow streams into the sketch (exact below the
+//!   scenario's [`completion_cutoff`](crate::ScenarioConfig::completion_cutoff),
+//!   `O(buckets)` log-bucket counters above it),
+//! * the per-flow vector behind the Fig. 9a *pairing* (matching the same
+//!   trace flow across schemes) is retained only while the flow count fits
+//!   under the cutoff — exactly the runs where exact semantics are
+//!   promised,
+//! * merging (across shards, then across repetitions) concatenates
+//!   per-flow vectors while they fit and degrades to sketch-only exactly
+//!   when a single run over the pooled samples would have.
+
+use insomnia_simcore::QuantileSketch;
+
+/// Completion-time statistics of one run (or a merge of runs).
+#[derive(Debug, Clone)]
+pub struct CompletionStats {
+    /// Trace flows the run was driven by (completed or not).
+    total_flows: u64,
+    /// Streaming sketch over completed-flow durations, seconds.
+    sketch: QuantileSketch,
+    /// Per-flow samples (`None` = unfinished by the horizon), indexed by
+    /// trace-flow position; retained only while `total_flows` fits under
+    /// the sketch cutoff.
+    per_flow: Option<Vec<Option<f64>>>,
+}
+
+impl CompletionStats {
+    /// Accounting for a run over `n_flows` trace flows with the given
+    /// exact-mode cutoff (`0` = sketch-only from the first sample).
+    pub fn new(n_flows: usize, cutoff: usize) -> Self {
+        CompletionStats {
+            total_flows: n_flows as u64,
+            sketch: QuantileSketch::new(cutoff),
+            per_flow: (n_flows <= cutoff).then(|| vec![None; n_flows]),
+        }
+    }
+
+    /// Wraps an existing per-flow vector (tests and single-run adapters).
+    pub fn from_samples(samples: Vec<Option<f64>>, cutoff: usize) -> Self {
+        let mut stats = CompletionStats::new(samples.len(), cutoff);
+        for (idx, s) in samples.into_iter().enumerate() {
+            if let Some(secs) = s {
+                stats.record(idx, secs);
+            }
+        }
+        stats
+    }
+
+    /// Records the completion of trace flow `trace_idx` after `secs`.
+    ///
+    /// Non-finite or negative durations are dropped from *both* views
+    /// (and are loud in debug builds): the sketch already ignores them,
+    /// and a per-flow entry the sketch never counted would silently skew
+    /// `completed_frac` against the Fig. 9a pairing.
+    pub fn record(&mut self, trace_idx: usize, secs: f64) {
+        debug_assert!(
+            secs.is_finite() && secs >= 0.0,
+            "completion time must be a finite non-negative duration, got {secs}"
+        );
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        self.sketch.push(secs);
+        if let Some(v) = &mut self.per_flow {
+            v[trace_idx] = Some(secs);
+        }
+    }
+
+    /// Merges another run's accounting into this one. Per-flow vectors
+    /// concatenate in call order (shard order, then repetition order — the
+    /// layout the Fig. 9a pairing relies on) while the combined flow count
+    /// fits under the cutoff; otherwise the merge is sketch-only.
+    pub fn absorb(&mut self, other: CompletionStats) {
+        self.total_flows += other.total_flows;
+        self.sketch.merge(&other.sketch);
+        self.per_flow = match (self.per_flow.take(), other.per_flow) {
+            (Some(mut a), Some(b)) if self.total_flows <= self.sketch.cutoff() as u64 => {
+                a.extend(b);
+                Some(a)
+            }
+            _ => None,
+        };
+    }
+
+    /// Pools a slice of per-repetition stats into one aggregate.
+    pub fn pooled(reps: &[CompletionStats]) -> CompletionStats {
+        let mut iter = reps.iter();
+        let Some(first) = iter.next() else {
+            return CompletionStats::new(0, 0);
+        };
+        let mut out = first.clone();
+        for r in iter {
+            out.absorb(r.clone());
+        }
+        out
+    }
+
+    /// Trace flows driven (completed + unfinished).
+    pub fn total_flows(&self) -> u64 {
+        self.total_flows
+    }
+
+    /// Flows that completed by the horizon.
+    pub fn completed(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// Completed fraction; `None` when the run drove no flows.
+    pub fn completed_frac(&self) -> Option<f64> {
+        if self.total_flows == 0 {
+            None
+        } else {
+            Some(self.completed() as f64 / self.total_flows as f64)
+        }
+    }
+
+    /// True while quantiles are exact (raw samples below the cutoff).
+    pub fn is_exact(&self) -> bool {
+        self.sketch.is_exact()
+    }
+
+    /// Completion-time quantiles, seconds; `None` entries when no flow
+    /// completed. See [`QuantileSketch::quantiles`] for the rank rule.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Option<f64>> {
+        self.sketch.quantiles(qs)
+    }
+
+    /// Single quantile, seconds.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.sketch.quantile(q)
+    }
+
+    /// Per-flow completion times when retained (small runs); `None` once
+    /// the flow count crossed the cutoff and only the sketch survives.
+    pub fn per_flow(&self) -> Option<&[Option<f64>]> {
+        self.per_flow.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_runs_retain_per_flow_samples() {
+        let mut s = CompletionStats::new(4, 100);
+        s.record(2, 1.5);
+        s.record(0, 0.5);
+        assert_eq!(s.total_flows(), 4);
+        assert_eq!(s.completed(), 2);
+        assert_eq!(s.completed_frac(), Some(0.5));
+        assert!(s.is_exact());
+        assert_eq!(s.per_flow(), Some(&[Some(0.5), None, Some(1.5), None][..]));
+        assert_eq!(s.quantile(1.0), Some(1.5));
+    }
+
+    #[test]
+    fn zero_cutoff_never_retains() {
+        let mut s = CompletionStats::new(3, 0);
+        s.record(1, 2.0);
+        assert!(s.per_flow().is_none());
+        assert!(!s.is_exact());
+        assert_eq!(s.completed(), 1);
+    }
+
+    #[test]
+    fn absorb_concatenates_until_the_cutoff() {
+        let mut a = CompletionStats::from_samples(vec![Some(1.0), None], 8);
+        let b = CompletionStats::from_samples(vec![Some(3.0)], 8);
+        a.absorb(b);
+        assert_eq!(a.total_flows(), 3);
+        assert_eq!(a.per_flow(), Some(&[Some(1.0), None, Some(3.0)][..]));
+
+        // Crossing the cutoff drops the vector but keeps the counts.
+        let big = CompletionStats::from_samples(vec![Some(0.1); 6], 8);
+        a.absorb(big);
+        assert_eq!(a.total_flows(), 9);
+        assert!(a.per_flow().is_none());
+        assert_eq!(a.completed(), 8);
+    }
+
+    #[test]
+    fn pooled_matches_sequential_absorbs() {
+        let reps: Vec<CompletionStats> = (0..3)
+            .map(|r| {
+                CompletionStats::from_samples(
+                    (0..5).map(|i| Some((r * 5 + i) as f64 * 0.1)).collect(),
+                    1_000,
+                )
+            })
+            .collect();
+        let pooled = CompletionStats::pooled(&reps);
+        assert_eq!(pooled.total_flows(), 15);
+        assert_eq!(pooled.completed(), 15);
+        assert_eq!(pooled.quantile(0.0), Some(0.0));
+        assert_eq!(pooled.quantile(1.0), Some(14.0 * 0.1));
+        let empty = CompletionStats::pooled(&[]);
+        assert_eq!(empty.total_flows(), 0);
+        assert_eq!(empty.completed_frac(), None);
+    }
+}

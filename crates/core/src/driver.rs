@@ -13,6 +13,7 @@
 //! and the metric sampler. The simulation starts with every gateway asleep.
 
 use crate::bh2::{decide, Bh2Decision, VisibleGateway};
+use crate::completion::CompletionStats;
 use crate::config::{ScenarioConfig, TopologyKind};
 use crate::flows::FlowEngine;
 use crate::optimal::{solve, SolverInput};
@@ -89,10 +90,11 @@ pub struct RunResult {
     pub isp_power_w: Vec<f64>,
     /// Energy breakdown over the whole day.
     pub energy: EnergyBreakdown,
-    /// Completion time (seconds from request) per trace flow; `None` if the
-    /// flow had not completed by the horizon (or the scheme does not
+    /// Completion-time accounting: a streaming quantile sketch, plus the
+    /// raw per-flow samples while the run's flow count fits under
+    /// `cfg.completion_cutoff` (none complete when the scheme does not
     /// simulate flows, e.g. Optimal).
-    pub completion_s: Vec<Option<f64>>,
+    pub completion: CompletionStats,
     /// Powered seconds per gateway (Fig. 9b fairness input).
     pub gateway_online_s: Vec<f64>,
     /// Wake cycles per gateway.
@@ -126,7 +128,7 @@ struct World<'a> {
     pending: Vec<Vec<PendingFlow>>,
     /// Outstanding idle-check token per gateway.
     idle_token: Vec<Option<insomnia_simcore::EventToken>>,
-    completion_s: Vec<Option<f64>>,
+    completion: CompletionStats,
     powered_series: Vec<f64>,
     cards_series: Vec<f64>,
     user_w_series: Vec<f64>,
@@ -316,7 +318,7 @@ pub fn run_single(
         return_pending: vec![false; topo.n_clients()],
         pending: vec![Vec::new(); n_gw],
         idle_token: vec![None; n_gw],
-        completion_s: vec![None; trace.flows.len()],
+        completion: CompletionStats::new(trace.flows.len(), cfg.completion_cutoff),
         powered_series: vec![0.0; n_samples],
         cards_series: vec![0.0; n_samples],
         user_w_series: vec![0.0; n_samples],
@@ -362,7 +364,7 @@ pub fn run_single(
         user_power_w: world.user_w_series,
         isp_power_w: world.isp_w_series,
         energy,
-        completion_s: world.completion_s,
+        completion: world.completion,
         gateway_online_s: world.gateways.iter().map(|g| g.online_seconds()).collect(),
         wake_counts: world.gateways.iter().map(|g| g.wake_count()).collect(),
         stats: world.stats,
@@ -390,7 +392,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
             let moved = w.engine.advance(gw, now);
             w.deposit(now, gw, moved);
             for done in w.engine.take_completed(gw) {
-                w.completion_s[done.trace_idx] = Some((now - done.arrival).as_secs_f64());
+                w.completion.record(done.trace_idx, (now - done.arrival).as_secs_f64());
             }
             w.resync_gateway(s, now, gw);
         }
@@ -601,9 +603,10 @@ pub struct SchemeResult {
     pub isp_power_w: Vec<f64>,
     /// Mean energy breakdown over the day.
     pub energy: EnergyBreakdown,
-    /// Per-repetition completion times (for pooled CDFs); shards
-    /// concatenated in shard order within each repetition.
-    pub completion_s: Vec<Vec<Option<f64>>>,
+    /// Per-repetition completion accounting, shards merged in shard order
+    /// within each repetition (per-flow vectors retained only under the
+    /// scenario's `completion_cutoff` — the Fig. 9a pairing input).
+    pub completion: Vec<CompletionStats>,
     /// Per-repetition per-gateway online seconds; gateway `g` of shard `s`
     /// sits at `s`'s gateway offset + `g`.
     pub gateway_online_s: Vec<Vec<f64>>,
@@ -638,6 +641,54 @@ impl SchemeResult {
     pub fn total_power_w(&self) -> Vec<f64> {
         self.user_power_w.iter().zip(&self.isp_power_w).map(|(u, i)| u + i).collect()
     }
+
+    /// Pools the completion accounting of every repetition — the input to
+    /// the JSONL tail quantiles. Exact (byte-identical to sorting the
+    /// pooled per-flow samples) while the pooled flow count stays under
+    /// the scenario's `completion_cutoff`.
+    pub fn pooled_completion(&self) -> CompletionStats {
+        CompletionStats::pooled(&self.completion)
+    }
+
+    /// Wraps one [`run_single`] outcome as a single-repetition
+    /// [`SchemeResult`] — the adapter examples and tests use to feed the
+    /// metric pipelines without the full runner.
+    pub fn from_single(spec: SchemeSpec, run: RunResult) -> SchemeResult {
+        let n_gw = run.gateway_online_s.len().max(1);
+        SchemeResult {
+            spec,
+            sample_period_s: run.sample_period_s,
+            powered_gateways: run.powered_gateways,
+            awake_cards: run.awake_cards,
+            user_power_w: run.user_power_w,
+            isp_power_w: run.isp_power_w,
+            energy: run.energy,
+            completion: vec![run.completion],
+            gateway_online_s: vec![run.gateway_online_s],
+            mean_wake_count: run.wake_counts.iter().sum::<u64>() as f64 / n_gw as f64,
+            events: run.events,
+            shard_summaries: Vec::new(),
+        }
+    }
+}
+
+/// One finished `(repetition × shard)` task, reported to the progress
+/// observer of [`run_scheme_sharded_observed`] as soon as its event loop
+/// drains — the shard-level heartbeat hour-long batches print to stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskProgress {
+    /// Repetition index of the finished task.
+    pub rep: usize,
+    /// Shard index of the finished task.
+    pub shard: usize,
+    /// Shards per repetition.
+    pub n_shards: usize,
+    /// Tasks finished so far, including this one.
+    pub finished: usize,
+    /// Total `(repetition × shard)` tasks of the scheme run.
+    pub total: usize,
+    /// Scheduler events the finished task delivered.
+    pub events: u64,
 }
 
 /// Builds the scenario's trace and topology from the master seed. Shared
@@ -800,7 +851,7 @@ fn merge_shard_runs(mut runs: Vec<RunResult>) -> RunResult {
             *acc += v;
         }
         merged.energy = merged.energy.plus(&r.energy);
-        merged.completion_s.extend(r.completion_s);
+        merged.completion.absorb(r.completion);
         merged.gateway_online_s.extend(r.gateway_online_s);
         merged.wake_counts.extend(r.wake_counts);
         merged.stats = add_stats(merged.stats, r.stats);
@@ -848,7 +899,7 @@ pub fn run_scheme_seeded(
     topo: &Topology,
     seed: u64,
 ) -> SchemeResult {
-    run_scheme_shards(cfg, spec, &[(trace, topo)], seed, default_threads())
+    run_scheme_shards(cfg, spec, &[(trace, topo)], seed, default_threads(), &|_| {})
 }
 
 /// Runs all repetitions of one scheme over every shard of a
@@ -867,7 +918,23 @@ pub fn run_scheme_sharded(
     seed: u64,
     max_threads: usize,
 ) -> SchemeResult {
-    run_scheme_shards(cfg, spec, &world.as_refs(), seed, max_threads)
+    run_scheme_shards(cfg, spec, &world.as_refs(), seed, max_threads, &|_| {})
+}
+
+/// [`run_scheme_sharded`] with a shard-level progress observer: `observe`
+/// is called from the worker thread the moment each `(repetition × shard)`
+/// task's event loop drains. Observers must be cheap and thread-safe (the
+/// batch runner's prints one stderr line); they cannot affect the result,
+/// which stays bit-identical to the unobserved run.
+pub fn run_scheme_sharded_observed(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    world: &ShardedWorld,
+    seed: u64,
+    max_threads: usize,
+    observe: &(dyn Fn(TaskProgress) + Sync),
+) -> SchemeResult {
+    run_scheme_shards(cfg, spec, &world.as_refs(), seed, max_threads, observe)
 }
 
 fn run_scheme_shards(
@@ -876,10 +943,12 @@ fn run_scheme_shards(
     worlds: &[(&Trace, &Topology)],
     seed: u64,
     max_threads: usize,
+    observe: &(dyn Fn(TaskProgress) + Sync),
 ) -> SchemeResult {
     let master = SimRng::new(seed);
     let n_shards = worlds.len();
     let n_tasks = cfg.repetitions * n_shards;
+    let finished = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<RunResult> = par_map_indexed(n_tasks, max_threads, |i| {
         let (rep, sh) = (i / n_shards, i % n_shards);
         let rng = if n_shards == 1 {
@@ -888,7 +957,16 @@ fn run_scheme_shards(
             master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
         };
         let (trace, topo) = worlds[sh];
-        run_single(cfg, spec, trace, topo, rng)
+        let result = run_single(cfg, spec, trace, topo, rng);
+        observe(TaskProgress {
+            rep,
+            shard: sh,
+            n_shards,
+            finished: finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1,
+            total: n_tasks,
+            events: result.events,
+        });
+        result
     });
 
     let k = cfg.repetitions as f64;
@@ -939,7 +1017,7 @@ fn run_scheme_shards(
         user_w.push(r.user_power_w);
         isp_w.push(r.isp_power_w);
         energy = energy.plus(&r.energy);
-        completions.push(r.completion_s);
+        completions.push(r.completion);
         online_s.push(r.gateway_online_s);
         wakes += r.wake_counts.iter().sum::<u64>() as f64 / n_gateways as f64;
         events += r.events;
@@ -957,7 +1035,7 @@ fn run_scheme_shards(
             cards_j: energy.cards_j / k,
             shelf_j: energy.shelf_j / k,
         },
-        completion_s: completions,
+        completion: completions,
         gateway_online_s: online_s,
         mean_wake_count: wakes / k,
         events,
@@ -1025,11 +1103,12 @@ mod tests {
             base.energy.total_j()
         );
         // Most flows complete under both.
-        let done = |r: &RunResult| r.completion_s.iter().filter(|c| c.is_some()).count();
+        let done = |r: &RunResult| r.completion.completed();
         assert!(done(&soi) as f64 > 0.9 * done(&base) as f64);
         // No-sleep completions are never slower than SoI on average.
         let mean = |r: &RunResult| {
-            let xs: Vec<f64> = r.completion_s.iter().flatten().copied().collect();
+            let xs: Vec<f64> =
+                r.completion.per_flow().expect("retained").iter().flatten().copied().collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         assert!(mean(&soi) >= mean(&base) - 1e-9);
@@ -1074,7 +1153,8 @@ mod tests {
         let b = run_single(&cfg, SchemeSpec::bh2_k_switch(), &trace, &topo, SimRng::new(7));
         assert_eq!(a.energy.total_j(), b.energy.total_j());
         assert_eq!(a.powered_gateways, b.powered_gateways);
-        assert_eq!(a.completion_s, b.completion_s);
+        assert_eq!(a.completion.per_flow(), b.completion.per_flow());
+        assert!(a.completion.per_flow().is_some(), "small run retains per-flow samples");
     }
 
     #[test]
@@ -1097,7 +1177,7 @@ mod tests {
         let mut cfg = quick_cfg();
         cfg.repetitions = 2;
         let res = run_scheme(&cfg, SchemeSpec::soi());
-        assert_eq!(res.completion_s.len(), 2);
+        assert_eq!(res.completion.len(), 2);
         assert_eq!(res.gateway_online_s.len(), 2);
         assert!(!res.powered_gateways.is_empty());
         assert!(res.events > 0, "telemetry counts the event loop");
@@ -1135,7 +1215,10 @@ mod tests {
         let b = run_scheme_sharded(&cfg, SchemeSpec::bh2_k_switch(), &world, 7, 4);
         assert_eq!(a.energy.total_j(), b.energy.total_j());
         assert_eq!(a.powered_gateways, b.powered_gateways);
-        assert_eq!(a.completion_s, b.completion_s);
+        for (ca, cb) in a.completion.iter().zip(&b.completion) {
+            assert_eq!(ca.per_flow(), cb.per_flow());
+            assert_eq!(ca.quantiles(&[0.5, 0.95]), cb.quantiles(&[0.5, 0.95]));
+        }
         assert_eq!(a.mean_wake_count, b.mean_wake_count);
     }
 
@@ -1150,7 +1233,10 @@ mod tests {
         let parallel = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, 5, 8);
         assert_eq!(serial.energy.total_j(), parallel.energy.total_j());
         assert_eq!(serial.powered_gateways, parallel.powered_gateways);
-        assert_eq!(serial.completion_s, parallel.completion_s);
+        for (ca, cb) in serial.completion.iter().zip(&parallel.completion) {
+            assert_eq!(ca.per_flow(), cb.per_flow());
+            assert_eq!(ca.quantiles(&[0.5, 0.95]), cb.quantiles(&[0.5, 0.95]));
+        }
         assert_eq!(serial.events, parallel.events);
     }
 
@@ -1164,13 +1250,61 @@ mod tests {
             assert!((p - 20.0).abs() < 1e-9, "all 20 gateways across 4 shards powered, got {p}");
         }
         assert_eq!(r.gateway_online_s[0].len(), 20);
-        assert_eq!(r.completion_s[0].len(), world.n_flows());
+        assert_eq!(r.completion[0].total_flows() as usize, world.n_flows());
+        assert_eq!(
+            r.completion[0].per_flow().expect("small world retains samples").len(),
+            world.n_flows()
+        );
         assert_eq!(r.shard_summaries.len(), 4);
         assert_eq!(r.shard_summaries.iter().map(|s| s.n_clients).sum::<usize>(), 136);
         assert_eq!(r.shard_summaries.iter().map(|s| s.n_flows).sum::<usize>(), world.n_flows());
         // Four shards mean four DSLAM shelves in the energy ledger.
         let shelf_j = cfg.power.shelf_w * cfg.horizon().as_secs_f64();
         assert!((r.energy.shelf_j - 4.0 * shelf_j).abs() < 1.0);
+    }
+
+    #[test]
+    fn observed_runs_report_every_task_and_change_nothing() {
+        let cfg = sharded_cfg(4);
+        let world = build_sharded_world_seeded(&cfg, 21);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let observed = run_scheme_sharded_observed(&cfg, SchemeSpec::soi(), &world, 21, 2, &|p| {
+            seen.lock().unwrap().push((p.rep, p.shard, p.finished, p.total, p.events));
+        });
+        let plain = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, 21, 2);
+        assert_eq!(observed.energy.total_j(), plain.energy.total_j());
+        assert_eq!(observed.powered_gateways, plain.powered_gateways);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), cfg.repetitions * 4, "one report per (rep x shard) task");
+        assert!(seen.iter().all(|&(rep, sh, _, total, ev)| {
+            rep < cfg.repetitions && sh < 4 && total == cfg.repetitions * 4 && ev > 0
+        }));
+        let mut finished: Vec<usize> = seen.iter().map(|&(_, _, f, _, _)| f).collect();
+        finished.sort_unstable();
+        assert_eq!(finished, (1..=seen.len()).collect::<Vec<_>>(), "monotone completion counter");
+    }
+
+    #[test]
+    fn streaming_cutoff_drops_per_flow_but_keeps_quantiles_close() {
+        let mut cfg = sharded_cfg(1);
+        let exact =
+            run_scheme_sharded(&cfg, SchemeSpec::soi(), &build_sharded_world_seeded(&cfg, 9), 9, 2);
+        cfg.completion_cutoff = 0;
+        let streamed =
+            run_scheme_sharded(&cfg, SchemeSpec::soi(), &build_sharded_world_seeded(&cfg, 9), 9, 2);
+        let e = exact.pooled_completion();
+        let s = streamed.pooled_completion();
+        assert!(e.per_flow().is_some() && e.is_exact());
+        assert!(s.per_flow().is_none() && !s.is_exact());
+        assert_eq!(e.completed(), s.completed(), "counts are exact in both tiers");
+        let bound = insomnia_simcore::QuantileSketch::relative_error_bound();
+        for q in [0.25, 0.5, 0.95] {
+            let (ev, sv) = (e.quantile(q).unwrap(), s.quantile(q).unwrap());
+            assert!(
+                (sv - ev).abs() <= bound * ev.abs() + 1e-12,
+                "q {q}: streamed {sv} vs exact {ev}"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bh2;
+pub mod completion;
 pub mod config;
 pub mod density;
 pub mod driver;
@@ -21,17 +22,20 @@ pub mod sensitivity;
 pub mod testbed;
 
 pub use bh2::{decide, Bh2Decision, VisibleGateway};
-pub use config::{Bh2Params, ScenarioConfig, TopologyKind};
+pub use completion::CompletionStats;
+pub use config::{Bh2Params, ScenarioConfig, TopologyKind, DEFAULT_COMPLETION_CUTOFF};
 pub use density::{density_sweep, DensityPoint};
 pub use driver::{
     build_sharded_world, build_sharded_world_seeded, build_world, build_world_seeded,
     build_world_shard, run_scheme, run_scheme_on, run_scheme_seeded, run_scheme_sharded,
-    run_single, DriverStats, RunResult, SchemeResult, ShardSummary, ShardedWorld,
+    run_scheme_sharded_observed, run_single, DriverStats, RunResult, SchemeResult, ShardSummary,
+    ShardedWorld, TaskProgress,
 };
 pub use extrapolate::WorldModel;
 pub use metrics::{
-    completion_variation_cdf, fraction_affected, hourly_means, isp_share_percent_series,
-    online_time_variation_cdf, savings_percent_series, summarize, window_mean, SchemeSummary,
+    completion_quantiles, completion_variation_cdf, fraction_affected, hourly_means,
+    isp_share_percent_series, online_time_variation_cdf, savings_percent_series, summarize,
+    window_mean, CompletionQuantiles, SchemeSummary,
 };
 pub use optimal::{solve, SolverInput, SolverOutput};
 pub use report::FigureData;

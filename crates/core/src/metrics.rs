@@ -7,6 +7,7 @@
 //! * Fig. 9b — CDF of gateway online-time variation vs SoI (fairness),
 //! * §5.2.3 — average online line cards in the peak window.
 
+use crate::completion::CompletionStats;
 use crate::driver::SchemeResult;
 use insomnia_simcore::Cdf;
 
@@ -57,9 +58,19 @@ pub fn window_mean(series: &[f64], sample_period_s: f64, from_h: f64, to_h: f64)
 /// Fig. 9a: CDF of percent increase in flow completion time vs the no-sleep
 /// baseline, pooled over repetitions. Only flows that completed under both
 /// schemes (matched by trace index and repetition) contribute.
+///
+/// The pairing needs the per-flow samples, which the driver retains while
+/// the flow count sits under the scenario's `completion_cutoff` (every
+/// paper preset). Repetitions past the retention cutoff — mega-city-scale
+/// runs, where only the quantile sketch survives — contribute nothing: a
+/// per-flow join across schemes is exactly the memory the streaming model
+/// exists to avoid.
 pub fn completion_variation_cdf(scheme: &SchemeResult, baseline: &SchemeResult) -> Cdf {
     let mut samples = Vec::new();
-    for (rep_s, rep_b) in scheme.completion_s.iter().zip(&baseline.completion_s) {
+    for (rep_s, rep_b) in scheme.completion.iter().zip(&baseline.completion) {
+        let (Some(rep_s), Some(rep_b)) = (rep_s.per_flow(), rep_b.per_flow()) else {
+            continue;
+        };
         for (s, b) in rep_s.iter().zip(rep_b) {
             if let (Some(s), Some(b)) = (s, b) {
                 if *b > 0.0 {
@@ -69,6 +80,51 @@ pub fn completion_variation_cdf(scheme: &SchemeResult, baseline: &SchemeResult) 
         }
     }
     Cdf::from_samples(samples)
+}
+
+/// The fixed quantile grid the JSONL and figure backends report for
+/// completion times, read from a (merged) [`CompletionStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionQuantiles {
+    /// True when the quantiles are exact (pooled samples under the
+    /// cutoff); false when they come from the log-bucket sketch
+    /// (≤ 0.55 % relative error).
+    pub exact: bool,
+    /// Flows that completed by the horizon.
+    pub completed: u64,
+    /// 25th-percentile completion time, seconds.
+    pub p25: f64,
+    /// Median completion time, seconds.
+    pub p50: f64,
+    /// 75th percentile, seconds.
+    pub p75: f64,
+    /// 90th percentile, seconds.
+    pub p90: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+}
+
+/// Reads the reporting quantile grid out of pooled completion stats.
+/// `None` when no flow completed (e.g. the Optimal scheme).
+pub fn completion_quantiles(pooled: &CompletionStats) -> Option<CompletionQuantiles> {
+    let qs = pooled.quantiles(&[0.25, 0.5, 0.75, 0.9, 0.95, 0.99]);
+    match (qs[0], qs[1], qs[2], qs[3], qs[4], qs[5]) {
+        (Some(p25), Some(p50), Some(p75), Some(p90), Some(p95), Some(p99)) => {
+            Some(CompletionQuantiles {
+                exact: pooled.is_exact(),
+                completed: pooled.completed(),
+                p25,
+                p50,
+                p75,
+                p90,
+                p95,
+                p99,
+            })
+        }
+        _ => None,
+    }
 }
 
 /// Fraction of flows whose completion time increased by more than
@@ -169,7 +225,10 @@ mod tests {
             user_power_w: power.clone(),
             isp_power_w: vec![0.0; n],
             energy: Default::default(),
-            completion_s: completion,
+            completion: completion
+                .into_iter()
+                .map(|rep| CompletionStats::from_samples(rep, 1_000))
+                .collect(),
             gateway_online_s: online,
             mean_wake_count: 0.0,
             events: 0,
@@ -219,6 +278,31 @@ mod tests {
         assert_eq!(cdf.len(), 1);
         assert_eq!(cdf.quantile(1.0), Some(100.0));
         assert!((fraction_affected(&scheme, &base, 5.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_quantiles_read_from_pooled_stats() {
+        let scheme =
+            fake_result(vec![vec![Some(1.0), Some(2.0), Some(3.0), None]], vec![vec![]], vec![1.0]);
+        let q = completion_quantiles(&scheme.pooled_completion()).unwrap();
+        assert!(q.exact);
+        assert_eq!(q.completed, 3);
+        assert_eq!(q.p50, 2.0);
+        assert_eq!(q.p99, 3.0);
+        // No completions (the Optimal scheme) → no quantiles.
+        let none = fake_result(vec![vec![None, None]], vec![vec![]], vec![1.0]);
+        assert!(completion_quantiles(&none.pooled_completion()).is_none());
+    }
+
+    #[test]
+    fn variation_cdf_skips_sketch_only_repetitions() {
+        let mut scheme = fake_result(vec![vec![Some(2.0)]], vec![vec![]], vec![1.0]);
+        let mut base = fake_result(vec![vec![Some(1.0)]], vec![vec![]], vec![1.0]);
+        assert_eq!(completion_variation_cdf(&scheme, &base).len(), 1);
+        // A zero-cutoff (mega-city style) repetition has no per-flow join.
+        scheme.completion = vec![CompletionStats::from_samples(vec![Some(2.0)], 0)];
+        base.completion = vec![CompletionStats::from_samples(vec![Some(1.0)], 0)];
+        assert!(completion_variation_cdf(&scheme, &base).is_empty());
     }
 
     #[test]

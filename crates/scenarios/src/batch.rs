@@ -20,8 +20,8 @@
 
 use crate::schemes::scheme_key;
 use insomnia_core::{
-    build_world_shard, run_scheme_sharded, summarize, ScenarioConfig, SchemeResult, SchemeSpec,
-    ShardedWorld,
+    build_world_shard, completion_quantiles, run_scheme_sharded_observed, summarize,
+    ScenarioConfig, SchemeResult, SchemeSpec, ShardedWorld,
 };
 use insomnia_simcore::{par_map_indexed, SimError, SimResult, SimRng};
 use serde::{Deserialize, Serialize, Value};
@@ -46,6 +46,30 @@ pub struct BatchRun {
     /// repetitions), so the number of concurrent jobs is the budget
     /// divided by the widest scenario's repetition count.
     pub threads: usize,
+}
+
+/// Completion-time quantile grid inside a sharded [`JobRecord`] — read
+/// from the merged streaming sketch (exact while the pooled flow count
+/// fits under the scenario's `completion_cutoff`, ≤ 0.55 % relative error
+/// past it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantileRecord {
+    /// True when the quantiles are exact (pooled raw samples).
+    pub exact: bool,
+    /// Flows that completed by the horizon.
+    pub completed: u64,
+    /// 25th-percentile completion time, seconds.
+    pub p25: f64,
+    /// Median completion time, seconds.
+    pub p50: f64,
+    /// 75th percentile, seconds.
+    pub p75: f64,
+    /// 90th percentile, seconds.
+    pub p90: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
 }
 
 /// Per-shard summary inside a sharded [`JobRecord`].
@@ -114,6 +138,10 @@ pub struct JobRecord {
     pub shards: Option<usize>,
     /// Per-shard summaries, in shard order (only present when sharded).
     pub shard_summaries: Option<Vec<ShardRecord>>,
+    /// Completion-time quantile grid from the merged sketch (only present
+    /// when sharded — the unsharded schema is frozen; `null` inside a
+    /// sharded record when no flow completed, e.g. under Optimal).
+    pub completion_quantiles: Option<QuantileRecord>,
 }
 
 impl Serialize for JobRecord {
@@ -144,6 +172,7 @@ impl Serialize for JobRecord {
         if self.shards.unwrap_or(1) > 1 {
             m.push(("shards".into(), self.shards.to_value()));
             m.push(("shard_summaries".into(), self.shard_summaries.to_value()));
+            m.push(("completion_quantiles".into(), self.completion_quantiles.to_value()));
         }
         Value::Map(m)
     }
@@ -385,7 +414,19 @@ fn run_job(
     let world = &worlds[si * batch.seeds + ki];
     let seed = job_seed(cfg.seed, ki);
     let started = Instant::now();
-    let result = run_scheme_sharded(cfg, spec, world, seed, max_threads);
+    // Shard-level heartbeat for hour-long sharded jobs: one stderr line
+    // per finished (repetition × shard) event loop, straight from the
+    // worker thread. Unsharded jobs stay silent; the JSONL is untouched.
+    let scheme = scheme_key(spec);
+    let observe = move |p: insomnia_core::TaskProgress| {
+        if p.n_shards > 1 {
+            eprintln!(
+                "# shard {}/{} seed {}: rep {} shard {}/{} done ({}/{} tasks, {} events)",
+                name, scheme, ki, p.rep, p.shard, p.n_shards, p.finished, p.total, p.events,
+            );
+        }
+    };
+    let result = run_scheme_sharded_observed(cfg, spec, world, seed, max_threads, &observe);
     let telemetry = JobTelemetry {
         wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
         events: result.events,
@@ -409,19 +450,13 @@ fn make_record(
         cfg.power.no_sleep_isp_w_sharded(world.n_gateways(), cfg.dslam.n_cards, n_shards);
     let s = summarize(result, base_user, base_isp);
 
-    // Pool completion times across repetitions for the tail quantiles.
-    let mut done: Vec<f64> =
-        result.completion_s.iter().flat_map(|rep| rep.iter().flatten().copied()).collect();
-    done.sort_by(|a, b| a.partial_cmp(b).expect("finite completion times"));
-    let total_flows: usize = result.completion_s.iter().map(Vec::len).sum();
-    let quantile = |q: f64| -> Option<f64> {
-        if done.is_empty() {
-            None
-        } else {
-            let idx = ((done.len() - 1) as f64 * q).round() as usize;
-            Some(done[idx])
-        }
-    };
+    // Pool completion accounting across repetitions for the tail
+    // quantiles. Exact mode reproduces the historical sort-and-index
+    // bytes; past the cutoff the merged sketch answers instead. One grid
+    // query serves the frozen p50/p95 fields and the sharded quantile
+    // record (a single sort of the pooled samples in exact mode).
+    let pooled = result.pooled_completion();
+    let grid = completion_quantiles(&pooled);
 
     JobRecord {
         scenario: scenario.to_string(),
@@ -439,13 +474,9 @@ fn make_record(
         isp_share_pct: s.isp_share_pct,
         energy_kwh: insomnia_access::joules_to_kwh(result.energy.total_j()),
         mean_wake_count: result.mean_wake_count,
-        completion_p50_s: quantile(0.5),
-        completion_p95_s: quantile(0.95),
-        completed_frac: if total_flows > 0 {
-            Some(done.len() as f64 / total_flows as f64)
-        } else {
-            None
-        },
+        completion_p50_s: grid.as_ref().map(|g| g.p50),
+        completion_p95_s: grid.as_ref().map(|g| g.p95),
+        completed_frac: pooled.completed_frac(),
         shards: Some(n_shards),
         shard_summaries: if n_shards > 1 {
             Some(
@@ -465,6 +496,16 @@ fn make_record(
         } else {
             None
         },
+        completion_quantiles: grid.map(|q| QuantileRecord {
+            exact: q.exact,
+            completed: q.completed,
+            p25: q.p25,
+            p50: q.p50,
+            p75: q.p75,
+            p90: q.p90,
+            p95: q.p95,
+            p99: q.p99,
+        }),
     }
 }
 
@@ -633,11 +674,21 @@ mod tests {
         // to the job total.
         let sum_kwh: f64 = shards.iter().map(|s| s.energy_kwh).sum();
         assert!((sum_kwh - rec.energy_kwh).abs() / rec.energy_kwh < 1e-6);
+        // Sharded records carry the streaming quantile grid; this small
+        // world sits under the cutoff, so it is exact and consistent with
+        // the frozen p50/p95 fields.
+        let q = rec.completion_quantiles.as_ref().unwrap();
+        assert!(q.exact);
+        assert_eq!(Some(q.p50), rec.completion_p50_s);
+        assert_eq!(Some(q.p95), rec.completion_p95_s);
+        assert!(q.p25 <= q.p50 && q.p50 <= q.p75 && q.p75 <= q.p90 && q.p90 <= q.p99);
+        assert_eq!(q.completed as f64 / rec.n_flows as f64, rec.completed_frac.unwrap());
         // And the JSONL line round-trips through the parser.
         let text = String::from_utf8(buf).unwrap();
         let back: JobRecord = serde_json::from_str(text.lines().next().unwrap()).unwrap();
         assert_eq!(back.shards, Some(4));
         assert_eq!(back.shard_summaries.unwrap().len(), 4);
+        assert!(back.completion_quantiles.unwrap().exact);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! ```
 
 use insomnia_scenarios::{
-    compare_jsonl, parse_scheme_list, run_batch, BatchRun, Registry, ScenarioSpec,
+    check_rss_budget, compare_jsonl, parse_scheme_list, peak_rss_mib, run_batch, BatchRun,
+    Registry, ScenarioSpec,
 };
 use insomnia_simcore::{SimError, SimResult};
 use std::io::Write;
@@ -27,11 +28,12 @@ USAGE:
     insomnia run [--scenario NAME[,NAME...]] [--spec FILE]
                  --schemes KEY[,KEY...] [--seeds N] [--threads N]
                  [--shards N] [--out FILE] [--set dotted.key=value]...
-                 [--quick]
+                 [--quick] [--max-rss-mib N]
         Expand the (scenario x scheme x seed) matrix, run it in parallel,
         stream one JSON line per job (stdout, or FILE with --out) and print
         the aggregated summary table. Per-job wall-clock and event-count
-        telemetry goes to stderr, never into the JSONL.
+        telemetry plus a shard-level progress heartbeat for sharded worlds
+        go to stderr, never into the JSONL.
 
     insomnia sweep --param dotted.key --values V1,V2,...
                  [--scenario NAME] [--spec FILE]
@@ -54,6 +56,9 @@ OPTIONS:
                    DSLAM neighborhoods; 1 = the paper's single DSLAM)
     --quick        force repetitions <= 2 for fast smoke runs
     --set K=V      override a spec key (repeatable), e.g. --set n_clients=68
+    --max-rss-mib N  fail the run if peak resident memory (VmHWM from
+                   /proc/self/status) exceeds N MiB — the CI memory gate
+                   for streaming-quantile scenarios like mega-city
     --tol REL      compare: per-metric relative tolerance   [default: 0]
 ";
 
@@ -200,8 +205,17 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
     let flags = Flags::parse(
         args,
         &[
-            "scenario", "spec", "schemes", "seeds", "threads", "shards", "out", "set", "param",
+            "scenario",
+            "spec",
+            "schemes",
+            "seeds",
+            "threads",
+            "shards",
+            "out",
+            "set",
+            "param",
             "values",
+            "max-rss-mib",
         ],
         &["quick"],
     )?;
@@ -297,6 +311,22 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
         }
     };
     eprint!("\n{}", summary.table());
+    match flags.get("max-rss-mib") {
+        Some(v) => {
+            let budget: f64 = v.parse().map_err(|_| {
+                SimError::InvalidInput(format!("--max-rss-mib expects MiB, got `{v}`"))
+            })?;
+            match check_rss_budget(budget)? {
+                Some(peak) => eprintln!("# peak RSS {peak:.0} MiB (budget {budget:.0} MiB)"),
+                None => eprintln!("# peak RSS unavailable on this platform; budget not enforced"),
+            }
+        }
+        None => {
+            if let Some(peak) = peak_rss_mib() {
+                eprintln!("# peak RSS {peak:.0} MiB");
+            }
+        }
+    }
     Ok(())
 }
 
@@ -332,8 +362,17 @@ fn cmd_sweep(args: &[String]) -> SimResult<()> {
     let flags = Flags::parse(
         args,
         &[
-            "scenario", "spec", "schemes", "seeds", "threads", "shards", "out", "set", "param",
+            "scenario",
+            "spec",
+            "schemes",
+            "seeds",
+            "threads",
+            "shards",
+            "out",
+            "set",
+            "param",
             "values",
+            "max-rss-mib",
         ],
         &["quick"],
     )?;

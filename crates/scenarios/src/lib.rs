@@ -13,7 +13,9 @@
 //!   (`base = "rural-sparse"`),
 //! * [`registry`] — the built-in preset catalogue ([`Registry`]), shipping
 //!   the paper's default plus dense-urban, rural-sparse, flash-crowd,
-//!   weekend-diurnal and a no-wireless-sharing control,
+//!   weekend-diurnal, a no-wireless-sharing control, and the sharded
+//!   dense-metro (10⁵ clients) and mega-city (10⁶ clients, streaming
+//!   completion quantiles) scale presets,
 //! * [`batch`] — a parallel batch runner ([`BatchRun`]) that expands a
 //!   (scenario × scheme × seed) matrix into jobs over sharded worlds
 //!   (`shards` axis: N independent DSLAM neighborhoods per scenario),
@@ -32,11 +34,15 @@
 pub mod batch;
 pub mod compare;
 pub mod registry;
+pub mod rss;
 pub mod schemes;
 pub mod spec;
 
-pub use batch::{run_batch, BatchRun, BatchSummary, JobRecord, ShardRecord, SummaryRow};
+pub use batch::{
+    run_batch, BatchRun, BatchSummary, JobRecord, QuantileRecord, ShardRecord, SummaryRow,
+};
 pub use compare::{compare_jsonl, CompareReport, MetricDiff};
 pub use registry::{Preset, Registry};
+pub use rss::{check_rss_budget, peak_rss_mib};
 pub use schemes::{parse_scheme, parse_scheme_list, scheme_key};
 pub use spec::{Bh2Spec, ScenarioSpec, SurgeSpec};

@@ -138,6 +138,30 @@ sample_period_s = 60.0
 repetitions = 1
 "#,
                 ),
+                // 256 dense-metro-class neighborhoods (4000 clients / 500
+                // gateways on a 64 x 8 port DSLAM each). `completion_cutoff
+                // = 0` streams every completion time into the per-shard
+                // quantile sketch from the first flow: completion-metric
+                // memory is O(shards x buckets) instead of one sample per
+                // flow — the knob that makes 10^6 clients fit.
+                preset(
+                    "mega-city",
+                    "mega-city scale: 256 DSLAM neighborhoods, 1.02M clients, streaming quantiles",
+                    r#"
+n_clients = 1024000
+n_aps = 128000
+shards = 256
+n_cards = 64
+ports_per_card = 8
+k_switch = 4
+mean_networks_in_range = 7.0
+rate_scale = 1.2
+always_on_frac = 0.12
+sample_period_s = 60.0
+repetitions = 1
+completion_cutoff = 0
+"#,
+                ),
             ],
         }
     }
@@ -252,11 +276,32 @@ mod tests {
         assert!(cfg.shards >= 64, "got {}", cfg.shards);
         // Every shard fits its DSLAM and the topology pair budget.
         cfg.validate().unwrap();
-        // All other presets stay on the paper's single DSLAM.
+        // All presets below metro scale stay on the paper's single DSLAM.
         for p in Registry::builtin().presets() {
-            if p.name != "dense-metro" {
+            if p.name != "dense-metro" && p.name != "mega-city" {
                 let c = Registry::builtin().resolve(p.name).unwrap();
                 assert_eq!(c.shards, 1, "{} must stay unsharded", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mega_city_is_a_seven_figure_streaming_scenario() {
+        let cfg = Registry::builtin().resolve("mega-city").unwrap();
+        assert!(cfg.trace.n_clients >= 1_000_000, "got {}", cfg.trace.n_clients);
+        assert_eq!(cfg.shards, 256);
+        assert_eq!(cfg.completion_cutoff, 0, "mega-city must never retain per-flow samples");
+        cfg.validate().unwrap();
+        // Every smaller preset keeps the exact completion memory model.
+        for p in Registry::builtin().presets() {
+            if p.name != "mega-city" {
+                let c = Registry::builtin().resolve(p.name).unwrap();
+                assert_eq!(
+                    c.completion_cutoff,
+                    insomnia_core::DEFAULT_COMPLETION_CUTOFF,
+                    "{} must stay exact",
+                    p.name
+                );
             }
         }
     }

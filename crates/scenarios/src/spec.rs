@@ -119,6 +119,11 @@ pub struct ScenarioSpec {
     pub repetitions: Option<usize>,
     /// Master seed (per-batch-job seeds derive from it).
     pub seed: Option<u64>,
+    /// Completion-metric memory model: raw per-flow samples (exact
+    /// quantiles) while the pooled flow count stays at or below this
+    /// cutoff, streaming log-bucket sketch above it. `0` = always stream
+    /// (the mega-city setting). Default: 4 Mi samples.
+    pub completion_cutoff: Option<usize>,
     /// BH2 overrides.
     pub bh2: Option<Bh2Spec>,
 }
@@ -245,6 +250,7 @@ impl ScenarioSpec {
         set(&mut cfg.shards, &self.shards);
         set(&mut cfg.repetitions, &self.repetitions);
         set(&mut cfg.seed, &self.seed);
+        set(&mut cfg.completion_cutoff, &self.completion_cutoff);
 
         if let Some(b) = &self.bh2 {
             let p: &mut Bh2Params = &mut cfg.bh2;
@@ -300,6 +306,7 @@ impl ScenarioSpec {
             shards: Some(cfg.shards),
             repetitions: Some(cfg.repetitions),
             seed: Some(cfg.seed),
+            completion_cutoff: Some(cfg.completion_cutoff),
             bh2: Some(Bh2Spec {
                 low_threshold: Some(cfg.bh2.low_threshold),
                 high_threshold: Some(cfg.bh2.high_threshold),

@@ -64,5 +64,5 @@ pub use par::{default_threads, par_map_indexed};
 pub use queue::{EventQueue, EventToken};
 pub use rng::{SimRng, SplitMix64};
 pub use series::{average_runs, downsample_mean, BinSeries};
-pub use stats::{Cdf, Histogram, TimeWeighted, Welford};
+pub use stats::{Cdf, Histogram, QuantileSketch, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};

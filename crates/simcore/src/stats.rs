@@ -1,10 +1,12 @@
 //! Statistics primitives: streaming moments, time-weighted signals,
-//! histograms with explicit bin edges, and empirical CDFs.
+//! histograms with explicit bin edges, empirical CDFs, and the streaming
+//! quantile sketch behind million-flow completion metrics.
 //!
 //! These are the building blocks behind every number the harness reports:
 //! energy = time-integral of power ([`TimeWeighted::integral`]), Fig. 4 is a
 //! [`Histogram`] with the paper's custom gap bins, Fig. 9 is a pair of
-//! [`Cdf`]s, and so on.
+//! [`Cdf`]s, completion-time quantiles at 10⁶-client scale come from a
+//! [`QuantileSketch`], and so on.
 
 use serde::{Deserialize, Serialize};
 
@@ -297,6 +299,204 @@ impl Cdf {
     }
 }
 
+/// Smallest positive value the sketch's log buckets resolve, seconds.
+///
+/// The simulation clock is millisecond-granular, so completion times are
+/// either exactly zero or at least 1 ms; everything below `BUCKET_X0` lands
+/// in the dedicated zero bucket and is reported as `0.0` (exactly).
+const BUCKET_X0: f64 = 1e-3;
+
+/// Log-bucket resolution: buckets per doubling. `2^(1/64)` growth bounds
+/// the relative quantile error at `2^(1/128) - 1 ≈ 0.55 %`.
+const BUCKETS_PER_DOUBLING: f64 = 64.0;
+
+/// Largest bucket index the sketch will allocate: covers values up to
+/// `BUCKET_X0 · 2^(MAX_BUCKET/64)` ≈ 10⁷ s (115 days — far beyond any
+/// simulation horizon); larger values clamp into the top bucket.
+const MAX_BUCKET: usize = 2_127;
+
+/// A deterministic streaming quantile sketch for completion times.
+///
+/// Below a configurable sample-count `cutoff` the sketch stores the raw
+/// samples and answers quantiles *exactly* (identical to sorting the pooled
+/// samples); past the cutoff it spills into fixed logarithmic buckets with
+/// a guaranteed relative error of at most [`QuantileSketch::relative_error_bound`].
+/// Memory is `O(min(count, cutoff) + buckets)` — a mega-city run with 10⁸
+/// flows holds ~2 k bucket counters instead of 10⁸ `f64`s.
+///
+/// Two sketches merge ([`QuantileSketch::merge`]) into exactly the sketch
+/// that would have seen the union of their samples, regardless of insertion
+/// or merge order — the property that makes per-shard accumulation and
+/// cross-repetition pooling deterministic at any thread count.
+///
+/// Non-finite and negative samples are dropped, like [`Cdf::from_samples`].
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    cutoff: usize,
+    count: u64,
+    /// `Some` while in exact mode (`count <= cutoff`); `None` once spilled.
+    exact: Option<Vec<f64>>,
+    /// Log-bucket counters, allocated lazily on spill. Index 0 counts
+    /// values `< BUCKET_X0` (reported as 0.0); index `i ≥ 1` covers
+    /// `[BUCKET_X0 · g^(i-1), BUCKET_X0 · g^i)` with `g = 2^(1/64)`.
+    buckets: Vec<u64>,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch that stays exact up to `cutoff` samples
+    /// (`cutoff = 0` streams into buckets from the first sample).
+    pub fn new(cutoff: usize) -> Self {
+        QuantileSketch { cutoff, count: 0, exact: Some(Vec::new()), buckets: Vec::new() }
+    }
+
+    /// The exact-mode sample-count threshold.
+    pub fn cutoff(&self) -> usize {
+        self.cutoff
+    }
+
+    /// Samples absorbed (finite, non-negative ones only).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True while quantiles are computed from raw samples (no error).
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// Worst-case relative error of a bucket-mode quantile for values in
+    /// `[BUCKET_X0, 10⁷]` (exact-mode queries have zero error).
+    pub fn relative_error_bound() -> f64 {
+        2f64.powf(0.5 / BUCKETS_PER_DOUBLING) - 1.0
+    }
+
+    /// Bucket index of a positive finite value.
+    fn bucket_of(x: f64) -> usize {
+        if x < BUCKET_X0 {
+            return 0;
+        }
+        let idx = 1 + ((x / BUCKET_X0).log2() * BUCKETS_PER_DOUBLING).floor() as usize;
+        idx.min(MAX_BUCKET)
+    }
+
+    /// Representative value of a bucket: the geometric midpoint of its
+    /// edges (zero for the sub-millisecond bucket).
+    fn representative(idx: usize) -> f64 {
+        if idx == 0 {
+            return 0.0;
+        }
+        BUCKET_X0 * 2f64.powf((idx as f64 - 0.5) / BUCKETS_PER_DOUBLING)
+    }
+
+    fn bucket_add(&mut self, idx: usize, n: u64) {
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// Converts exact samples (if any) into bucket counts.
+    fn spill(&mut self) {
+        if let Some(samples) = self.exact.take() {
+            for x in samples {
+                self.bucket_add(Self::bucket_of(x), 1);
+            }
+        }
+    }
+
+    /// Adds a sample. Dropped when non-finite or negative.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
+        self.count += 1;
+        match &mut self.exact {
+            Some(samples) if samples.len() < self.cutoff => samples.push(x),
+            Some(_) => {
+                self.spill();
+                self.bucket_add(Self::bucket_of(x), 1);
+            }
+            None => self.bucket_add(Self::bucket_of(x), 1),
+        }
+    }
+
+    /// Merges another sketch into this one. The result is identical to a
+    /// sketch that absorbed both sample streams, in any order; the
+    /// effective cutoff is the smaller of the two.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.cutoff = self.cutoff.min(other.cutoff);
+        self.count += other.count;
+        let stays_exact =
+            self.exact.is_some() && other.exact.is_some() && self.count <= self.cutoff as u64;
+        if stays_exact {
+            self.exact
+                .as_mut()
+                .expect("exact mode")
+                .extend_from_slice(other.exact.as_ref().expect("exact mode"));
+            return;
+        }
+        self.spill();
+        match &other.exact {
+            Some(samples) => {
+                for &x in samples {
+                    self.bucket_add(Self::bucket_of(x), 1);
+                }
+            }
+            None => {
+                for (idx, &n) in other.buckets.iter().enumerate() {
+                    if n > 0 {
+                        self.bucket_add(idx, n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quantiles at each `q ∈ [0, 1]` of `qs` (one sort for the whole
+    /// batch in exact mode). `None` entries when the sketch is empty.
+    ///
+    /// The rank rule is `round((count − 1) · q)` over the ascending
+    /// samples — exactly the pooled-sort rule the batch runner's JSONL has
+    /// always used, so exact-mode sketches reproduce its bytes.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Option<f64>> {
+        if self.count == 0 {
+            return vec![None; qs.len()];
+        }
+        let rank = |q: f64| -> u64 {
+            let q = q.clamp(0.0, 1.0);
+            ((self.count - 1) as f64 * q).round() as u64
+        };
+        match &self.exact {
+            Some(samples) => {
+                let mut sorted = samples.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                qs.iter().map(|&q| Some(sorted[rank(q) as usize])).collect()
+            }
+            None => qs
+                .iter()
+                .map(|&q| {
+                    let target = rank(q);
+                    let mut seen = 0u64;
+                    for (idx, &n) in self.buckets.iter().enumerate() {
+                        seen += n;
+                        if seen > target {
+                            return Some(Self::representative(idx));
+                        }
+                    }
+                    // Rank beyond the counters can only happen on an
+                    // internally inconsistent sketch; clamp to the top.
+                    Some(Self::representative(self.buckets.len().saturating_sub(1)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Single-quantile convenience over [`QuantileSketch::quantiles`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantiles(&[q])[0]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +599,120 @@ mod tests {
     fn cdf_drops_non_finite() {
         let cdf = Cdf::from_samples(vec![f64::NAN, 1.0, f64::INFINITY]);
         assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn sketch_is_exact_below_cutoff() {
+        let mut s = QuantileSketch::new(100);
+        for x in [3.0, 1.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        assert!(s.is_exact());
+        assert_eq!(s.count(), 4);
+        // round((4-1)*q) ranks: q=0.5 -> rank 2 -> 3.0.
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn sketch_reproduces_the_pooled_sort_rule() {
+        // The batch runner's historical rule: sort, index round((n-1)*q).
+        let xs: Vec<f64> = (0..1_000).map(|i| ((i * 37) % 1_000) as f64 / 7.0).collect();
+        let mut s = QuantileSketch::new(10_000);
+        let mut sorted = xs.clone();
+        for &x in &xs {
+            s.push(x);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            assert_eq!(s.quantile(q), Some(sorted[idx]), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn sketch_spills_past_cutoff_within_error_bound() {
+        let mut s = QuantileSketch::new(16);
+        let xs: Vec<f64> = (1..=10_000).map(|i| i as f64 * 0.01).collect();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!(!s.is_exact(), "10k samples past a 16-sample cutoff");
+        assert_eq!(s.count(), 10_000);
+        let bound = QuantileSketch::relative_error_bound();
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let exact = xs[((xs.len() - 1) as f64 * q).round() as usize];
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() / exact <= bound,
+                "q {q}: {est} vs {exact} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_zero_cutoff_streams_immediately() {
+        let mut s = QuantileSketch::new(0);
+        s.push(1.0);
+        assert!(!s.is_exact());
+        assert_eq!(s.count(), 1);
+        let est = s.quantile(0.5).unwrap();
+        assert!((est - 1.0).abs() / 1.0 <= QuantileSketch::relative_error_bound());
+    }
+
+    #[test]
+    fn sketch_handles_zero_and_garbage_samples() {
+        let mut s = QuantileSketch::new(0);
+        s.push(0.0); // sub-millisecond bucket, reported exactly
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(-1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert_eq!(QuantileSketch::new(4).quantile(0.5), None, "empty sketch");
+    }
+
+    #[test]
+    fn sketch_merge_equals_union() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 131) % 499) as f64 * 0.037 + 0.001).collect();
+        for cutoff in [0usize, 100, 10_000] {
+            let mut union = QuantileSketch::new(cutoff);
+            let mut a = QuantileSketch::new(cutoff);
+            let mut b = QuantileSketch::new(cutoff);
+            for (i, &x) in xs.iter().enumerate() {
+                union.push(x);
+                if i % 3 == 0 {
+                    a.push(x);
+                } else {
+                    b.push(x);
+                }
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab.count(), union.count());
+            assert_eq!(ab.is_exact(), union.is_exact(), "cutoff {cutoff}");
+            for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                assert_eq!(ab.quantile(q), union.quantile(q), "cutoff {cutoff} q {q}");
+                assert_eq!(ba.quantile(q), union.quantile(q), "merge order, cutoff {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_merge_spills_when_union_exceeds_cutoff() {
+        let mut a = QuantileSketch::new(10);
+        let mut b = QuantileSketch::new(10);
+        for i in 0..7 {
+            a.push(1.0 + i as f64);
+            b.push(10.0 + i as f64);
+        }
+        assert!(a.is_exact() && b.is_exact());
+        a.merge(&b);
+        assert!(!a.is_exact(), "14 pooled samples exceed the 10-sample cutoff");
+        assert_eq!(a.count(), 14);
     }
 
     #[test]

@@ -1,7 +1,16 @@
 //! Property-based tests of the simulation engine's invariants.
 
-use insomnia_simcore::{Cdf, EventQueue, SimRng, SimTime, TimeWeighted, Welford};
+use insomnia_simcore::{Cdf, EventQueue, QuantileSketch, SimRng, SimTime, TimeWeighted, Welford};
 use proptest::prelude::*;
+
+/// The historical pooled-sort quantile rule every exact answer must match.
+fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+const PROBE_QS: [f64; 7] = [0.0, 0.1, 0.25, 0.5, 0.75, 0.95, 1.0];
 
 proptest! {
     /// Events always pop in non-decreasing time order, and simultaneous
@@ -146,6 +155,87 @@ proptest! {
             } else {
                 prop_assert!(weights.iter().all(|&w| w <= 0.0));
             }
+        }
+    }
+
+    /// merge(a, b) answers exactly like a sketch over a ∪ b, at any cutoff
+    /// regime (always-exact, mixed, always-bucketed) and in either merge
+    /// order.
+    #[test]
+    fn sketch_merge_equals_union_sketch(
+        xs in prop::collection::vec(0f64..5_000.0, 1..400),
+        split in 0usize..400,
+        cutoff in 0usize..500,
+    ) {
+        let split = split % xs.len();
+        let mut union = QuantileSketch::new(cutoff);
+        let mut a = QuantileSketch::new(cutoff);
+        let mut b = QuantileSketch::new(cutoff);
+        for (i, &x) in xs.iter().enumerate() {
+            union.push(x);
+            if i < split { a.push(x) } else { b.push(x) }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), union.count());
+        prop_assert_eq!(ab.is_exact(), union.is_exact());
+        for &q in &PROBE_QS {
+            prop_assert_eq!(ab.quantile(q), union.quantile(q), "merge != union at q={}", q);
+            prop_assert_eq!(ba.quantile(q), union.quantile(q), "merge order changed q={}", q);
+        }
+    }
+
+    /// Bucket-mode quantiles stay within the advertised relative error of
+    /// the exact pooled sort; exact mode reproduces it bit-for-bit.
+    #[test]
+    fn sketch_quantile_error_is_bounded(
+        xs in prop::collection::vec(1e-3f64..100_000.0, 2..500),
+    ) {
+        let mut streamed = QuantileSketch::new(0);
+        let mut exact = QuantileSketch::new(usize::MAX);
+        for &x in &xs {
+            streamed.push(x);
+            exact.push(x);
+        }
+        let bound = QuantileSketch::relative_error_bound();
+        for &q in &PROBE_QS {
+            let truth = exact_quantile(&xs, q);
+            prop_assert_eq!(exact.quantile(q), Some(truth), "exact mode must match the sort rule");
+            let est = streamed.quantile(q).unwrap();
+            prop_assert!(
+                (est - truth).abs() <= bound * truth.abs(),
+                "q={}: sketch {} vs exact {} (bound {})", q, est, truth, bound
+            );
+        }
+    }
+
+    /// Within a shard, quantiles cannot depend on the order completions
+    /// arrive in — forwards, backwards, or arbitrarily rotated streams
+    /// answer identically.
+    #[test]
+    fn sketch_is_insertion_order_independent(
+        xs in prop::collection::vec(0f64..10_000.0, 1..300),
+        rotate in 0usize..300,
+        cutoff in 0usize..350,
+    ) {
+        let rotate = rotate % xs.len();
+        let mut forward = QuantileSketch::new(cutoff);
+        let mut backward = QuantileSketch::new(cutoff);
+        let mut rotated = QuantileSketch::new(cutoff);
+        for &x in &xs {
+            forward.push(x);
+        }
+        for &x in xs.iter().rev() {
+            backward.push(x);
+        }
+        for &x in xs[rotate..].iter().chain(&xs[..rotate]) {
+            rotated.push(x);
+        }
+        for &q in &PROBE_QS {
+            prop_assert_eq!(forward.quantile(q), backward.quantile(q));
+            prop_assert_eq!(forward.quantile(q), rotated.quantile(q));
         }
     }
 

@@ -18,20 +18,7 @@ use insomnia::simcore::SimRng;
 fn run(cfg: &ScenarioConfig, spec: SchemeSpec, label: &str) {
     let (trace, topo) = build_world(cfg);
     let r = run_single(cfg, spec, &trace, &topo, SimRng::new(cfg.seed));
-    let result = SchemeResult {
-        spec,
-        sample_period_s: r.sample_period_s,
-        powered_gateways: r.powered_gateways,
-        awake_cards: r.awake_cards,
-        user_power_w: r.user_power_w,
-        isp_power_w: r.isp_power_w,
-        energy: r.energy,
-        completion_s: vec![r.completion_s],
-        gateway_online_s: vec![r.gateway_online_s],
-        mean_wake_count: 0.0,
-        events: r.events,
-        shard_summaries: Vec::new(),
-    };
+    let result = SchemeResult::from_single(spec, r);
     let base_user = cfg.power.no_sleep_user_w(topo.n_gateways());
     let base_isp = cfg.power.no_sleep_isp_w(topo.n_gateways(), cfg.dslam.n_cards);
     let s = summarize(&result, base_user, base_isp);

@@ -42,20 +42,7 @@ fn main() {
     ] {
         let run = run_single(&cfg, spec, &trace, &topo, SimRng::new(cfg.seed));
         // Wrap the single run in the aggregate container the metrics expect.
-        let result = SchemeResult {
-            spec,
-            sample_period_s: run.sample_period_s,
-            powered_gateways: run.powered_gateways,
-            awake_cards: run.awake_cards,
-            user_power_w: run.user_power_w,
-            isp_power_w: run.isp_power_w,
-            energy: run.energy,
-            completion_s: vec![run.completion_s],
-            gateway_online_s: vec![run.gateway_online_s],
-            mean_wake_count: 0.0,
-            events: run.events,
-            shard_summaries: Vec::new(),
-        };
+        let result = SchemeResult::from_single(spec, run);
         let s = summarize(&result, base_user, base_isp);
         println!(
             "{:<28} {:>9.1}% {:>9.1}% {:>9.1} {:>10.2}",

@@ -2,8 +2,12 @@
 //! the whole stack — the property every simulation result in
 //! EXPERIMENTS.md relies on.
 
-use insomnia::core::{build_world, run_single, ScenarioConfig, SchemeSpec};
+use insomnia::core::{
+    build_sharded_world_seeded, build_world, run_scheme_sharded, run_single, CompletionStats,
+    ScenarioConfig, SchemeSpec,
+};
 use insomnia::dslphy::{BundleConfig, CrosstalkExperiment};
+use insomnia::scenarios::{parse_scheme_list, run_batch, BatchRun, Registry};
 use insomnia::simcore::{SimRng, SimTime};
 use insomnia::traffic::crawdad::{self, CrawdadConfig};
 
@@ -31,7 +35,7 @@ fn full_simulation_is_bit_stable() {
         let b = run_single(&cfg, spec, &trace, &topo, SimRng::new(99));
         assert_eq!(a.powered_gateways, b.powered_gateways, "{spec}");
         assert_eq!(a.awake_cards, b.awake_cards, "{spec}");
-        assert_eq!(a.completion_s, b.completion_s, "{spec}");
+        assert_eq!(a.completion.per_flow(), b.completion.per_flow(), "{spec}");
         assert_eq!(a.energy.total_j(), b.energy.total_j(), "{spec}");
         assert_eq!(a.stats, b.stats, "{spec}");
     }
@@ -64,6 +68,101 @@ fn crosstalk_experiment_is_bit_stable() {
         assert_eq!(x.mean_speedup_pct, y.mean_speedup_pct);
         assert_eq!(x.std_pct, y.std_pct);
     }
+}
+
+/// A scaled-down dense-metro: each shard is one genuine dense-metro
+/// neighborhood (1600 clients / 200 gateways on a 20 × 10 port DSLAM),
+/// with `shards` of them and a reduced horizon so the debug-mode test
+/// suite finishes in seconds. `completion_cutoff = 0` forces the
+/// streaming-sketch path the mega-city preset runs in production.
+fn dense_metro_reduced(shards: usize) -> ScenarioConfig {
+    let mut cfg = Registry::builtin().resolve("dense-metro").unwrap();
+    cfg.trace.n_clients = 1_600 * shards;
+    cfg.trace.n_aps = 200 * shards;
+    cfg.shards = shards;
+    cfg.trace.horizon = SimTime::from_hours(2);
+    cfg.completion_cutoff = 0;
+    cfg.validate().unwrap();
+    cfg
+}
+
+#[test]
+fn sharded_streaming_jsonl_is_byte_identical_across_thread_counts() {
+    // The full sharded + streaming-quantile path: dense-metro
+    // neighborhoods, sketch-only completion metrics, run through the
+    // batch runner at 1 vs 8 threads. The JSONL (including the
+    // `completion_quantiles` grid) must not depend on the thread count.
+    let batch = |threads: usize| BatchRun {
+        scenarios: vec![("dense-metro-reduced".into(), dense_metro_reduced(4))],
+        schemes: parse_scheme_list("soi,bh2").unwrap(),
+        seeds: 1,
+        threads,
+    };
+    let mut single = Vec::new();
+    run_batch(&batch(1), &mut single).unwrap();
+    let mut multi = Vec::new();
+    run_batch(&batch(8), &mut multi).unwrap();
+    assert_eq!(single, multi, "sharded streaming JSONL must be thread-count invariant");
+    let text = String::from_utf8(single).unwrap();
+    for line in text.lines() {
+        assert!(line.contains("\"shards\":4"), "sharded record: {line}");
+        assert!(
+            line.contains("\"completion_quantiles\":{\"exact\":false"),
+            "sketch-mode quantiles must be streamed, not exact: {line}"
+        );
+    }
+}
+
+#[test]
+fn unsharded_streaming_jsonl_is_byte_identical_across_thread_counts() {
+    // The same invariant on the `shards = 1` streaming path (cutoff 0
+    // forces the sketch even though one neighborhood would fit): the
+    // schema must stay frozen (no quantile grid leaks) and the bytes
+    // thread-count invariant.
+    let batch = |threads: usize| BatchRun {
+        scenarios: vec![("dense-metro-1".into(), dense_metro_reduced(1))],
+        schemes: parse_scheme_list("soi").unwrap(),
+        seeds: 1,
+        threads,
+    };
+    let mut single = Vec::new();
+    run_batch(&batch(1), &mut single).unwrap();
+    let mut multi = Vec::new();
+    run_batch(&batch(8), &mut multi).unwrap();
+    assert_eq!(single, multi);
+    let text = String::from_utf8(single).unwrap();
+    assert!(!text.contains("completion_quantiles"), "shards = 1 schema is frozen: {text}");
+    assert!(text.contains("\"completion_p50_s\":"), "streamed p50 still reported");
+}
+
+#[test]
+fn merged_shard_quantiles_are_merge_order_invariant() {
+    // Merging the per-shard sketches in any order must give the same
+    // quantiles the driver reports — the property that makes the merged
+    // result independent of scheduling.
+    let cfg = dense_metro_reduced(4);
+    let world = build_sharded_world_seeded(&cfg, cfg.seed);
+    let result = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, cfg.seed, 4);
+    let per_rep = &result.completion[0];
+    assert!(per_rep.per_flow().is_none(), "cutoff 0 must not retain per-flow samples");
+
+    // Re-run each shard in isolation and merge forwards and backwards.
+    let rng = |s: u64| SimRng::new(cfg.seed).fork_idx("rep", 0).fork_idx("shard", s);
+    let shard_stats: Vec<CompletionStats> = world
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(s, (trace, topo))| {
+            run_single(&cfg, SchemeSpec::soi(), trace, topo, rng(s as u64)).completion
+        })
+        .collect();
+    let forward = CompletionStats::pooled(&shard_stats);
+    let reversed: Vec<CompletionStats> = shard_stats.into_iter().rev().collect();
+    let backward = CompletionStats::pooled(&reversed);
+    let qs = [0.25, 0.5, 0.75, 0.95, 0.99];
+    assert_eq!(forward.quantiles(&qs), per_rep.quantiles(&qs));
+    assert_eq!(backward.quantiles(&qs), per_rep.quantiles(&qs));
+    assert_eq!(forward.completed(), per_rep.completed());
 }
 
 #[test]

@@ -14,20 +14,7 @@ fn mini_cfg() -> ScenarioConfig {
 }
 
 fn wrap(run: insomnia::core::RunResult, spec: SchemeSpec) -> SchemeResult {
-    SchemeResult {
-        spec,
-        sample_period_s: run.sample_period_s,
-        powered_gateways: run.powered_gateways,
-        awake_cards: run.awake_cards,
-        user_power_w: run.user_power_w,
-        isp_power_w: run.isp_power_w,
-        energy: run.energy,
-        completion_s: vec![run.completion_s],
-        gateway_online_s: vec![run.gateway_online_s],
-        mean_wake_count: 0.0,
-        events: run.events,
-        shard_summaries: Vec::new(),
-    }
+    SchemeResult::from_single(spec, run)
 }
 
 #[test]
