@@ -1,0 +1,136 @@
+//! Eager-vs-streaming benchmark: trace generation throughput (flows/s) and
+//! driver event throughput (events/s) on one reduced dense-metro shard.
+//!
+//! Run with `cargo bench -p insomnia-bench --bench streaming`. Besides the
+//! usual stderr table, the bench writes `BENCH_streaming.json` at the
+//! workspace root — a flat, diffable snapshot meant to be committed so the
+//! eager/streaming perf trajectory is tracked across PRs. The streaming
+//! generator pays the setup pass twice (it must advance the master RNG
+//! through every draw, then replay per client), so its raw flows/s is the
+//! price of O(clients) memory; the driver rows show what that buys: the
+//! same event throughput with an O(active) heap and no materialized trace.
+
+use insomnia_core::{
+    build_world_shard, build_world_shard_streaming, run_single, run_single_streaming,
+    ScenarioConfig, SchemeSpec,
+};
+use insomnia_simcore::{SimRng, SimTime};
+use insomnia_traffic::crawdad::{generate_eager, CrawdadConfig};
+use insomnia_traffic::FlowStream;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One dense-metro neighborhood (1600 clients / 200 gateways), 6-hour
+/// horizon so a full bench run stays in seconds.
+fn shard_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default();
+    cfg.trace.n_clients = 1_600;
+    cfg.trace.n_aps = 200;
+    cfg.trace.horizon = SimTime::from_hours(6);
+    cfg.dslam.n_cards = 20;
+    cfg.dslam.ports_per_card = 10;
+    cfg.k_switch = 4;
+    cfg.mean_networks_in_range = 7.0;
+    cfg.trace.rate_scale = 1.2;
+    cfg.trace.always_on_frac = 0.12;
+    cfg.sample_period = insomnia_simcore::SimDuration::from_secs(60);
+    cfg.repetitions = 1;
+    cfg.validate().expect("bench scenario validates");
+    cfg
+}
+
+struct Row {
+    name: &'static str,
+    unit: &'static str,
+    /// Work units per iteration (flows generated / events delivered).
+    work: f64,
+    mean_s: f64,
+}
+
+impl Row {
+    fn per_s(&self) -> f64 {
+        self.work / self.mean_s
+    }
+}
+
+/// Times `f` over `iters` iterations (after one warm-up) and returns the
+/// mean seconds plus the per-iteration work units `f` reports.
+fn time<F: FnMut() -> f64>(iters: u32, mut f: F) -> (f64, f64) {
+    let work = f(); // warm-up, also fixes the work count
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    (t0.elapsed().as_secs_f64() / f64::from(iters), work)
+}
+
+fn main() {
+    let cfg = shard_scenario();
+    let trace_cfg: CrawdadConfig = cfg.trace.clone();
+    let iters = 5;
+    let mut rows = Vec::new();
+
+    // Trace generation throughput: materialize-and-sort vs stream-drain.
+    let (mean_s, flows) = time(iters, || {
+        let mut rng = SimRng::new(42);
+        generate_eager(&trace_cfg, &mut rng).flows.len() as f64
+    });
+    rows.push(Row { name: "trace/eager_generate", unit: "flows/s", work: flows, mean_s });
+
+    let (mean_s, flows) = time(iters, || {
+        let mut rng = SimRng::new(42);
+        let stream = FlowStream::new(&trace_cfg, &mut rng);
+        let total = stream.total_flows() as f64;
+        black_box(stream.count());
+        total
+    });
+    rows.push(Row { name: "trace/flow_stream_drain", unit: "flows/s", work: flows, mean_s });
+
+    // Driver event throughput: prebuilt trace vs per-run streamed world.
+    let (trace, topo) = build_world_shard(&cfg, cfg.seed, 0);
+    let (mean_s, events) = time(iters, || {
+        run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(1)).events as f64
+    });
+    rows.push(Row { name: "driver/soi_eager_trace", unit: "events/s", work: events, mean_s });
+
+    let (mean_s, events) = time(iters, || {
+        let (stream, stopo) = build_world_shard_streaming(&cfg, cfg.seed, 0);
+        run_single_streaming(&cfg, SchemeSpec::soi(), stream, &stopo, SimRng::new(1)).events as f64
+    });
+    rows.push(Row { name: "driver/soi_streamed_world", unit: "events/s", work: events, mean_s });
+
+    let mut json = String::from("{\n  \"bench\": \"streaming\",\n  \"scenario\": {");
+    json.push_str(&format!(
+        "\"n_clients\": {}, \"n_gateways\": {}, \"horizon_hours\": {}, \"scheme\": \"soi\"}},\n",
+        cfg.trace.n_clients,
+        cfg.trace.n_aps,
+        cfg.trace.horizon.as_secs_f64() / 3_600.0,
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "bench streaming/{:<28} {:>10.1} ms/iter  {:>12.0} {}",
+            r.name,
+            r.mean_s * 1e3,
+            r.per_s(),
+            r.unit
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"work_per_iter\": {:.0}, \"mean_ms\": {:.3}, \
+             \"throughput\": {:.0}, \"unit\": \"{}\"}}{}\n",
+            r.name,
+            r.work,
+            r.mean_s * 1e3,
+            r.per_s(),
+            r.unit,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -22,16 +22,24 @@ use insomnia_access::{
     Dslam, EnergyBreakdown, Fabric, FixedFabric, FullFabric, Gateway, GwState, KSwitchFabric,
 };
 use insomnia_simcore::{
-    average_runs, default_threads, par_map_indexed, Scheduler, SimDuration, SimRng, SimTime,
+    average_runs, default_threads, par_map_indexed, EventToken, Scheduler, SimDuration, SimRng,
+    SimTime,
 };
-use insomnia_traffic::Trace;
+use insomnia_traffic::{FlowRecord, FlowStream, Trace};
 use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWindow, Topology};
 
 /// Simulation events.
+///
+/// Trace arrivals are *not* pre-scheduled: exactly one `Arrival` event (the
+/// next flow of the arrival cursor) lives in the queue at any time, in the
+/// scheduler's front lane so it still beats simultaneous timers the way the
+/// historical pre-scheduled arrivals (lowest sequence numbers) did. The
+/// event heap is therefore O(active flows + timers + 1) instead of O(total
+/// trace flows).
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    /// A flow from the trace arrives (index into `trace.flows`).
-    Arrival(usize),
+    /// The arrival held in `World::next_arrival` fires.
+    Arrival,
     /// The earliest departure on a gateway (stale if `gen` mismatches).
     Departure { gw: usize, gen: u64 },
     /// A gateway finished booting + resyncing.
@@ -44,6 +52,38 @@ enum Ev {
     OptimalTick,
     /// Metric sampling.
     Sample,
+}
+
+/// Where the driver pulls trace arrivals from: a borrowed, pre-materialized
+/// flow vector (the classic path) or an owned streaming generator that
+/// synthesizes flows in arrival order with O(clients) state (the path that
+/// never materializes a shard's trace at all). Both yield `(trace index,
+/// flow)` pairs in arrival order and know the total flow count up front —
+/// which is how [`CompletionStats`] sizes itself without `trace.flows`.
+pub enum ArrivalSource<'a> {
+    /// Iterate a materialized, arrival-sorted flow slice.
+    Slice(&'a [FlowRecord]),
+    /// Drain a streaming generator (boxed: a stream is two orders of
+    /// magnitude larger than the slice variant's fat pointer).
+    Stream(Box<FlowStream>),
+}
+
+impl ArrivalSource<'_> {
+    fn total_flows(&self) -> usize {
+        match self {
+            ArrivalSource::Slice(flows) => flows.len(),
+            ArrivalSource::Stream(s) => s.total_flows(),
+        }
+    }
+
+    /// Next flow in arrival order; `idx` is its position in the (possibly
+    /// never-materialized) trace-flow order.
+    fn next(&mut self, idx: usize) -> Option<FlowRecord> {
+        match self {
+            ArrivalSource::Slice(flows) => flows.get(idx).copied(),
+            ArrivalSource::Stream(s) => s.next_flow(),
+        }
+    }
 }
 
 /// A flow waiting for its gateway to finish waking.
@@ -104,12 +144,19 @@ pub struct RunResult {
     /// Scheduler events delivered during the run (telemetry; summed when
     /// shards are merged).
     pub events: u64,
+    /// Largest scheduler-heap occupancy observed at any event delivery
+    /// (telemetry; max over shards when merged). With streaming arrivals
+    /// this stays O(active flows + timers + 1) — the old driver's value
+    /// was O(total trace flows).
+    pub peak_heap: usize,
+    /// Largest number of concurrently active (arrived, not yet completed)
+    /// flows (telemetry; max over shards when merged).
+    pub peak_active_flows: usize,
 }
 
 struct World<'a> {
     cfg: &'a ScenarioConfig,
     spec: SchemeSpec,
-    trace: &'a Trace,
     topo: &'a Topology,
     gateways: Vec<Gateway>,
     dslam: Dslam,
@@ -118,8 +165,13 @@ struct World<'a> {
     gw_load: Vec<LoadWindow>,
     /// Per-client offered-bytes window (Optimal's demand estimate).
     client_load: Vec<LoadWindow>,
-    /// Trace cursor for the Optimal demand sweep.
-    flow_ptr: usize,
+    /// Arrival feed (slice cursor or flow stream), in arrival order.
+    arrivals: ArrivalSource<'a>,
+    /// The one pulled-but-not-yet-fired arrival, as `(trace index, flow)`;
+    /// the Optimal demand sweep reads the same cursor window.
+    next_arrival: Option<(usize, FlowRecord)>,
+    /// Trace index the next [`ArrivalSource::next`] pull will receive.
+    arrival_idx: usize,
     /// Gateway each client routes *new* flows through.
     route: Vec<usize>,
     /// Clients that decided to return home and wait for its wake.
@@ -127,7 +179,15 @@ struct World<'a> {
     /// Flows parked at a waking gateway.
     pending: Vec<Vec<PendingFlow>>,
     /// Outstanding idle-check token per gateway.
-    idle_token: Vec<Option<insomnia_simcore::EventToken>>,
+    idle_token: Vec<Option<EventToken>>,
+    /// Pending departure event per gateway; superseded ones are cancelled
+    /// (they were delivered-and-discarded no-ops before), keeping at most
+    /// one live departure entry per busy gateway in the heap.
+    departure_token: Vec<Option<EventToken>>,
+    /// Arrived-but-not-completed flows (engine + wake-parked).
+    active_flows: usize,
+    peak_active: usize,
+    peak_heap: usize,
     completion: CompletionStats,
     powered_series: Vec<f64>,
     cards_series: Vec<f64>,
@@ -157,12 +217,40 @@ impl World<'_> {
 
     /// Advances flows on `gw`, recomputes rates, reschedules the departure
     /// event, and arms the idle check when the gateway drained.
+    ///
+    /// The previous departure event (if any) is cancelled rather than left
+    /// to fire as a generation-mismatch no-op: discarding it changes no
+    /// delivered behaviour but caps the heap at one departure entry per
+    /// busy gateway — the invariant behind the O(active) heap bound.
     fn resync_gateway(&mut self, s: &mut Scheduler<Ev>, t: SimTime, gw: usize) {
+        if let Some(tok) = self.departure_token[gw].take() {
+            s.cancel(tok);
+        }
         let next = self.engine.recompute(gw, t, self.cfg.backhaul_bps);
         if let Some(when) = next {
-            s.schedule_at(when, Ev::Departure { gw, gen: self.engine.generation(gw) });
+            self.departure_token[gw] =
+                Some(s.schedule_at(when, Ev::Departure { gw, gen: self.engine.generation(gw) }));
         } else if self.spec.sleep_enabled && !self.is_optimal() {
             self.arm_idle_check(s, gw, t + self.cfg.idle_timeout);
+        }
+    }
+
+    /// Pulls the next arrival from the source into the one-slot cursor.
+    fn pull_next_arrival(&mut self) {
+        debug_assert!(self.next_arrival.is_none());
+        self.next_arrival = self.arrivals.next(self.arrival_idx).map(|f| {
+            let pair = (self.arrival_idx, f);
+            self.arrival_idx += 1;
+            pair
+        });
+    }
+
+    /// Pulls the following arrival and schedules its (single, front-lane)
+    /// event.
+    fn schedule_next_arrival(&mut self, s: &mut Scheduler<Ev>) {
+        self.pull_next_arrival();
+        if let Some((_, f)) = self.next_arrival {
+            s.schedule_front(f.start, Ev::Arrival);
         }
     }
 
@@ -246,12 +334,37 @@ impl World<'_> {
     }
 }
 
-/// Simulates one day of one scheme. Deterministic in `(cfg, spec, trace,
-/// topo, rng)`.
+/// Simulates one day of one scheme over a materialized trace.
+/// Deterministic in `(cfg, spec, trace, topo, rng)`.
 pub fn run_single(
     cfg: &ScenarioConfig,
     spec: SchemeSpec,
     trace: &Trace,
+    topo: &Topology,
+    rng: SimRng,
+) -> RunResult {
+    run_single_source(cfg, spec, ArrivalSource::Slice(&trace.flows), topo, rng)
+}
+
+/// Simulates one day of one scheme, pulling arrivals straight from a
+/// [`FlowStream`] — no flow vector ever exists; per-run trace memory is
+/// O(clients + active flows). Bit-identical to [`run_single`] over the
+/// stream's collected trace (asserted by `tests/streaming.rs`).
+pub fn run_single_streaming(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    stream: FlowStream,
+    topo: &Topology,
+    rng: SimRng,
+) -> RunResult {
+    run_single_source(cfg, spec, ArrivalSource::Stream(Box::new(stream)), topo, rng)
+}
+
+/// The driver proper, generic over the arrival feed.
+pub fn run_single_source(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    arrivals: ArrivalSource<'_>,
     topo: &Topology,
     mut rng: SimRng,
 ) -> RunResult {
@@ -301,10 +414,10 @@ pub fn run_single(
     }
 
     let n_samples = (horizon.as_millis() / cfg.sample_period.as_millis()) as usize;
+    let total_flows = arrivals.total_flows();
     let mut world = World {
         cfg,
         spec,
-        trace,
         topo,
         gateways,
         dslam,
@@ -313,12 +426,18 @@ pub fn run_single(
         client_load: (0..topo.n_clients())
             .map(|_| LoadWindow::new(cfg.optimal_period.as_millis()))
             .collect(),
-        flow_ptr: 0,
+        arrivals,
+        next_arrival: None,
+        arrival_idx: 0,
         route: (0..topo.n_clients()).map(|c| topo.home_of(c)).collect(),
         return_pending: vec![false; topo.n_clients()],
         pending: vec![Vec::new(); n_gw],
         idle_token: vec![None; n_gw],
-        completion: CompletionStats::new(trace.flows.len(), cfg.completion_cutoff),
+        departure_token: vec![None; n_gw],
+        active_flows: 0,
+        peak_active: 0,
+        peak_heap: 0,
+        completion: CompletionStats::new(total_flows, cfg.completion_cutoff),
         powered_series: vec![0.0; n_samples],
         cards_series: vec![0.0; n_samples],
         user_w_series: vec![0.0; n_samples],
@@ -328,9 +447,13 @@ pub fn run_single(
     };
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
+    // Prime the arrival cursor in both modes: the Optimal demand sweep
+    // drains it tick-by-tick, every other scheme fires it as front-lane
+    // `Arrival` events one at a time.
+    world.pull_next_arrival();
     if !is_optimal {
-        for (i, f) in trace.flows.iter().enumerate() {
-            sched.schedule_at(f.start, Ev::Arrival(i));
+        if let Some((_, f)) = world.next_arrival {
+            sched.schedule_front(f.start, Ev::Arrival);
         }
         if let Aggregation::Bh2 { .. } = spec.aggregation {
             for c in 0..topo.n_clients() {
@@ -369,29 +492,45 @@ pub fn run_single(
         wake_counts: world.gateways.iter().map(|g| g.wake_count()).collect(),
         stats: world.stats,
         events: sched.delivered(),
+        peak_heap: world.peak_heap,
+        peak_active_flows: world.peak_active,
     }
 }
 
 fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
+    // Heap-occupancy telemetry: count the event being handled plus what is
+    // still queued. With streaming arrivals this peaks at O(active flows +
+    // timers + 1), which `tests/streaming.rs` asserts.
+    w.peak_heap = w.peak_heap.max(s.pending() + 1);
     match ev {
-        Ev::Arrival(idx) => {
-            let f = w.trace.flows[idx];
+        Ev::Arrival => {
+            let (idx, f) = w.next_arrival.take().expect("a scheduled arrival is pending");
             let client = f.client.index();
             let gw = w.route_new_flow(now, client);
+            w.active_flows += 1;
+            w.peak_active = w.peak_active.max(w.active_flows);
             w.start_or_queue(
                 s,
                 now,
                 gw,
                 PendingFlow { trace_idx: idx, client, arrival: now, bytes: f.bytes },
             );
+            w.schedule_next_arrival(s);
         }
         Ev::Departure { gw, gen } => {
+            w.departure_token[gw] = None;
+            // Superseded departures are cancelled at resync time, so a
+            // delivered event always carries the current generation; this
+            // check is defense in depth for a determinism-critical
+            // invariant, not the staleness mechanism.
             if gen != w.engine.generation(gw) {
-                return; // superseded by a later recompute
+                debug_assert!(false, "cancelled departure reached delivery");
+                return;
             }
             let moved = w.engine.advance(gw, now);
             w.deposit(now, gw, moved);
             for done in w.engine.take_completed(gw) {
+                w.active_flows -= 1;
                 w.completion.record(done.trace_idx, (now - done.arrival).as_secs_f64());
             }
             w.resync_gateway(s, now, gw);
@@ -535,11 +674,16 @@ fn bh2_epoch(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, client: usi
 /// One Optimal re-solve (§5.1): demands from the last minute of the trace,
 /// instant migration, full-switch repack.
 fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
-    // Sweep the trace cursor into the per-client demand windows.
-    while w.flow_ptr < w.trace.flows.len() && w.trace.flows[w.flow_ptr].start <= now {
-        let f = w.trace.flows[w.flow_ptr];
+    // Sweep the arrival cursor into the per-client demand windows. Optimal
+    // never schedules `Arrival` events, so this tick is the cursor's only
+    // consumer and reads the same stream window the event loop would.
+    while let Some((_, f)) = w.next_arrival {
+        if f.start > now {
+            break;
+        }
         w.client_load[f.client.index()].add(f.start.as_millis(), f.bytes);
-        w.flow_ptr += 1;
+        w.next_arrival = None;
+        w.pull_next_arrival();
     }
     let now_ms = now.as_millis();
     let usable = w.cfg.q_max_utilization * w.cfg.backhaul_bps;
@@ -689,6 +833,10 @@ pub struct TaskProgress {
     pub total: usize,
     /// Scheduler events the finished task delivered.
     pub events: u64,
+    /// Peak scheduler-heap occupancy of the finished task's event loop.
+    pub peak_heap: usize,
+    /// Peak concurrently-active flow count of the finished task.
+    pub peak_active_flows: usize,
 }
 
 /// Builds the scenario's trace and topology from the master seed. Shared
@@ -707,65 +855,146 @@ pub fn build_world_seeded(cfg: &ScenarioConfig, seed: u64) -> (Trace, Topology) 
     let trace = insomnia_traffic::crawdad::generate(&cfg.trace, &mut trace_rng);
     let mut topo_rng = master.fork("topology");
     let home: Vec<usize> = trace.home.iter().map(|ap| ap.index()).collect();
-    let topo = match cfg.topology {
-        TopologyKind::Overlap => overlap_topology(
-            &home,
-            cfg.trace.n_aps,
-            cfg.mean_networks_in_range,
-            cfg.channel,
-            &mut topo_rng,
-        ),
-        TopologyKind::Binomial => binomial_topology(
-            &home,
-            cfg.trace.n_aps,
-            cfg.mean_networks_in_range,
-            cfg.channel,
-            &mut topo_rng,
-        ),
-    }
-    .expect("valid scenario topology");
+    let topo = build_topology(cfg, &home, cfg.trace.n_aps, &mut topo_rng);
     (trace, topo)
+}
+
+/// Builds the client↔gateway reachability graph for one (shard's) home
+/// assignment — the one topology construction every world builder shares.
+fn build_topology(
+    cfg: &ScenarioConfig,
+    home: &[usize],
+    n_gateways: usize,
+    rng: &mut SimRng,
+) -> Topology {
+    match cfg.topology {
+        TopologyKind::Overlap => {
+            overlap_topology(home, n_gateways, cfg.mean_networks_in_range, cfg.channel, rng)
+        }
+        TopologyKind::Binomial => {
+            binomial_topology(home, n_gateways, cfg.mean_networks_in_range, cfg.channel, rng)
+        }
+    }
+    .expect("valid scenario topology")
 }
 
 /// One scenario's worlds: `cfg.shards` independent DSLAM neighborhoods,
 /// each a `(Trace, Topology)` pair with local client/gateway indices.
 ///
-/// A one-shard world is exactly what [`build_world_seeded`] builds, so the
-/// sharded entry points are drop-in supersets of the single-DSLAM ones.
+/// Two storage models:
+///
+/// * **Eager** ([`build_sharded_world_seeded`]): every shard's
+///   `(Trace, Topology)` pair built up front and kept alive — fine for one
+///   neighborhood, O(world) memory at metro scale.
+/// * **Lazy** ([`ShardedWorld::lazy`]): only `(config, seed)` is stored;
+///   each `(repetition × shard)` task builds its shard *inside the worker*
+///   — streaming the trace, never materializing flows — and drops it on
+///   completion, so peak RSS is O(worker threads × shard), not O(world).
+///
+/// Both produce bit-identical results: shard builds are index-addressed
+/// pure functions of `(config, seed, shard)`.
 #[derive(Debug, Clone)]
 pub struct ShardedWorld {
-    /// Per-shard `(trace, topology)` pairs, in shard order.
-    pub shards: Vec<(Trace, Topology)>,
+    storage: WorldStorage,
+}
+
+#[derive(Debug, Clone)]
+enum WorldStorage {
+    Eager(Vec<(Trace, Topology)>),
+    Lazy { cfg: Box<ScenarioConfig>, seed: u64 },
 }
 
 impl ShardedWorld {
     /// Wraps a single prebuilt world as a one-shard [`ShardedWorld`].
     pub fn single(trace: Trace, topo: Topology) -> Self {
-        ShardedWorld { shards: vec![(trace, topo)] }
+        ShardedWorld::eager(vec![(trace, topo)])
+    }
+
+    /// Wraps prebuilt per-shard worlds, in shard order.
+    pub fn eager(shards: Vec<(Trace, Topology)>) -> Self {
+        assert!(!shards.is_empty(), "a world needs at least one shard");
+        ShardedWorld { storage: WorldStorage::Eager(shards) }
+    }
+
+    /// A deferred world: shard `s` is built on demand (and dropped after
+    /// use) by whichever worker runs it, via the streaming generator. The
+    /// config must validate; population counts are answered from it
+    /// without building anything.
+    pub fn lazy(cfg: &ScenarioConfig, seed: u64) -> Self {
+        cfg.validate().expect("validated config");
+        ShardedWorld { storage: WorldStorage::Lazy { cfg: Box::new(cfg.clone()), seed } }
+    }
+
+    /// True when shards are built per-task instead of held in memory.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.storage, WorldStorage::Lazy { .. })
     }
 
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        match &self.storage {
+            WorldStorage::Eager(shards) => shards.len(),
+            WorldStorage::Lazy { cfg, .. } => cfg.shards.max(1),
+        }
     }
 
     /// Total clients across shards.
     pub fn n_clients(&self) -> usize {
-        self.shards.iter().map(|(_, t)| t.n_clients()).sum()
+        match &self.storage {
+            WorldStorage::Eager(shards) => shards.iter().map(|(_, t)| t.n_clients()).sum(),
+            WorldStorage::Lazy { cfg, .. } => cfg.trace.n_clients,
+        }
     }
 
     /// Total gateways across shards.
     pub fn n_gateways(&self) -> usize {
-        self.shards.iter().map(|(_, t)| t.n_gateways()).sum()
+        match &self.storage {
+            WorldStorage::Eager(shards) => shards.iter().map(|(_, t)| t.n_gateways()).sum(),
+            WorldStorage::Lazy { cfg, .. } => cfg.trace.n_aps,
+        }
     }
 
-    /// Total trace flows across shards.
-    pub fn n_flows(&self) -> usize {
-        self.shards.iter().map(|(t, _)| t.flows.len()).sum()
+    /// Total trace flows across shards. `None` for lazy worlds — the count
+    /// only exists once shards are generated; runners read it from the
+    /// per-shard run results instead ([`ShardSummary::n_flows`]).
+    pub fn n_flows(&self) -> Option<usize> {
+        match &self.storage {
+            WorldStorage::Eager(shards) => Some(shards.iter().map(|(t, _)| t.flows.len()).sum()),
+            WorldStorage::Lazy { .. } => None,
+        }
     }
 
-    fn as_refs(&self) -> Vec<(&Trace, &Topology)> {
-        self.shards.iter().map(|(t, topo)| (t, topo)).collect()
+    /// The materialized per-shard worlds of an eager [`ShardedWorld`].
+    ///
+    /// # Panics
+    /// Panics on a lazy world — it has no materialized shards by design;
+    /// build one with [`build_world_shard`] instead.
+    pub fn shards(&self) -> &[(Trace, Topology)] {
+        match &self.storage {
+            WorldStorage::Eager(shards) => shards,
+            WorldStorage::Lazy { .. } => {
+                panic!("lazy ShardedWorld holds no materialized shards (by design)")
+            }
+        }
+    }
+
+    /// `(clients, gateways)` of shard `s`, without building anything.
+    fn shard_dims(&self, s: usize) -> (usize, usize) {
+        match &self.storage {
+            WorldStorage::Eager(shards) => {
+                let (_, topo) = &shards[s];
+                (topo.n_clients(), topo.n_gateways())
+            }
+            WorldStorage::Lazy { cfg, .. } => {
+                if cfg.shards <= 1 {
+                    (cfg.trace.n_clients, cfg.trace.n_aps)
+                } else {
+                    let span = shard_spans(cfg.trace.n_clients, cfg.trace.n_aps, cfg.shards)
+                        .expect("validated shard split")[s];
+                    (span.n_clients, span.n_gateways)
+                }
+            }
+        }
     }
 }
 
@@ -782,36 +1011,59 @@ pub fn build_world_shard(cfg: &ScenarioConfig, seed: u64, shard: usize) -> (Trac
         assert_eq!(shard, 0, "unsharded world has exactly one shard");
         return build_world_seeded(cfg, seed);
     }
-    let spans = shard_spans(cfg.trace.n_clients, cfg.trace.n_aps, cfg.shards)
-        .expect("validated shard split");
-    let span = spans[shard];
-    let master = SimRng::new(seed);
-    let mut shard_trace = cfg.trace.clone();
-    shard_trace.n_clients = span.n_clients;
-    shard_trace.n_aps = span.n_gateways;
+    let (shard_trace, master) = shard_trace_config(cfg, seed, shard);
     let mut trace_rng = master.fork_idx("shard-trace", shard as u64);
     let trace = insomnia_traffic::crawdad::generate(&shard_trace, &mut trace_rng);
     let mut topo_rng = master.fork_idx("shard-topology", shard as u64);
     let home: Vec<usize> = trace.home.iter().map(|ap| ap.index()).collect();
-    let topo = match cfg.topology {
-        TopologyKind::Overlap => overlap_topology(
-            &home,
-            span.n_gateways,
-            cfg.mean_networks_in_range,
-            cfg.channel,
-            &mut topo_rng,
-        ),
-        TopologyKind::Binomial => binomial_topology(
-            &home,
-            span.n_gateways,
-            cfg.mean_networks_in_range,
-            cfg.channel,
-            &mut topo_rng,
-        ),
-    }
-    .expect("valid shard topology");
+    let topo = build_topology(cfg, &home, shard_trace.n_aps, &mut topo_rng);
     (trace, topo)
 }
+
+/// [`build_world_shard`] on the streaming path: the shard's trace comes
+/// back as an unconsumed [`FlowStream`] (O(clients) state) instead of a
+/// materialized [`Trace`]. Collecting the stream yields exactly
+/// [`build_world_shard`]'s trace — same RNG labels, same draws — and the
+/// topology is byte-identical; `tests/streaming.rs` asserts both.
+pub fn build_world_shard_streaming(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    shard: usize,
+) -> (FlowStream, Topology) {
+    let master = SimRng::new(seed);
+    let (shard_trace, mut trace_rng, mut topo_rng) = if cfg.shards <= 1 {
+        assert_eq!(shard, 0, "unsharded world has exactly one shard");
+        (cfg.trace.clone(), master.fork("trace"), master.fork("topology"))
+    } else {
+        let (shard_trace, master) = shard_trace_config(cfg, seed, shard);
+        (
+            shard_trace,
+            master.fork_idx("shard-trace", shard as u64),
+            master.fork_idx("shard-topology", shard as u64),
+        )
+    };
+    let stream = FlowStream::new(&shard_trace, &mut trace_rng);
+    let home: Vec<usize> = stream.home().iter().map(|ap| ap.index()).collect();
+    let topo = build_topology(cfg, &home, shard_trace.n_aps, &mut topo_rng);
+    (stream, topo)
+}
+
+/// The per-shard trace config (span-sized population) plus the master RNG.
+fn shard_trace_config(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    shard: usize,
+) -> (CrawdadTraceConfig, SimRng) {
+    let spans = shard_spans(cfg.trace.n_clients, cfg.trace.n_aps, cfg.shards)
+        .expect("validated shard split");
+    let span = spans[shard];
+    let mut shard_trace = cfg.trace.clone();
+    shard_trace.n_clients = span.n_clients;
+    shard_trace.n_aps = span.n_gateways;
+    (shard_trace, SimRng::new(seed))
+}
+
+type CrawdadTraceConfig = insomnia_traffic::CrawdadConfig;
 
 /// Builds every shard of the scenario from the master seed; shards build
 /// in parallel (the split is index-addressed, so the result is identical
@@ -819,7 +1071,7 @@ pub fn build_world_shard(cfg: &ScenarioConfig, seed: u64, shard: usize) -> (Trac
 pub fn build_sharded_world_seeded(cfg: &ScenarioConfig, seed: u64) -> ShardedWorld {
     let shards =
         par_map_indexed(cfg.shards.max(1), default_threads(), |s| build_world_shard(cfg, seed, s));
-    ShardedWorld { shards }
+    ShardedWorld::eager(shards)
 }
 
 /// [`build_sharded_world_seeded`] with the scenario's own seed.
@@ -856,6 +1108,8 @@ fn merge_shard_runs(mut runs: Vec<RunResult>) -> RunResult {
         merged.wake_counts.extend(r.wake_counts);
         merged.stats = add_stats(merged.stats, r.stats);
         merged.events += r.events;
+        merged.peak_heap = merged.peak_heap.max(r.peak_heap);
+        merged.peak_active_flows = merged.peak_active_flows.max(r.peak_active_flows);
     }
     merged
 }
@@ -899,7 +1153,75 @@ pub fn run_scheme_seeded(
     topo: &Topology,
     seed: u64,
 ) -> SchemeResult {
-    run_scheme_shards(cfg, spec, &[(trace, topo)], seed, default_threads(), &|_| {})
+    run_scheme_shards(
+        cfg,
+        spec,
+        TaskWorlds::Refs(&[(trace, topo)]),
+        seed,
+        default_threads(),
+        &|_| {},
+    )
+}
+
+/// What a `(repetition × shard)` task simulates: borrowed prebuilt worlds,
+/// or a [`ShardedWorld`] whose lazy shards each task builds (streaming) and
+/// drops inside its worker.
+enum TaskWorlds<'a> {
+    Refs(&'a [(&'a Trace, &'a Topology)]),
+    World(&'a ShardedWorld),
+}
+
+impl TaskWorlds<'_> {
+    fn n_shards(&self) -> usize {
+        match self {
+            TaskWorlds::Refs(rs) => rs.len(),
+            TaskWorlds::World(w) => w.n_shards(),
+        }
+    }
+
+    fn n_gateways(&self) -> usize {
+        match self {
+            TaskWorlds::Refs(rs) => rs.iter().map(|(_, t)| t.n_gateways()).sum(),
+            TaskWorlds::World(w) => w.n_gateways(),
+        }
+    }
+
+    fn shard_dims(&self, s: usize) -> (usize, usize) {
+        match self {
+            TaskWorlds::Refs(rs) => {
+                let (_, topo) = rs[s];
+                (topo.n_clients(), topo.n_gateways())
+            }
+            TaskWorlds::World(w) => w.shard_dims(s),
+        }
+    }
+
+    /// Runs one `(repetition × shard)` task. Lazy shards are built here —
+    /// in the worker, streaming — and dropped on return.
+    fn run_task(
+        &self,
+        cfg: &ScenarioConfig,
+        spec: SchemeSpec,
+        shard: usize,
+        rng: SimRng,
+    ) -> RunResult {
+        match self {
+            TaskWorlds::Refs(rs) => {
+                let (trace, topo) = rs[shard];
+                run_single(cfg, spec, trace, topo, rng)
+            }
+            TaskWorlds::World(w) => match &w.storage {
+                WorldStorage::Eager(shards) => {
+                    let (trace, topo) = &shards[shard];
+                    run_single(cfg, spec, trace, topo, rng)
+                }
+                WorldStorage::Lazy { cfg: world_cfg, seed } => {
+                    let (stream, topo) = build_world_shard_streaming(world_cfg, *seed, shard);
+                    run_single_streaming(cfg, spec, stream, &topo, rng)
+                }
+            },
+        }
+    }
 }
 
 /// Runs all repetitions of one scheme over every shard of a
@@ -918,7 +1240,7 @@ pub fn run_scheme_sharded(
     seed: u64,
     max_threads: usize,
 ) -> SchemeResult {
-    run_scheme_shards(cfg, spec, &world.as_refs(), seed, max_threads, &|_| {})
+    run_scheme_shards(cfg, spec, TaskWorlds::World(world), seed, max_threads, &|_| {})
 }
 
 /// [`run_scheme_sharded`] with a shard-level progress observer: `observe`
@@ -934,21 +1256,22 @@ pub fn run_scheme_sharded_observed(
     max_threads: usize,
     observe: &(dyn Fn(TaskProgress) + Sync),
 ) -> SchemeResult {
-    run_scheme_shards(cfg, spec, &world.as_refs(), seed, max_threads, observe)
+    run_scheme_shards(cfg, spec, TaskWorlds::World(world), seed, max_threads, observe)
 }
 
 fn run_scheme_shards(
     cfg: &ScenarioConfig,
     spec: SchemeSpec,
-    worlds: &[(&Trace, &Topology)],
+    worlds: TaskWorlds<'_>,
     seed: u64,
     max_threads: usize,
     observe: &(dyn Fn(TaskProgress) + Sync),
 ) -> SchemeResult {
     let master = SimRng::new(seed);
-    let n_shards = worlds.len();
+    let n_shards = worlds.n_shards();
     let n_tasks = cfg.repetitions * n_shards;
     let finished = std::sync::atomic::AtomicUsize::new(0);
+    let worlds_ref = &worlds;
     let results: Vec<RunResult> = par_map_indexed(n_tasks, max_threads, |i| {
         let (rep, sh) = (i / n_shards, i % n_shards);
         let rng = if n_shards == 1 {
@@ -956,8 +1279,7 @@ fn run_scheme_shards(
         } else {
             master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
         };
-        let (trace, topo) = worlds[sh];
-        let result = run_single(cfg, spec, trace, topo, rng);
+        let result = worlds_ref.run_task(cfg, spec, sh, rng);
         observe(TaskProgress {
             rep,
             shard: sh,
@@ -965,20 +1287,25 @@ fn run_scheme_shards(
             finished: finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1,
             total: n_tasks,
             events: result.events,
+            peak_heap: result.peak_heap,
+            peak_active_flows: result.peak_active_flows,
         });
         result
     });
 
     let k = cfg.repetitions as f64;
-    let n_gateways: usize = worlds.iter().map(|(_, t)| t.n_gateways()).sum();
+    let n_gateways: usize = worlds.n_gateways();
     let shard_summaries: Vec<ShardSummary> = (0..n_shards)
         .map(|sh| {
-            let (trace, topo) = worlds[sh];
+            let (shard_clients, shard_gateways) = worlds.shard_dims(sh);
             let reps = || (0..cfg.repetitions).map(|rep| &results[rep * n_shards + sh]);
             ShardSummary {
-                n_clients: topo.n_clients(),
-                n_gateways: topo.n_gateways(),
-                n_flows: trace.flows.len(),
+                n_clients: shard_clients,
+                n_gateways: shard_gateways,
+                // Every repetition drives the same shard trace; read the
+                // flow count from the run so lazy worlds never have to
+                // materialize (or regenerate) one just to count it.
+                n_flows: reps().next().map_or(0, |r| r.completion.total_flows() as usize),
                 energy_j: reps().map(|r| r.energy.total_j()).sum::<f64>() / k,
                 mean_gateways: reps()
                     .map(|r| {
@@ -989,7 +1316,7 @@ fn run_scheme_shards(
                     / k,
                 mean_wake_count: reps()
                     .map(|r| {
-                        r.wake_counts.iter().sum::<u64>() as f64 / topo.n_gateways().max(1) as f64
+                        r.wake_counts.iter().sum::<u64>() as f64 / shard_gateways.max(1) as f64
                     })
                     .sum::<f64>()
                     / k,
@@ -1202,7 +1529,7 @@ mod tests {
         let (trace, topo) = build_world_seeded(&cfg, 99);
         let world = build_sharded_world_seeded(&cfg, 99);
         assert_eq!(world.n_shards(), 1);
-        let (st, stopo) = &world.shards[0];
+        let (st, stopo) = &world.shards()[0];
         assert_eq!(st.flows.len(), trace.flows.len());
         assert_eq!(st.home, trace.home);
         assert_eq!(st.total_bytes(), trace.total_bytes());
@@ -1250,14 +1577,17 @@ mod tests {
             assert!((p - 20.0).abs() < 1e-9, "all 20 gateways across 4 shards powered, got {p}");
         }
         assert_eq!(r.gateway_online_s[0].len(), 20);
-        assert_eq!(r.completion[0].total_flows() as usize, world.n_flows());
+        assert_eq!(r.completion[0].total_flows() as usize, world.n_flows().unwrap());
         assert_eq!(
             r.completion[0].per_flow().expect("small world retains samples").len(),
-            world.n_flows()
+            world.n_flows().unwrap()
         );
         assert_eq!(r.shard_summaries.len(), 4);
         assert_eq!(r.shard_summaries.iter().map(|s| s.n_clients).sum::<usize>(), 136);
-        assert_eq!(r.shard_summaries.iter().map(|s| s.n_flows).sum::<usize>(), world.n_flows());
+        assert_eq!(
+            r.shard_summaries.iter().map(|s| s.n_flows).sum::<usize>(),
+            world.n_flows().unwrap()
+        );
         // Four shards mean four DSLAM shelves in the energy ledger.
         let shelf_j = cfg.power.shelf_w * cfg.horizon().as_secs_f64();
         assert!((r.energy.shelf_j - 4.0 * shelf_j).abs() < 1.0);
@@ -1311,8 +1641,8 @@ mod tests {
     fn shards_decorrelate_but_preserve_population() {
         let cfg = sharded_cfg(2);
         let world = build_sharded_world_seeded(&cfg, 3);
-        let (a, _) = &world.shards[0];
-        let (b, _) = &world.shards[1];
+        let (a, _) = &world.shards()[0];
+        let (b, _) = &world.shards()[1];
         assert_ne!(a.total_bytes(), b.total_bytes(), "shards draw independent streams");
         assert_eq!(a.n_clients() + b.n_clients(), 136);
     }

@@ -27,8 +27,9 @@ pub use config::{Bh2Params, ScenarioConfig, TopologyKind, DEFAULT_COMPLETION_CUT
 pub use density::{density_sweep, DensityPoint};
 pub use driver::{
     build_sharded_world, build_sharded_world_seeded, build_world, build_world_seeded,
-    build_world_shard, run_scheme, run_scheme_on, run_scheme_seeded, run_scheme_sharded,
-    run_scheme_sharded_observed, run_single, DriverStats, RunResult, SchemeResult, ShardSummary,
+    build_world_shard, build_world_shard_streaming, run_scheme, run_scheme_on, run_scheme_seeded,
+    run_scheme_sharded, run_scheme_sharded_observed, run_single, run_single_source,
+    run_single_streaming, ArrivalSource, DriverStats, RunResult, SchemeResult, ShardSummary,
     ShardedWorld, TaskProgress,
 };
 pub use extrapolate::WorldModel;

@@ -1,10 +1,13 @@
 //! The parallel batch runner.
 //!
 //! A [`BatchRun`] expands into a (scenario × scheme × seed) job matrix.
-//! Worlds ([`ShardedWorld`]s: one trace + topology per DSLAM-neighborhood
-//! shard) are built once per (scenario, seed) — with the (world × shard)
-//! build tasks flattened onto one pool — and shared by reference across
-//! that pair's scheme jobs; jobs execute on a scoped worker pool (the
+//! Worlds are *lazy* [`ShardedWorld`]s — one `(config, seed)` handle per
+//! (scenario, seed) pair, shared by reference across that pair's scheme
+//! jobs. Each `(repetition × shard)` task builds its shard inside the
+//! worker through the streaming trace generator (no flow vector is ever
+//! materialized) and drops it on completion, so the batch's peak RSS is
+//! O(worker threads × shard), not O(world) — the property the memory-gated
+//! giga-metro CI smoke enforces. Jobs execute on a scoped worker pool (the
 //! environment vendors no rayon, so this is a work-stealing-free
 //! equivalent: an atomic job cursor over the matrix), and each job fans
 //! its (repetition × shard) runs over its own slice of the thread budget.
@@ -12,18 +15,20 @@
 //! Determinism: job `k` of scenario `s` derives its RNG master from the
 //! scenario's configured seed via the same fork discipline the driver
 //! uses (`SimRng::fork_idx`), so results depend only on the spec — never
-//! on thread count or completion order. JSONL output is streamed through a
-//! reorder buffer that releases lines strictly in job order, making the
-//! byte stream identical at 1 and N threads (asserted by
-//! `tests/scenarios.rs`). Wall-clock and event-count telemetry go to
-//! stderr, also in job order, and never into the JSONL.
+//! on thread count, completion order, or world storage (lazy shard builds
+//! are index-addressed pure functions of `(config, seed, shard)`). JSONL
+//! output is streamed through a reorder buffer that releases lines
+//! strictly in job order, making the byte stream identical at 1 and N
+//! threads (asserted by `tests/scenarios.rs`). Wall-clock and event-count
+//! telemetry plus the shard-level heartbeat go to stderr, and never into
+//! the JSONL.
 
 use crate::schemes::scheme_key;
 use insomnia_core::{
-    build_world_shard, completion_quantiles, run_scheme_sharded_observed, summarize,
-    ScenarioConfig, SchemeResult, SchemeSpec, ShardedWorld,
+    completion_quantiles, run_scheme_sharded_observed, summarize, ScenarioConfig, SchemeResult,
+    SchemeSpec, ShardedWorld,
 };
-use insomnia_simcore::{par_map_indexed, SimError, SimResult, SimRng};
+use insomnia_simcore::{SimError, SimResult, SimRng};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -264,12 +269,6 @@ impl BatchRun {
         }
     }
 
-    /// Workers for the world-build phase; (world × shard) build tasks are
-    /// flattened onto one pool, so no task spawns inner threads.
-    fn world_threads(&self) -> usize {
-        self.thread_budget()
-    }
-
     /// Concurrent scheme jobs: each job internally fans `repetitions ×
     /// shards` runs over its per-job thread slice, so divide the budget by
     /// the widest job to keep total live threads near the budget.
@@ -303,10 +302,11 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
     let threads = batch.job_threads().min(n_jobs.max(1));
     let threads_per_job = batch.threads_per_job();
 
-    // Phase 1: one sharded world per (scenario, seed), shared by that
-    // pair's scheme jobs — exactly like the paper shares one trace across
-    // schemes. The (world × shard) build tasks are flattened onto one pool
-    // so a single 64-shard scenario still builds on every core.
+    // Phase 1: one *lazy* sharded world per (scenario, seed), shared by
+    // that pair's scheme jobs — exactly like the paper shares one trace
+    // across schemes, except nothing is built yet: each (repetition ×
+    // shard) task streams its shard into existence inside the worker and
+    // drops it on completion, keeping peak RSS at O(threads × shard).
     let worlds = build_worlds(batch);
 
     // Phase 2: the scheme jobs. Workers send finished records through a
@@ -367,33 +367,19 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
     Ok(BatchSummary { records, rows })
 }
 
-/// Phase-1 world construction: every (scenario, seed, shard) build task on
-/// one flat pool, then regrouped into one [`ShardedWorld`] per
-/// (scenario, seed) pair.
+/// Phase-1 world construction: one lazy handle per (scenario, seed) pair.
+/// Worlds are deliberately *not* prebuilt — holding every shard's trace
+/// and topology alive for the whole batch is exactly the O(world) memory
+/// ceiling the streaming pipeline removes.
 fn build_worlds(batch: &BatchRun) -> Vec<ShardedWorld> {
-    // Flatten: world w = (scenario si, seed ki) owns cfg.shards tasks.
     let n_worlds = batch.scenarios.len() * batch.seeds;
-    let mut task_world = Vec::new(); // task index -> world index
-    let mut task_shard = Vec::new(); // task index -> shard within world
-    for w in 0..n_worlds {
-        let (_, cfg) = &batch.scenarios[w / batch.seeds];
-        for s in 0..cfg.shards.max(1) {
-            task_world.push(w);
-            task_shard.push(s);
-        }
-    }
-    let built = par_map_indexed(task_world.len(), batch.world_threads(), |t| {
-        let w = task_world[t];
-        let (si, ki) = (w / batch.seeds, w % batch.seeds);
-        let (_, cfg) = &batch.scenarios[si];
-        build_world_shard(cfg, job_seed(cfg.seed, ki), task_shard[t])
-    });
-    let mut worlds: Vec<ShardedWorld> =
-        (0..n_worlds).map(|_| ShardedWorld { shards: Vec::new() }).collect();
-    for (t, shard) in built.into_iter().enumerate() {
-        worlds[task_world[t]].shards.push(shard);
-    }
-    worlds
+    (0..n_worlds)
+        .map(|w| {
+            let (si, ki) = (w / batch.seeds, w % batch.seeds);
+            let (_, cfg) = &batch.scenarios[si];
+            ShardedWorld::lazy(cfg, job_seed(cfg.seed, ki))
+        })
+        .collect()
 }
 
 /// Decodes job index `j` into (scenario, scheme, seed) and runs it on a
@@ -416,14 +402,33 @@ fn run_job(
     let started = Instant::now();
     // Shard-level heartbeat for hour-long sharded jobs: one stderr line
     // per finished (repetition × shard) event loop, straight from the
-    // worker thread. Unsharded jobs stay silent; the JSONL is untouched.
+    // worker thread, carrying the task's peak-heap / peak-active-flow
+    // telemetry (the live witness that the scheduler stays O(active)).
+    // Each line is formatted up front and written as one `write_all` +
+    // explicit flush under the stderr lock, so lines from concurrent
+    // workers never interleave at high thread counts. Unsharded jobs stay
+    // silent; the JSONL is untouched.
     let scheme = scheme_key(spec);
     let observe = move |p: insomnia_core::TaskProgress| {
         if p.n_shards > 1 {
-            eprintln!(
-                "# shard {}/{} seed {}: rep {} shard {}/{} done ({}/{} tasks, {} events)",
-                name, scheme, ki, p.rep, p.shard, p.n_shards, p.finished, p.total, p.events,
+            let line = format!(
+                "# shard {}/{} seed {}: rep {} shard {}/{} done ({}/{} tasks, {} events, \
+                 peak heap {}, peak active {})\n",
+                name,
+                scheme,
+                ki,
+                p.rep,
+                p.shard,
+                p.n_shards,
+                p.finished,
+                p.total,
+                p.events,
+                p.peak_heap,
+                p.peak_active_flows,
             );
+            let mut err = std::io::stderr().lock();
+            let _ = err.write_all(line.as_bytes());
+            let _ = err.flush();
         }
     };
     let result = run_scheme_sharded_observed(cfg, spec, world, seed, max_threads, &observe);
@@ -458,6 +463,11 @@ fn make_record(
     let pooled = result.pooled_completion();
     let grid = completion_quantiles(&pooled);
 
+    // Flow counts come from the run's per-shard summaries: a lazy world
+    // has no materialized traces to count, and the values are identical
+    // (every repetition drives the same per-shard trace).
+    let n_flows = result.shard_summaries.iter().map(|sh| sh.n_flows).sum();
+
     JobRecord {
         scenario: scenario.to_string(),
         scheme: scheme_key(spec),
@@ -465,7 +475,7 @@ fn make_record(
         seed,
         n_gateways: world.n_gateways(),
         n_clients: world.n_clients(),
-        n_flows: world.n_flows(),
+        n_flows,
         mean_savings_pct: s.mean_savings_pct,
         peak_savings_pct: s.peak_savings_pct,
         mean_gateways: s.mean_gateways,

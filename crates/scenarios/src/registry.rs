@@ -162,6 +162,31 @@ repetitions = 1
 completion_cutoff = 0
 "#,
                 ),
+                // 2048 neighborhoods of 5000 clients / 625 gateways (80 x 8
+                // port DSLAMs). An order of magnitude past mega-city: only
+                // runnable because nothing is O(world) anymore — traces
+                // stream per (rep x shard) task (O(clients) cursor state,
+                // never a flow vector), the event heap is O(active flows),
+                // and completion metrics are O(shards x buckets)
+                // (`completion_cutoff = 0`). Peak RSS is O(threads x shard).
+                preset(
+                    "giga-metro",
+                    "giga-metro scale: 2048 DSLAM neighborhoods, 10.24M clients, streamed traces",
+                    r#"
+n_clients = 10240000
+n_aps = 1280000
+shards = 2048
+n_cards = 80
+ports_per_card = 8
+k_switch = 4
+mean_networks_in_range = 7.0
+rate_scale = 1.2
+always_on_frac = 0.12
+sample_period_s = 60.0
+repetitions = 1
+completion_cutoff = 0
+"#,
+                ),
             ],
         }
     }
@@ -278,7 +303,7 @@ mod tests {
         cfg.validate().unwrap();
         // All presets below metro scale stay on the paper's single DSLAM.
         for p in Registry::builtin().presets() {
-            if p.name != "dense-metro" && p.name != "mega-city" {
+            if !["dense-metro", "mega-city", "giga-metro"].contains(&p.name) {
                 let c = Registry::builtin().resolve(p.name).unwrap();
                 assert_eq!(c.shards, 1, "{} must stay unsharded", p.name);
             }
@@ -294,7 +319,7 @@ mod tests {
         cfg.validate().unwrap();
         // Every smaller preset keeps the exact completion memory model.
         for p in Registry::builtin().presets() {
-            if p.name != "mega-city" {
+            if p.name != "mega-city" && p.name != "giga-metro" {
                 let c = Registry::builtin().resolve(p.name).unwrap();
                 assert_eq!(
                     c.completion_cutoff,
@@ -304,6 +329,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn giga_metro_is_an_eight_figure_streaming_scenario() {
+        let cfg = Registry::builtin().resolve("giga-metro").unwrap();
+        assert!(cfg.trace.n_clients >= 10_000_000, "got {}", cfg.trace.n_clients);
+        assert_eq!(cfg.shards, 2048);
+        assert_eq!(cfg.completion_cutoff, 0, "giga-metro must never retain per-flow samples");
+        assert_eq!(cfg.repetitions, 1);
+        // Every shard fits its DSLAM, the topology pair budget, and the
+        // overlap builder's minimum — validated like any other preset.
+        cfg.validate().unwrap();
+        // 5000 clients / 625 gateways per neighborhood: the same density
+        // class as dense-metro, an order of magnitude more of them.
+        let span = insomnia_wireless::shard_spans(cfg.trace.n_clients, cfg.trace.n_aps, cfg.shards)
+            .unwrap()[0];
+        assert_eq!(span.n_clients, 5_000);
+        assert_eq!(span.n_gateways, 625);
     }
 
     #[test]

@@ -60,6 +60,22 @@ impl<E> Scheduler<E> {
         self.queue.push(self.now + delay, event)
     }
 
+    /// Schedules `event` at `at` in the queue's *front lane*: among events
+    /// at the same instant it is delivered before every
+    /// [`schedule_at`]/[`schedule_after`] event, regardless of insertion
+    /// order (front-lane events stay FIFO among themselves). Streaming
+    /// drivers use this to feed trace arrivals one at a time while
+    /// reproducing the delivery order of a run that pre-scheduled every
+    /// arrival up front (arrivals then held the lowest sequence numbers, so
+    /// they always beat simultaneous timers).
+    ///
+    /// [`schedule_at`]: Scheduler::schedule_at
+    /// [`schedule_after`]: Scheduler::schedule_after
+    pub fn schedule_front(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(at >= self.now, "scheduled event at {at} before current time {}", self.now);
+        self.queue.push_front(at, event)
+    }
+
     /// Cancels a pending event (no-op if already delivered/cancelled).
     pub fn cancel(&mut self, token: EventToken) {
         self.queue.cancel(token);
@@ -135,6 +151,17 @@ mod tests {
         s.schedule_at(SimTime::from_secs(5), Ev::Stop);
         s.next_event();
         s.schedule_at(SimTime::from_secs(1), Ev::Stop);
+    }
+
+    #[test]
+    fn schedule_front_wins_ties_against_earlier_normal_events() {
+        let mut s: Scheduler<Ev> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(2), Ev::Tick(1));
+        s.schedule_front(SimTime::from_secs(2), Ev::Tick(0));
+        let (_, first) = s.next_event().unwrap();
+        assert_eq!(first, Ev::Tick(0), "front lane delivered first at the tie");
+        let (_, second) = s.next_event().unwrap();
+        assert_eq!(second, Ev::Tick(1));
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! heap does not guarantee that, so every entry carries a monotonically
 //! increasing sequence number used as a tie-breaker.
 //!
+//! Entries additionally carry a two-value *lane*: [`EventQueue::push_front`]
+//! places an event in the front lane, delivered before every normal-lane
+//! event at the same instant regardless of insertion order (within each
+//! lane, FIFO still holds). Streaming drivers need this to schedule trace
+//! arrivals one at a time while reproducing the delivery order of a run
+//! that pre-scheduled all arrivals first (and therefore gave them the
+//! lowest sequence numbers).
+//!
 //! Cancellation is lazy: [`EventQueue::cancel`] marks a token and the entry is
 //! discarded when it reaches the head of the heap. This keeps both schedule
 //! and cancel at `O(log n)` amortized without intrusive handles.
@@ -18,15 +26,21 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
 
+/// Delivery lane: front-lane entries beat normal-lane entries scheduled for
+/// the same instant.
+const LANE_FRONT: u8 = 0;
+const LANE_NORMAL: u8 = 1;
+
 struct Entry<E> {
     time: SimTime,
+    lane: u8,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.lane == other.lane && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -36,10 +50,14 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 impl<E> Ord for Entry<E> {
-    // Reversed: BinaryHeap is a max-heap, we want the earliest (time, seq) out
-    // first.
+    // Reversed: BinaryHeap is a max-heap, we want the earliest
+    // (time, lane, seq) out first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.lane.cmp(&self.lane))
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -66,9 +84,23 @@ impl<E> EventQueue<E> {
     ///
     /// [`cancel`]: EventQueue::cancel
     pub fn push(&mut self, time: SimTime, event: E) -> EventToken {
+        self.push_lane(time, LANE_NORMAL, event)
+    }
+
+    /// Schedules `event` at `time` in the front lane: among entries at the
+    /// same instant it is delivered before every [`push`]ed entry, however
+    /// early that entry was scheduled. Multiple front-lane entries at one
+    /// instant stay FIFO among themselves.
+    ///
+    /// [`push`]: EventQueue::push
+    pub fn push_front(&mut self, time: SimTime, event: E) -> EventToken {
+        self.push_lane(time, LANE_FRONT, event)
+    }
+
+    fn push_lane(&mut self, time: SimTime, lane: u8, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry { time, lane, seq, event });
         EventToken(seq)
     }
 
@@ -143,6 +175,22 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((t(7), i)));
         }
+    }
+
+    #[test]
+    fn front_lane_beats_simultaneous_normal_entries() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "normal-early");
+        q.push(t(5), "normal-late");
+        // Scheduled last, still delivered first at the shared instant.
+        q.push_front(t(5), "front-a");
+        q.push_front(t(5), "front-b");
+        q.push(t(1), "earlier-time");
+        assert_eq!(q.pop(), Some((t(1), "earlier-time")));
+        assert_eq!(q.pop(), Some((t(5), "front-a")));
+        assert_eq!(q.pop(), Some((t(5), "front-b")));
+        assert_eq!(q.pop(), Some((t(5), "normal-early")));
+        assert_eq!(q.pop(), Some((t(5), "normal-late")));
     }
 
     #[test]

@@ -96,19 +96,42 @@ impl Default for CrawdadConfig {
 
 /// Per-client personality: how much traffic a client's bursts carry.
 #[derive(Debug, Clone, Copy)]
-struct Personality {
+pub(crate) struct Personality {
     /// Multiplier on burst sizes (log-normal across the population: a few
     /// heavy hitters dominate bytes, as in all measured traffic).
-    volume: f64,
+    pub(crate) volume: f64,
     /// Probability that a non-keepalive burst is a media/bulk transfer.
-    heavy_tail_bias: f64,
+    pub(crate) heavy_tail_bias: f64,
+}
+
+impl Personality {
+    /// Draws one client's personality; the first draws of that client's
+    /// segment of the master RNG stream (both generators share this).
+    pub(crate) fn draw(cfg: &CrawdadConfig, rng: &mut SimRng) -> Personality {
+        Personality {
+            volume: rng.lognormal(1.9, 0.8) * cfg.rate_scale,
+            heavy_tail_bias: rng.range_f64(0.05, 0.25),
+        }
+    }
 }
 
 /// Generates a synthetic CRAWDAD-like day.
 ///
 /// Deterministic in `(config, rng seed)`: the same inputs always produce the
-/// identical trace.
+/// identical trace. Since the streaming pipeline landed this is a thin
+/// `collect()` of [`crate::stream::FlowStream`]; the historical eager
+/// implementation survives as [`generate_eager`], and the two are
+/// property-tested flow-for-flow identical (`tests/properties.rs`).
 pub fn generate(cfg: &CrawdadConfig, rng: &mut SimRng) -> Trace {
+    crate::stream::FlowStream::new(cfg, rng).collect_trace()
+}
+
+/// The pre-streaming trace generator: materializes every client's bursts
+/// and sorts them by arrival. Kept as the reference implementation the
+/// [`crate::stream::FlowStream`] equivalence property tests and the
+/// eager-vs-streaming benches compare against; production paths call
+/// [`generate`] (identical output, arrival-ordered from the start).
+pub fn generate_eager(cfg: &CrawdadConfig, rng: &mut SimRng) -> Trace {
     assert!(cfg.n_clients > 0 && cfg.n_aps > 0);
     assert!(cfg.gap_model.is_normalized(), "gap mixture must sum to 1");
     let profile = cfg.profile.profile();
@@ -124,10 +147,7 @@ pub fn generate(cfg: &CrawdadConfig, rng: &mut SimRng) -> Trace {
 
     for c in 0..cfg.n_clients {
         let client = ClientId::from_index(c);
-        let personality = Personality {
-            volume: rng.lognormal(1.9, 0.8) * cfg.rate_scale,
-            heavy_tail_bias: rng.range_f64(0.05, 0.25),
-        };
+        let personality = Personality::draw(cfg, rng);
         let client_sessions = draw_sessions(cfg, rng);
         for s in &client_sessions {
             sessions.push(Session { client, start: s.0, end: s.1 });
@@ -143,7 +163,7 @@ pub fn generate(cfg: &CrawdadConfig, rng: &mut SimRng) -> Trace {
 
 /// Draws the presence sessions of one client as `(start, end)` pairs, all
 /// clamped inside `[0, horizon)`.
-fn draw_sessions(cfg: &CrawdadConfig, rng: &mut SimRng) -> Vec<(SimTime, SimTime)> {
+pub(crate) fn draw_sessions(cfg: &CrawdadConfig, rng: &mut SimRng) -> Vec<(SimTime, SimTime)> {
     let day = cfg.horizon;
     let u = rng.f64();
     let mut out: Vec<(SimTime, SimTime)> = Vec::new();
@@ -241,7 +261,7 @@ fn generate_bursts(
 /// (6 Mbps × 60 s = 45 MB): the paper's trace carries light continuous
 /// traffic where gateway saturation "does not happen often" (§5.1), and
 /// its stretched flows are explicitly "short-lived (few seconds)" (§5.2.4).
-fn draw_burst(p: Personality, rng: &mut SimRng) -> (FlowKind, u64) {
+pub(crate) fn draw_burst(p: Personality, rng: &mut SimRng) -> (FlowKind, u64) {
     let u = rng.f64();
     if u < 0.45 {
         // Background presence traffic: keepalives, polling, push channels.

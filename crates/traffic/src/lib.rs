@@ -30,6 +30,7 @@ pub mod ids;
 pub mod io;
 pub mod session;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
 pub use adsl::{AdslConfig, AdslPopulation, Direction};
@@ -39,4 +40,5 @@ pub use flow::{FlowKind, FlowRecord};
 pub use gaps::GapModel;
 pub use ids::{ApId, ClientId};
 pub use session::Session;
+pub use stream::FlowStream;
 pub use trace::Trace;

@@ -1,0 +1,353 @@
+//! Streaming trace generation: lazy, arrival-ordered flow synthesis.
+//!
+//! [`crate::crawdad::generate_eager`] materializes every [`FlowRecord`] of
+//! the day and sorts them — fine for the paper's 272-client building,
+//! but a 10⁷-client metro day is ~10⁹ flow records, and a driver that
+//! consumes arrivals in order never needs them all at once. A
+//! [`FlowStream`] yields the *same flows in the same order* one at a time,
+//! holding only O(clients) cursor state:
+//!
+//! * **Setup pass** (`FlowStream::new`): replays exactly the draws the
+//!   eager generator makes on the master RNG — the home shuffle, then per
+//!   client its personality, presence sessions and every burst draw — but
+//!   instead of storing flows it *snapshots the RNG* at the start of each
+//!   client's burst segment (xoshiro256** state, 40 bytes) and counts the
+//!   client's flows. Advancing the master through the burst draws is what
+//!   keeps client `c + 1`'s personality bit-identical to the eager path.
+//! * **Replay** (`next_flow`): each client cursor regenerates its bursts
+//!   lazily from its snapshot; a k-way merge (binary heap keyed on
+//!   `(start, client)`) yields flows in global arrival order.
+//!
+//! Equivalence to the eager generator is exact, not approximate: per
+//! client, bursts replay the identical draw sequence from the identical
+//! RNG state, and the heap's `(start, client)` ordering reproduces the
+//! eager path's *stable* sort by start (ties broken by client index, then
+//! by generation order within a client — precisely the pre-sort vector
+//! order). Property tests in `tests/properties.rs` assert flow-for-flow
+//! equality across configs, seeds, diurnal shapes and surge windows.
+
+use crate::crawdad::{draw_burst, draw_sessions, CrawdadConfig, Personality, SurgeWindow};
+use crate::diurnal::DiurnalProfile;
+use crate::flow::FlowRecord;
+use crate::gaps::GapModel;
+use crate::ids::{ApId, ClientId};
+use crate::session::Session;
+use crate::trace::Trace;
+use insomnia_simcore::{SimDuration, SimRng, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Burst-replay position of one client: which session it is in and when its
+/// next candidate burst fires. Split from [`ClientCursor`] so the setup
+/// pass can drive the same state machine against the master RNG.
+#[derive(Debug, Clone, Copy)]
+struct CursorState {
+    /// Index of the current session in the stream's session list.
+    sess_pos: usize,
+    /// One past the client's last session.
+    sess_end: usize,
+    /// Next candidate burst time; valid while `entered`.
+    t: SimTime,
+    /// Whether the session at `sess_pos` has drawn its opening offset yet.
+    entered: bool,
+}
+
+impl CursorState {
+    fn new(sess_pos: usize, sess_end: usize) -> CursorState {
+        CursorState { sess_pos, sess_end, t: SimTime::ZERO, entered: false }
+    }
+}
+
+/// One client's resumable burst generator: a 40-byte RNG snapshot plus a
+/// replay position — the whole reason trace memory is O(clients), not
+/// O(flows).
+#[derive(Debug, Clone)]
+struct ClientCursor {
+    rng: SimRng,
+    personality: Personality,
+    state: CursorState,
+    /// The next flow this client will emit (the cursor's heap key).
+    next: Option<FlowRecord>,
+}
+
+/// The parts of the generator shared by every cursor.
+struct Shared {
+    gap_model: GapModel,
+    surge: Option<SurgeWindow>,
+    profile: DiurnalProfile,
+}
+
+impl Shared {
+    /// Replays one step of the eager generator's burst loop: draws (and
+    /// returns) the flow at the current candidate time, or crosses into the
+    /// next session. The draw sequence — session-opening offset, burst
+    /// kind/size, diurnal-scaled gap — is the exact sequence
+    /// `crawdad::generate_bursts` makes, which is what keeps the replayed
+    /// stream and the setup pass bit-identical to the eager path.
+    fn step(
+        &self,
+        sessions: &[Session],
+        personality: Personality,
+        state: &mut CursorState,
+        rng: &mut SimRng,
+    ) -> Option<FlowRecord> {
+        loop {
+            if !state.entered {
+                if state.sess_pos == state.sess_end {
+                    return None;
+                }
+                // First burst shortly after the session opens (association,
+                // DHCP, sync) — drawn even when the session is too short to
+                // fit a burst, exactly like the eager loop.
+                let start = sessions[state.sess_pos].start;
+                state.t = start + SimDuration::from_secs_f64(rng.range_f64(0.5, 5.0));
+                state.entered = true;
+            }
+            let sess = sessions[state.sess_pos];
+            if state.t < sess.end {
+                let (kind, bytes) = draw_burst(personality, rng);
+                let flow = FlowRecord { client: sess.client, start: state.t, bytes, kind };
+                let mut intensity = self.profile.weight_at(state.t).clamp(0.05, 1.0);
+                if let Some(s) = self.surge {
+                    if s.contains(state.t) {
+                        intensity *= s.intensity.max(0.0);
+                    }
+                }
+                state.t += self.gap_model.sample(rng, intensity.max(0.05));
+                return Some(flow);
+            }
+            state.entered = false;
+            state.sess_pos += 1;
+        }
+    }
+}
+
+/// A resumable, arrival-ordered flow generator over one CRAWDAD-like day.
+///
+/// Construction costs one full pass of RNG draws (it must position the
+/// master stream exactly where the eager generator would leave it) but
+/// retains only O(clients) state; iteration replays each client's bursts
+/// on demand and merges them by `(start, client)`. The yielded sequence is
+/// flow-for-flow identical to [`crate::crawdad::generate`]'s `flows`
+/// vector, and [`FlowStream::total_flows`] is known before the first flow
+/// is pulled — which is how driver-side accounting
+/// (`CompletionStats::new`) sizes itself without a materialized trace.
+pub struct FlowStream {
+    horizon: SimTime,
+    n_aps: usize,
+    home: Vec<ApId>,
+    sessions: Vec<Session>,
+    cursors: Vec<ClientCursor>,
+    /// Min-heap over `(next flow start, client index)`; one entry per
+    /// client that still has flows to emit.
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    shared: Shared,
+    total_flows: usize,
+    yielded: usize,
+}
+
+impl FlowStream {
+    /// Runs the setup pass: advances `rng` through every draw the eager
+    /// generator makes (leaving it in the identical final state) while
+    /// snapshotting per-client burst cursors instead of storing flows.
+    pub fn new(cfg: &CrawdadConfig, rng: &mut SimRng) -> FlowStream {
+        assert!(cfg.n_clients > 0 && cfg.n_aps > 0);
+        assert!(cfg.gap_model.is_normalized(), "gap mixture must sum to 1");
+        let shared = Shared {
+            gap_model: cfg.gap_model.clone(),
+            surge: cfg.surge,
+            profile: cfg.profile.profile(),
+        };
+
+        let mut home: Vec<ApId> =
+            (0..cfg.n_clients).map(|i| ApId::from_index(i % cfg.n_aps)).collect();
+        rng.shuffle(&mut home);
+
+        let mut sessions: Vec<Session> = Vec::new();
+        let mut cursors: Vec<ClientCursor> = Vec::with_capacity(cfg.n_clients);
+        let mut total_flows = 0usize;
+
+        for c in 0..cfg.n_clients {
+            let client = ClientId::from_index(c);
+            let personality = Personality::draw(cfg, rng);
+            let sess_pos = sessions.len();
+            for s in &draw_sessions(cfg, rng) {
+                sessions.push(Session { client, start: s.0, end: s.1 });
+            }
+            let sess_end = sessions.len();
+            // Snapshot the RNG at the head of this client's burst segment,
+            // then burn the segment's draws on the master so the next
+            // client's personality lands on the right stream position.
+            let snapshot = rng.clone();
+            let mut scratch = CursorState::new(sess_pos, sess_end);
+            while shared.step(&sessions, personality, &mut scratch, rng).is_some() {
+                total_flows += 1;
+            }
+            cursors.push(ClientCursor {
+                rng: snapshot,
+                personality,
+                state: CursorState::new(sess_pos, sess_end),
+                next: None,
+            });
+        }
+
+        // Prime each cursor's first flow and seed the merge heap.
+        let mut entries = Vec::with_capacity(cursors.len());
+        for (c, cur) in cursors.iter_mut().enumerate() {
+            cur.next = shared.step(&sessions, cur.personality, &mut cur.state, &mut cur.rng);
+            if let Some(f) = cur.next {
+                entries.push(Reverse((f.start, c)));
+            }
+        }
+        FlowStream {
+            horizon: cfg.horizon,
+            n_aps: cfg.n_aps,
+            home,
+            sessions,
+            cursors,
+            heap: BinaryHeap::from(entries),
+            shared,
+            total_flows,
+            yielded: 0,
+        }
+    }
+
+    /// The shuffled client → home-AP assignment (what topology builders
+    /// consume; available without pulling a single flow).
+    pub fn home(&self) -> &[ApId] {
+        &self.home
+    }
+
+    /// Presence sessions of every client, in client order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Number of APs in the generated day.
+    pub fn n_aps(&self) -> usize {
+        self.n_aps
+    }
+
+    /// Observation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Total flows the stream will yield — counted during the setup pass,
+    /// known before the first pull.
+    pub fn total_flows(&self) -> usize {
+        self.total_flows
+    }
+
+    /// Flows not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.total_flows - self.yielded
+    }
+
+    /// Yields the next flow in arrival order (ties: client index, then the
+    /// client's own generation order — the eager stable sort's order).
+    pub fn next_flow(&mut self) -> Option<FlowRecord> {
+        let Reverse((start, c)) = self.heap.pop()?;
+        let cur = &mut self.cursors[c];
+        let flow = cur.next.take().expect("heaped cursor holds a flow");
+        debug_assert_eq!(flow.start, start);
+        cur.next = self.shared.step(&self.sessions, cur.personality, &mut cur.state, &mut cur.rng);
+        if let Some(f) = cur.next {
+            self.heap.push(Reverse((f.start, c)));
+        }
+        self.yielded += 1;
+        Some(flow)
+    }
+
+    /// Drains the stream into a materialized [`Trace`] — the eager
+    /// generator's output, already arrival-sorted.
+    pub fn collect_trace(mut self) -> Trace {
+        let mut flows = Vec::with_capacity(self.remaining());
+        while let Some(f) = self.next_flow() {
+            flows.push(f);
+        }
+        let trace = Trace {
+            horizon: self.horizon,
+            n_aps: self.n_aps,
+            home: self.home,
+            flows,
+            sessions: self.sessions,
+        };
+        debug_assert!(trace.validate().is_ok());
+        trace
+    }
+}
+
+impl Iterator for FlowStream {
+    type Item = FlowRecord;
+
+    fn next(&mut self) -> Option<FlowRecord> {
+        self.next_flow()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl std::fmt::Debug for FlowStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowStream")
+            .field("n_clients", &self.cursors.len())
+            .field("n_aps", &self.n_aps)
+            .field("total_flows", &self.total_flows)
+            .field("yielded", &self.yielded)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawdad::generate_eager;
+
+    fn cfg() -> CrawdadConfig {
+        CrawdadConfig { n_clients: 68, n_aps: 10, ..CrawdadConfig::default() }
+    }
+
+    #[test]
+    fn stream_matches_eager_generate_flow_for_flow() {
+        let mut rng_a = SimRng::new(42);
+        let eager = generate_eager(&cfg(), &mut rng_a);
+        let mut rng_b = SimRng::new(42);
+        let stream = FlowStream::new(&cfg(), &mut rng_b);
+        assert_eq!(stream.home(), &eager.home[..]);
+        assert_eq!(stream.sessions(), &eager.sessions[..]);
+        assert_eq!(stream.total_flows(), eager.flows.len());
+        let streamed = stream.collect_trace();
+        assert_eq!(streamed.flows, eager.flows);
+        // The setup pass leaves the master RNG exactly where eager did.
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn yielded_flows_are_arrival_sorted_and_counted() {
+        let mut rng = SimRng::new(7);
+        let mut stream = FlowStream::new(&cfg(), &mut rng);
+        let total = stream.total_flows();
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some(f) = stream.next_flow() {
+            assert!(f.start >= last, "arrival order violated");
+            last = f.start;
+            n += 1;
+            assert_eq!(stream.remaining(), total - n);
+        }
+        assert_eq!(n, total);
+    }
+
+    #[test]
+    fn generate_is_the_stream_collected() {
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        let via_generate = crate::crawdad::generate(&cfg(), &mut a);
+        let via_stream = FlowStream::new(&cfg(), &mut b).collect_trace();
+        assert_eq!(via_generate.flows, via_stream.flows);
+        assert_eq!(via_generate.home, via_stream.home);
+    }
+}

@@ -1,14 +1,66 @@
 //! Property-based tests of the traffic substrate.
 
 use insomnia_simcore::{SimRng, SimTime};
-use insomnia_traffic::crawdad::{self, CrawdadConfig};
+use insomnia_traffic::crawdad::{self, CrawdadConfig, SurgeWindow};
 use insomnia_traffic::stats::{
     ap_utilization_percent_series, gap_histogram_paper_bins, per_client_demand_bps,
 };
+use insomnia_traffic::{DiurnalKind, FlowStream};
 use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming generator is *bit-identical* to the eager one across
+    /// population sizes, horizons, diurnal shapes and surge windows: same
+    /// homes, same sessions, same flows in the same order — and it leaves
+    /// the master RNG in the same final state, so downstream consumers of
+    /// the stream cannot tell which generator ran.
+    #[test]
+    fn flow_stream_is_bit_identical_to_eager_generate(
+        seed in any::<u64>(),
+        n_clients in 1usize..60,
+        n_aps in 1usize..12,
+        horizon_h in 1u64..25,
+        diurnal in 0u8..3,
+        surge_on in 0u8..4,
+        surge_start in 0.0f64..24.0,
+        surge_end in 0.0f64..24.0,
+        surge_intensity in 1.0f64..8.0,
+        rate_scale in 0.3f64..2.0,
+        always_on in 0.0f64..0.4,
+    ) {
+        let cfg = CrawdadConfig {
+            n_clients,
+            n_aps,
+            horizon: SimTime::from_hours(horizon_h),
+            rate_scale,
+            always_on_frac: always_on,
+            profile: match diurnal {
+                0 => DiurnalKind::OfficeBuilding,
+                1 => DiurnalKind::Residential,
+                _ => DiurnalKind::Weekend,
+            },
+            // One config in four carries a flash-crowd window (possibly
+            // wrapping midnight when end < start).
+            surge: (surge_on == 0).then_some(SurgeWindow {
+                start_h: surge_start,
+                end_h: surge_end,
+                intensity: surge_intensity,
+            }),
+            ..CrawdadConfig::default()
+        };
+        let mut eager_rng = SimRng::new(seed);
+        let eager = crawdad::generate_eager(&cfg, &mut eager_rng);
+        let mut stream_rng = SimRng::new(seed);
+        let stream = FlowStream::new(&cfg, &mut stream_rng);
+        prop_assert_eq!(&stream_rng, &eager_rng, "setup pass must drain the same draws");
+        prop_assert_eq!(stream.total_flows(), eager.flows.len());
+        prop_assert_eq!(stream.home(), &eager.home[..]);
+        prop_assert_eq!(stream.sessions(), &eager.sessions[..]);
+        let streamed = stream.collect_trace();
+        prop_assert_eq!(&streamed.flows, &eager.flows);
+    }
 
     /// Any generator configuration yields a structurally valid trace with
     /// uniform home assignment.

@@ -149,7 +149,7 @@ fn merged_shard_quantiles_are_merge_order_invariant() {
     // Re-run each shard in isolation and merge forwards and backwards.
     let rng = |s: u64| SimRng::new(cfg.seed).fork_idx("rep", 0).fork_idx("shard", s);
     let shard_stats: Vec<CompletionStats> = world
-        .shards
+        .shards()
         .iter()
         .enumerate()
         .map(|(s, (trace, topo))| {

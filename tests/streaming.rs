@@ -1,0 +1,183 @@
+//! The streaming-pipeline equivalence gates.
+//!
+//! PR 4 replaced eager trace materialization end to end: the crawdad
+//! generator streams flows in arrival order ([`FlowStream`]), the driver
+//! pulls arrivals from the stream cursor instead of pre-scheduling every
+//! flow, and sharded worlds build their shards lazily inside each
+//! `(repetition × shard)` worker. All of it is justified by one promise —
+//! **bit-identical results** — which these tests enforce across every
+//! preset config, both driver entry points, and both world storages.
+
+use insomnia::core::{
+    build_world_shard, build_world_shard_streaming, run_scheme_sharded, run_single,
+    run_single_streaming, RunResult, ScenarioConfig, SchemeSpec, ShardedWorld,
+};
+use insomnia::scenarios::Registry;
+use insomnia::simcore::{SimRng, SimTime};
+
+/// Every registry preset, reduced to a 2-hour horizon so debug-mode tests
+/// stay fast; shard 0 of each preset is its genuine per-shard population
+/// (5000 clients / 625 gateways for giga-metro).
+fn reduced_presets() -> Vec<(String, ScenarioConfig)> {
+    Registry::builtin()
+        .presets()
+        .iter()
+        .map(|p| {
+            let mut cfg = Registry::builtin().resolve(p.name).unwrap();
+            cfg.trace.horizon = SimTime::from_hours(2);
+            (p.name.to_string(), cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn streaming_world_build_matches_eager_for_every_preset() {
+    for (name, cfg) in reduced_presets() {
+        let seed = cfg.seed;
+        let (trace, topo) = build_world_shard(&cfg, seed, 0);
+        let (stream, stopo) = build_world_shard_streaming(&cfg, seed, 0);
+        assert_eq!(stream.total_flows(), trace.flows.len(), "{name}: flow count");
+        assert_eq!(stream.home(), &trace.home[..], "{name}: home assignment");
+        assert_eq!(stream.sessions(), &trace.sessions[..], "{name}: sessions");
+        for c in 0..topo.n_clients() {
+            assert_eq!(stopo.reachable(c), topo.reachable(c), "{name}: topology of client {c}");
+        }
+        let streamed = stream.collect_trace();
+        assert_eq!(streamed.flows, trace.flows, "{name}: flows");
+    }
+}
+
+fn assert_runs_identical(name: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.powered_gateways, b.powered_gateways, "{name}: powered series");
+    assert_eq!(a.awake_cards, b.awake_cards, "{name}: cards series");
+    assert_eq!(a.user_power_w, b.user_power_w, "{name}: user power");
+    assert_eq!(a.isp_power_w, b.isp_power_w, "{name}: isp power");
+    assert_eq!(a.energy.total_j(), b.energy.total_j(), "{name}: energy");
+    assert_eq!(a.completion.total_flows(), b.completion.total_flows(), "{name}: total flows");
+    assert_eq!(a.completion.completed(), b.completion.completed(), "{name}: completed");
+    assert_eq!(a.completion.per_flow(), b.completion.per_flow(), "{name}: per-flow samples");
+    assert_eq!(
+        a.completion.quantiles(&[0.25, 0.5, 0.95, 0.99]),
+        b.completion.quantiles(&[0.25, 0.5, 0.95, 0.99]),
+        "{name}: quantiles"
+    );
+    assert_eq!(a.gateway_online_s, b.gateway_online_s, "{name}: online seconds");
+    assert_eq!(a.wake_counts, b.wake_counts, "{name}: wake counts");
+    assert_eq!(a.stats, b.stats, "{name}: driver stats");
+    assert_eq!(a.events, b.events, "{name}: delivered events");
+}
+
+#[test]
+fn streamed_driver_is_bit_identical_to_slice_driver() {
+    // Every scheme class: plain SoI timers, BH2's randomized epochs (RNG
+    // interleaving with arrivals), and Optimal's cursor-sweep path.
+    let mut cfg = ScenarioConfig::smoke();
+    cfg.trace.horizon = SimTime::from_hours(6);
+    cfg.repetitions = 1;
+    let seed = 2011;
+    for spec in [
+        SchemeSpec::no_sleep(),
+        SchemeSpec::soi(),
+        SchemeSpec::bh2_k_switch(),
+        SchemeSpec::optimal(),
+    ] {
+        let (trace, topo) = build_world_shard(&cfg, seed, 0);
+        let eager = run_single(&cfg, spec, &trace, &topo, SimRng::new(7));
+        let (stream, stopo) = build_world_shard_streaming(&cfg, seed, 0);
+        let streamed = run_single_streaming(&cfg, spec, stream, &stopo, SimRng::new(7));
+        assert_runs_identical(&format!("{spec}"), &eager, &streamed);
+    }
+}
+
+#[test]
+fn lazy_worlds_reproduce_eager_sharded_runs() {
+    // 4 dense-metro-class neighborhoods, run once with every shard's
+    // (Trace, Topology) held in memory and once building each shard inside
+    // the worker via the stream — byte-identical results either way.
+    let mut cfg = ScenarioConfig::default();
+    cfg.trace.n_clients = 544;
+    cfg.trace.n_aps = 80;
+    cfg.trace.horizon = SimTime::from_hours(2);
+    cfg.repetitions = 2;
+    cfg.shards = 4;
+    cfg.validate().unwrap();
+    let seed = 31;
+    let eager_world = insomnia::core::build_sharded_world_seeded(&cfg, seed);
+    let lazy_world = ShardedWorld::lazy(&cfg, seed);
+    assert!(lazy_world.is_lazy() && !eager_world.is_lazy());
+    assert_eq!(lazy_world.n_shards(), 4);
+    assert_eq!(lazy_world.n_clients(), eager_world.n_clients());
+    assert_eq!(lazy_world.n_gateways(), eager_world.n_gateways());
+    assert_eq!(lazy_world.n_flows(), None, "lazy worlds never count flows up front");
+    for spec in [SchemeSpec::soi(), SchemeSpec::bh2_k_switch()] {
+        let a = run_scheme_sharded(&cfg, spec, &eager_world, seed, 4);
+        let b = run_scheme_sharded(&cfg, spec, &lazy_world, seed, 4);
+        assert_eq!(a.powered_gateways, b.powered_gateways, "{spec}");
+        assert_eq!(a.energy.total_j(), b.energy.total_j(), "{spec}");
+        assert_eq!(a.mean_wake_count, b.mean_wake_count, "{spec}");
+        assert_eq!(a.events, b.events, "{spec}");
+        for (ca, cb) in a.completion.iter().zip(&b.completion) {
+            assert_eq!(ca.per_flow(), cb.per_flow(), "{spec}");
+            assert_eq!(ca.quantiles(&[0.5, 0.95]), cb.quantiles(&[0.5, 0.95]), "{spec}");
+        }
+        assert_eq!(a.shard_summaries.len(), b.shard_summaries.len());
+        for (sa, sb) in a.shard_summaries.iter().zip(&b.shard_summaries) {
+            assert_eq!(sa.n_clients, sb.n_clients, "{spec}");
+            assert_eq!(sa.n_gateways, sb.n_gateways, "{spec}");
+            assert_eq!(sa.n_flows, sb.n_flows, "{spec}");
+            assert_eq!(sa.energy_j, sb.energy_j, "{spec}");
+        }
+    }
+}
+
+#[test]
+fn scheduler_heap_stays_bounded_by_active_flows_plus_timers() {
+    // The O(active) property the streaming refactor buys: at every event
+    // delivery the heap holds at most the active flows' departures (one
+    // per busy gateway, superseded ones cancelled), the per-gateway
+    // idle/wake timers, the per-client BH2 ticks, the sampler, the Optimal
+    // tick and the single front-lane arrival. The pre-streaming driver
+    // pre-scheduled every trace flow, so its peak was O(total flows).
+    let mut cfg = ScenarioConfig::smoke();
+    cfg.trace.horizon = SimTime::from_hours(16); // cover the busy hours
+    cfg.repetitions = 1;
+    let (trace, topo) = insomnia::core::build_world(&cfg);
+    let n_gw = topo.n_gateways();
+    let n_clients = topo.n_clients();
+    for spec in [SchemeSpec::soi(), SchemeSpec::bh2_k_switch()] {
+        let r = run_single(&cfg, spec, &trace, &topo, SimRng::new(3));
+        let timers = 3 * n_gw + n_clients + 3;
+        assert!(
+            r.peak_heap <= r.peak_active_flows + timers,
+            "{spec}: peak heap {} exceeds active {} + timers {}",
+            r.peak_heap,
+            r.peak_active_flows,
+            timers
+        );
+        let total = r.completion.total_flows() as usize;
+        assert!(total > 1_000, "{spec}: want a flow-heavy run, got {total}");
+        assert!(
+            r.peak_heap < total / 4,
+            "{spec}: peak heap {} is not O(active) against {} trace flows",
+            r.peak_heap,
+            total
+        );
+        assert!(r.peak_active_flows > 0 && r.peak_heap > 0);
+    }
+}
+
+#[test]
+fn optimal_consumes_the_same_cursor_window() {
+    // Optimal never schedules arrivals; its demand sweep drains the same
+    // cursor. A streamed Optimal run must match the slice-driven one even
+    // though no Arrival event ever fires.
+    let mut cfg = ScenarioConfig::smoke();
+    cfg.trace.horizon = SimTime::from_hours(4);
+    let seed = 5;
+    let (trace, topo) = build_world_shard(&cfg, seed, 0);
+    let a = run_single(&cfg, SchemeSpec::optimal(), &trace, &topo, SimRng::new(1));
+    let (stream, stopo) = build_world_shard_streaming(&cfg, seed, 0);
+    let b = run_single_streaming(&cfg, SchemeSpec::optimal(), stream, &stopo, SimRng::new(1));
+    assert_runs_identical("optimal", &a, &b);
+    assert_eq!(a.completion.completed(), 0, "optimal does not simulate flows");
+}
