@@ -2,18 +2,40 @@
 //!
 //! Usage:
 //!   figures [--quick] [--csv DIR] [fig2 fig3 ... fig15 cards summary | all]
+//!   figures --from-jsonl out.jsonl [--csv DIR]
 //!
 //! With `--quick` the main scenario runs 2 repetitions instead of 10.
+//! With `--from-jsonl` nothing is simulated: the energy / completion /
+//! online-time / shard tables are rebuilt from a finished `insomnia run`
+//! batch record — the only affordable path for giga/tera-metro outputs.
 
 use insomnia_bench::figures as fig;
 use insomnia_bench::Harness;
 use insomnia_core::FigureData;
 use std::collections::BTreeSet;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv_dir = args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).cloned();
+    let from_jsonl =
+        args.iter().position(|a| a == "--from-jsonl").and_then(|i| args.get(i + 1)).cloned();
+    if args.iter().any(|a| a == "--from-jsonl") && from_jsonl.is_none() {
+        eprintln!("figures: --from-jsonl needs a batch JSONL file path");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = from_jsonl {
+        let outputs = match tables_from_jsonl(&path) {
+            Ok(outputs) => outputs,
+            Err(e) => {
+                eprintln!("figures: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        emit(&outputs, csv_dir.as_deref());
+        return ExitCode::SUCCESS;
+    }
     let mut wanted: BTreeSet<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -87,9 +109,25 @@ fn main() {
         }
     }
 
-    for data in &outputs {
+    emit(&outputs, csv_dir.as_deref());
+    ExitCode::SUCCESS
+}
+
+/// Reads a batch JSONL file and rebuilds its figure tables.
+fn tables_from_jsonl(path: &str) -> Result<Vec<FigureData>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report = insomnia_bench::parse_jsonl(path, &text).map_err(|e| e.to_string())?;
+    eprintln!(
+        "rebuilding tables from {} record(s) in {path} (no simulation)",
+        report.records.len()
+    );
+    Ok(report.tables())
+}
+
+fn emit(outputs: &[FigureData], csv_dir: Option<&str>) {
+    for data in outputs {
         println!("{data}");
-        if let Some(dir) = &csv_dir {
+        if let Some(dir) = csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
             let path = format!("{dir}/{}.csv", data.name);
             std::fs::write(&path, data.to_csv()).expect("write csv");

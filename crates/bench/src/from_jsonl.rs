@@ -1,0 +1,269 @@
+//! The JSONL-fed figure backend: energy / completion / online-time tables
+//! rebuilt from a batch record instead of re-simulating.
+//!
+//! `figures --from-jsonl out.jsonl` feeds a finished `insomnia run` output
+//! straight into the same [`FigureData`] tables the simulation-backed
+//! harness prints. At giga/tera-metro scale a single scheme run is
+//! minutes-to-hours of compute; its JSONL record already carries every
+//! distributional summary the headline tables need (energy and savings,
+//! the completion-quantile grid, the streamed per-gateway online-time
+//! grid, per-shard spreads), so plotting must never cost a re-simulation.
+//!
+//! The parser is the batch runner's own [`JobRecord`] deserializer —
+//! whatever schema tier a record was written with (unsharded, sharded,
+//! sharded + online grid) is reflected in which tables gain rows.
+
+use insomnia_core::FigureData;
+use insomnia_scenarios::JobRecord;
+use insomnia_simcore::{SimError, SimResult};
+
+/// One parsed batch record set, ready to be rendered as tables.
+#[derive(Debug, Clone)]
+pub struct JsonlReport {
+    /// Records in file order.
+    pub records: Vec<JobRecord>,
+}
+
+/// Parses a batch JSONL text into a report (empty lines skipped).
+pub fn parse_jsonl(name: &str, text: &str) -> SimResult<JsonlReport> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: JobRecord = serde_json::from_str(line).map_err(|e| {
+            SimError::InvalidInput(format!("{name}:{}: not a batch record: {e}", lineno + 1))
+        })?;
+        records.push(rec);
+    }
+    if records.is_empty() {
+        return Err(SimError::InvalidInput(format!("{name}: no records (empty batch output?)")));
+    }
+    Ok(JsonlReport { records })
+}
+
+impl JsonlReport {
+    /// Row label of a record: the compare gate's identity key.
+    fn label(r: &JobRecord) -> String {
+        format!("{}/{}#{}", r.scenario, r.scheme, r.seed_index)
+    }
+
+    /// The energy/savings headline table — one row per record, the
+    /// JSONL-fed equivalent of the simulation-backed `summary` table.
+    pub fn energy_table(&self) -> FigureData {
+        let mut t = FigureData::new(
+            "energy",
+            "energy and savings per (scenario, scheme, seed) record [from JSONL]",
+            vec![
+                "mean_savings_pct".into(),
+                "peak_savings_pct".into(),
+                "energy_kwh".into(),
+                "mean_gw".into(),
+                "peak_gw".into(),
+                "isp_share_pct".into(),
+                "wakes_per_gw".into(),
+            ],
+        );
+        let mut labels = Vec::new();
+        for r in &self.records {
+            labels.push(Self::label(r));
+            t.push_row(vec![
+                r.mean_savings_pct,
+                r.peak_savings_pct,
+                r.energy_kwh,
+                r.mean_gateways,
+                r.peak_gateways,
+                // Absent share (nothing saved, e.g. no-sleep) is a gap in
+                // the data, not a zero-percent share.
+                r.isp_share_pct.unwrap_or(f64::NAN),
+                r.mean_wake_count,
+            ]);
+        }
+        t.with_row_labels(labels)
+    }
+
+    /// Completion-time quantiles per record. Sharded records contribute
+    /// the full merged-sketch grid; unsharded (frozen-schema) records fall
+    /// back to their `completion_p50_s`/`completion_p95_s` tail. Records
+    /// with no completed flow (e.g. the Optimal scheme) are skipped.
+    pub fn completion_table(&self) -> FigureData {
+        let mut t = FigureData::new(
+            "completion",
+            "flow completion-time quantiles per record [s, from JSONL]",
+            vec![
+                "p25".into(),
+                "p50".into(),
+                "p75".into(),
+                "p90".into(),
+                "p95".into(),
+                "p99".into(),
+                "completed_frac".into(),
+                "exact".into(),
+            ],
+        );
+        let mut labels = Vec::new();
+        for r in &self.records {
+            let frac = r.completed_frac.unwrap_or(0.0);
+            if let Some(q) = &r.completion_quantiles {
+                labels.push(Self::label(r));
+                t.push_row(vec![
+                    q.p25,
+                    q.p50,
+                    q.p75,
+                    q.p90,
+                    q.p95,
+                    q.p99,
+                    frac,
+                    f64::from(u8::from(q.exact)),
+                ]);
+            } else if let (Some(p50), Some(p95)) = (r.completion_p50_s, r.completion_p95_s) {
+                // Unsharded schema: only the frozen tail exists; columns
+                // it cannot answer — the wider grid, and exactness, which
+                // the record genuinely does not carry (a shards = 1 run
+                // with completion_cutoff = 0 streams its tail through the
+                // sketch) — read as NaN, not as fabricated values.
+                labels.push(Self::label(r));
+                t.push_row(vec![f64::NAN, p50, f64::NAN, f64::NAN, p95, f64::NAN, frac, f64::NAN]);
+            }
+        }
+        t.with_row_labels(labels)
+    }
+
+    /// Per-gateway online-time quantiles per record — only records whose
+    /// scenario streamed online time (`online_cutoff = 0`, e.g.
+    /// tera-metro) carry the grid.
+    pub fn online_time_table(&self) -> FigureData {
+        let mut t = FigureData::new(
+            "online-time",
+            "per-gateway online-time quantiles per record [s, from JSONL]",
+            vec![
+                "gateways".into(),
+                "mean_s".into(),
+                "p25".into(),
+                "p50".into(),
+                "p75".into(),
+                "p90".into(),
+                "p95".into(),
+                "p99".into(),
+                "exact".into(),
+            ],
+        );
+        let mut labels = Vec::new();
+        for r in &self.records {
+            if let Some(q) = &r.online_time_quantiles {
+                labels.push(Self::label(r));
+                t.push_row(vec![
+                    q.gateways as f64,
+                    q.mean_s,
+                    q.p25,
+                    q.p50,
+                    q.p75,
+                    q.p90,
+                    q.p95,
+                    q.p99,
+                    f64::from(u8::from(q.exact)),
+                ]);
+            }
+        }
+        t.with_row_labels(labels)
+    }
+
+    /// Cross-shard spread per sharded record: how evenly the energy and
+    /// gateway activity distribute over the DSLAM neighborhoods.
+    pub fn shards_table(&self) -> FigureData {
+        let mut t = FigureData::new(
+            "shards",
+            "per-shard energy spread per sharded record [from JSONL]",
+            vec![
+                "shards".into(),
+                "min_kwh".into(),
+                "mean_kwh".into(),
+                "max_kwh".into(),
+                "mean_gw_per_shard".into(),
+                "mean_wakes_per_gw".into(),
+            ],
+        );
+        let mut labels = Vec::new();
+        for r in &self.records {
+            let Some(shards) = r.shard_summaries.as_ref().filter(|s| !s.is_empty()) else {
+                continue;
+            };
+            let n = shards.len() as f64;
+            let kwh: Vec<f64> = shards.iter().map(|s| s.energy_kwh).collect();
+            labels.push(Self::label(r));
+            t.push_row(vec![
+                n,
+                kwh.iter().cloned().fold(f64::INFINITY, f64::min),
+                kwh.iter().sum::<f64>() / n,
+                kwh.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                shards.iter().map(|s| s.mean_gateways).sum::<f64>() / n,
+                shards.iter().map(|s| s.mean_wake_count).sum::<f64>() / n,
+            ]);
+        }
+        t.with_row_labels(labels)
+    }
+
+    /// Every table the record set can answer, skipping empty ones (an
+    /// unsharded batch has no shard or online-time rows).
+    pub fn tables(&self) -> Vec<FigureData> {
+        [
+            self.energy_table(),
+            self.completion_table(),
+            self.online_time_table(),
+            self.shards_table(),
+        ]
+        .into_iter()
+        .filter(|t| !t.rows.is_empty())
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHARDED: &str = r#"{"scenario":"m","scheme":"soi","seed_index":0,"seed":7,"n_gateways":20,"n_clients":136,"n_flows":1000,"mean_savings_pct":40.0,"peak_savings_pct":10.0,"mean_gateways":9.5,"peak_gateways":18.0,"peak_cards":2.0,"isp_share_pct":30.0,"energy_kwh":5.5,"mean_wake_count":12.0,"completion_p50_s":0.1,"completion_p95_s":2.0,"completed_frac":0.99,"shards":2,"shard_summaries":[{"n_clients":68,"n_gateways":10,"n_flows":500,"energy_kwh":2.5,"mean_gateways":4.5,"mean_wake_count":11.0},{"n_clients":68,"n_gateways":10,"n_flows":500,"energy_kwh":3.0,"mean_gateways":5.0,"mean_wake_count":13.0}],"completion_quantiles":{"exact":false,"completed":990,"p25":0.05,"p50":0.1,"p75":0.5,"p90":1.0,"p95":2.0,"p99":4.0},"online_time_quantiles":{"exact":false,"gateways":20,"mean_s":30000.0,"p25":1000.0,"p50":20000.0,"p75":50000.0,"p90":70000.0,"p95":80000.0,"p99":86000.0}}"#;
+
+    const UNSHARDED: &str = r#"{"scenario":"p","scheme":"bh2","seed_index":0,"seed":7,"n_gateways":40,"n_clients":272,"n_flows":2000,"mean_savings_pct":59.0,"peak_savings_pct":45.0,"mean_gateways":9.8,"peak_gateways":15.0,"peak_cards":2.8,"isp_share_pct":43.5,"energy_kwh":8.0,"mean_wake_count":60.0,"completion_p50_s":0.2,"completion_p95_s":3.0,"completed_frac":1.0}"#;
+
+    #[test]
+    fn sharded_records_fill_every_table() {
+        let report = parse_jsonl("test", SHARDED).unwrap();
+        let tables = report.tables();
+        let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["energy", "completion", "online-time", "shards"]);
+        let energy = &tables[0];
+        assert_eq!(energy.rows[0][0], 40.0);
+        assert_eq!(energy.rows[0][2], 5.5);
+        let completion = &tables[1];
+        assert_eq!(completion.rows[0][1], 0.1, "p50 from the grid");
+        assert_eq!(completion.rows[0][7], 0.0, "sketch-mode grid is not exact");
+        let online = &tables[2];
+        assert_eq!(online.rows[0][0], 20.0);
+        assert_eq!(online.rows[0][1], 30_000.0);
+        let shards = &tables[3];
+        assert_eq!(shards.rows[0][0], 2.0);
+        assert_eq!(shards.rows[0][1], 2.5);
+        assert_eq!(shards.rows[0][3], 3.0);
+    }
+
+    #[test]
+    fn unsharded_records_fall_back_to_the_frozen_tail() {
+        let report = parse_jsonl("test", UNSHARDED).unwrap();
+        let tables = report.tables();
+        let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["energy", "completion"], "no shard/online rows to report");
+        let completion = &tables[1];
+        assert_eq!(completion.rows[0][1], 0.2);
+        assert_eq!(completion.rows[0][4], 3.0);
+        assert!(completion.rows[0][0].is_nan(), "grid columns the tail cannot answer are NaN");
+        assert!(completion.rows[0][7].is_nan(), "exactness is not recorded unsharded");
+    }
+
+    #[test]
+    fn garbage_and_empty_inputs_are_rejected() {
+        assert!(parse_jsonl("x", "").is_err());
+        assert!(parse_jsonl("x", "not json\n").is_err());
+        assert!(parse_jsonl("x", "{\"scenario\": 3}\n").is_err(), "wrong field types");
+    }
+}

@@ -142,6 +142,11 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
             Some(b'n') => self.literal("null", Value::Null),
+            // Non-finite extensions (as emitted by e.g. Python's json
+            // module): accepted on input so the compare gate can diff
+            // foreign JSONL; our own writer stays strictly finite.
+            Some(b'N') => self.literal("NaN", Value::Float(f64::NAN)),
+            Some(b'I') => self.literal("Infinity", Value::Float(f64::INFINITY)),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(Error::new(&format!("unexpected byte at offset {}", self.pos))),
         }
@@ -160,6 +165,9 @@ impl Parser<'_> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
+            if self.peek() == Some(b'I') {
+                return self.literal("Infinity", Value::Float(f64::NEG_INFINITY));
+            }
         }
         let mut is_float = false;
         while let Some(b) = self.peek() {

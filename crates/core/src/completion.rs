@@ -128,6 +128,11 @@ impl CompletionStats {
         self.sketch.is_exact()
     }
 
+    /// The exact-mode cutoff the underlying sketch was built with.
+    pub fn cutoff(&self) -> usize {
+        self.sketch.cutoff()
+    }
+
     /// Completion-time quantiles, seconds; `None` entries when no flow
     /// completed. See [`QuantileSketch::quantiles`] for the rank rule.
     pub fn quantiles(&self, qs: &[f64]) -> Vec<Option<f64>> {

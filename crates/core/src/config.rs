@@ -100,6 +100,17 @@ pub struct ScenarioConfig {
     /// `O(buckets)` memory and ≤ 0.55 % relative quantile error. `0`
     /// streams from the first flow (the mega-city setting).
     pub completion_cutoff: usize,
+    /// Online-time-metric memory model, the per-gateway sibling of
+    /// `completion_cutoff`: while a run's (or merge's) gateway count stays
+    /// at or below this cutoff, per-gateway online seconds are kept as raw
+    /// positional samples (exact quantiles, and the Fig. 9b fairness
+    /// pairing stays possible). Past it — or from the first gateway with
+    /// `0`, the tera-metro setting — they stream into a mergeable
+    /// log-bucket [`insomnia_simcore::OnlineTimeHist`] with `O(buckets)`
+    /// memory per repetition. Scenarios that opt into streaming
+    /// (`online_cutoff = 0`) additionally report the histogram quantile
+    /// grid in their sharded JSONL records.
+    pub online_cutoff: usize,
 }
 
 /// Default [`ScenarioConfig::completion_cutoff`]: 4 Mi samples — above the
@@ -129,6 +140,7 @@ impl Default for ScenarioConfig {
             seed: 2011,
             bh2: Bh2Params::default(),
             completion_cutoff: DEFAULT_COMPLETION_CUTOFF,
+            online_cutoff: DEFAULT_COMPLETION_CUTOFF,
         }
     }
 }

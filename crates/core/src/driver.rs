@@ -22,8 +22,8 @@ use insomnia_access::{
     Dslam, EnergyBreakdown, Fabric, FixedFabric, FullFabric, Gateway, GwState, KSwitchFabric,
 };
 use insomnia_simcore::{
-    average_runs, default_threads, par_map_indexed, EventToken, Scheduler, SimDuration, SimRng,
-    SimTime,
+    average_runs, default_threads, par_fold_indexed, par_map_indexed, EventToken, OnlineTimeHist,
+    Scheduler, SimDuration, SimRng, SimTime,
 };
 use insomnia_traffic::{FlowRecord, FlowStream, Trace};
 use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWindow, Topology};
@@ -751,9 +751,14 @@ pub struct SchemeResult {
     /// within each repetition (per-flow vectors retained only under the
     /// scenario's `completion_cutoff` — the Fig. 9a pairing input).
     pub completion: Vec<CompletionStats>,
-    /// Per-repetition per-gateway online seconds; gateway `g` of shard `s`
-    /// sits at `s`'s gateway offset + `g`.
-    pub gateway_online_s: Vec<Vec<f64>>,
+    /// Per-repetition per-gateway online-time accounting, shards absorbed
+    /// in shard order within each repetition. While the gateway count sits
+    /// under the scenario's `online_cutoff` the raw positional samples
+    /// survive (gateway `g` of shard `s` at `s`'s gateway offset + `g` —
+    /// the Fig. 9b pairing input); past it only the log-bucket histogram
+    /// remains, `O(buckets)` per repetition instead of one `f64` per
+    /// gateway.
+    pub online_time: Vec<OnlineTimeHist>,
     /// Mean wake cycles per gateway per day.
     pub mean_wake_count: f64,
     /// Scheduler events delivered, summed over repetitions and shards
@@ -794,11 +799,30 @@ impl SchemeResult {
         CompletionStats::pooled(&self.completion)
     }
 
+    /// Pools the online-time histograms of every repetition, in repetition
+    /// order — the input to the JSONL online-time quantile grid. Exact
+    /// while the pooled gateway count stays under the scenario's
+    /// `online_cutoff`.
+    pub fn pooled_online(&self) -> OnlineTimeHist {
+        let mut iter = self.online_time.iter();
+        let Some(first) = iter.next() else {
+            return OnlineTimeHist::new(0);
+        };
+        let mut out = first.clone();
+        for h in iter {
+            out.merge(h);
+        }
+        out
+    }
+
     /// Wraps one [`run_single`] outcome as a single-repetition
     /// [`SchemeResult`] — the adapter examples and tests use to feed the
-    /// metric pipelines without the full runner.
+    /// metric pipelines without the full runner. The online-time histogram
+    /// inherits the completion sketch's cutoff (both default to the same
+    /// scenario knob family), so small runs stay exact.
     pub fn from_single(spec: SchemeSpec, run: RunResult) -> SchemeResult {
         let n_gw = run.gateway_online_s.len().max(1);
+        let online = OnlineTimeHist::from_samples(&run.gateway_online_s, run.completion.cutoff());
         SchemeResult {
             spec,
             sample_period_s: run.sample_period_s,
@@ -808,7 +832,7 @@ impl SchemeResult {
             isp_power_w: run.isp_power_w,
             energy: run.energy,
             completion: vec![run.completion],
-            gateway_online_s: vec![run.gateway_online_s],
+            online_time: vec![online],
             mean_wake_count: run.wake_counts.iter().sum::<u64>() as f64 / n_gw as f64,
             events: run.events,
             shard_summaries: Vec::new(),
@@ -817,8 +841,16 @@ impl SchemeResult {
 }
 
 /// One finished `(repetition × shard)` task, reported to the progress
-/// observer of [`run_scheme_sharded_observed`] as soon as its event loop
-/// drains — the shard-level heartbeat hour-long batches print to stderr.
+/// observer of [`run_scheme_sharded_observed`] from the worker thread the
+/// moment its event loop drains — the shard-level heartbeat hour-long
+/// batches print to stderr keeps firing per completion (one slow early
+/// shard must not silence it), now carrying merge progress alongside.
+///
+/// Tasks complete in scheduling order but are *merged* strictly in task
+/// order (repetition-major, shard-minor) by the deterministic folder, so
+/// `finished` can run ahead of `merged`; the difference is the folder's
+/// reorder-queue depth, `fold_queue` (bounded by the fold's claim
+/// window, O(worker threads)).
 #[derive(Debug, Clone, Copy)]
 pub struct TaskProgress {
     /// Repetition index of the finished task.
@@ -827,10 +859,17 @@ pub struct TaskProgress {
     pub shard: usize,
     /// Shards per repetition.
     pub n_shards: usize,
-    /// Tasks finished so far, including this one.
+    /// Tasks finished so far, including this one (each task reports a
+    /// unique value; completion order is scheduling-dependent).
     pub finished: usize,
     /// Total `(repetition × shard)` tasks of the scheme run.
     pub total: usize,
+    /// Tasks absorbed by the in-order folder when this one finished
+    /// (monotone across reports, `<= finished`).
+    pub merged: usize,
+    /// Finished-but-not-yet-merged results at that moment — completion
+    /// running ahead of the deterministic merge.
+    pub fold_queue: usize,
     /// Scheduler events the finished task delivered.
     pub events: u64,
     /// Peak scheduler-heap occupancy of the finished task's event loop.
@@ -1079,51 +1118,79 @@ pub fn build_sharded_world(cfg: &ScenarioConfig) -> ShardedWorld {
     build_sharded_world_seeded(cfg, cfg.seed)
 }
 
-/// Merges the per-shard runs of one repetition into one [`RunResult`]:
-/// series are summed sample-wise (total gateways/cards/watts over all
-/// DSLAMs), energies summed, per-flow and per-gateway vectors concatenated
-/// in shard order.
-fn merge_shard_runs(mut runs: Vec<RunResult>) -> RunResult {
-    assert!(!runs.is_empty(), "merging zero shards");
-    if runs.len() == 1 {
-        return runs.pop().expect("one shard");
-    }
-    let mut merged = runs.remove(0);
-    for r in runs {
-        for (acc, v) in merged.powered_gateways.iter_mut().zip(&r.powered_gateways) {
-            *acc += v;
-        }
-        for (acc, v) in merged.awake_cards.iter_mut().zip(&r.awake_cards) {
-            *acc += v;
-        }
-        for (acc, v) in merged.user_power_w.iter_mut().zip(&r.user_power_w) {
-            *acc += v;
-        }
-        for (acc, v) in merged.isp_power_w.iter_mut().zip(&r.isp_power_w) {
-            *acc += v;
-        }
-        merged.energy = merged.energy.plus(&r.energy);
-        merged.completion.absorb(r.completion);
-        merged.gateway_online_s.extend(r.gateway_online_s);
-        merged.wake_counts.extend(r.wake_counts);
-        merged.stats = add_stats(merged.stats, r.stats);
-        merged.events += r.events;
-        merged.peak_heap = merged.peak_heap.max(r.peak_heap);
-        merged.peak_active_flows = merged.peak_active_flows.max(r.peak_active_flows);
-    }
-    merged
+/// The one live repetition accumulator of the shard fold: shard runs of
+/// repetition `r` are absorbed in shard order (series summed sample-wise,
+/// energies summed, completion sketches and online-time histograms
+/// `absorb()`ed/`record()`ed in shard order — the exact arithmetic order
+/// of the historical collect-then-merge, so results are bit-identical),
+/// then the finalized repetition is pushed into the per-rep products and
+/// the accumulator is dropped. At most one `RepAccum` is alive at a time;
+/// nothing O(total gateways) or O(rep × shard) survives a task's fold.
+struct RepAccum {
+    powered: Vec<f64>,
+    cards: Vec<f64>,
+    user_w: Vec<f64>,
+    isp_w: Vec<f64>,
+    energy: EnergyBreakdown,
+    completion: CompletionStats,
+    online: OnlineTimeHist,
+    wake_total: u64,
+    events: u64,
 }
 
-fn add_stats(a: DriverStats, b: DriverStats) -> DriverStats {
-    DriverStats {
-        wakes_stranded_arrival: a.wakes_stranded_arrival + b.wakes_stranded_arrival,
-        wakes_return_home: a.wakes_return_home + b.wakes_return_home,
-        wakes_optimal: a.wakes_optimal + b.wakes_optimal,
-        bh2_moves: a.bh2_moves + b.bh2_moves,
-        bh2_returns_overload: a.bh2_returns_overload + b.bh2_returns_overload,
-        bh2_returns_backup: a.bh2_returns_backup + b.bh2_returns_backup,
-        bh2_stays: a.bh2_stays + b.bh2_stays,
+impl RepAccum {
+    /// Starts a repetition from shard 0's run (vectors moved, not copied).
+    fn start(run: RunResult, online_cutoff: usize) -> RepAccum {
+        let mut online = OnlineTimeHist::new(online_cutoff);
+        for &s in &run.gateway_online_s {
+            online.record(s);
+        }
+        RepAccum {
+            powered: run.powered_gateways,
+            cards: run.awake_cards,
+            user_w: run.user_power_w,
+            isp_w: run.isp_power_w,
+            energy: run.energy,
+            completion: run.completion,
+            online,
+            wake_total: run.wake_counts.iter().sum(),
+            events: run.events,
+        }
     }
+
+    /// Absorbs the next shard's run, in shard order.
+    fn absorb(&mut self, run: RunResult) {
+        for (acc, v) in self.powered.iter_mut().zip(&run.powered_gateways) {
+            *acc += v;
+        }
+        for (acc, v) in self.cards.iter_mut().zip(&run.awake_cards) {
+            *acc += v;
+        }
+        for (acc, v) in self.user_w.iter_mut().zip(&run.user_power_w) {
+            *acc += v;
+        }
+        for (acc, v) in self.isp_w.iter_mut().zip(&run.isp_power_w) {
+            *acc += v;
+        }
+        self.energy = self.energy.plus(&run.energy);
+        self.completion.absorb(run.completion);
+        for &s in &run.gateway_online_s {
+            self.online.record(s);
+        }
+        self.wake_total += run.wake_counts.iter().sum::<u64>();
+        self.events += run.events;
+    }
+}
+
+/// Per-shard scalar aggregates of the fold — the `O(shards)` state behind
+/// [`ShardSummary`]; repetitions accumulate in repetition order (the fold
+/// is repetition-major), matching the historical summation order.
+#[derive(Clone, Copy, Default)]
+struct ShardAccum {
+    n_flows: usize,
+    energy_j: f64,
+    mean_gateways: f64,
+    mean_wake_count: f64,
 }
 
 /// Runs all repetitions of one scheme over a prebuilt world.
@@ -1230,9 +1297,11 @@ impl TaskWorlds<'_> {
 /// The `(repetition × shard)` tasks are fully independent: repetition `r`
 /// of shard `s` draws from `master.fork_idx("rep", r).fork_idx("shard", s)`
 /// (with the `"shard"` fork skipped for one-shard worlds, which keeps
-/// `shards = 1` byte-identical to the pre-shard driver). Per-shard runs of
-/// each repetition are merged with [`merge_shard_runs`], then repetitions
-/// are folded in order, so the aggregate never depends on thread count.
+/// `shards = 1` byte-identical to the pre-shard driver). Results are
+/// absorbed online by a deterministic in-order folder ([`RepAccum`]) —
+/// shard order within each repetition, repetitions in order — so the
+/// aggregate never depends on thread count and no per-task result is
+/// retained past its fold.
 pub fn run_scheme_sharded(
     cfg: &ScenarioConfig,
     spec: SchemeSpec,
@@ -1244,10 +1313,12 @@ pub fn run_scheme_sharded(
 }
 
 /// [`run_scheme_sharded`] with a shard-level progress observer: `observe`
-/// is called from the worker thread the moment each `(repetition × shard)`
-/// task's event loop drains. Observers must be cheap and thread-safe (the
-/// batch runner's prints one stderr line); they cannot affect the result,
-/// which stays bit-identical to the unobserved run.
+/// is called from the worker thread the moment each `(repetition ×
+/// shard)` task's event loop drains, carrying task completion
+/// (`finished`) and a snapshot of the in-order merge's progress
+/// (`merged`, `fold_queue`). Observers must be cheap and thread-safe
+/// (the batch runner's prints one stderr line); they cannot affect the
+/// result, which stays bit-identical to the unobserved run.
 pub fn run_scheme_sharded_observed(
     cfg: &ScenarioConfig,
     spec: SchemeSpec,
@@ -1259,6 +1330,15 @@ pub fn run_scheme_sharded_observed(
     run_scheme_shards(cfg, spec, TaskWorlds::World(world), seed, max_threads, observe)
 }
 
+/// The shard-fold core: `(repetition × shard)` tasks run on the worker
+/// pool and are absorbed **online, in task order** by a deterministic
+/// folder on the calling thread ([`par_fold_indexed`]). No task's
+/// [`RunResult`] outlives its fold: merge state is one live [`RepAccum`]
+/// plus `O(shards)` scalar summaries plus the folder's reorder window —
+/// never the historical O(repetitions × shards) result matrix, which is
+/// what caps a 10⁸-client world's merge memory at O(shards × buckets).
+/// Fold order equals the old collect-then-merge order exactly, so every
+/// aggregate is bit-identical to it (and to itself at any thread count).
 fn run_scheme_shards(
     cfg: &ScenarioConfig,
     spec: SchemeSpec,
@@ -1271,84 +1351,113 @@ fn run_scheme_shards(
     let n_shards = worlds.n_shards();
     let n_tasks = cfg.repetitions * n_shards;
     let finished = std::sync::atomic::AtomicUsize::new(0);
+    let merged = std::sync::atomic::AtomicUsize::new(0);
     let worlds_ref = &worlds;
-    let results: Vec<RunResult> = par_map_indexed(n_tasks, max_threads, |i| {
-        let (rep, sh) = (i / n_shards, i % n_shards);
-        let rng = if n_shards == 1 {
-            master.fork_idx("rep", rep as u64)
-        } else {
-            master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
-        };
-        let result = worlds_ref.run_task(cfg, spec, sh, rng);
-        observe(TaskProgress {
-            rep,
-            shard: sh,
-            n_shards,
-            finished: finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1,
-            total: n_tasks,
-            events: result.events,
-            peak_heap: result.peak_heap,
-            peak_active_flows: result.peak_active_flows,
-        });
-        result
-    });
-
     let k = cfg.repetitions as f64;
     let n_gateways: usize = worlds.n_gateways();
-    let shard_summaries: Vec<ShardSummary> = (0..n_shards)
-        .map(|sh| {
-            let (shard_clients, shard_gateways) = worlds.shard_dims(sh);
-            let reps = || (0..cfg.repetitions).map(|rep| &results[rep * n_shards + sh]);
-            ShardSummary {
-                n_clients: shard_clients,
-                n_gateways: shard_gateways,
-                // Every repetition drives the same shard trace; read the
-                // flow count from the run so lazy worlds never have to
-                // materialize (or regenerate) one just to count it.
-                n_flows: reps().next().map_or(0, |r| r.completion.total_flows() as usize),
-                energy_j: reps().map(|r| r.energy.total_j()).sum::<f64>() / k,
-                mean_gateways: reps()
-                    .map(|r| {
-                        r.powered_gateways.iter().sum::<f64>()
-                            / r.powered_gateways.len().max(1) as f64
-                    })
-                    .sum::<f64>()
-                    / k,
-                mean_wake_count: reps()
-                    .map(|r| {
-                        r.wake_counts.iter().sum::<u64>() as f64 / shard_gateways.max(1) as f64
-                    })
-                    .sum::<f64>()
-                    / k,
-            }
-        })
-        .collect();
+    // Shard dimensions up front: lazy worlds answer them from the span
+    // plan, and resolving each once keeps the fold O(1) per task.
+    let shard_dims: Vec<(usize, usize)> = (0..n_shards).map(|sh| worlds.shard_dims(sh)).collect();
 
-    let mut results = results;
-    let merged: Vec<RunResult> = (0..cfg.repetitions)
-        .map(|_| merge_shard_runs(results.drain(..n_shards).collect()))
-        .collect();
-
+    let mut shard_acc: Vec<ShardAccum> = vec![ShardAccum::default(); n_shards];
+    let mut rep_acc: Option<RepAccum> = None;
     let mut powered = Vec::new();
     let mut cards = Vec::new();
     let mut user_w = Vec::new();
     let mut isp_w = Vec::new();
     let mut energy = EnergyBreakdown::default();
     let mut completions = Vec::new();
-    let mut online_s = Vec::new();
+    let mut online_time = Vec::new();
     let mut wakes = 0.0;
     let mut events = 0u64;
-    for r in merged {
-        powered.push(r.powered_gateways);
-        cards.push(r.awake_cards);
-        user_w.push(r.user_power_w);
-        isp_w.push(r.isp_power_w);
-        energy = energy.plus(&r.energy);
-        completions.push(r.completion);
-        online_s.push(r.gateway_online_s);
-        wakes += r.wake_counts.iter().sum::<u64>() as f64 / n_gateways as f64;
-        events += r.events;
-    }
+
+    par_fold_indexed(
+        n_tasks,
+        max_threads,
+        |i| {
+            let (rep, sh) = (i / n_shards, i % n_shards);
+            let rng = if n_shards == 1 {
+                master.fork_idx("rep", rep as u64)
+            } else {
+                master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
+            };
+            let result = worlds_ref.run_task(cfg, spec, sh, rng);
+            // Report from the worker, at completion: heartbeats must keep
+            // flowing even while the in-order folder waits on a slow
+            // earlier task. Merge progress rides along as a snapshot.
+            let done = finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let merged_now = merged.load(std::sync::atomic::Ordering::Relaxed);
+            observe(TaskProgress {
+                rep,
+                shard: sh,
+                n_shards,
+                finished: done,
+                total: n_tasks,
+                merged: merged_now,
+                fold_queue: done.saturating_sub(merged_now + 1),
+                events: result.events,
+                peak_heap: result.peak_heap,
+                peak_active_flows: result.peak_active_flows,
+            });
+            result
+        },
+        |step, run| {
+            let (rep, sh) = (step.index / n_shards, step.index % n_shards);
+            merged.store(step.index + 1, std::sync::atomic::Ordering::Relaxed);
+
+            // Per-shard scalar summaries, accumulated in repetition order.
+            let sa = &mut shard_acc[sh];
+            let shard_gateways = shard_dims[sh].1;
+            if rep == 0 {
+                // Every repetition drives the same shard trace; read the
+                // flow count from the run so lazy worlds never have to
+                // materialize (or regenerate) one just to count it.
+                sa.n_flows = run.completion.total_flows() as usize;
+            }
+            sa.energy_j += run.energy.total_j();
+            sa.mean_gateways +=
+                run.powered_gateways.iter().sum::<f64>() / run.powered_gateways.len().max(1) as f64;
+            sa.mean_wake_count +=
+                run.wake_counts.iter().sum::<u64>() as f64 / shard_gateways.max(1) as f64;
+
+            // The repetition merge proper: shard 0 starts the accumulator,
+            // later shards absorb in shard order, the last shard finalizes.
+            if let Some(acc) = rep_acc.as_mut() {
+                acc.absorb(run);
+            } else {
+                rep_acc = Some(RepAccum::start(run, cfg.online_cutoff));
+            }
+            if sh == n_shards - 1 {
+                let acc = rep_acc.take().expect("repetition in progress");
+                powered.push(acc.powered);
+                cards.push(acc.cards);
+                user_w.push(acc.user_w);
+                isp_w.push(acc.isp_w);
+                energy = energy.plus(&acc.energy);
+                completions.push(acc.completion);
+                online_time.push(acc.online);
+                wakes += acc.wake_total as f64 / n_gateways as f64;
+                events += acc.events;
+            }
+        },
+    );
+
+    let shard_summaries: Vec<ShardSummary> = shard_acc
+        .into_iter()
+        .enumerate()
+        .map(|(sh, sa)| {
+            let (shard_clients, shard_gateways) = shard_dims[sh];
+            ShardSummary {
+                n_clients: shard_clients,
+                n_gateways: shard_gateways,
+                n_flows: sa.n_flows,
+                energy_j: sa.energy_j / k,
+                mean_gateways: sa.mean_gateways / k,
+                mean_wake_count: sa.mean_wake_count / k,
+            }
+        })
+        .collect();
+
     SchemeResult {
         spec,
         sample_period_s: cfg.sample_period.as_secs_f64(),
@@ -1363,7 +1472,7 @@ fn run_scheme_shards(
             shelf_j: energy.shelf_j / k,
         },
         completion: completions,
-        gateway_online_s: online_s,
+        online_time,
         mean_wake_count: wakes / k,
         events,
         shard_summaries,
@@ -1505,7 +1614,7 @@ mod tests {
         cfg.repetitions = 2;
         let res = run_scheme(&cfg, SchemeSpec::soi());
         assert_eq!(res.completion.len(), 2);
-        assert_eq!(res.gateway_online_s.len(), 2);
+        assert_eq!(res.online_time.len(), 2);
         assert!(!res.powered_gateways.is_empty());
         assert!(res.events > 0, "telemetry counts the event loop");
         assert_eq!(res.shard_summaries.len(), 1);
@@ -1564,6 +1673,10 @@ mod tests {
             assert_eq!(ca.per_flow(), cb.per_flow());
             assert_eq!(ca.quantiles(&[0.5, 0.95]), cb.quantiles(&[0.5, 0.95]));
         }
+        for (oa, ob) in serial.online_time.iter().zip(&parallel.online_time) {
+            assert_eq!(oa.per_gateway(), ob.per_gateway(), "fold order fixes gateway order");
+            assert_eq!(oa.quantiles(&[0.5, 0.95]), ob.quantiles(&[0.5, 0.95]));
+        }
         assert_eq!(serial.events, parallel.events);
     }
 
@@ -1576,7 +1689,12 @@ mod tests {
         for p in &r.powered_gateways {
             assert!((p - 20.0).abs() < 1e-9, "all 20 gateways across 4 shards powered, got {p}");
         }
-        assert_eq!(r.gateway_online_s[0].len(), 20);
+        assert_eq!(r.online_time[0].gateways(), 20);
+        assert_eq!(
+            r.online_time[0].per_gateway().expect("small world stays exact").len(),
+            20,
+            "per-gateway samples concatenate in shard order"
+        );
         assert_eq!(r.completion[0].total_flows() as usize, world.n_flows().unwrap());
         assert_eq!(
             r.completion[0].per_flow().expect("small world retains samples").len(),
@@ -1599,19 +1717,37 @@ mod tests {
         let world = build_sharded_world_seeded(&cfg, 21);
         let seen = std::sync::Mutex::new(Vec::new());
         let observed = run_scheme_sharded_observed(&cfg, SchemeSpec::soi(), &world, 21, 2, &|p| {
-            seen.lock().unwrap().push((p.rep, p.shard, p.finished, p.total, p.events));
+            seen.lock().unwrap().push((
+                p.rep,
+                p.shard,
+                p.finished,
+                p.total,
+                p.merged,
+                p.fold_queue,
+                p.events,
+            ));
         });
         let plain = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, 21, 2);
         assert_eq!(observed.energy.total_j(), plain.energy.total_j());
         assert_eq!(observed.powered_gateways, plain.powered_gateways);
         let seen = seen.into_inner().unwrap();
-        assert_eq!(seen.len(), cfg.repetitions * 4, "one report per (rep x shard) task");
-        assert!(seen.iter().all(|&(rep, sh, _, total, ev)| {
-            rep < cfg.repetitions && sh < 4 && total == cfg.repetitions * 4 && ev > 0
+        let n_tasks = cfg.repetitions * 4;
+        assert_eq!(seen.len(), n_tasks, "one report per (rep x shard) task");
+        assert!(seen.iter().all(|&(rep, sh, _, total, _, _, ev)| {
+            rep < cfg.repetitions && sh < 4 && total == n_tasks && ev > 0
         }));
-        let mut finished: Vec<usize> = seen.iter().map(|&(_, _, f, _, _)| f).collect();
+        // Each task reports once, at completion, with a unique monotone
+        // `finished` counter; the merge snapshot stays in range (the
+        // folder can never absorb more than the total), and the reorder
+        // queue reports the completion-ahead-of-merge gap, which the
+        // fold's claim window keeps bounded.
+        let mut finished: Vec<usize> = seen.iter().map(|&(_, _, f, _, _, _, _)| f).collect();
         finished.sort_unstable();
-        assert_eq!(finished, (1..=seen.len()).collect::<Vec<_>>(), "monotone completion counter");
+        assert_eq!(finished, (1..=n_tasks).collect::<Vec<_>>(), "one report per task");
+        for &(_, _, f, _, m, queue, _) in &seen {
+            assert!(m <= n_tasks, "merge snapshot in range");
+            assert!(queue < n_tasks && queue <= f, "bounded completion/merge gap");
+        }
     }
 
     #[test]

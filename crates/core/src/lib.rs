@@ -35,8 +35,9 @@ pub use driver::{
 pub use extrapolate::WorldModel;
 pub use metrics::{
     completion_quantiles, completion_variation_cdf, fraction_affected, hourly_means,
-    isp_share_percent_series, online_time_variation_cdf, savings_percent_series, summarize,
-    window_mean, CompletionQuantiles, SchemeSummary,
+    isp_share_percent_series, online_time_quantiles, online_time_variation_cdf,
+    savings_percent_series, summarize, window_mean, CompletionQuantiles, OnlineTimeQuantiles,
+    SchemeSummary,
 };
 pub use optimal::{solve, SolverInput, SolverOutput};
 pub use report::FigureData;

@@ -9,7 +9,7 @@
 
 use crate::completion::CompletionStats;
 use crate::driver::SchemeResult;
-use insomnia_simcore::Cdf;
+use insomnia_simcore::{Cdf, OnlineTimeHist};
 
 /// Percent energy savings at each sample versus a constant no-sleep draw.
 pub fn savings_percent_series(total_power_w: &[f64], baseline_w: f64) -> Vec<f64> {
@@ -145,9 +145,21 @@ pub fn fraction_affected(
 /// Fig. 9b: CDF of percent variation in per-gateway online time vs SoI,
 /// pooled over repetitions and clamped to `[-100, +100]` (the paper's
 /// x-axis). Gateways idle under both schemes contribute 0.
+///
+/// The positional pairing (same gateway across schemes) needs the raw
+/// per-gateway samples, which the merge layer retains while the gateway
+/// count sits under the scenario's `online_cutoff` (every paper preset).
+/// Repetitions past the retention cutoff — tera-metro-scale runs, where
+/// only the log-bucket histogram survives — contribute nothing, exactly
+/// like [`completion_variation_cdf`]'s sketch-only repetitions; those runs
+/// report the per-scheme quantile grid ([`online_time_quantiles`])
+/// instead.
 pub fn online_time_variation_cdf(scheme: &SchemeResult, soi: &SchemeResult) -> Cdf {
     let mut samples = Vec::new();
-    for (rep_s, rep_b) in scheme.gateway_online_s.iter().zip(&soi.gateway_online_s) {
+    for (rep_s, rep_b) in scheme.online_time.iter().zip(&soi.online_time) {
+        let (Some(rep_s), Some(rep_b)) = (rep_s.per_gateway(), rep_b.per_gateway()) else {
+            continue;
+        };
         for (s, b) in rep_s.iter().zip(rep_b) {
             let v = if *b < 1.0 && *s < 1.0 {
                 0.0
@@ -160,6 +172,56 @@ pub fn online_time_variation_cdf(scheme: &SchemeResult, soi: &SchemeResult) -> C
         }
     }
     Cdf::from_samples(samples)
+}
+
+/// The fixed quantile grid the JSONL and figure backends report for
+/// per-gateway online time, read from a (merged) [`OnlineTimeHist`] — the
+/// distributional summary that replaces per-gateway vectors at 10⁸-client
+/// scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineTimeQuantiles {
+    /// True when the quantiles are exact (raw per-gateway samples under
+    /// the cutoff); false when they come from the log-bucket histogram
+    /// (≤ 0.55 % relative error).
+    pub exact: bool,
+    /// Gateways pooled into the grid.
+    pub gateways: u64,
+    /// Mean online time per gateway, seconds (exact in both tiers).
+    pub mean_s: f64,
+    /// 25th-percentile online time, seconds.
+    pub p25: f64,
+    /// Median online time, seconds.
+    pub p50: f64,
+    /// 75th percentile, seconds.
+    pub p75: f64,
+    /// 90th percentile, seconds.
+    pub p90: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+}
+
+/// Reads the reporting quantile grid out of a pooled online-time
+/// histogram. `None` when no gateway was recorded (degenerate worlds).
+pub fn online_time_quantiles(pooled: &OnlineTimeHist) -> Option<OnlineTimeQuantiles> {
+    let qs = pooled.quantiles(&[0.25, 0.5, 0.75, 0.9, 0.95, 0.99]);
+    match (qs[0], qs[1], qs[2], qs[3], qs[4], qs[5], pooled.mean_s()) {
+        (Some(p25), Some(p50), Some(p75), Some(p90), Some(p95), Some(p99), Some(mean_s)) => {
+            Some(OnlineTimeQuantiles {
+                exact: pooled.is_exact(),
+                gateways: pooled.gateways(),
+                mean_s,
+                p25,
+                p50,
+                p75,
+                p90,
+                p95,
+                p99,
+            })
+        }
+        _ => None,
+    }
 }
 
 /// Compact per-scheme summary used by the report tables.
@@ -229,7 +291,10 @@ mod tests {
                 .into_iter()
                 .map(|rep| CompletionStats::from_samples(rep, 1_000))
                 .collect(),
-            gateway_online_s: online,
+            online_time: online
+                .into_iter()
+                .map(|rep| OnlineTimeHist::from_samples(&rep, 1_000))
+                .collect(),
             mean_wake_count: 0.0,
             events: 0,
             shard_summaries: Vec::new(),
@@ -315,6 +380,36 @@ mod tests {
         assert_eq!(cdf.min(), Some(-50.0));
         assert_eq!(cdf.max(), Some(100.0));
         assert!((cdf.fraction_leq(0.0) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_variation_skips_histogram_only_repetitions() {
+        let mut scheme = fake_result(vec![vec![]], vec![vec![3_600.0]], vec![1.0]);
+        let mut soi = fake_result(vec![vec![]], vec![vec![1_800.0]], vec![1.0]);
+        assert_eq!(online_time_variation_cdf(&scheme, &soi).len(), 1);
+        // A zero-cutoff (tera-metro style) repetition has no per-gateway
+        // join — the pairing degrades to empty, like Fig. 9a's sketch-only
+        // case, instead of mispairing or panicking.
+        scheme.online_time = vec![OnlineTimeHist::from_samples(&[3_600.0], 0)];
+        soi.online_time = vec![OnlineTimeHist::from_samples(&[1_800.0], 0)];
+        assert!(online_time_variation_cdf(&scheme, &soi).is_empty());
+    }
+
+    #[test]
+    fn online_quantiles_read_from_pooled_hist() {
+        let scheme =
+            fake_result(vec![vec![]], vec![vec![0.0, 1_800.0, 3_600.0, 7_200.0]], vec![1.0]);
+        let q = online_time_quantiles(&scheme.pooled_online()).unwrap();
+        assert!(q.exact);
+        assert_eq!(q.gateways, 4);
+        assert!((q.mean_s - 3_150.0).abs() < 1e-9);
+        // round((4-1)*0.5) = rank 2 of [0, 1800, 3600, 7200].
+        assert_eq!(q.p50, 3_600.0);
+        assert_eq!(q.p99, 7_200.0);
+        assert!(q.p25 <= q.p50 && q.p50 <= q.p75 && q.p90 <= q.p99);
+        // An empty world has no grid.
+        let none = fake_result(vec![vec![]], vec![vec![]], vec![1.0]);
+        assert!(online_time_quantiles(&none.pooled_online()).is_none());
     }
 
     #[test]

@@ -25,8 +25,8 @@
 
 use crate::schemes::scheme_key;
 use insomnia_core::{
-    completion_quantiles, run_scheme_sharded_observed, summarize, ScenarioConfig, SchemeResult,
-    SchemeSpec, ShardedWorld,
+    completion_quantiles, online_time_quantiles, run_scheme_sharded_observed, summarize,
+    ScenarioConfig, SchemeResult, SchemeSpec, ShardedWorld,
 };
 use insomnia_simcore::{SimError, SimResult, SimRng};
 use serde::{Deserialize, Serialize, Value};
@@ -66,6 +66,33 @@ pub struct QuantileRecord {
     /// 25th-percentile completion time, seconds.
     pub p25: f64,
     /// Median completion time, seconds.
+    pub p50: f64,
+    /// 75th percentile, seconds.
+    pub p75: f64,
+    /// 90th percentile, seconds.
+    pub p90: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+}
+
+/// Per-gateway online-time quantile grid inside a sharded [`JobRecord`] —
+/// read from the merged streaming [`insomnia_simcore::OnlineTimeHist`].
+/// Emitted only by scenarios that opt into streamed online-time accounting
+/// (`online_cutoff = 0`, e.g. the tera-metro preset), so every
+/// pre-existing sharded schema stays byte-identical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineRecord {
+    /// True when the quantiles are exact (raw per-gateway samples).
+    pub exact: bool,
+    /// Gateways pooled into the grid.
+    pub gateways: u64,
+    /// Mean online time per gateway, seconds (exact in both tiers).
+    pub mean_s: f64,
+    /// 25th-percentile online time, seconds.
+    pub p25: f64,
+    /// Median online time, seconds.
     pub p50: f64,
     /// 75th percentile, seconds.
     pub p75: f64,
@@ -147,6 +174,10 @@ pub struct JobRecord {
     /// when sharded — the unsharded schema is frozen; `null` inside a
     /// sharded record when no flow completed, e.g. under Optimal).
     pub completion_quantiles: Option<QuantileRecord>,
+    /// Per-gateway online-time quantile grid from the merged histogram
+    /// (only present for sharded runs of scenarios with `online_cutoff =
+    /// 0` — every other sharded schema stays byte-identical).
+    pub online_time_quantiles: Option<OnlineRecord>,
 }
 
 impl Serialize for JobRecord {
@@ -178,6 +209,14 @@ impl Serialize for JobRecord {
             m.push(("shards".into(), self.shards.to_value()));
             m.push(("shard_summaries".into(), self.shard_summaries.to_value()));
             m.push(("completion_quantiles".into(), self.completion_quantiles.to_value()));
+            // The online-time grid is an opt-in (`online_cutoff = 0`)
+            // appended only when populated: sharded records of scenarios
+            // that keep exact per-gateway accounting — e.g. the frozen
+            // giga-metro smoke reference — serialize the pre-existing
+            // schema byte-for-byte.
+            if self.online_time_quantiles.is_some() {
+                m.push(("online_time_quantiles".into(), self.online_time_quantiles.to_value()));
+            }
         }
         Value::Map(m)
     }
@@ -402,18 +441,21 @@ fn run_job(
     let started = Instant::now();
     // Shard-level heartbeat for hour-long sharded jobs: one stderr line
     // per finished (repetition × shard) event loop, straight from the
-    // worker thread, carrying the task's peak-heap / peak-active-flow
-    // telemetry (the live witness that the scheduler stays O(active)).
-    // Each line is formatted up front and written as one `write_all` +
-    // explicit flush under the stderr lock, so lines from concurrent
-    // workers never interleave at high thread counts. Unsharded jobs stay
-    // silent; the JSONL is untouched.
+    // worker thread (so one slow early shard never silences progress),
+    // carrying merge progress alongside (`merged shards: k/n` + the
+    // folder-queue depth — how far completion ran ahead of the
+    // deterministic in-order merge) and the task's peak-heap /
+    // peak-active-flow telemetry (the live witness that the scheduler
+    // stays O(active)). Each line is formatted up front and written as
+    // one `write_all` + explicit flush under the stderr lock, so lines
+    // from concurrent workers never interleave at high thread counts.
+    // Unsharded jobs stay silent; the JSONL is untouched.
     let scheme = scheme_key(spec);
     let observe = move |p: insomnia_core::TaskProgress| {
         if p.n_shards > 1 {
             let line = format!(
-                "# shard {}/{} seed {}: rep {} shard {}/{} done ({}/{} tasks, {} events, \
-                 peak heap {}, peak active {})\n",
+                "# shard {}/{} seed {}: rep {} shard {}/{} done ({}/{} tasks, merged shards: \
+                 {}/{}, fold queue {}, {} events, peak heap {}, peak active {})\n",
                 name,
                 scheme,
                 ki,
@@ -422,6 +464,9 @@ fn run_job(
                 p.n_shards,
                 p.finished,
                 p.total,
+                p.merged,
+                p.total,
+                p.fold_queue,
                 p.events,
                 p.peak_heap,
                 p.peak_active_flows,
@@ -516,6 +561,23 @@ fn make_record(
             p95: q.p95,
             p99: q.p99,
         }),
+        // Scenarios that stream online time (`online_cutoff = 0`) report
+        // the merged histogram's grid; everyone else keeps the frozen
+        // sharded schema (field absent, not null).
+        online_time_quantiles: (n_shards > 1 && cfg.online_cutoff == 0)
+            .then(|| online_time_quantiles(&result.pooled_online()))
+            .flatten()
+            .map(|q| OnlineRecord {
+                exact: q.exact,
+                gateways: q.gateways,
+                mean_s: q.mean_s,
+                p25: q.p25,
+                p50: q.p50,
+                p75: q.p75,
+                p90: q.p90,
+                p95: q.p95,
+                p99: q.p99,
+            }),
     }
 }
 

@@ -28,6 +28,10 @@ pub struct MetricDiff {
     /// Observed relative error for numeric fields (`None` for
     /// type/shape/string mismatches, which never pass any tolerance).
     pub rel_err: Option<f64>,
+    /// True when exactly one side is NaN — reported explicitly, since no
+    /// relative error exists against a NaN (and NaN-vs-NaN counts as
+    /// equal).
+    pub nan: bool,
 }
 
 /// Outcome of comparing two JSONL batch outputs.
@@ -54,10 +58,11 @@ impl CompareReport {
             out.push_str(&format!("only in one file: {key}\n"));
         }
         for d in &self.diffs {
-            let rel = d
-                .rel_err
-                .map(|e| format!(" (rel err {e:.3e})"))
-                .unwrap_or_else(|| " (shape/type mismatch)".to_string());
+            let rel = match d.rel_err {
+                Some(e) => format!(" (rel err {e:.3e})"),
+                None if d.nan => " (NaN mismatch)".to_string(),
+                None => " (shape/type mismatch)".to_string(),
+            };
             out.push_str(&format!("{} {}: {} vs {}{rel}\n", d.record, d.field, d.a, d.b));
         }
         out.push_str(&format!(
@@ -110,13 +115,14 @@ fn diff_value(
         Value::Seq(x) => format!("[{} items]", x.len()),
         Value::Map(x) => format!("{{{} fields}}", x.len()),
     };
-    let push = |diffs: &mut Vec<MetricDiff>, rel: Option<f64>| {
+    let push = |diffs: &mut Vec<MetricDiff>, rel: Option<f64>, nan: bool| {
         diffs.push(MetricDiff {
             record: record.to_string(),
             field: path.to_string(),
             a: render(a),
             b: render(b),
             rel_err: rel,
+            nan,
         });
     };
     let num = |v: &Value| -> Option<f64> {
@@ -141,6 +147,7 @@ fn diff_value(
             a,
             b,
             rel_err: None,
+            nan: false,
         });
     };
     match (a, b) {
@@ -161,7 +168,7 @@ fn diff_value(
         }
         (Value::Seq(sa), Value::Seq(sb)) => {
             if sa.len() != sb.len() {
-                push(diffs, None);
+                push(diffs, None, false);
                 return;
             }
             for (i, (va, vb)) in sa.iter().zip(sb).enumerate() {
@@ -170,15 +177,38 @@ fn diff_value(
         }
         _ => match (num(a), num(b)) {
             (Some(x), Some(y)) => {
+                // Non-finite values need explicit handling: arithmetic
+                // against NaN/∞ yields NaN, and `NaN > tol` is false, so
+                // the generic relative-error path below would silently
+                // wave through NaN-vs-number and ∞-vs-(-∞) pairs. Two
+                // NaNs (or two equal infinities) are the same value for
+                // regression purposes; anything else is always a
+                // difference — a NaN on one side reported explicitly as a
+                // NaN mismatch, never as a meaningless relative error.
+                if !x.is_finite() || !y.is_finite() {
+                    let same = (x.is_nan() && y.is_nan()) || x == y;
+                    if x.is_nan() || y.is_nan() {
+                        if !same {
+                            push(diffs, None, true);
+                        }
+                    } else if !same {
+                        // ∞ against a finite value (or the opposite
+                        // infinity) is a numeric difference with an
+                        // unbounded relative error — report it as such,
+                        // not as a shape/type mismatch.
+                        push(diffs, Some(f64::INFINITY), false);
+                    }
+                    return;
+                }
                 let scale = x.abs().max(y.abs());
                 let rel = if scale > 0.0 { (x - y).abs() / scale } else { 0.0 };
                 if rel > tol {
-                    push(diffs, Some(rel));
+                    push(diffs, Some(rel), false);
                 }
             }
             _ => {
                 if a != b {
-                    push(diffs, None);
+                    push(diffs, None, false);
                 }
             }
         },
@@ -295,6 +325,43 @@ mod tests {
         assert!(!r.matches());
         assert_eq!(r.diffs[0].field, "shard_summaries[1].energy_kwh");
         assert!((r.diffs[0].rel_err.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_pairs_compare_equal_and_nan_mismatches_are_explicit() {
+        // NaN on both sides is the same (absent-style) value for
+        // regression purposes — the naive relative-error path would have
+        // produced an unhelpful never-failing NaN comparison instead.
+        let with_nan =
+            r#"{"scenario":"s","scheme":"soi","seed_index":0,"mean_savings_pct":NaN}"#.to_string();
+        let r = compare_jsonl("a", &with_nan, "b", &with_nan, 0.0).unwrap();
+        assert!(r.matches(), "NaN vs NaN must match: {}", r.render());
+
+        // NaN against a number is always a difference, reported as a NaN
+        // mismatch — not as a relative error (none exists) and not
+        // silently waved through.
+        let with_number = with_nan.replace("NaN", "12.5");
+        let r = compare_jsonl("a", &with_nan, "b", &with_number, 0.5).unwrap();
+        assert!(!r.matches(), "NaN vs 12.5 must differ even under a loose tolerance");
+        assert_eq!(r.diffs.len(), 1);
+        assert_eq!(r.diffs[0].field, "mean_savings_pct");
+        assert!(r.diffs[0].nan && r.diffs[0].rel_err.is_none());
+        assert!(r.render().contains("NaN mismatch"), "{}", r.render());
+
+        // Equal infinities match; an infinity against anything else is a
+        // numeric difference with unbounded relative error (not a
+        // shape/type mismatch).
+        let inf = with_nan.replace("NaN", "Infinity");
+        assert!(compare_jsonl("a", &inf, "b", &inf, 0.0).unwrap().matches());
+        let neg = with_nan.replace("NaN", "-Infinity");
+        let r = compare_jsonl("a", &inf, "b", &neg, 0.5).unwrap();
+        assert!(!r.matches());
+        assert_eq!(r.diffs[0].rel_err, Some(f64::INFINITY));
+        assert!(!r.diffs[0].nan);
+        let r = compare_jsonl("a", &inf, "b", &with_number, 0.5).unwrap();
+        assert!(!r.matches());
+        assert_eq!(r.diffs[0].rel_err, Some(f64::INFINITY));
+        assert!(r.render().contains("rel err inf"), "{}", r.render());
     }
 
     #[test]

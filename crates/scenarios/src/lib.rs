@@ -39,7 +39,8 @@ pub mod schemes;
 pub mod spec;
 
 pub use batch::{
-    run_batch, BatchRun, BatchSummary, JobRecord, QuantileRecord, ShardRecord, SummaryRow,
+    run_batch, BatchRun, BatchSummary, JobRecord, OnlineRecord, QuantileRecord, ShardRecord,
+    SummaryRow,
 };
 pub use compare::{compare_jsonl, CompareReport, MetricDiff};
 pub use registry::{Preset, Registry};

@@ -187,6 +187,36 @@ repetitions = 1
 completion_cutoff = 0
 "#,
                 ),
+                // 20480 giga-metro-class neighborhoods (5000 clients / 625
+                // gateways on an 80 x 8 port DSLAM each): the 10^8-client
+                // regime. The last O(world) state was the *merge* layer —
+                // per-gateway online-seconds vectors and the retained
+                // (rep x shard) result matrix — so `online_cutoff = 0`
+                // streams per-gateway online time into a mergeable
+                // log-bucket histogram (reported as the JSONL
+                // `online_time_quantiles` grid) and the shard fold absorbs
+                // each task's result the moment it lands: merge state is
+                // O(shards x buckets), peak RSS O(threads x shard +
+                // shards x buckets).
+                preset(
+                    "tera-metro",
+                    "tera-metro scale: 20480 DSLAM neighborhoods, 102.4M clients, streamed merges",
+                    r#"
+n_clients = 102400000
+n_aps = 12800000
+shards = 20480
+n_cards = 80
+ports_per_card = 8
+k_switch = 4
+mean_networks_in_range = 7.0
+rate_scale = 1.2
+always_on_frac = 0.12
+sample_period_s = 60.0
+repetitions = 1
+completion_cutoff = 0
+online_cutoff = 0
+"#,
+                ),
             ],
         }
     }
@@ -303,7 +333,7 @@ mod tests {
         cfg.validate().unwrap();
         // All presets below metro scale stay on the paper's single DSLAM.
         for p in Registry::builtin().presets() {
-            if !["dense-metro", "mega-city", "giga-metro"].contains(&p.name) {
+            if !["dense-metro", "mega-city", "giga-metro", "tera-metro"].contains(&p.name) {
                 let c = Registry::builtin().resolve(p.name).unwrap();
                 assert_eq!(c.shards, 1, "{} must stay unsharded", p.name);
             }
@@ -319,7 +349,7 @@ mod tests {
         cfg.validate().unwrap();
         // Every smaller preset keeps the exact completion memory model.
         for p in Registry::builtin().presets() {
-            if p.name != "mega-city" && p.name != "giga-metro" {
+            if !["mega-city", "giga-metro", "tera-metro"].contains(&p.name) {
                 let c = Registry::builtin().resolve(p.name).unwrap();
                 assert_eq!(
                     c.completion_cutoff,
@@ -347,6 +377,37 @@ mod tests {
             .unwrap()[0];
         assert_eq!(span.n_clients, 5_000);
         assert_eq!(span.n_gateways, 625);
+    }
+
+    #[test]
+    fn tera_metro_is_a_nine_figure_streaming_scenario() {
+        let cfg = Registry::builtin().resolve("tera-metro").unwrap();
+        assert!(cfg.trace.n_clients >= 100_000_000, "got {}", cfg.trace.n_clients);
+        assert!(cfg.shards >= 8192, "got {}", cfg.shards);
+        assert_eq!(cfg.completion_cutoff, 0, "tera-metro must never retain per-flow samples");
+        assert_eq!(cfg.online_cutoff, 0, "tera-metro must never retain per-gateway vectors");
+        assert_eq!(cfg.repetitions, 1);
+        cfg.validate().unwrap();
+        // Same neighborhood class as giga-metro, an order of magnitude
+        // more of them.
+        let span = insomnia_wireless::shard_spans(cfg.trace.n_clients, cfg.trace.n_aps, cfg.shards)
+            .unwrap()[0];
+        assert_eq!(span.n_clients, 5_000);
+        assert_eq!(span.n_gateways, 625);
+        // Every smaller preset keeps the exact per-gateway memory model
+        // (and with it, the frozen sharded JSONL schema — the giga-metro
+        // smoke reference must not grow an online-time grid).
+        for p in Registry::builtin().presets() {
+            if p.name != "tera-metro" {
+                let c = Registry::builtin().resolve(p.name).unwrap();
+                assert_eq!(
+                    c.online_cutoff,
+                    insomnia_core::DEFAULT_COMPLETION_CUTOFF,
+                    "{} must keep exact per-gateway online accounting",
+                    p.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -124,6 +124,14 @@ pub struct ScenarioSpec {
     /// cutoff, streaming log-bucket sketch above it. `0` = always stream
     /// (the mega-city setting). Default: 4 Mi samples.
     pub completion_cutoff: Option<usize>,
+    /// Online-time-metric memory model, the per-gateway sibling of
+    /// `completion_cutoff`: raw positional per-gateway online seconds
+    /// (exact quantiles, Fig. 9b pairing) while the gateway count stays at
+    /// or below this cutoff, streaming log-bucket histogram above it. `0`
+    /// = always stream (the tera-metro setting), which also turns on the
+    /// `online_time_quantiles` grid in sharded JSONL records. Default:
+    /// 4 Mi gateways.
+    pub online_cutoff: Option<usize>,
     /// BH2 overrides.
     pub bh2: Option<Bh2Spec>,
 }
@@ -251,6 +259,7 @@ impl ScenarioSpec {
         set(&mut cfg.repetitions, &self.repetitions);
         set(&mut cfg.seed, &self.seed);
         set(&mut cfg.completion_cutoff, &self.completion_cutoff);
+        set(&mut cfg.online_cutoff, &self.online_cutoff);
 
         if let Some(b) = &self.bh2 {
             let p: &mut Bh2Params = &mut cfg.bh2;
@@ -307,6 +316,7 @@ impl ScenarioSpec {
             repetitions: Some(cfg.repetitions),
             seed: Some(cfg.seed),
             completion_cutoff: Some(cfg.completion_cutoff),
+            online_cutoff: Some(cfg.online_cutoff),
             bh2: Some(Bh2Spec {
                 low_threshold: Some(cfg.bh2.low_threshold),
                 high_threshold: Some(cfg.bh2.high_threshold),

@@ -12,8 +12,9 @@
 //! * the statistics primitives every experiment reports through
 //!   ([`Welford`], [`TimeWeighted`], [`Histogram`], [`Cdf`], [`BinSeries`]),
 //!   and
-//! * deterministic index-addressed fan-out ([`par_map_indexed`]) for the
-//!   layers above that run independent shards/repetitions/jobs in parallel.
+//! * deterministic index-addressed fan-out ([`par_map_indexed`]) and its
+//!   streaming in-order sibling ([`par_fold_indexed`]) for the layers above
+//!   that run independent shards/repetitions/jobs in parallel.
 //!
 //! ## Design notes
 //!
@@ -60,9 +61,9 @@ pub mod time;
 
 pub use engine::Scheduler;
 pub use error::{SimError, SimResult};
-pub use par::{default_threads, par_map_indexed};
+pub use par::{default_threads, par_fold_indexed, par_map_indexed, FoldStep};
 pub use queue::{EventQueue, EventToken};
 pub use rng::{SimRng, SplitMix64};
 pub use series::{average_runs, downsample_mean, BinSeries};
-pub use stats::{Cdf, Histogram, QuantileSketch, TimeWeighted, Welford};
+pub use stats::{Cdf, Histogram, OnlineTimeHist, QuantileSketch, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};

@@ -7,6 +7,7 @@
 //! completion order, so the output is bit-for-bit identical at any worker
 //! count — the property the batch runner's JSONL determinism test pins.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -53,6 +54,181 @@ pub fn par_map_indexed<T: Send, F: Fn(usize) -> T + Sync>(
     slots.into_iter().map(|s| s.expect("worker completed task")).collect()
 }
 
+/// One in-order delivery of [`par_fold_indexed`]: task `index`'s result is
+/// being folded, with `queued` later results parked out of order behind it.
+///
+/// `queued` is the folder-queue depth — how far completion order ran ahead
+/// of fold order. It depends on scheduling (always 0 single-threaded), so
+/// it belongs in progress heartbeats, never in deterministic output.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldStep {
+    /// Index of the task being folded (strictly increasing, `0..n`).
+    pub index: usize,
+    /// Results already completed but waiting for earlier indices to fold.
+    pub queued: usize,
+}
+
+/// Claim-side backpressure of [`par_fold_indexed`]: a counting gate that
+/// caps how many task indices may be outstanding (claimed but not yet
+/// folded) at once. Without it, one slow early task would let the other
+/// workers run arbitrarily far ahead and park up to `n − 1` full results
+/// in the reorder buffer — quietly reintroducing the O(n) merge memory
+/// the fold exists to remove. Workers take a permit before claiming an
+/// index; the folder returns one per folded result; `close()` (also run
+/// on unwind, via [`GateCloseGuard`]) wakes every waiter so workers can
+/// exit if the folder dies.
+struct FoldGate {
+    state: std::sync::Mutex<(usize, bool)>, // (permits, closed)
+    cv: std::sync::Condvar,
+}
+
+impl FoldGate {
+    fn new(permits: usize) -> Self {
+        FoldGate { state: std::sync::Mutex::new((permits, false)), cv: std::sync::Condvar::new() }
+    }
+
+    /// Blocks for a permit; `false` when the gate closed instead.
+    fn acquire(&self) -> bool {
+        let mut st = self.state.lock().expect("fold gate lock");
+        while st.0 == 0 && !st.1 {
+            st = self.cv.wait(st).expect("fold gate wait");
+        }
+        if st.1 {
+            return false;
+        }
+        st.0 -= 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().expect("fold gate lock");
+        st.0 += 1;
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("fold gate lock");
+        st.1 = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Closes the gate when dropped — including on an unwinding fold
+/// callback, so blocked workers never outlive a dead folder.
+struct GateCloseGuard<'a>(&'a FoldGate);
+
+impl Drop for GateCloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Runs `n` independent tasks on at most `max_threads` workers and folds
+/// every result **in index order** on the calling thread.
+///
+/// This is the streaming sibling of [`par_map_indexed`]: instead of an
+/// index-addressed result buffer that retains all `n` outputs, workers
+/// emit `(index, result)` pairs and a deterministic folder absorbs them
+/// strictly in order `0, 1, …, n-1` — results arriving early are parked in
+/// a reorder buffer whose depth is reported through [`FoldStep::queued`].
+/// A claim-side gate ([`FoldGate`]) caps outstanding (claimed-but-not-yet-
+/// folded) indices at `2 × workers`, so live state is the accumulator plus
+/// an O(workers) out-of-order window even when one early task runs
+/// arbitrarily longer than its successors — never O(n).
+///
+/// Because `fold` always observes the same `(index, result)` sequence, the
+/// final accumulator is bit-for-bit identical at any worker count — the
+/// same property [`par_map_indexed`] pins, without the O(n) buffer.
+/// With `max_threads <= 1` (or `n <= 1`) tasks run inline and fold
+/// immediately.
+pub fn par_fold_indexed<T: Send, F: Fn(usize) -> T + Sync>(
+    n: usize,
+    max_threads: usize,
+    f: F,
+    mut fold: impl FnMut(FoldStep, T),
+) {
+    let threads = max_threads.min(n).max(1);
+    if threads == 1 {
+        for i in 0..n {
+            fold(FoldStep { index: i, queued: 0 }, f(i));
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    // 2 × workers outstanding claims: enough slack that the folder never
+    // starves workers (each worker's final over-the-end claim also burns
+    // a permit, and n folds release n permits), small enough that the
+    // reorder buffer stays O(workers).
+    let gate = FoldGate::new(2 * threads);
+    // A panicking task would leave a hole the in-order folder can never
+    // fold past — with everyone else parked on the gate, that's a
+    // deadlock, not a failure. Workers therefore catch the payload,
+    // close the gate (waking peers so every thread exits cleanly), and
+    // the panic is re-raised on the calling thread after the scope.
+    let panicked: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let gate = &gate;
+            let panicked = &panicked;
+            let f = &f;
+            scope.spawn(move || loop {
+                if !gate.acquire() {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => {
+                        if tx.send((i, v)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        let mut slot = panicked.lock().expect("panic slot lock");
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        drop(slot);
+                        gate.close();
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Reorder buffer: fold result `k` only once results `0..k` folded.
+        // The guard closes the gate on every exit path (normal or a
+        // panicking `fold`), releasing any parked workers.
+        let _close = GateCloseGuard(&gate);
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut next = 0usize;
+        for (i, v) in rx {
+            pending.insert(i, v);
+            while let Some(v) = pending.remove(&next) {
+                fold(FoldStep { index: next, queued: pending.len() }, v);
+                next += 1;
+                gate.release();
+            }
+        }
+        debug_assert!(
+            panicked.lock().expect("panic slot lock").is_some()
+                || (pending.is_empty() && next == n),
+            "all results folded"
+        );
+    });
+    if let Some(payload) = panicked.into_inner().expect("panic slot lock") {
+        std::panic::resume_unwind(payload);
+    }
+}
+
 /// The machine's available parallelism (1 when undetectable) — the default
 /// worker budget for [`par_map_indexed`] call sites.
 pub fn default_threads() -> usize {
@@ -83,5 +259,76 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn fold_sees_every_result_in_index_order_at_any_width() {
+        let run = |threads: usize| {
+            let mut order = Vec::new();
+            let mut acc = 0u64;
+            par_fold_indexed(
+                100,
+                threads,
+                |i| (i as u64) * 3 + 1,
+                |step, v| {
+                    order.push(step.index);
+                    // A non-commutative fold: order changes the bits.
+                    acc = acc.wrapping_mul(31).wrapping_add(v);
+                },
+            );
+            (order, acc)
+        };
+        let (serial_order, serial_acc) = run(1);
+        assert_eq!(serial_order, (0..100).collect::<Vec<_>>());
+        for threads in [2, 3, 8, 200] {
+            let (order, acc) = run(threads);
+            assert_eq!(order, serial_order, "threads = {threads}");
+            assert_eq!(acc, serial_acc, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_reports_a_bounded_queue_and_handles_tiny_inputs() {
+        let mut seen = 0;
+        par_fold_indexed(0, 4, |_| unreachable!(), |_: FoldStep, _: u8| seen += 1);
+        assert_eq!(seen, 0);
+        par_fold_indexed(
+            1,
+            4,
+            |i| i,
+            |step, v| {
+                assert_eq!((step.index, step.queued, v), (0, 0, 0));
+                seen += 1;
+            },
+        );
+        assert_eq!(seen, 1);
+        // Queue depth is scheduling-dependent but always bounded by the
+        // results still outstanding past the one being folded.
+        par_fold_indexed(64, 8, |i| i, |step, _| assert!(step.queued < 64 - step.index));
+    }
+
+    #[test]
+    fn fold_propagates_worker_panics_instead_of_deadlocking() {
+        // A panicking task leaves a hole the in-order folder could never
+        // fold past; the gate must wake every parked worker and the panic
+        // must surface on the calling thread (the old behaviour of
+        // par_map_indexed via thread::scope), not hang the process.
+        let result = std::panic::catch_unwind(|| {
+            let mut folded = 0usize;
+            par_fold_indexed(
+                40,
+                4,
+                |i| {
+                    if i == 17 {
+                        panic!("task 17 exploded");
+                    }
+                    i
+                },
+                |_, _| folded += 1,
+            );
+        });
+        let payload = result.expect_err("the task panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 17 exploded");
     }
 }

@@ -495,6 +495,116 @@ impl QuantileSketch {
     pub fn quantile(&self, q: f64) -> Option<f64> {
         self.quantiles(&[q])[0]
     }
+
+    /// The raw samples while the sketch is exact, **in insertion order**
+    /// (merges append the other sketch's samples in call order); `None`
+    /// once spilled into buckets.
+    ///
+    /// Wrappers whose insertion order is meaningful — e.g.
+    /// [`OnlineTimeHist`], which pushes per-gateway values in gateway
+    /// order — use this to recover positional samples for exact-mode
+    /// cross-run pairing.
+    pub fn samples(&self) -> Option<&[f64]> {
+        self.exact.as_deref()
+    }
+}
+
+/// A mergeable histogram of per-gateway online (powered) seconds — the
+/// streaming replacement for concatenating one `f64` per gateway across
+/// every shard of a metro-scale world.
+///
+/// Thin flow-aware wrapper over [`QuantileSketch`] (same log buckets, same
+/// exact-below-cutoff promise, same order-invariant merge) plus an exact
+/// running sum for the mean. While the gateway count stays at or below the
+/// cutoff the raw per-gateway samples survive in **record/merge order** —
+/// gateway order within a shard, shard order within a run — so exact-mode
+/// consumers (the Fig. 9b fairness pairing) can still join gateways
+/// positionally across schemes. Past the cutoff only the `O(buckets)`
+/// counters remain and quantiles carry the sketch's ≤ 0.55 % relative
+/// error.
+///
+/// Online times are finite and non-negative by construction (a meter over
+/// a simulated day); [`OnlineTimeHist::record`] debug-asserts that.
+#[derive(Debug, Clone)]
+pub struct OnlineTimeHist {
+    sketch: QuantileSketch,
+    sum_s: f64,
+}
+
+impl OnlineTimeHist {
+    /// An empty histogram, exact up to `cutoff` gateways (`0` = stream
+    /// into buckets from the first gateway).
+    pub fn new(cutoff: usize) -> Self {
+        OnlineTimeHist { sketch: QuantileSketch::new(cutoff), sum_s: 0.0 }
+    }
+
+    /// Builds a histogram from per-gateway seconds, in slice order.
+    pub fn from_samples(online_s: &[f64], cutoff: usize) -> Self {
+        let mut h = OnlineTimeHist::new(cutoff);
+        for &s in online_s {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Records one gateway's online seconds.
+    pub fn record(&mut self, online_s: f64) {
+        debug_assert!(
+            online_s.is_finite() && online_s >= 0.0,
+            "online time must be a finite non-negative duration, got {online_s}"
+        );
+        self.sketch.push(online_s);
+        self.sum_s += online_s;
+    }
+
+    /// Merges another histogram into this one (append order for exact-mode
+    /// samples, commutative-up-to-bits otherwise — property-tested).
+    pub fn merge(&mut self, other: &OnlineTimeHist) {
+        self.sketch.merge(&other.sketch);
+        self.sum_s += other.sum_s;
+    }
+
+    /// Gateways recorded.
+    pub fn gateways(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// Sum of all online seconds (exact in both tiers).
+    pub fn sum_s(&self) -> f64 {
+        self.sum_s
+    }
+
+    /// Mean online seconds per gateway; `None` for an empty histogram.
+    pub fn mean_s(&self) -> Option<f64> {
+        if self.gateways() == 0 {
+            None
+        } else {
+            Some(self.sum_s / self.gateways() as f64)
+        }
+    }
+
+    /// True while quantiles are exact (raw samples below the cutoff).
+    pub fn is_exact(&self) -> bool {
+        self.sketch.is_exact()
+    }
+
+    /// Quantiles of the per-gateway online time, seconds; `None` entries
+    /// when no gateway was recorded. Same rank rule as
+    /// [`QuantileSketch::quantiles`].
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Option<f64>> {
+        self.sketch.quantiles(qs)
+    }
+
+    /// Single quantile, seconds.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.sketch.quantile(q)
+    }
+
+    /// Per-gateway online seconds in record/merge order while exact;
+    /// `None` once the histogram spilled into buckets.
+    pub fn per_gateway(&self) -> Option<&[f64]> {
+        self.sketch.samples()
+    }
 }
 
 #[cfg(test)]
@@ -713,6 +823,93 @@ mod tests {
         a.merge(&b);
         assert!(!a.is_exact(), "14 pooled samples exceed the 10-sample cutoff");
         assert_eq!(a.count(), 14);
+    }
+
+    #[test]
+    fn sketch_exposes_exact_samples_in_insertion_order() {
+        let mut s = QuantileSketch::new(8);
+        for x in [3.0, 1.0, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.samples(), Some(&[3.0, 1.0, 2.0][..]));
+        let mut other = QuantileSketch::new(8);
+        other.push(9.0);
+        s.merge(&other);
+        assert_eq!(s.samples(), Some(&[3.0, 1.0, 2.0, 9.0][..]), "merge appends in call order");
+        for x in 0..10 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.samples(), None, "spilled sketches hold no raw samples");
+    }
+
+    #[test]
+    fn online_hist_is_exact_below_the_cutoff() {
+        let h = OnlineTimeHist::from_samples(&[3_600.0, 0.0, 7_200.0], 100);
+        assert!(h.is_exact());
+        assert_eq!(h.gateways(), 3);
+        assert_eq!(h.sum_s(), 10_800.0);
+        assert_eq!(h.mean_s(), Some(3_600.0));
+        assert_eq!(h.per_gateway(), Some(&[3_600.0, 0.0, 7_200.0][..]));
+        // round((3-1)*0.5) = rank 1 of [0, 3600, 7200].
+        assert_eq!(h.quantile(0.5), Some(3_600.0));
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        let empty = OnlineTimeHist::new(4);
+        assert_eq!(empty.mean_s(), None);
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn online_hist_streams_past_the_cutoff_within_error_bound() {
+        let xs: Vec<f64> = (0..5_000).map(|i| ((i * 977) % 4_999) as f64 * 17.3).collect();
+        let mut h = OnlineTimeHist::new(0);
+        for &x in &xs {
+            h.record(x);
+        }
+        assert!(!h.is_exact());
+        assert_eq!(h.per_gateway(), None);
+        assert_eq!(h.gateways(), 5_000);
+        assert!((h.sum_s() - xs.iter().sum::<f64>()).abs() < 1e-6, "sum stays exact");
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bound = QuantileSketch::relative_error_bound();
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let exact = sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+            let est = h.quantile(q).unwrap();
+            assert!((est - exact).abs() <= bound * exact + 1e-12, "q {q}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn online_hist_merge_concatenates_exact_samples_and_spills_like_union() {
+        let mut a = OnlineTimeHist::from_samples(&[10.0, 20.0], 16);
+        let b = OnlineTimeHist::from_samples(&[5.0], 16);
+        a.merge(&b);
+        assert_eq!(a.per_gateway(), Some(&[10.0, 20.0, 5.0][..]), "shard order preserved");
+        assert_eq!(a.sum_s(), 35.0);
+
+        // Past the cutoff the merge equals the union sketch at any order.
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 53) % 299) as f64 + 0.5).collect();
+        let mut union = OnlineTimeHist::new(64);
+        let mut left = OnlineTimeHist::new(64);
+        let mut right = OnlineTimeHist::new(64);
+        for (i, &x) in xs.iter().enumerate() {
+            union.record(x);
+            if i % 2 == 0 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        let mut lr = left.clone();
+        lr.merge(&right);
+        let mut rl = right.clone();
+        rl.merge(&left);
+        assert!(!lr.is_exact());
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(lr.quantile(q), union.quantile(q), "q {q}");
+            assert_eq!(rl.quantile(q), union.quantile(q), "merge order, q {q}");
+        }
+        assert_eq!(lr.gateways(), union.gateways());
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests of the simulation engine's invariants.
 
-use insomnia_simcore::{Cdf, EventQueue, QuantileSketch, SimRng, SimTime, TimeWeighted, Welford};
+use insomnia_simcore::{
+    par_fold_indexed, Cdf, EventQueue, OnlineTimeHist, QuantileSketch, SimRng, SimTime,
+    TimeWeighted, Welford,
+};
 use proptest::prelude::*;
 
 /// The historical pooled-sort quantile rule every exact answer must match.
@@ -236,6 +239,76 @@ proptest! {
         for &q in &PROBE_QS {
             prop_assert_eq!(forward.quantile(q), backward.quantile(q));
             prop_assert_eq!(forward.quantile(q), rotated.quantile(q));
+        }
+    }
+
+    /// Splitting the per-gateway population arbitrarily and merging the
+    /// two histograms answers exactly like one histogram over the union,
+    /// in either merge order — the property that makes the driver's
+    /// shard-fold independent of scheduling.
+    #[test]
+    fn online_hist_merge_is_order_invariant(
+        xs in prop::collection::vec(0f64..90_000.0, 1..400),
+        split in 0usize..400,
+        cutoff in 0usize..500,
+    ) {
+        let split = split % xs.len();
+        let whole = OnlineTimeHist::from_samples(&xs, cutoff);
+        let a = OnlineTimeHist::from_samples(&xs[..split], cutoff);
+        let b = OnlineTimeHist::from_samples(&xs[split..], cutoff);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.gateways(), whole.gateways());
+        prop_assert_eq!(ab.is_exact(), whole.is_exact());
+        prop_assert!((ab.sum_s() - whole.sum_s()).abs() <= 1e-9 * (1.0 + whole.sum_s()));
+        for &q in &PROBE_QS {
+            prop_assert_eq!(ab.quantile(q), whole.quantile(q), "merge != whole at q={}", q);
+            prop_assert_eq!(ba.quantile(q), whole.quantile(q), "merge order changed q={}", q);
+        }
+        // Exact-mode merges keep positional per-gateway samples:
+        // concatenation in call order, i.e. shard order.
+        if ab.is_exact() {
+            prop_assert_eq!(ab.per_gateway(), Some(&xs[..]));
+        } else {
+            prop_assert_eq!(ab.per_gateway(), None);
+        }
+    }
+
+    /// par_fold_indexed delivers every task's result to the folder in
+    /// strict index order at any worker count, so a non-commutative fold
+    /// (here: an order-sensitive running hash plus an online histogram)
+    /// produces byte-identical state at 1 and 8 threads.
+    #[test]
+    fn par_fold_is_thread_count_invariant(
+        values in prop::collection::vec(0u64..1_000_000, 1..150),
+    ) {
+        let run = |threads: usize| {
+            let mut order = Vec::new();
+            let mut hash = 0u64;
+            let mut hist = OnlineTimeHist::new(64);
+            par_fold_indexed(
+                values.len(),
+                threads,
+                |i| values[i],
+                |step, v| {
+                    order.push(step.index);
+                    hash = hash.wrapping_mul(0x0100_0000_01b3).wrapping_add(v);
+                    hist.record((v % 86_400) as f64);
+                },
+            );
+            (order, hash, hist)
+        };
+        let (o1, h1, hist1) = run(1);
+        let (o8, h8, hist8) = run(8);
+        prop_assert_eq!(&o1, &(0..values.len()).collect::<Vec<_>>(), "fold must walk 0..n");
+        prop_assert_eq!(o1, o8, "fold order depended on thread count");
+        prop_assert_eq!(h1, h8, "fold order leaked thread count into the accumulator");
+        prop_assert_eq!(hist1.gateways(), hist8.gateways());
+        prop_assert_eq!(hist1.sum_s(), hist8.sum_s());
+        for &q in &PROBE_QS {
+            prop_assert_eq!(hist1.quantile(q), hist8.quantile(q));
         }
     }
 

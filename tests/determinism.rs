@@ -8,7 +8,7 @@ use insomnia::core::{
 };
 use insomnia::dslphy::{BundleConfig, CrosstalkExperiment};
 use insomnia::scenarios::{parse_scheme_list, run_batch, BatchRun, Registry};
-use insomnia::simcore::{SimRng, SimTime};
+use insomnia::simcore::{OnlineTimeHist, SimRng, SimTime};
 use insomnia::traffic::crawdad::{self, CrawdadConfig};
 
 #[test]
@@ -74,7 +74,9 @@ fn crosstalk_experiment_is_bit_stable() {
 /// neighborhood (1600 clients / 200 gateways on a 20 × 10 port DSLAM),
 /// with `shards` of them and a reduced horizon so the debug-mode test
 /// suite finishes in seconds. `completion_cutoff = 0` forces the
-/// streaming-sketch path the mega-city preset runs in production.
+/// streaming-sketch path the mega-city preset runs in production, and
+/// `online_cutoff = 0` the streamed per-gateway histogram (plus its
+/// sharded JSONL grid) the tera-metro preset runs.
 fn dense_metro_reduced(shards: usize) -> ScenarioConfig {
     let mut cfg = Registry::builtin().resolve("dense-metro").unwrap();
     cfg.trace.n_clients = 1_600 * shards;
@@ -82,6 +84,7 @@ fn dense_metro_reduced(shards: usize) -> ScenarioConfig {
     cfg.shards = shards;
     cfg.trace.horizon = SimTime::from_hours(2);
     cfg.completion_cutoff = 0;
+    cfg.online_cutoff = 0;
     cfg.validate().unwrap();
     cfg
 }
@@ -110,6 +113,10 @@ fn sharded_streaming_jsonl_is_byte_identical_across_thread_counts() {
             line.contains("\"completion_quantiles\":{\"exact\":false"),
             "sketch-mode quantiles must be streamed, not exact: {line}"
         );
+        assert!(
+            line.contains("\"online_time_quantiles\":{\"exact\":false"),
+            "online_cutoff = 0 must stream the per-gateway histogram grid: {line}"
+        );
     }
 }
 
@@ -132,30 +139,37 @@ fn unsharded_streaming_jsonl_is_byte_identical_across_thread_counts() {
     assert_eq!(single, multi);
     let text = String::from_utf8(single).unwrap();
     assert!(!text.contains("completion_quantiles"), "shards = 1 schema is frozen: {text}");
+    assert!(!text.contains("online_time_quantiles"), "shards = 1 schema is frozen: {text}");
     assert!(text.contains("\"completion_p50_s\":"), "streamed p50 still reported");
 }
 
 #[test]
 fn merged_shard_quantiles_are_merge_order_invariant() {
-    // Merging the per-shard sketches in any order must give the same
-    // quantiles the driver reports — the property that makes the merged
-    // result independent of scheduling.
+    // Merging the per-shard sketches/histograms in any order must give
+    // the same quantiles the driver's fold reports — the property that
+    // makes the merged result independent of scheduling.
     let cfg = dense_metro_reduced(4);
     let world = build_sharded_world_seeded(&cfg, cfg.seed);
     let result = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, cfg.seed, 4);
     let per_rep = &result.completion[0];
     assert!(per_rep.per_flow().is_none(), "cutoff 0 must not retain per-flow samples");
+    let rep_online = &result.online_time[0];
+    assert!(rep_online.per_gateway().is_none(), "cutoff 0 must not retain per-gateway samples");
+    assert_eq!(rep_online.gateways(), 800, "4 shards x 200 gateways");
 
     // Re-run each shard in isolation and merge forwards and backwards.
     let rng = |s: u64| SimRng::new(cfg.seed).fork_idx("rep", 0).fork_idx("shard", s);
-    let shard_stats: Vec<CompletionStats> = world
+    let shard_runs: Vec<_> = world
         .shards()
         .iter()
         .enumerate()
-        .map(|(s, (trace, topo))| {
-            run_single(&cfg, SchemeSpec::soi(), trace, topo, rng(s as u64)).completion
-        })
+        .map(|(s, (trace, topo))| run_single(&cfg, SchemeSpec::soi(), trace, topo, rng(s as u64)))
         .collect();
+    let shard_online: Vec<OnlineTimeHist> = shard_runs
+        .iter()
+        .map(|r| OnlineTimeHist::from_samples(&r.gateway_online_s, cfg.online_cutoff))
+        .collect();
+    let shard_stats: Vec<CompletionStats> = shard_runs.into_iter().map(|r| r.completion).collect();
     let forward = CompletionStats::pooled(&shard_stats);
     let reversed: Vec<CompletionStats> = shard_stats.into_iter().rev().collect();
     let backward = CompletionStats::pooled(&reversed);
@@ -163,6 +177,20 @@ fn merged_shard_quantiles_are_merge_order_invariant() {
     assert_eq!(forward.quantiles(&qs), per_rep.quantiles(&qs));
     assert_eq!(backward.quantiles(&qs), per_rep.quantiles(&qs));
     assert_eq!(forward.completed(), per_rep.completed());
+
+    // Same story for the per-gateway online-time histograms.
+    let merge_all = |hists: &[&OnlineTimeHist]| {
+        let mut out = OnlineTimeHist::new(cfg.online_cutoff);
+        for h in hists {
+            out.merge(h);
+        }
+        out
+    };
+    let fwd: Vec<&OnlineTimeHist> = shard_online.iter().collect();
+    let bwd: Vec<&OnlineTimeHist> = shard_online.iter().rev().collect();
+    assert_eq!(merge_all(&fwd).quantiles(&qs), rep_online.quantiles(&qs));
+    assert_eq!(merge_all(&bwd).quantiles(&qs), rep_online.quantiles(&qs));
+    assert_eq!(merge_all(&fwd).gateways(), rep_online.gateways());
 }
 
 #[test]

@@ -43,6 +43,32 @@ fn fig15_reports_14_uniform_cards() {
 }
 
 #[test]
+fn jsonl_backend_rebuilds_tables_from_the_committed_giga_reference() {
+    // The committed giga-metro smoke record is a real 10^7-client batch
+    // output; the JSONL-fed backend must rebuild its energy/completion/
+    // shard tables without simulating anything (a re-simulation at that
+    // scale inside the test suite would be the bug).
+    let path = format!("{}/tests/golden/giga-metro-smoke.jsonl", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("committed giga-metro reference");
+    let report = insomnia_bench::parse_jsonl(&path, &text).expect("reference parses");
+    assert_eq!(report.records.len(), 1);
+    let tables = report.tables();
+    let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
+    // giga-metro keeps exact per-gateway accounting, so there is no
+    // online-time grid to report — only the other three tables.
+    assert_eq!(names, vec!["energy", "completion", "shards"]);
+    let energy = &tables[0];
+    assert_eq!(energy.row_labels.as_ref().unwrap()[0], "giga-metro/soi#0");
+    assert!(energy.rows[0][0] > 0.0, "savings from the record");
+    let completion = &tables[1];
+    assert!(completion.rows[0][1] > 0.0, "p50 from the merged sketch grid");
+    assert_eq!(completion.rows[0][7], 0.0, "giga-metro streams completions (not exact)");
+    let shards = &tables[2];
+    assert_eq!(shards.rows[0][0], 2048.0);
+    assert!(shards.rows[0][1] <= shards.rows[0][2] && shards.rows[0][2] <= shards.rows[0][3]);
+}
+
+#[test]
 fn fig3_fig4_build_from_the_scenario_trace() {
     let h = Harness::quick();
     let f3 = figures::fig3(&h);
