@@ -25,6 +25,7 @@ use insomnia_simcore::{
     average_runs, default_threads, par_fold_indexed, par_map_indexed, EventToken, OnlineTimeHist,
     Scheduler, SimDuration, SimRng, SimTime,
 };
+use insomnia_telemetry::RunCounters;
 use insomnia_traffic::{FlowRecord, FlowStream, Trace};
 use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWindow, Topology};
 
@@ -152,6 +153,11 @@ pub struct RunResult {
     /// Largest number of concurrently active (arrived, not yet completed)
     /// flows (telemetry; max over shards when merged).
     pub peak_active_flows: usize,
+    /// Deterministic work counters of the run — per-kind delivered events,
+    /// cancellations, heap traffic, flow totals and streaming-generator
+    /// work. A pure function of the delivered sequence, byte-identical at
+    /// any thread count (`counters.delivered() == events`).
+    pub counters: RunCounters,
 }
 
 struct World<'a> {
@@ -188,6 +194,9 @@ struct World<'a> {
     active_flows: usize,
     peak_active: usize,
     peak_heap: usize,
+    /// Per-kind delivered/cancelled tallies (the rest of [`RunCounters`]
+    /// is filled from the scheduler and arrival source at finalize).
+    counters: RunCounters,
     completion: CompletionStats,
     powered_series: Vec<f64>,
     cards_series: Vec<f64>,
@@ -224,6 +233,11 @@ impl World<'_> {
     /// busy gateway — the invariant behind the O(active) heap bound.
     fn resync_gateway(&mut self, s: &mut Scheduler<Ev>, t: SimTime, gw: usize) {
         if let Some(tok) = self.departure_token[gw].take() {
+            // The token slot only holds undelivered events (delivery takes
+            // it first), so every cancel here removes a live heap entry —
+            // making this count deterministic despite the queue's lazy
+            // cancellation.
+            self.counters.cancelled_departures += 1;
             s.cancel(tok);
         }
         let next = self.engine.recompute(gw, t, self.cfg.backhaul_bps);
@@ -256,6 +270,7 @@ impl World<'_> {
 
     fn arm_idle_check(&mut self, s: &mut Scheduler<Ev>, gw: usize, at: SimTime) {
         if let Some(tok) = self.idle_token[gw].take() {
+            self.counters.cancelled_idle_checks += 1;
             s.cancel(tok);
         }
         self.idle_token[gw] = Some(s.schedule_at(at.max(s.now()), Ev::IdleCheck { gw }));
@@ -437,6 +452,7 @@ pub fn run_single_source(
         active_flows: 0,
         peak_active: 0,
         peak_heap: 0,
+        counters: RunCounters::default(),
         completion: CompletionStats::new(total_flows, cfg.completion_cutoff),
         powered_series: vec![0.0; n_samples],
         cards_series: vec![0.0; n_samples],
@@ -480,6 +496,22 @@ pub fn run_single_source(
         cards_j: world.dslam.cards_energy_j(),
         shelf_j: world.dslam.shelf_energy_j(),
     };
+    // Finalize the deterministic counters: per-kind tallies accumulated in
+    // `handle`, the rest read from the scheduler, arrival source and
+    // completion ledger.
+    let mut counters = world.counters;
+    counters.heap_pushes = sched.scheduled();
+    counters.peak_heap = world.peak_heap as u64;
+    counters.peak_active_flows = world.peak_active as u64;
+    counters.flows_total = total_flows as u64;
+    counters.flows_completed = world.completion.completed();
+    if let ArrivalSource::Stream(stream) = &world.arrivals {
+        let s = stream.stats();
+        counters.stream_refills = s.refills;
+        counters.merge_pops = s.merge_pops;
+    }
+    debug_assert_eq!(counters.delivered(), sched.delivered(), "every delivered event counted");
+    debug_assert_eq!(counters.cancelled(), sched.cancelled(), "every cancel site counted");
     RunResult {
         sample_period_s: cfg.sample_period.as_secs_f64(),
         powered_gateways: world.powered_series,
@@ -494,6 +526,7 @@ pub fn run_single_source(
         events: sched.delivered(),
         peak_heap: world.peak_heap,
         peak_active_flows: world.peak_active,
+        counters,
     }
 }
 
@@ -504,6 +537,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
     w.peak_heap = w.peak_heap.max(s.pending() + 1);
     match ev {
         Ev::Arrival => {
+            w.counters.arrivals += 1;
             let (idx, f) = w.next_arrival.take().expect("a scheduled arrival is pending");
             let client = f.client.index();
             let gw = w.route_new_flow(now, client);
@@ -518,6 +552,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
             w.schedule_next_arrival(s);
         }
         Ev::Departure { gw, gen } => {
+            w.counters.departures += 1;
             w.departure_token[gw] = None;
             // Superseded departures are cancelled at resync time, so a
             // delivered event always carries the current generation; this
@@ -536,6 +571,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
             w.resync_gateway(s, now, gw);
         }
         Ev::WakeDone { gw } => {
+            w.counters.wake_dones += 1;
             w.gateways[gw].complete_wake(now);
             // Clients that were waiting to return to this home gateway.
             for c in 0..w.return_pending.len() {
@@ -553,6 +589,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
             w.resync_gateway(s, now, gw);
         }
         Ev::IdleCheck { gw } => {
+            w.counters.idle_checks += 1;
             w.idle_token[gw] = None;
             if !w.gateways[gw].is_online() {
                 return;
@@ -571,16 +608,20 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
             }
         }
         Ev::Bh2Tick { client } => {
+            w.counters.bh2_ticks += 1;
             s.schedule_at(now + w.cfg.bh2.epoch, Ev::Bh2Tick { client });
             bh2_epoch(s, w, now, client);
         }
         Ev::OptimalTick => {
+            // One ILP solve per delivered tick.
+            w.counters.optimal_solves += 1;
             optimal_tick(s, w, now);
             if now + w.cfg.optimal_period < w.cfg.horizon() {
                 s.schedule_at(now + w.cfg.optimal_period, Ev::OptimalTick);
             }
         }
         Ev::Sample => {
+            w.counters.samples += 1;
             // Keep load windows fresh on busy gateways so BH2 sees current
             // loads even mid-transfer.
             for gw in 0..w.n_gateways() {
@@ -764,6 +805,14 @@ pub struct SchemeResult {
     /// Scheduler events delivered, summed over repetitions and shards
     /// (telemetry — reported to stderr by the batch runner, never JSONL).
     pub events: u64,
+    /// Deterministic work counters, merged over every `(repetition ×
+    /// shard)` task (order-invariant — byte-identical at any thread
+    /// count; `counters.delivered() == events`).
+    pub counters: RunCounters,
+    /// Wall-clock the deterministic in-order folder spent absorbing task
+    /// results, milliseconds (scheduling-dependent; sidecar telemetry
+    /// only, never the result JSONL).
+    pub fold_ms: f64,
     /// Per-shard aggregates, in shard order (one entry for unsharded runs).
     pub shard_summaries: Vec<ShardSummary>,
 }
@@ -823,6 +872,8 @@ impl SchemeResult {
     pub fn from_single(spec: SchemeSpec, run: RunResult) -> SchemeResult {
         let n_gw = run.gateway_online_s.len().max(1);
         let online = OnlineTimeHist::from_samples(&run.gateway_online_s, run.completion.cutoff());
+        let mut counters = run.counters;
+        counters.fold_absorptions = 1;
         SchemeResult {
             spec,
             sample_period_s: run.sample_period_s,
@@ -835,6 +886,8 @@ impl SchemeResult {
             online_time: vec![online],
             mean_wake_count: run.wake_counts.iter().sum::<u64>() as f64 / n_gw as f64,
             events: run.events,
+            counters,
+            fold_ms: 0.0,
             shard_summaries: Vec::new(),
         }
     }
@@ -876,6 +929,13 @@ pub struct TaskProgress {
     pub peak_heap: usize,
     /// Peak concurrently-active flow count of the finished task.
     pub peak_active_flows: usize,
+    /// World-build / stream-setup span of the task, milliseconds (0 for
+    /// prebuilt worlds; scheduling-dependent).
+    pub setup_ms: f64,
+    /// Event-loop span of the task, milliseconds (scheduling-dependent).
+    pub loop_ms: f64,
+    /// Deterministic work counters of the task's run.
+    pub counters: RunCounters,
 }
 
 /// Builds the scenario's trace and topology from the master seed. Shared
@@ -1264,27 +1324,31 @@ impl TaskWorlds<'_> {
     }
 
     /// Runs one `(repetition × shard)` task. Lazy shards are built here —
-    /// in the worker, streaming — and dropped on return.
+    /// in the worker, streaming — and dropped on return. Also returns the
+    /// world-build / stream-setup wall-clock in milliseconds (0 for
+    /// prebuilt worlds, where setup happened long before this task).
     fn run_task(
         &self,
         cfg: &ScenarioConfig,
         spec: SchemeSpec,
         shard: usize,
         rng: SimRng,
-    ) -> RunResult {
+    ) -> (RunResult, f64) {
         match self {
             TaskWorlds::Refs(rs) => {
                 let (trace, topo) = rs[shard];
-                run_single(cfg, spec, trace, topo, rng)
+                (run_single(cfg, spec, trace, topo, rng), 0.0)
             }
             TaskWorlds::World(w) => match &w.storage {
                 WorldStorage::Eager(shards) => {
                     let (trace, topo) = &shards[shard];
-                    run_single(cfg, spec, trace, topo, rng)
+                    (run_single(cfg, spec, trace, topo, rng), 0.0)
                 }
                 WorldStorage::Lazy { cfg: world_cfg, seed } => {
+                    let setup_start = std::time::Instant::now();
                     let (stream, topo) = build_world_shard_streaming(world_cfg, *seed, shard);
-                    run_single_streaming(cfg, spec, stream, &topo, rng)
+                    let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+                    (run_single_streaming(cfg, spec, stream, &topo, rng), setup_ms)
                 }
             },
         }
@@ -1370,6 +1434,8 @@ fn run_scheme_shards(
     let mut online_time = Vec::new();
     let mut wakes = 0.0;
     let mut events = 0u64;
+    let mut counters = RunCounters::default();
+    let mut fold_ms = 0.0f64;
 
     par_fold_indexed(
         n_tasks,
@@ -1381,7 +1447,9 @@ fn run_scheme_shards(
             } else {
                 master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
             };
-            let result = worlds_ref.run_task(cfg, spec, sh, rng);
+            let task_start = std::time::Instant::now();
+            let (result, setup_ms) = worlds_ref.run_task(cfg, spec, sh, rng);
+            let loop_ms = (task_start.elapsed().as_secs_f64() * 1e3 - setup_ms).max(0.0);
             // Report from the worker, at completion: heartbeats must keep
             // flowing even while the in-order folder waits on a slow
             // earlier task. Merge progress rides along as a snapshot.
@@ -1398,12 +1466,22 @@ fn run_scheme_shards(
                 events: result.events,
                 peak_heap: result.peak_heap,
                 peak_active_flows: result.peak_active_flows,
+                setup_ms,
+                loop_ms,
+                counters: result.counters,
             });
             result
         },
         |step, run| {
+            let fold_start = std::time::Instant::now();
             let (rep, sh) = (step.index / n_shards, step.index % n_shards);
             merged.store(step.index + 1, std::sync::atomic::Ordering::Relaxed);
+
+            // Counters merge order-invariantly (sums and maxes), so the
+            // total is byte-identical at any thread count even though the
+            // fold itself runs in task order.
+            counters.merge(&run.counters);
+            counters.fold_absorptions += 1;
 
             // Per-shard scalar summaries, accumulated in repetition order.
             let sa = &mut shard_acc[sh];
@@ -1439,6 +1517,7 @@ fn run_scheme_shards(
                 wakes += acc.wake_total as f64 / n_gateways as f64;
                 events += acc.events;
             }
+            fold_ms += fold_start.elapsed().as_secs_f64() * 1e3;
         },
     );
 
@@ -1475,6 +1554,8 @@ fn run_scheme_shards(
         online_time,
         mean_wake_count: wakes / k,
         events,
+        counters,
+        fold_ms,
         shard_summaries,
     }
 }

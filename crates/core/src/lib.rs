@@ -33,6 +33,7 @@ pub use driver::{
     ShardedWorld, TaskProgress,
 };
 pub use extrapolate::WorldModel;
+pub use insomnia_telemetry::RunCounters;
 pub use metrics::{
     completion_quantiles, completion_variation_cdf, fraction_affected, hourly_means,
     isp_share_percent_series, online_time_quantiles, online_time_variation_cdf,

@@ -297,6 +297,8 @@ mod tests {
                 .collect(),
             mean_wake_count: 0.0,
             events: 0,
+            counters: Default::default(),
+            fold_ms: 0.0,
             shard_summaries: Vec::new(),
         }
     }

@@ -19,9 +19,14 @@
 //! are index-addressed pure functions of `(config, seed, shard)`). JSONL
 //! output is streamed through a reorder buffer that releases lines
 //! strictly in job order, making the byte stream identical at 1 and N
-//! threads (asserted by `tests/scenarios.rs`). Wall-clock and event-count
-//! telemetry plus the shard-level heartbeat go to stderr, and never into
-//! the JSONL.
+//! threads (asserted by `tests/scenarios.rs`).
+//!
+//! Telemetry — wall-clock spans, deterministic work counters, the
+//! shard-level heartbeat — flows through [`Telemetry`] sinks and never
+//! into the result JSONL: the default bundle renders the classic stderr
+//! lines, `--telemetry FILE` adds a JSONL sidecar (manifest → per-task →
+//! per-job → phase table → summary; see `insomnia profile`), `--quiet`
+//! is an empty bundle.
 
 use crate::schemes::scheme_key;
 use insomnia_core::{
@@ -29,11 +34,15 @@ use insomnia_core::{
     ScenarioConfig, SchemeResult, SchemeSpec, ShardedWorld,
 };
 use insomnia_simcore::{SimError, SimResult, SimRng};
+use insomnia_telemetry::{
+    JobTelemetryRecord, ManifestRecord, ManifestScenario, PhaseAccum, RunCounters, SummaryRecord,
+    TaskRecord, Telemetry, TelemetryRecord, TELEMETRY_SCHEMA_VERSION,
+};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
 /// One expanded batch: named scenarios × schemes × seed indices.
@@ -222,14 +231,12 @@ impl Serialize for JobRecord {
     }
 }
 
-/// Per-job wall-clock and event-loop telemetry: written to stderr so slow
-/// scenarios/shards are visible, and deliberately kept out of the
-/// deterministic JSONL stream.
-#[derive(Debug, Clone, Copy)]
-struct JobTelemetry {
-    wall_ms: f64,
-    events: u64,
-    shards: usize,
+/// Wall-clock phase accumulators fed from worker threads as tasks finish.
+/// Scheduling-dependent by nature; frozen into sidecar `phase` records at
+/// the end of the batch, never the result JSONL.
+struct TaskPhases {
+    world_build: PhaseAccum,
+    event_loop: PhaseAccum,
 }
 
 /// Per (scenario, scheme) aggregate over seeds.
@@ -334,12 +341,46 @@ pub fn job_seed(scenario_seed: u64, seed_index: usize) -> u64 {
 }
 
 /// Runs the batch, streaming one JSON line per job (in job order) into
-/// `out`, and returns all records plus the aggregated summary.
+/// `out`, and returns all records plus the aggregated summary. Telemetry
+/// goes to the default stderr renderer (the classic heartbeat/job lines);
+/// use [`run_batch_telemetry`] to pick sinks.
 pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSummary> {
+    run_batch_telemetry(batch, out, &Telemetry::stderr())
+}
+
+/// [`run_batch`] with an explicit telemetry bundle: every run record —
+/// manifest, per-task heartbeats, per-job lines, the phase-span table and
+/// the final summary — is emitted through `tel`'s sinks. The result JSONL
+/// written to `out` is byte-identical whatever the bundle (telemetry can
+/// observe the run but never affect it).
+pub fn run_batch_telemetry<W: Write>(
+    batch: &BatchRun,
+    out: &mut W,
+    tel: &Telemetry,
+) -> SimResult<BatchSummary> {
     batch.validate()?;
+    let wall_start = Instant::now();
     let n_jobs = batch.n_jobs();
     let threads = batch.job_threads().min(n_jobs.max(1));
     let threads_per_job = batch.threads_per_job();
+
+    tel.emit(&TelemetryRecord::Manifest(ManifestRecord {
+        version: TELEMETRY_SCHEMA_VERSION,
+        scenarios: batch
+            .scenarios
+            .iter()
+            .map(|(name, cfg)| ManifestScenario {
+                name: name.clone(),
+                shards: cfg.shards.max(1),
+                repetitions: cfg.repetitions,
+                n_clients: cfg.trace.n_clients,
+            })
+            .collect(),
+        schemes: batch.schemes.iter().map(|&s| scheme_key(s)).collect(),
+        seeds: batch.seeds,
+        threads: batch.thread_budget(),
+        jobs: n_jobs,
+    }));
 
     // Phase 1: one *lazy* sharded world per (scenario, seed), shared by
     // that pair's scheme jobs — exactly like the paper shares one trace
@@ -348,10 +389,22 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
     // drops it on completion, keeping peak RSS at O(threads × shard).
     let worlds = build_worlds(batch);
 
+    // Task-level phase spans accumulate from worker threads as tasks
+    // finish (world-build = per-task stream setup, event-loop = the run
+    // proper); fold and write spans accumulate on the collector.
+    let phases = Mutex::new(TaskPhases {
+        world_build: PhaseAccum::new("world-build"),
+        event_loop: PhaseAccum::new("event-loop"),
+    });
+    let mut fold_phase = PhaseAccum::new("shard-fold");
+    let mut write_phase = PhaseAccum::new("jsonl-write");
+    let mut counters = RunCounters::default();
+    let mut tasks_total = 0u64;
+
     // Phase 2: the scheme jobs. Workers send finished records through a
     // channel; the collector releases JSONL lines strictly in job order,
-    // then prints the job's telemetry to stderr.
-    let (tx, rx) = mpsc::channel::<(usize, (JobRecord, JobTelemetry))>();
+    // then emits the job's telemetry record.
+    let (tx, rx) = mpsc::channel::<(usize, (JobRecord, JobTelemetryRecord))>();
     let cursor = AtomicUsize::new(0);
     let mut records: Vec<Option<JobRecord>> = Vec::new();
     records.resize_with(n_jobs, || None);
@@ -361,12 +414,13 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
             let tx = tx.clone();
             let cursor = &cursor;
             let worlds = &worlds;
+            let phases = &phases;
             scope.spawn(move || loop {
                 let j = cursor.fetch_add(1, Ordering::Relaxed);
                 if j >= n_jobs {
                     break;
                 }
-                let rec = run_job(batch, worlds, j, threads_per_job);
+                let rec = run_job(batch, worlds, j, threads_per_job, tel, phases);
                 if tx.send((j, rec)).is_err() {
                     break;
                 }
@@ -375,30 +429,48 @@ pub fn run_batch<W: Write>(batch: &BatchRun, out: &mut W) -> SimResult<BatchSumm
         drop(tx);
 
         // Reorder buffer: write line `k` only once lines `0..k` are out.
-        let mut pending: BTreeMap<usize, (JobRecord, JobTelemetry)> = BTreeMap::new();
+        let mut pending: BTreeMap<usize, (JobRecord, JobTelemetryRecord)> = BTreeMap::new();
         let mut next = 0usize;
         for (j, rec) in rx {
             pending.insert(j, rec);
             while let Some((rec, telemetry)) = pending.remove(&next) {
+                let write_start = Instant::now();
                 let line = serde_json::to_string(&rec)
                     .map_err(|e| SimError::InvalidInput(format!("serialize record: {e}")))?;
                 writeln!(out, "{line}")
                     .map_err(|e| SimError::InvalidInput(format!("write JSONL: {e}")))?;
-                eprintln!(
-                    "# job {next}: {}/{} seed {} — {:.0} ms, {} events, {} shard(s)",
-                    rec.scenario,
-                    rec.scheme,
-                    rec.seed_index,
-                    telemetry.wall_ms,
-                    telemetry.events,
-                    telemetry.shards,
-                );
+                write_phase.add(write_start.elapsed().as_secs_f64() * 1_000.0);
+                // Jobs release in job order, so the counter merge order is
+                // fixed — though merge() is order-invariant anyway.
+                counters.merge(&telemetry.counters);
+                fold_phase.add(telemetry.fold_ms);
+                tel.emit(&TelemetryRecord::Job(telemetry));
                 records[next] = Some(rec);
                 next += 1;
             }
         }
         Ok(())
     })?;
+
+    // Freeze the phase table and the run summary.
+    let TaskPhases { world_build, event_loop } = phases.into_inner().expect("phase lock");
+    tasks_total += event_loop.tasks();
+    let mut config_phase = PhaseAccum::new("config");
+    config_phase.add(tel.config_ms);
+    for phase in [&config_phase, &world_build, &event_loop, &fold_phase, &write_phase] {
+        tel.emit(&TelemetryRecord::Phase(phase.record()));
+    }
+    tel.emit(&TelemetryRecord::Summary(SummaryRecord {
+        // Attribute the caller's config span to the run's wall-clock too,
+        // so `insomnia profile` shares sum against the right total.
+        wall_ms: tel.config_ms + wall_start.elapsed().as_secs_f64() * 1_000.0,
+        jobs: n_jobs,
+        tasks: tasks_total,
+        events: counters.delivered(),
+        flows: counters.flows_total,
+        peak_rss_mib: crate::rss::peak_rss_mib(),
+        counters,
+    }));
 
     let records: Vec<JobRecord> =
         records.into_iter().map(|r| r.expect("all jobs completed")).collect();
@@ -428,7 +500,9 @@ fn run_job(
     worlds: &[ShardedWorld],
     j: usize,
     max_threads: usize,
-) -> (JobRecord, JobTelemetry) {
+    tel: &Telemetry,
+    phases: &Mutex<TaskPhases>,
+) -> (JobRecord, JobTelemetryRecord) {
     let per_scenario = batch.schemes.len() * batch.seeds;
     let si = j / per_scenario;
     let rem = j % per_scenario;
@@ -439,48 +513,50 @@ fn run_job(
     let world = &worlds[si * batch.seeds + ki];
     let seed = job_seed(cfg.seed, ki);
     let started = Instant::now();
-    // Shard-level heartbeat for hour-long sharded jobs: one stderr line
-    // per finished (repetition × shard) event loop, straight from the
-    // worker thread (so one slow early shard never silences progress),
-    // carrying merge progress alongside (`merged shards: k/n` + the
-    // folder-queue depth — how far completion ran ahead of the
-    // deterministic in-order merge) and the task's peak-heap /
-    // peak-active-flow telemetry (the live witness that the scheduler
-    // stays O(active)). Each line is formatted up front and written as
-    // one `write_all` + explicit flush under the stderr lock, so lines
-    // from concurrent workers never interleave at high thread counts.
-    // Unsharded jobs stay silent; the JSONL is untouched.
+    // Shard-level task reports, straight from the worker thread the
+    // moment each (repetition × shard) event loop drains (so one slow
+    // early shard never silences progress), carrying merge progress
+    // (`merged shards: k/n` + the folder-queue depth — how far completion
+    // ran ahead of the deterministic in-order merge), the task's phase
+    // timings and its deterministic counters. The human sink renders the
+    // classic heartbeat for sharded jobs only; the sidecar records every
+    // task. The result JSONL is untouched either way.
     let scheme = scheme_key(spec);
     let observe = move |p: insomnia_core::TaskProgress| {
-        if p.n_shards > 1 {
-            let line = format!(
-                "# shard {}/{} seed {}: rep {} shard {}/{} done ({}/{} tasks, merged shards: \
-                 {}/{}, fold queue {}, {} events, peak heap {}, peak active {})\n",
-                name,
-                scheme,
-                ki,
-                p.rep,
-                p.shard,
-                p.n_shards,
-                p.finished,
-                p.total,
-                p.merged,
-                p.total,
-                p.fold_queue,
-                p.events,
-                p.peak_heap,
-                p.peak_active_flows,
-            );
-            let mut err = std::io::stderr().lock();
-            let _ = err.write_all(line.as_bytes());
-            let _ = err.flush();
+        {
+            let mut ph = phases.lock().expect("phase lock");
+            if p.setup_ms > 0.0 {
+                ph.world_build.add(p.setup_ms);
+            }
+            ph.event_loop.add(p.loop_ms);
         }
+        tel.emit(&TelemetryRecord::Task(TaskRecord {
+            job: j,
+            scenario: name.clone(),
+            scheme: scheme.clone(),
+            seed_index: ki,
+            rep: p.rep,
+            shard: p.shard,
+            n_shards: p.n_shards,
+            setup_ms: p.setup_ms,
+            loop_ms: p.loop_ms,
+            finished: p.finished,
+            total: p.total,
+            merged: p.merged,
+            fold_queue: p.fold_queue,
+            counters: p.counters,
+        }));
     };
     let result = run_scheme_sharded_observed(cfg, spec, world, seed, max_threads, &observe);
-    let telemetry = JobTelemetry {
+    let telemetry = JobTelemetryRecord {
+        job: j,
+        scenario: name.clone(),
+        scheme: scheme_key(spec),
+        seed_index: ki,
         wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
-        events: result.events,
+        fold_ms: result.fold_ms,
         shards: world.n_shards(),
+        counters: result.counters,
     };
     (make_record(name, cfg, spec, ki, seed, world, &result), telemetry)
 }

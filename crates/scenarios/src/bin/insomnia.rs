@@ -8,12 +8,13 @@
 //! ```
 
 use insomnia_scenarios::{
-    check_rss_budget, compare_jsonl, parse_scheme_list, peak_rss_mib, run_batch, BatchRun,
-    Registry, ScenarioSpec,
+    check_rss_budget, compare_jsonl, parse_scheme_list, peak_rss_mib, run_batch_telemetry,
+    BatchRun, ProfileReport, Registry, ScenarioSpec, Telemetry,
 };
 use insomnia_simcore::{SimError, SimResult};
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 insomnia — scenario orchestration for the Insomnia in the Access reproduction
@@ -28,12 +29,15 @@ USAGE:
     insomnia run [--scenario NAME[,NAME...]] [--spec FILE]
                  --schemes KEY[,KEY...] [--seeds N] [--threads N]
                  [--shards N] [--out FILE] [--set dotted.key=value]...
-                 [--quick] [--max-rss-mib N]
+                 [--quick] [--max-rss-mib N] [--telemetry FILE] [--quiet]
         Expand the (scenario x scheme x seed) matrix, run it in parallel,
         stream one JSON line per job (stdout, or FILE with --out) and print
         the aggregated summary table. Per-job wall-clock and event-count
         telemetry plus a shard-level progress heartbeat for sharded worlds
-        go to stderr, never into the JSONL.
+        go to stderr, never into the JSONL. --telemetry additionally writes
+        a structured sidecar (one JSON record per line: manifest, task, job,
+        phase, summary) for `insomnia profile`; --quiet suppresses the
+        stderr heartbeat/telemetry lines without touching the result JSONL.
 
     insomnia sweep --param dotted.key --values V1,V2,...
                  [--scenario NAME] [--spec FILE]
@@ -44,6 +48,13 @@ USAGE:
         Diff two batch outputs record-by-record with a per-metric relative
         tolerance (default 0 = byte-equivalent numbers). Exits non-zero on
         any difference: the regression gate for algorithm changes.
+
+    insomnia profile <SIDECAR> [--counters]
+        Render a telemetry sidecar (from run --telemetry) as a phase
+        breakdown: wall-clock share per phase, events/s and flows/s,
+        per-task spread, and the deterministic counter taxonomy. With
+        --counters, print only the thread-count-invariant counter totals
+        as one JSON line (the CI drift-gate payload).
 
 SCHEME KEYS:
     no-sleep  soi  soi+k  soi+full  bh2  bh2-nb  bh2+full  optimal
@@ -59,6 +70,11 @@ OPTIONS:
     --max-rss-mib N  fail the run if peak resident memory (VmHWM from
                    /proc/self/status) exceeds N MiB — the CI memory gate
                    for streaming-quantile scenarios like mega-city
+    --telemetry FILE  write a structured JSONL telemetry sidecar to FILE
+                   (never mixed into the result JSONL)
+    --quiet        suppress the stderr heartbeat/telemetry lines; results,
+                   sidecars and exit codes are unchanged
+    --counters     profile: print only the deterministic counter totals
     --tol REL      compare: per-metric relative tolerance   [default: 0]
 ";
 
@@ -80,6 +96,7 @@ fn dispatch(args: &[String]) -> SimResult<()> {
         Some("run") => cmd_run(&args[1..], None),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -202,6 +219,9 @@ fn cmd_show(args: &[String]) -> SimResult<()> {
 }
 
 fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
+    // The config phase starts here: flag parsing, spec resolution and
+    // world configs, up to the moment the batch runner takes over.
+    let config_start = Instant::now();
     let flags = Flags::parse(
         args,
         &[
@@ -216,8 +236,9 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
             "param",
             "values",
             "max-rss-mib",
+            "telemetry",
         ],
-        &["quick"],
+        &["quick", "quiet"],
     )?;
     if sweep.is_none() && (flags.get("param").is_some() || flags.get("values").is_some()) {
         return Err(SimError::InvalidInput(
@@ -282,14 +303,24 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
         seeds: flags.get_usize("seeds", 1)?,
         threads: flags.get_usize("threads", 0)?,
     };
-    eprintln!(
-        "running {} jobs ({} scenarios x {} schemes x {} seeds) on {} threads...",
-        batch.n_jobs(),
-        batch.scenarios.len(),
-        batch.schemes.len(),
-        batch.seeds,
-        if batch.threads == 0 { "all".to_string() } else { batch.threads.to_string() },
-    );
+    let quiet = flags.has("quiet");
+    let mut tel = if quiet { Telemetry::quiet() } else { Telemetry::stderr() };
+    if let Some(path) = flags.get("telemetry") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| SimError::InvalidInput(format!("create {path}: {e}")))?;
+        tel = tel.with_jsonl(Box::new(std::io::BufWriter::new(file)));
+    }
+    if !quiet {
+        eprintln!(
+            "running {} jobs ({} scenarios x {} schemes x {} seeds) on {} threads...",
+            batch.n_jobs(),
+            batch.scenarios.len(),
+            batch.schemes.len(),
+            batch.seeds,
+            if batch.threads == 0 { "all".to_string() } else { batch.threads.to_string() },
+        );
+    }
+    tel.config_ms = config_start.elapsed().as_secs_f64() * 1e3;
 
     let summary = match flags.get("out") {
         Some(path) => {
@@ -297,35 +328,71 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
                 std::fs::File::create(path)
                     .map_err(|e| SimError::InvalidInput(format!("create {path}: {e}")))?,
             );
-            let s = run_batch(&batch, &mut file)?;
+            let s = run_batch_telemetry(&batch, &mut file, &tel)?;
             file.flush().map_err(|e| SimError::InvalidInput(format!("flush {path}: {e}")))?;
-            eprintln!("wrote {} records to {path}", s.records.len());
+            if !quiet {
+                eprintln!("wrote {} records to {path}", s.records.len());
+            }
             s
         }
         None => {
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            let s = run_batch(&batch, &mut lock)?;
+            let s = run_batch_telemetry(&batch, &mut lock, &tel)?;
             lock.flush().ok();
             s
         }
     };
-    eprint!("\n{}", summary.table());
+    if !quiet {
+        eprint!("\n{}", summary.table());
+    }
     match flags.get("max-rss-mib") {
         Some(v) => {
             let budget: f64 = v.parse().map_err(|_| {
                 SimError::InvalidInput(format!("--max-rss-mib expects MiB, got `{v}`"))
             })?;
+            // The budget stays enforced under --quiet; only the OK-path
+            // chatter is suppressed.
             match check_rss_budget(budget)? {
-                Some(peak) => eprintln!("# peak RSS {peak:.0} MiB (budget {budget:.0} MiB)"),
-                None => eprintln!("# peak RSS unavailable on this platform; budget not enforced"),
+                Some(peak) if !quiet => {
+                    eprintln!("# peak RSS {peak:.0} MiB (budget {budget:.0} MiB)")
+                }
+                Some(_) => {}
+                None if !quiet => {
+                    eprintln!("# peak RSS unavailable on this platform; budget not enforced")
+                }
+                None => {}
             }
         }
         None => {
-            if let Some(peak) = peak_rss_mib() {
-                eprintln!("# peak RSS {peak:.0} MiB");
+            if !quiet {
+                if let Some(peak) = peak_rss_mib() {
+                    eprintln!("# peak RSS {peak:.0} MiB");
+                }
             }
         }
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> SimResult<()> {
+    let flags = Flags::parse(args, &[], &["counters"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(SimError::InvalidInput(
+            "profile needs exactly one telemetry sidecar: insomnia profile run.telemetry.jsonl"
+                .into(),
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::InvalidInput(format!("read {path}: {e}")))?;
+    let report = ProfileReport::from_jsonl(&text).map_err(SimError::InvalidInput)?;
+    if flags.has("counters") {
+        let totals = report.counter_totals().map_err(SimError::InvalidInput)?;
+        let line = serde_json::to_string(&totals)
+            .map_err(|e| SimError::InvalidInput(format!("serialize counter totals: {e}")))?;
+        println!("{line}");
+    } else {
+        print!("{}", report.render());
     }
     Ok(())
 }
@@ -373,8 +440,9 @@ fn cmd_sweep(args: &[String]) -> SimResult<()> {
             "param",
             "values",
             "max-rss-mib",
+            "telemetry",
         ],
-        &["quick"],
+        &["quick", "quiet"],
     )?;
     let param = flags
         .get("param")

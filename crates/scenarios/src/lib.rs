@@ -39,10 +39,11 @@ pub mod schemes;
 pub mod spec;
 
 pub use batch::{
-    run_batch, BatchRun, BatchSummary, JobRecord, OnlineRecord, QuantileRecord, ShardRecord,
-    SummaryRow,
+    run_batch, run_batch_telemetry, BatchRun, BatchSummary, JobRecord, OnlineRecord,
+    QuantileRecord, ShardRecord, SummaryRow,
 };
 pub use compare::{compare_jsonl, CompareReport, MetricDiff};
+pub use insomnia_telemetry::{ProfileReport, Telemetry};
 pub use registry::{Preset, Registry};
 pub use rss::{check_rss_budget, peak_rss_mib};
 pub use schemes::{parse_scheme, parse_scheme_list, scheme_key};

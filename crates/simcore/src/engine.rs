@@ -15,6 +15,8 @@ pub struct Scheduler<E> {
     queue: EventQueue<E>,
     now: SimTime,
     delivered: u64,
+    scheduled: u64,
+    cancelled: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -26,7 +28,13 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates a scheduler with the clock at time zero.
     pub fn new() -> Self {
-        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, delivered: 0 }
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            delivered: 0,
+            scheduled: 0,
+            cancelled: 0,
+        }
     }
 
     /// Current simulation time.
@@ -37,6 +45,20 @@ impl<E> Scheduler<E> {
     /// Total number of events delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Total number of events ever pushed onto the heap (delivered,
+    /// cancelled and still-pending alike). A pure function of the delivered
+    /// sequence, so it is safe to report in deterministic telemetry.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total number of [`cancel`](Scheduler::cancel) calls. Cancellation is
+    /// lazy in the queue, but callers only cancel tokens they still hold,
+    /// so this equals the number of events removed before delivery.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
     }
 
     /// Number of pending events.
@@ -52,11 +74,13 @@ impl<E> Scheduler<E> {
     /// programming error worth failing loudly on.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
         assert!(at >= self.now, "scheduled event at {at} before current time {}", self.now);
+        self.scheduled += 1;
         self.queue.push(at, event)
     }
 
     /// Schedules `event` after a relative delay from now.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.scheduled += 1;
         self.queue.push(self.now + delay, event)
     }
 
@@ -73,11 +97,13 @@ impl<E> Scheduler<E> {
     /// [`schedule_after`]: Scheduler::schedule_after
     pub fn schedule_front(&mut self, at: SimTime, event: E) -> EventToken {
         assert!(at >= self.now, "scheduled event at {at} before current time {}", self.now);
+        self.scheduled += 1;
         self.queue.push_front(at, event)
     }
 
     /// Cancels a pending event (no-op if already delivered/cancelled).
     pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled += 1;
         self.queue.cancel(token);
     }
 
@@ -198,5 +224,22 @@ mod tests {
         let mut seen = Vec::new();
         s.run_until(&mut seen, SimTime::from_hours(1), |_, seen, _, n| seen.push(n));
         assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn scheduled_and_cancelled_counters_track_every_lane() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_after(SimDuration::from_secs(2), 2);
+        let tok = s.schedule_front(SimTime::from_secs(3), 3);
+        assert_eq!(s.scheduled(), 3);
+        assert_eq!(s.cancelled(), 0);
+        s.cancel(tok);
+        assert_eq!(s.cancelled(), 1);
+        let mut world = ();
+        s.run_until(&mut world, SimTime::from_hours(1), |_, _, _, _| {});
+        assert_eq!(s.delivered(), 2);
+        // scheduled = delivered + cancelled + pending-at-horizon (0 here).
+        assert_eq!(s.scheduled(), s.delivered() + s.cancelled());
     }
 }

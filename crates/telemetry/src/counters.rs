@@ -1,0 +1,154 @@
+//! Deterministic work counters of one simulation run.
+//!
+//! Every field is a pure function of the event loop's delivered sequence —
+//! never of wall-clock, thread count or completion order — so counters from
+//! independent `(repetition × shard)` tasks can be [`RunCounters::merge`]d
+//! in any order and still produce byte-identical totals (sums are
+//! commutative, peaks take the max). `tests/determinism.rs` pins the
+//! invariance at 1 vs 8 threads.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic counters of one run (or an order-invariant merge of many).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// Trace-arrival events delivered.
+    pub arrivals: u64,
+    /// Flow-departure events delivered.
+    pub departures: u64,
+    /// Gateway wake-completion events delivered.
+    pub wake_dones: u64,
+    /// SoI idle-check events delivered.
+    pub idle_checks: u64,
+    /// BH2 per-terminal decision epochs delivered.
+    pub bh2_ticks: u64,
+    /// Optimal re-solves (one ILP solve per delivered `OptimalTick`).
+    pub optimal_solves: u64,
+    /// Metric-sampler events delivered.
+    pub samples: u64,
+    /// Departure events cancelled by gateway resyncs (superseded timers).
+    pub cancelled_departures: u64,
+    /// Idle-check events cancelled by re-arms.
+    pub cancelled_idle_checks: u64,
+    /// Events pushed onto the scheduler heap (delivered + cancelled +
+    /// still pending at the horizon).
+    pub heap_pushes: u64,
+    /// Peak scheduler-heap occupancy at any delivery (max over merges).
+    pub peak_heap: u64,
+    /// Flows the arrival source would yield over the whole day.
+    pub flows_total: u64,
+    /// Flows that completed by the horizon.
+    pub flows_completed: u64,
+    /// Peak concurrently-active (arrived, not completed) flows (max over
+    /// merges).
+    pub peak_active_flows: u64,
+    /// Streaming-generator cursor refills (one lazy burst regeneration per
+    /// refill; 0 on the materialized-trace path).
+    pub stream_refills: u64,
+    /// K-way-merge heap pops of the streaming generator (one per yielded
+    /// flow; 0 on the materialized-trace path).
+    pub merge_pops: u64,
+    /// `(repetition × shard)` task results absorbed by the deterministic
+    /// in-order folder (1 for a bare single run).
+    pub fold_absorptions: u64,
+}
+
+impl RunCounters {
+    /// Total events delivered, summed over kinds.
+    pub fn delivered(&self) -> u64 {
+        self.arrivals
+            + self.departures
+            + self.wake_dones
+            + self.idle_checks
+            + self.bh2_ticks
+            + self.optimal_solves
+            + self.samples
+    }
+
+    /// Total events cancelled, summed over kinds.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled_departures + self.cancelled_idle_checks
+    }
+
+    /// Absorbs another task's counters: sums everywhere, maxes on the two
+    /// peak fields. Commutative and associative, so the merged total is
+    /// independent of fold order and thread count.
+    pub fn merge(&mut self, other: &RunCounters) {
+        self.arrivals += other.arrivals;
+        self.departures += other.departures;
+        self.wake_dones += other.wake_dones;
+        self.idle_checks += other.idle_checks;
+        self.bh2_ticks += other.bh2_ticks;
+        self.optimal_solves += other.optimal_solves;
+        self.samples += other.samples;
+        self.cancelled_departures += other.cancelled_departures;
+        self.cancelled_idle_checks += other.cancelled_idle_checks;
+        self.heap_pushes += other.heap_pushes;
+        self.peak_heap = self.peak_heap.max(other.peak_heap);
+        self.flows_total += other.flows_total;
+        self.flows_completed += other.flows_completed;
+        self.peak_active_flows = self.peak_active_flows.max(other.peak_active_flows);
+        self.stream_refills += other.stream_refills;
+        self.merge_pops += other.merge_pops;
+        self.fold_absorptions += other.fold_absorptions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(k: u64) -> RunCounters {
+        RunCounters {
+            arrivals: k,
+            departures: 2 * k,
+            wake_dones: k / 2,
+            idle_checks: 3 * k,
+            bh2_ticks: k + 1,
+            optimal_solves: k % 3,
+            samples: 7,
+            cancelled_departures: k / 4,
+            cancelled_idle_checks: k / 5,
+            heap_pushes: 9 * k,
+            peak_heap: 100 + k,
+            flows_total: k,
+            flows_completed: k.saturating_sub(1),
+            peak_active_flows: 50 + (k % 17),
+            stream_refills: k,
+            merge_pops: k,
+            fold_absorptions: 1,
+        }
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let parts: Vec<RunCounters> = (1..20).map(sample).collect();
+        let mut fwd = RunCounters::default();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut bwd = RunCounters::default();
+        for p in parts.iter().rev() {
+            bwd.merge(p);
+        }
+        assert_eq!(fwd, bwd);
+        assert_eq!(fwd.fold_absorptions, 19);
+        assert_eq!(fwd.peak_heap, 119);
+    }
+
+    #[test]
+    fn delivered_and_cancelled_sum_the_kinds() {
+        let c = sample(10);
+        assert_eq!(c.delivered(), 10 + 20 + 5 + 30 + 11 + 1 + 7);
+        assert_eq!(c.cancelled(), 2 + 2);
+    }
+
+    #[test]
+    fn serializes_to_a_stable_key_order() {
+        let json = serde_json::to_string(&sample(3)).unwrap();
+        assert!(json.starts_with("{\"arrivals\":3,"), "{json}");
+        assert!(json.contains("\"fold_absorptions\":1"));
+        let back: RunCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample(3));
+    }
+}

@@ -1,0 +1,355 @@
+//! The `insomnia profile` backend: parse a telemetry sidecar, render the
+//! phase-breakdown table, and expose the deterministic counter totals the
+//! CI drift gate compares.
+
+use crate::counters::RunCounters;
+use crate::record::{
+    JobTelemetryRecord, ManifestRecord, PhaseRecord, SummaryRecord, TelemetryRecord,
+};
+use serde::{Deserialize, Serialize};
+
+/// The deterministic subset of a sidecar's summary: everything here is
+/// byte-identical at any thread count, which is what lets CI `cmp` the
+/// serialized form against a committed golden file while wall-clock and
+/// RSS vary freely run to run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterTotals {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// `(repetition × shard)` tasks completed.
+    pub tasks: u64,
+    /// Events delivered over the whole batch.
+    pub events: u64,
+    /// Trace flows over the whole batch.
+    pub flows: u64,
+    /// Merged counters.
+    pub counters: RunCounters,
+}
+
+/// A parsed sidecar, reduced to what the profile table renders.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// The run manifest, when the sidecar has one.
+    pub manifest: Option<ManifestRecord>,
+    /// Phase spans, in sidecar order.
+    pub phases: Vec<PhaseRecord>,
+    /// Per-job records, in sidecar order.
+    pub jobs: Vec<JobTelemetryRecord>,
+    /// The run summary, when the sidecar has one.
+    pub summary: Option<SummaryRecord>,
+    /// Task records seen (individual records are folded, not retained).
+    pub n_tasks: u64,
+    /// Smallest per-task event count (0 when no tasks).
+    pub task_events_min: u64,
+    /// Largest per-task event count.
+    pub task_events_max: u64,
+    /// Events summed over task records (mean = sum / n_tasks).
+    task_events_sum: u64,
+}
+
+impl ProfileReport {
+    /// Parses a sidecar's JSONL text. Unknown record types are an error
+    /// (the schema is versioned); blank lines are skipped.
+    pub fn from_jsonl(text: &str) -> Result<ProfileReport, String> {
+        let mut report = ProfileReport {
+            manifest: None,
+            phases: Vec::new(),
+            jobs: Vec::new(),
+            summary: None,
+            n_tasks: 0,
+            task_events_min: u64::MAX,
+            task_events_max: 0,
+            task_events_sum: 0,
+        };
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TelemetryRecord =
+                serde_json::from_str(line).map_err(|e| format!("telemetry line {}: {e}", i + 1))?;
+            match rec {
+                TelemetryRecord::Manifest(m) => report.manifest = Some(m),
+                TelemetryRecord::Task(t) => {
+                    let ev = t.counters.delivered();
+                    report.n_tasks += 1;
+                    report.task_events_min = report.task_events_min.min(ev);
+                    report.task_events_max = report.task_events_max.max(ev);
+                    report.task_events_sum += ev;
+                }
+                TelemetryRecord::Job(j) => report.jobs.push(j),
+                TelemetryRecord::Phase(p) => report.phases.push(p),
+                TelemetryRecord::Summary(s) => report.summary = Some(s),
+            }
+        }
+        if report.n_tasks == 0 {
+            report.task_events_min = 0;
+        }
+        if report.summary.is_none() && report.jobs.is_empty() && report.phases.is_empty() {
+            return Err(
+                "no telemetry records found (is this a result JSONL, not a sidecar?)".to_string()
+            );
+        }
+        Ok(report)
+    }
+
+    /// The deterministic counter totals (the CI drift gate's payload).
+    pub fn counter_totals(&self) -> Result<CounterTotals, String> {
+        let s = self.summary.as_ref().ok_or("sidecar has no summary record")?;
+        Ok(CounterTotals {
+            jobs: s.jobs,
+            tasks: s.tasks,
+            events: s.events,
+            flows: s.flows,
+            counters: s.counters,
+        })
+    }
+
+    /// Fraction of the run's wall-clock attributed to named phase spans
+    /// (`None` without a summary). Can exceed 1 when phases overlap across
+    /// worker threads — busy time is summed per task, wall-clock is not.
+    pub fn attributed_fraction(&self) -> Option<f64> {
+        let wall = self.summary.as_ref()?.wall_ms;
+        if wall <= 0.0 {
+            return None;
+        }
+        Some(self.phases.iter().map(|p| p.busy_ms).sum::<f64>() / wall)
+    }
+
+    /// Renders the profile: manifest header, phase-breakdown table
+    /// (busy share of wall-clock, events/s and flows/s, per-task spread),
+    /// per-task event spread, and the deterministic counter taxonomy.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== run\n");
+        if let Some(m) = &self.manifest {
+            let scenarios: Vec<String> = m
+                .scenarios
+                .iter()
+                .map(|s| format!("{} ({} shards x {} reps)", s.name, s.shards, s.repetitions))
+                .collect();
+            out.push_str(&format!(
+                "scenarios: {}; schemes: {}; seeds {}; threads {}; jobs {}\n",
+                scenarios.join(", "),
+                m.schemes.join(","),
+                m.seeds,
+                m.threads,
+                m.jobs,
+            ));
+        }
+        if let Some(s) = &self.summary {
+            let rss = match s.peak_rss_mib {
+                Some(mib) => format!("{mib:.0} MiB"),
+                None => "n/a".to_string(),
+            };
+            out.push_str(&format!(
+                "wall-clock {:.1} s; peak RSS {}; {} events; {} flows; {} job(s), {} task(s)\n",
+                s.wall_ms / 1_000.0,
+                rss,
+                s.events,
+                s.flows,
+                s.jobs,
+                s.tasks,
+            ));
+        }
+
+        out.push_str("\n== phases\n");
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>7} {:>12} {:>12} {:>7}  {}\n",
+            "phase", "busy [s]", "share", "events/s", "flows/s", "tasks", "task ms min/mean/max"
+        ));
+        let wall = self.summary.as_ref().map(|s| s.wall_ms).unwrap_or(0.0);
+        let (events, flows) =
+            self.summary.as_ref().map(|s| (s.events as f64, s.flows as f64)).unwrap_or((0.0, 0.0));
+        for p in &self.phases {
+            let busy_s = p.busy_ms / 1_000.0;
+            let share = if wall > 0.0 {
+                format!("{:.1}%", 100.0 * p.busy_ms / wall)
+            } else {
+                "-".to_string()
+            };
+            // Rates only where the phase does that work: the event loop
+            // delivers events over arrived flows; world-build generates
+            // the flows (stream setup replays every burst draw).
+            let rate = |total: f64| {
+                if busy_s > 0.0 && total > 0.0 {
+                    format!("{:.0}", total / busy_s)
+                } else {
+                    "-".to_string()
+                }
+            };
+            let (ev_rate, fl_rate) = match p.phase.as_str() {
+                "event-loop" => (rate(events), rate(flows)),
+                "world-build" => ("-".to_string(), rate(flows)),
+                _ => ("-".to_string(), "-".to_string()),
+            };
+            let spread = if p.tasks == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}/{:.1}/{:.1}", p.task_ms_min, p.task_ms_mean, p.task_ms_max)
+            };
+            out.push_str(&format!(
+                "{:<12} {:>10.2} {:>7} {:>12} {:>12} {:>7}  {}\n",
+                p.phase, busy_s, share, ev_rate, fl_rate, p.tasks, spread
+            ));
+        }
+        if let Some(frac) = self.attributed_fraction() {
+            out.push_str(&format!(
+                "attributed: {:.1}% of {:.1} s wall-clock in named phases\n",
+                100.0 * frac,
+                wall / 1_000.0,
+            ));
+        }
+
+        if let Some(mean) = self.task_events_sum.checked_div(self.n_tasks) {
+            out.push_str(&format!(
+                "\n== per-task spread\nevents per task min/mean/max: {}/{}/{}\n",
+                self.task_events_min, mean, self.task_events_max,
+            ));
+        }
+
+        if let Some(s) = &self.summary {
+            out.push_str("\n== deterministic counters\n");
+            let c = &s.counters;
+            let rows: [(&str, u64); 17] = [
+                ("arrivals", c.arrivals),
+                ("departures", c.departures),
+                ("wake_dones", c.wake_dones),
+                ("idle_checks", c.idle_checks),
+                ("bh2_ticks", c.bh2_ticks),
+                ("optimal_solves", c.optimal_solves),
+                ("samples", c.samples),
+                ("cancelled_departures", c.cancelled_departures),
+                ("cancelled_idle_checks", c.cancelled_idle_checks),
+                ("heap_pushes", c.heap_pushes),
+                ("peak_heap", c.peak_heap),
+                ("flows_total", c.flows_total),
+                ("flows_completed", c.flows_completed),
+                ("peak_active_flows", c.peak_active_flows),
+                ("stream_refills", c.stream_refills),
+                ("merge_pops", c.merge_pops),
+                ("fold_absorptions", c.fold_absorptions),
+            ];
+            for (name, v) in rows {
+                out.push_str(&format!("{name:<22} {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ManifestScenario, TaskRecord};
+
+    fn sidecar() -> String {
+        let counters = RunCounters {
+            arrivals: 100,
+            departures: 100,
+            samples: 10,
+            flows_total: 120,
+            flows_completed: 100,
+            peak_heap: 9,
+            peak_active_flows: 5,
+            fold_absorptions: 2,
+            ..RunCounters::default()
+        };
+        let recs = vec![
+            TelemetryRecord::Manifest(ManifestRecord {
+                version: 1,
+                scenarios: vec![ManifestScenario {
+                    name: "smoke".into(),
+                    shards: 2,
+                    repetitions: 1,
+                    n_clients: 272,
+                }],
+                schemes: vec!["soi".into()],
+                seeds: 1,
+                threads: 1,
+                jobs: 1,
+            }),
+            TelemetryRecord::Task(TaskRecord {
+                job: 0,
+                scenario: "smoke".into(),
+                scheme: "soi".into(),
+                seed_index: 0,
+                rep: 0,
+                shard: 0,
+                n_shards: 2,
+                setup_ms: 5.0,
+                loop_ms: 20.0,
+                finished: 1,
+                total: 2,
+                merged: 0,
+                fold_queue: 0,
+                counters,
+            }),
+            TelemetryRecord::Job(JobTelemetryRecord {
+                job: 0,
+                scenario: "smoke".into(),
+                scheme: "soi".into(),
+                seed_index: 0,
+                wall_ms: 50.0,
+                fold_ms: 2.0,
+                shards: 2,
+                counters,
+            }),
+            TelemetryRecord::Phase(PhaseRecord {
+                phase: "event-loop".into(),
+                parent: "run".into(),
+                busy_ms: 40.0,
+                tasks: 2,
+                task_ms_min: 15.0,
+                task_ms_mean: 20.0,
+                task_ms_max: 25.0,
+            }),
+            TelemetryRecord::Summary(SummaryRecord {
+                wall_ms: 50.0,
+                jobs: 1,
+                tasks: 2,
+                events: counters.delivered(),
+                flows: counters.flows_total,
+                peak_rss_mib: Some(24.0),
+                counters,
+            }),
+        ];
+        let mut text = String::new();
+        for r in &recs {
+            text.push_str(&serde_json::to_string(&r.to_value()).unwrap());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn parses_and_renders_a_sidecar() {
+        let report = ProfileReport::from_jsonl(&sidecar()).unwrap();
+        assert!(report.manifest.is_some());
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.n_tasks, 1);
+        assert_eq!(report.task_events_min, 210);
+        let rendered = report.render();
+        assert!(rendered.contains("event-loop"), "{rendered}");
+        assert!(rendered.contains("peak RSS 24 MiB"), "{rendered}");
+        assert!(rendered.contains("attributed: 80.0%"), "{rendered}");
+        assert!(rendered.contains("fold_absorptions       2"), "{rendered}");
+    }
+
+    #[test]
+    fn counter_totals_are_the_deterministic_subset() {
+        let report = ProfileReport::from_jsonl(&sidecar()).unwrap();
+        let totals = report.counter_totals().unwrap();
+        assert_eq!(totals.events, 210);
+        assert_eq!(totals.flows, 120);
+        let json = serde_json::to_string(&totals).unwrap();
+        assert!(json.starts_with("{\"jobs\":1,\"tasks\":2,\"events\":210,\"flows\":120"), "{json}");
+        assert!(!json.contains("wall"), "no wall-clock in the drift payload: {json}");
+        assert!(!json.contains("rss"), "no RSS in the drift payload: {json}");
+    }
+
+    #[test]
+    fn rejects_non_sidecar_input() {
+        assert!(ProfileReport::from_jsonl("").is_err());
+        assert!(ProfileReport::from_jsonl("{\"scenario\":\"x\"}\n").is_err());
+    }
+}

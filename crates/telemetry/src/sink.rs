@@ -1,0 +1,202 @@
+//! Telemetry sinks: where run records go.
+//!
+//! The batch runner emits [`TelemetryRecord`]s from worker threads and the
+//! collector; sinks decide the presentation. [`HumanSink`] reproduces the
+//! classic stderr heartbeat/job lines byte-for-byte (the default),
+//! [`JsonlSink`] appends one JSON object per record to a sidecar writer
+//! (`insomnia run --telemetry FILE`). A [`Telemetry`] bundles any number of
+//! sinks — `--quiet` is simply a bundle without the human sink.
+
+use crate::record::TelemetryRecord;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// One destination for telemetry records. Implementations must be cheap
+/// and thread-safe: records arrive from worker threads mid-run.
+pub trait TelemetrySink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, rec: &TelemetryRecord);
+}
+
+/// Renders records as the classic human stderr lines: a heartbeat per
+/// sharded `(repetition × shard)` task and one line per finished job.
+/// Manifest, phase and summary records are silent (the CLI prints its own
+/// end-of-run summary).
+#[derive(Debug, Default)]
+pub struct HumanSink;
+
+impl TelemetrySink for HumanSink {
+    fn record(&self, rec: &TelemetryRecord) {
+        let line = match rec {
+            // The shard heartbeat: only sharded jobs are long enough to
+            // need one; unsharded tasks stay silent (historical behavior).
+            TelemetryRecord::Task(t) if t.n_shards > 1 => format!(
+                "# shard {}/{} seed {}: rep {} shard {}/{} done ({}/{} tasks, merged shards: \
+                 {}/{}, fold queue {}, {} events, peak heap {}, peak active {})\n",
+                t.scenario,
+                t.scheme,
+                t.seed_index,
+                t.rep,
+                t.shard,
+                t.n_shards,
+                t.finished,
+                t.total,
+                t.merged,
+                t.total,
+                t.fold_queue,
+                t.counters.delivered(),
+                t.counters.peak_heap,
+                t.counters.peak_active_flows,
+            ),
+            TelemetryRecord::Job(j) => format!(
+                "# job {}: {}/{} seed {} — {:.0} ms, {} events, {} shard(s)\n",
+                j.job,
+                j.scenario,
+                j.scheme,
+                j.seed_index,
+                j.wall_ms,
+                j.counters.delivered(),
+                j.shards,
+            ),
+            _ => return,
+        };
+        // One write_all + explicit flush under the stderr lock, so lines
+        // from concurrent workers never interleave at high thread counts.
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(line.as_bytes());
+        let _ = err.flush();
+    }
+}
+
+/// Writes one JSON object per record to a sidecar writer, flushing each
+/// line (tail-able mid-run; crash-robust). Write errors are reported to
+/// stderr once and further records are dropped — telemetry must never
+/// fail the simulation that produced it.
+pub struct JsonlSink {
+    out: Mutex<SinkState>,
+}
+
+struct SinkState {
+    writer: Box<dyn Write + Send>,
+    failed: bool,
+}
+
+impl JsonlSink {
+    /// A sink over any writer (a `BufWriter<File>` for the CLI, a shared
+    /// buffer in tests).
+    pub fn new(writer: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink { out: Mutex::new(SinkState { writer, failed: false }) }
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn record(&self, rec: &TelemetryRecord) {
+        let mut st = self.out.lock().expect("telemetry sink lock");
+        if st.failed {
+            return;
+        }
+        let wrote = serde_json::to_string(rec)
+            .map_err(std::io::Error::other)
+            .and_then(|line| writeln!(st.writer, "{line}").and_then(|()| st.writer.flush()));
+        if let Err(e) = wrote {
+            st.failed = true;
+            eprintln!("# telemetry: sidecar write failed ({e}); sidecar truncated");
+        }
+    }
+}
+
+/// A bundle of sinks plus the config-phase span measured by the CLI before
+/// the batch starts. The batch runner emits every record through
+/// [`Telemetry::emit`]; an empty bundle (built by [`Telemetry::quiet`]) is
+/// `--quiet`.
+#[derive(Default)]
+pub struct Telemetry {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    /// Wall-clock the caller spent resolving specs/flags before the batch
+    /// started, milliseconds — folded into the `config` phase record.
+    pub config_ms: f64,
+}
+
+impl Telemetry {
+    /// The default bundle: the human stderr renderer only (classic
+    /// behavior of `insomnia run`).
+    pub fn stderr() -> Telemetry {
+        Telemetry { sinks: vec![Box::new(HumanSink)], config_ms: 0.0 }
+    }
+
+    /// An empty bundle: no heartbeat, no job lines (`--quiet`).
+    pub fn quiet() -> Telemetry {
+        Telemetry { sinks: Vec::new(), config_ms: 0.0 }
+    }
+
+    /// Adds any sink to the bundle.
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Telemetry {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a JSONL sidecar over `writer`.
+    pub fn with_jsonl(self, writer: Box<dyn Write + Send>) -> Telemetry {
+        self.with_sink(Box::new(JsonlSink::new(writer)))
+    }
+
+    /// Fans one record out to every sink.
+    pub fn emit(&self, rec: &TelemetryRecord) {
+        for sink in &self.sinks {
+            sink.record(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::RunCounters;
+    use crate::record::JobTelemetryRecord;
+    use std::sync::Arc;
+
+    /// A Write handle over a shared buffer, so tests can read back what a
+    /// boxed sink wrote.
+    #[derive(Clone, Default)]
+    pub struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_tagged_line_per_record() {
+        let buf = SharedBuf::default();
+        let tel = Telemetry::quiet().with_jsonl(Box::new(buf.clone()));
+        let rec = TelemetryRecord::Job(JobTelemetryRecord {
+            job: 0,
+            scenario: "smoke".into(),
+            scheme: "soi".into(),
+            seed_index: 0,
+            wall_ms: 12.0,
+            fold_ms: 1.0,
+            shards: 1,
+            counters: RunCounters::default(),
+        });
+        tel.emit(&rec);
+        tel.emit(&rec);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with("{\"type\":\"job\","), "{line}");
+        }
+    }
+
+    #[test]
+    fn quiet_bundle_emits_nothing() {
+        // No sinks: emit must be a no-op (and must not panic).
+        Telemetry::quiet().emit(&TelemetryRecord::Phase(crate::PhaseAccum::new("x").record()));
+    }
+}

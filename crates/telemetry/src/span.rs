@@ -1,0 +1,87 @@
+//! Phase-span accumulation: busy time per named phase, with the per-task
+//! spread the profile table reports.
+
+use crate::record::PhaseRecord;
+
+/// Accumulates one phase's contributions (`add` once per task, job or
+/// write call) into the busy total plus min/mean/max spread.
+///
+/// Wall-clock is inherently scheduling-dependent, so accumulators live in
+/// sidecar records only — never in the deterministic result JSONL.
+#[derive(Debug, Clone)]
+pub struct PhaseAccum {
+    name: &'static str,
+    busy_ms: f64,
+    tasks: u64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+impl PhaseAccum {
+    /// An empty accumulator for the named phase.
+    pub fn new(name: &'static str) -> PhaseAccum {
+        PhaseAccum { name, busy_ms: 0.0, tasks: 0, min_ms: f64::INFINITY, max_ms: 0.0 }
+    }
+
+    /// Adds one contribution of `ms` milliseconds.
+    pub fn add(&mut self, ms: f64) {
+        self.busy_ms += ms;
+        self.tasks += 1;
+        self.min_ms = self.min_ms.min(ms);
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Busy milliseconds accumulated so far.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Contributions accumulated so far.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Freezes the accumulator into its sidecar record.
+    pub fn record(&self) -> PhaseRecord {
+        PhaseRecord {
+            phase: self.name.to_string(),
+            parent: "run".to_string(),
+            busy_ms: self.busy_ms,
+            tasks: self.tasks,
+            task_ms_min: if self.tasks == 0 { 0.0 } else { self.min_ms },
+            task_ms_mean: if self.tasks == 0 { 0.0 } else { self.busy_ms / self.tasks as f64 },
+            task_ms_max: self.max_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_busy_time_and_spread() {
+        let mut acc = PhaseAccum::new("event-loop");
+        acc.add(10.0);
+        acc.add(30.0);
+        acc.add(20.0);
+        let rec = acc.record();
+        assert_eq!(rec.phase, "event-loop");
+        assert_eq!(rec.parent, "run");
+        assert_eq!(rec.busy_ms, 60.0);
+        assert_eq!(rec.tasks, 3);
+        assert_eq!(rec.task_ms_min, 10.0);
+        assert_eq!(rec.task_ms_mean, 20.0);
+        assert_eq!(rec.task_ms_max, 30.0);
+    }
+
+    #[test]
+    fn empty_phase_reports_zeros() {
+        let rec = PhaseAccum::new("config").record();
+        assert_eq!(rec.busy_ms, 0.0);
+        assert_eq!(rec.tasks, 0);
+        assert_eq!(rec.task_ms_min, 0.0);
+        assert_eq!(rec.task_ms_mean, 0.0);
+        assert_eq!(rec.task_ms_max, 0.0);
+    }
+}

@@ -122,6 +122,22 @@ impl Shared {
     }
 }
 
+/// Deterministic work counters of a [`FlowStream`]: how much lazy
+/// regeneration and k-way merging the replay has done so far. Every field
+/// is a pure function of the flows pulled, so the counts are identical at
+/// any thread count and safe to report in deterministic telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Lazy burst regenerations: replay steps that produced a flow from a
+    /// cursor's RNG snapshot (one per flow primed or refilled).
+    pub refills: u64,
+    /// K-way-merge heap pops (one per yielded flow).
+    pub merge_pops: u64,
+    /// K-way-merge heap pushes (initial priming plus one re-push per
+    /// refill that found another flow).
+    pub heap_pushes: u64,
+}
+
 /// A resumable, arrival-ordered flow generator over one CRAWDAD-like day.
 ///
 /// Construction costs one full pass of RNG draws (it must position the
@@ -144,6 +160,7 @@ pub struct FlowStream {
     shared: Shared,
     total_flows: usize,
     yielded: usize,
+    stats: StreamStats,
 }
 
 impl FlowStream {
@@ -192,10 +209,13 @@ impl FlowStream {
         }
 
         // Prime each cursor's first flow and seed the merge heap.
+        let mut stats = StreamStats::default();
         let mut entries = Vec::with_capacity(cursors.len());
         for (c, cur) in cursors.iter_mut().enumerate() {
             cur.next = shared.step(&sessions, cur.personality, &mut cur.state, &mut cur.rng);
             if let Some(f) = cur.next {
+                stats.refills += 1;
+                stats.heap_pushes += 1;
                 entries.push(Reverse((f.start, c)));
             }
         }
@@ -209,6 +229,7 @@ impl FlowStream {
             shared,
             total_flows,
             yielded: 0,
+            stats,
         }
     }
 
@@ -244,15 +265,23 @@ impl FlowStream {
         self.total_flows - self.yielded
     }
 
+    /// Replay-work counters accumulated so far (deterministic).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
     /// Yields the next flow in arrival order (ties: client index, then the
     /// client's own generation order — the eager stable sort's order).
     pub fn next_flow(&mut self) -> Option<FlowRecord> {
         let Reverse((start, c)) = self.heap.pop()?;
+        self.stats.merge_pops += 1;
         let cur = &mut self.cursors[c];
         let flow = cur.next.take().expect("heaped cursor holds a flow");
         debug_assert_eq!(flow.start, start);
         cur.next = self.shared.step(&self.sessions, cur.personality, &mut cur.state, &mut cur.rng);
         if let Some(f) = cur.next {
+            self.stats.refills += 1;
+            self.stats.heap_pushes += 1;
             self.heap.push(Reverse((f.start, c)));
         }
         self.yielded += 1;
@@ -349,5 +378,20 @@ mod tests {
         let via_stream = FlowStream::new(&cfg(), &mut b).collect_trace();
         assert_eq!(via_generate.flows, via_stream.flows);
         assert_eq!(via_generate.home, via_stream.home);
+    }
+
+    #[test]
+    fn stats_count_every_refill_pop_and_push() {
+        let mut rng = SimRng::new(11);
+        let mut stream = FlowStream::new(&cfg(), &mut rng);
+        let total = stream.total_flows() as u64;
+        let primed = stream.stats().heap_pushes;
+        assert!(primed > 0 && primed <= cfg().n_clients as u64);
+        while stream.next_flow().is_some() {}
+        let s = stream.stats();
+        // One pop and one regeneration per flow; every pushed entry popped.
+        assert_eq!(s.merge_pops, total);
+        assert_eq!(s.refills, total);
+        assert_eq!(s.heap_pushes, total);
     }
 }

@@ -5,5 +5,6 @@ pub use insomnia_core as core;
 pub use insomnia_dslphy as dslphy;
 pub use insomnia_scenarios as scenarios;
 pub use insomnia_simcore as simcore;
+pub use insomnia_telemetry as telemetry;
 pub use insomnia_traffic as traffic;
 pub use insomnia_wireless as wireless;

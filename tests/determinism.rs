@@ -144,6 +144,30 @@ fn unsharded_streaming_jsonl_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn run_counters_are_byte_identical_across_thread_counts() {
+    // The deterministic work counters ride the same in-order fold as the
+    // results: their merged sums/maxes — and the serialized form the CI
+    // drift gate `cmp`s — must not depend on the thread count.
+    let cfg = dense_metro_reduced(4);
+    let world = build_sharded_world_seeded(&cfg, cfg.seed);
+    let r1 = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, cfg.seed, 1);
+    let r8 = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, cfg.seed, 8);
+    assert_eq!(r1.counters, r8.counters, "counters must be thread-count invariant");
+    assert_eq!(
+        serde_json::to_string(&r1.counters).unwrap(),
+        serde_json::to_string(&r8.counters).unwrap(),
+        "serialized counters (the drift-gate payload) must be byte-identical"
+    );
+    // Internal consistency: the per-kind delivery counters sum to the
+    // scheduler's event total, every fold absorbed exactly one task, and
+    // every scheduled event was delivered, cancelled, or still queued.
+    assert_eq!(r1.counters.delivered(), r1.events);
+    assert_eq!(r1.counters.fold_absorptions, (cfg.repetitions * cfg.shards) as u64);
+    assert!(r1.counters.heap_pushes >= r1.counters.delivered() + r1.counters.cancelled());
+    assert_eq!(r1.counters.arrivals, r1.counters.flows_total);
+}
+
+#[test]
 fn merged_shard_quantiles_are_merge_order_invariant() {
     // Merging the per-shard sketches/histograms in any order must give
     // the same quantiles the driver's fold reports — the property that

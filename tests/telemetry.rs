@@ -1,0 +1,139 @@
+//! Sidecar schema smoke tests: `insomnia run --telemetry` must emit a
+//! parseable, ordered record stream (manifest → tasks/jobs → phases →
+//! summary) without perturbing the deterministic result JSONL, and
+//! `insomnia profile` must be able to render it.
+
+use insomnia::core::ScenarioConfig;
+use insomnia::scenarios::{parse_scheme_list, run_batch, run_batch_telemetry, BatchRun, Registry};
+use insomnia::simcore::SimTime;
+use insomnia::telemetry::{
+    ProfileReport, RunCounters, Telemetry, TelemetryRecord, TELEMETRY_SCHEMA_VERSION,
+};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` handle over a shared buffer so the boxed sidecar sink's
+/// output can be read back after the run.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Two genuine dense-metro neighborhoods, reduced so the debug-mode suite
+/// finishes in seconds (mirrors `tests/determinism.rs`).
+fn smoke_config() -> ScenarioConfig {
+    let mut cfg = Registry::builtin().resolve("dense-metro").unwrap();
+    cfg.trace.n_clients = 1_600 * 2;
+    cfg.trace.n_aps = 200 * 2;
+    cfg.shards = 2;
+    cfg.trace.horizon = SimTime::from_hours(1);
+    cfg.completion_cutoff = 0;
+    cfg.online_cutoff = 0;
+    cfg.validate().unwrap();
+    cfg
+}
+
+fn smoke_batch() -> BatchRun {
+    BatchRun {
+        scenarios: vec![("telemetry-smoke".into(), smoke_config())],
+        schemes: parse_scheme_list("soi").unwrap(),
+        seeds: 1,
+        threads: 2,
+    }
+}
+
+#[test]
+fn sidecar_schema_smoke() {
+    let batch = smoke_batch();
+    let tasks = (batch.scenarios[0].1.repetitions * batch.scenarios[0].1.shards) as u64;
+
+    // Baseline: the result JSONL of a plain (telemetry-free) run.
+    let mut plain = Vec::new();
+    run_batch(&batch, &mut plain).unwrap();
+
+    // Telemetry run: quiet bundle plus a JSONL sidecar sink.
+    let sidecar = SharedBuf::default();
+    let tel = Telemetry::quiet().with_jsonl(Box::new(sidecar.clone()));
+    let mut with_tel = Vec::new();
+    run_batch_telemetry(&batch, &mut with_tel, &tel).unwrap();
+    assert_eq!(plain, with_tel, "the sidecar must never perturb the result JSONL");
+
+    let text = String::from_utf8(sidecar.0.lock().unwrap().clone()).unwrap();
+    let recs: Vec<TelemetryRecord> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).unwrap_or_else(|e| panic!("{e}: {line}")))
+        .collect();
+
+    // Stream shape: manifest first, summary last, one task record per
+    // (repetition × shard), one job record, the five phase spans in order.
+    match &recs[0] {
+        TelemetryRecord::Manifest(m) => {
+            assert_eq!(m.version, TELEMETRY_SCHEMA_VERSION);
+            assert_eq!(m.jobs, 1);
+            assert_eq!(m.scenarios.len(), 1);
+            assert_eq!(m.scenarios[0].shards, 2);
+            assert_eq!(m.scenarios[0].n_clients, 3_200);
+        }
+        other => panic!("first record must be the manifest, got `{}`", other.kind()),
+    }
+    let count = |kind: &str| recs.iter().filter(|r| r.kind() == kind).count() as u64;
+    assert_eq!(count("task"), tasks);
+    assert_eq!(count("job"), 1);
+    let phases: Vec<&str> = recs
+        .iter()
+        .filter_map(|r| match r {
+            TelemetryRecord::Phase(p) => Some(p.phase.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(phases, ["config", "world-build", "event-loop", "shard-fold", "jsonl-write"]);
+
+    // Counter consistency: the job record is the fold of its task records,
+    // and (with a single job) the summary repeats the job's counters.
+    let mut merged = RunCounters::default();
+    for r in &recs {
+        if let TelemetryRecord::Task(t) = r {
+            assert_eq!(t.n_shards, 2);
+            merged.merge(&t.counters);
+        }
+    }
+    merged.fold_absorptions = tasks;
+    let job = recs
+        .iter()
+        .find_map(|r| match r {
+            TelemetryRecord::Job(j) => Some(j),
+            _ => None,
+        })
+        .expect("one job record");
+    assert_eq!(merged, job.counters, "job counters must be the fold of the task counters");
+    let TelemetryRecord::Summary(summary) = recs.last().expect("non-empty sidecar") else {
+        panic!("last record must be the summary, got `{}`", recs.last().unwrap().kind());
+    };
+    assert_eq!(summary.counters, job.counters);
+    assert_eq!(summary.events, job.counters.delivered());
+    assert_eq!(summary.tasks, tasks);
+    assert_eq!(summary.jobs, 1);
+    assert!(summary.wall_ms > 0.0, "summary must carry the run's wall-clock");
+
+    // The profile backend parses the same text and attributes the bulk of
+    // the run to named phase spans.
+    let report = ProfileReport::from_jsonl(&text).unwrap();
+    let rendered = report.render();
+    assert!(rendered.contains("== phases"), "{rendered}");
+    assert!(rendered.contains("event-loop"), "{rendered}");
+    assert!(rendered.contains("== deterministic counters"), "{rendered}");
+    let frac = report.attributed_fraction().expect("summary present");
+    assert!(frac > 0.5, "named phases must cover the run, got {frac}");
+    let totals = report.counter_totals().unwrap();
+    assert_eq!(totals.events, summary.events);
+    assert_eq!(totals.counters, summary.counters);
+}
