@@ -28,6 +28,7 @@ use insomnia_simcore::{
 use insomnia_telemetry::RunCounters;
 use insomnia_traffic::{FlowRecord, FlowStream, Trace};
 use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWindow, Topology};
+use std::sync::OnceLock;
 
 /// Simulation events.
 ///
@@ -37,23 +38,44 @@ use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWi
 /// historical pre-scheduled arrivals (lowest sequence numbers) did. The
 /// event heap is therefore O(active flows + timers + 1) instead of O(total
 /// trace flows).
+/// Index payloads are `u32`, not `usize`: the event queue's slab stores one
+/// payload per live slot, so halving the widest variant (departure: 24 → 16
+/// bytes with padding) trims every queue slot — and the enum's spare
+/// discriminant values give `Option<Ev>` a niche, so the slab's
+/// cancelled/vacant marker costs no extra word either.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// The arrival held in `World::next_arrival` fires.
     Arrival,
     /// The earliest departure on a gateway (stale if `gen` mismatches).
-    Departure { gw: usize, gen: u64 },
+    Departure { gw: u32, gen: u64 },
     /// A gateway finished booting + resyncing.
-    WakeDone { gw: usize },
+    WakeDone { gw: u32 },
     /// SoI idle-timeout check for a gateway.
-    IdleCheck { gw: usize },
+    IdleCheck { gw: u32 },
     /// BH2 decision epoch for a terminal.
-    Bh2Tick { client: usize },
+    Bh2Tick { client: u32 },
     /// Optimal scheme re-solve.
     OptimalTick,
     /// Metric sampling.
     Sample,
 }
+
+// The compaction above is load-bearing for queue-slab memory at 10^8-flow
+// scale; fail the build if a payload regression widens the enum again.
+const _: () = assert!(std::mem::size_of::<Ev>() <= 16);
+const _: () = assert!(std::mem::size_of::<Option<Ev>>() == std::mem::size_of::<Ev>());
+
+/// Arrivals pulled from the [`ArrivalSource`] per batch. The event queue
+/// still holds exactly one `Arrival` (the buffer head); batching only
+/// amortizes the source hop — which, for a streaming source, means one
+/// cache-warm regeneration burst instead of an evicted-state pull per
+/// flow. Consumption order is unchanged, so results are byte-identical at
+/// any batch size. 32 flows is a 1 KiB buffer — big enough to amortize
+/// paging the stream's scattered cursor state back in, small enough that
+/// one refill burst does not evict the event loop's own working set (256
+/// measurably did; 64 measured no better than 32).
+const ARRIVAL_BATCH: usize = 32;
 
 /// Where the driver pulls trace arrivals from: a borrowed, pre-materialized
 /// flow vector (the classic path) or an owned streaming generator that
@@ -173,9 +195,17 @@ struct World<'a> {
     client_load: Vec<LoadWindow>,
     /// Arrival feed (slice cursor or flow stream), in arrival order.
     arrivals: ArrivalSource<'a>,
-    /// The one pulled-but-not-yet-fired arrival, as `(trace index, flow)`;
-    /// the Optimal demand sweep reads the same cursor window.
-    next_arrival: Option<(usize, FlowRecord)>,
+    /// Pulled-but-not-yet-fired arrivals as `(trace index, flow)`, oldest
+    /// at `arrival_head`. Pulls hit the source [`ARRIVAL_BATCH`] at a time:
+    /// a streaming source regenerates flows through cursor state that the
+    /// event loop would otherwise evict between single pulls, so batching
+    /// keeps the regeneration as cache-hot as a standalone drain. Only the
+    /// buffer's *head* is ever scheduled, so the event queue still holds at
+    /// most one `Arrival`, and the Optimal demand sweep reads the same
+    /// window the event loop would.
+    arrival_buf: Vec<(usize, FlowRecord)>,
+    /// Index of the oldest unconsumed arrival in `arrival_buf`.
+    arrival_head: usize,
     /// Trace index the next [`ArrivalSource::next`] pull will receive.
     arrival_idx: usize,
     /// Gateway each client routes *new* flows through.
@@ -190,6 +220,13 @@ struct World<'a> {
     /// (they were delivered-and-discarded no-ops before), keeping at most
     /// one live departure entry per busy gateway in the heap.
     departure_token: Vec<Option<EventToken>>,
+    /// Pre-solved Optimal plan: the gateways each re-solve tick wants
+    /// online, indexed by tick number (empty for every other scheme). The
+    /// solves run *before* the event loop on a thread fan-out — see
+    /// [`precompute_optimal_plan`].
+    optimal_plan: Vec<Vec<usize>>,
+    /// Index of the next [`Ev::OptimalTick`] into `optimal_plan`.
+    optimal_tick_idx: usize,
     /// Arrived-but-not-completed flows (engine + wake-parked).
     active_flows: usize,
     peak_active: usize,
@@ -242,28 +279,46 @@ impl World<'_> {
         }
         let next = self.engine.recompute(gw, t, self.cfg.backhaul_bps);
         if let Some(when) = next {
-            self.departure_token[gw] =
-                Some(s.schedule_at(when, Ev::Departure { gw, gen: self.engine.generation(gw) }));
+            self.departure_token[gw] = Some(s.schedule_at(
+                when,
+                Ev::Departure { gw: gw as u32, gen: self.engine.generation(gw) },
+            ));
         } else if self.spec.sleep_enabled && !self.is_optimal() {
             self.arm_idle_check(s, gw, t + self.cfg.idle_timeout);
         }
     }
 
-    /// Pulls the next arrival from the source into the one-slot cursor.
-    fn pull_next_arrival(&mut self) {
-        debug_assert!(self.next_arrival.is_none());
-        self.next_arrival = self.arrivals.next(self.arrival_idx).map(|f| {
-            let pair = (self.arrival_idx, f);
-            self.arrival_idx += 1;
-            pair
-        });
+    /// The oldest unconsumed arrival, pulling the next batch from the
+    /// source if the buffer has drained.
+    fn peek_arrival(&mut self) -> Option<(usize, FlowRecord)> {
+        if self.arrival_head == self.arrival_buf.len() {
+            self.arrival_buf.clear();
+            self.arrival_head = 0;
+            while self.arrival_buf.len() < ARRIVAL_BATCH {
+                match self.arrivals.next(self.arrival_idx) {
+                    Some(f) => {
+                        self.arrival_buf.push((self.arrival_idx, f));
+                        self.arrival_idx += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.arrival_buf.get(self.arrival_head).copied()
     }
 
-    /// Pulls the following arrival and schedules its (single, front-lane)
-    /// event.
+    /// Consumes the oldest unconsumed arrival.
+    fn take_arrival(&mut self) -> Option<(usize, FlowRecord)> {
+        let head = self.peek_arrival();
+        if head.is_some() {
+            self.arrival_head += 1;
+        }
+        head
+    }
+
+    /// Schedules the following arrival's (single, front-lane) event.
     fn schedule_next_arrival(&mut self, s: &mut Scheduler<Ev>) {
-        self.pull_next_arrival();
-        if let Some((_, f)) = self.next_arrival {
+        if let Some((_, f)) = self.peek_arrival() {
             s.schedule_front(f.start, Ev::Arrival);
         }
     }
@@ -273,7 +328,7 @@ impl World<'_> {
             self.counters.cancelled_idle_checks += 1;
             s.cancel(tok);
         }
-        self.idle_token[gw] = Some(s.schedule_at(at.max(s.now()), Ev::IdleCheck { gw }));
+        self.idle_token[gw] = Some(s.schedule_at(at.max(s.now()), Ev::IdleCheck { gw: gw as u32 }));
     }
 
     /// Starts a flow on an online gateway or parks it at a waking one
@@ -293,7 +348,7 @@ impl World<'_> {
                 let done = self.gateways[gw].begin_wake(t).expect("sleeping gateway wakes");
                 self.stats.wakes_stranded_arrival += 1;
                 self.dslam.line_powering_on(t, gw);
-                s.schedule_at(done, Ev::WakeDone { gw });
+                s.schedule_at(done, Ev::WakeDone { gw: gw as u32 });
                 self.pending[gw].push(f);
             }
             GwState::Waking => {
@@ -375,13 +430,31 @@ pub fn run_single_streaming(
     run_single_source(cfg, spec, ArrivalSource::Stream(Box::new(stream)), topo, rng)
 }
 
-/// The driver proper, generic over the arrival feed.
+/// The driver proper, generic over the arrival feed. The Optimal scheme's
+/// pre-solve fan-out uses [`default_threads`]; see
+/// [`run_single_source_threads`] to cap it (results never depend on it).
 pub fn run_single_source(
     cfg: &ScenarioConfig,
     spec: SchemeSpec,
     arrivals: ArrivalSource<'_>,
     topo: &Topology,
+    rng: SimRng,
+) -> RunResult {
+    run_single_source_threads(cfg, spec, arrivals, topo, rng, default_threads())
+}
+
+/// [`run_single_source`] with an explicit thread cap for the Optimal
+/// scheme's pre-solve fan-out (every other scheme ignores it). The fan-out
+/// is index-addressed and the event loop consumes its outputs strictly in
+/// tick order, so the result is byte-identical at any `solve_threads` —
+/// asserted by `tests/determinism.rs` at 1 vs 8.
+pub fn run_single_source_threads(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    arrivals: ArrivalSource<'_>,
+    topo: &Topology,
     mut rng: SimRng,
+    solve_threads: usize,
 ) -> RunResult {
     cfg.validate().expect("validated config");
     let n_gw = topo.n_gateways();
@@ -428,6 +501,25 @@ pub fn run_single_source(
         }
     }
 
+    // Optimal's re-solve inputs are a pure function of the arrival prefix:
+    // the scheme never simulates flows, so its demand windows are fed only
+    // by the tick sweep over the arrival cursor. That makes every solve
+    // computable before the event loop runs — replay the sweep over a
+    // cheap second cursor (a slice re-borrow, or a clone of the stream's
+    // O(clients) state) and fan the pure solves out across threads. The
+    // event loop then consumes the plan strictly by tick index, so the
+    // wake/sleep application order — and every downstream byte — is
+    // independent of `solve_threads`.
+    let optimal_plan = if is_optimal {
+        let replay = match &arrivals {
+            ArrivalSource::Slice(flows) => ArrivalSource::Slice(flows),
+            ArrivalSource::Stream(stream) => ArrivalSource::Stream(stream.clone()),
+        };
+        precompute_optimal_plan(cfg, topo, replay, solve_threads)
+    } else {
+        Vec::new()
+    };
+
     let n_samples = (horizon.as_millis() / cfg.sample_period.as_millis()) as usize;
     let total_flows = arrivals.total_flows();
     let mut world = World {
@@ -442,10 +534,13 @@ pub fn run_single_source(
             .map(|_| LoadWindow::new(cfg.optimal_period.as_millis()))
             .collect(),
         arrivals,
-        next_arrival: None,
+        arrival_buf: Vec::with_capacity(ARRIVAL_BATCH),
+        arrival_head: 0,
         arrival_idx: 0,
         route: (0..topo.n_clients()).map(|c| topo.home_of(c)).collect(),
         return_pending: vec![false; topo.n_clients()],
+        optimal_plan,
+        optimal_tick_idx: 0,
         pending: vec![Vec::new(); n_gw],
         idle_token: vec![None; n_gw],
         departure_token: vec![None; n_gw],
@@ -462,20 +557,22 @@ pub fn run_single_source(
         rng,
     };
 
-    let mut sched: Scheduler<Ev> = Scheduler::new();
-    // Prime the arrival cursor in both modes: the Optimal demand sweep
-    // drains it tick-by-tick, every other scheme fires it as front-lane
-    // `Arrival` events one at a time.
-    world.pull_next_arrival();
+    // Worst-case queue occupancy: one cursor arrival, plus per-gateway
+    // departure/idle/wake timers, plus one BH2 tick per client, plus the
+    // sampler and solver ticks. The hint picks the queue backend up front
+    // (the calendar queue only for very large worlds — every existing
+    // preset stays far below the threshold, on the binary heap).
+    let mut sched: Scheduler<Ev> = Scheduler::with_queue_hint(3 * n_gw + topo.n_clients() + 4);
+    // Prime the arrival cursor: the Optimal demand sweep drains it
+    // tick-by-tick, every other scheme fires it as front-lane `Arrival`
+    // events one at a time.
     if !is_optimal {
-        if let Some((_, f)) = world.next_arrival {
-            sched.schedule_front(f.start, Ev::Arrival);
-        }
+        world.schedule_next_arrival(&mut sched);
         if let Aggregation::Bh2 { .. } = spec.aggregation {
             for c in 0..topo.n_clients() {
                 let offset =
                     SimDuration::from_millis(world.rng.below(cfg.bh2.epoch.as_millis().max(1)));
-                sched.schedule_at(t0 + offset, Ev::Bh2Tick { client: c });
+                sched.schedule_at(t0 + offset, Ev::Bh2Tick { client: c as u32 });
             }
         }
     } else {
@@ -484,6 +581,11 @@ pub fn run_single_source(
     sched.schedule_at(t0, Ev::Sample);
 
     sched.run_until(&mut world, horizon, |s, w, now, ev| handle(s, w, now, ev));
+    debug_assert_eq!(
+        world.optimal_tick_idx,
+        world.optimal_plan.len(),
+        "pre-solved tick count must match delivered OptimalTicks"
+    );
 
     // Finalize meters and assemble the breakdown.
     for g in &mut world.gateways {
@@ -538,7 +640,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
     match ev {
         Ev::Arrival => {
             w.counters.arrivals += 1;
-            let (idx, f) = w.next_arrival.take().expect("a scheduled arrival is pending");
+            let (idx, f) = w.take_arrival().expect("a scheduled arrival is pending");
             let client = f.client.index();
             let gw = w.route_new_flow(now, client);
             w.active_flows += 1;
@@ -553,6 +655,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
         }
         Ev::Departure { gw, gen } => {
             w.counters.departures += 1;
+            let gw = gw as usize;
             w.departure_token[gw] = None;
             // Superseded departures are cancelled at resync time, so a
             // delivered event always carries the current generation; this
@@ -572,6 +675,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
         }
         Ev::WakeDone { gw } => {
             w.counters.wake_dones += 1;
+            let gw = gw as usize;
             w.gateways[gw].complete_wake(now);
             // Clients that were waiting to return to this home gateway.
             for c in 0..w.return_pending.len() {
@@ -590,6 +694,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
         }
         Ev::IdleCheck { gw } => {
             w.counters.idle_checks += 1;
+            let gw = gw as usize;
             w.idle_token[gw] = None;
             if !w.gateways[gw].is_online() {
                 return;
@@ -610,7 +715,7 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
         Ev::Bh2Tick { client } => {
             w.counters.bh2_ticks += 1;
             s.schedule_at(now + w.cfg.bh2.epoch, Ev::Bh2Tick { client });
-            bh2_epoch(s, w, now, client);
+            bh2_epoch(s, w, now, client as usize);
         }
         Ev::OptimalTick => {
             // One ILP solve per delivered tick.
@@ -701,7 +806,7 @@ fn bh2_epoch(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, client: usi
                     let done = w.gateways[home].begin_wake(now).expect("sleeping");
                     w.stats.wakes_return_home += 1;
                     w.dslam.line_powering_on(now, home);
-                    s.schedule_at(done, Ev::WakeDone { gw: home });
+                    s.schedule_at(done, Ev::WakeDone { gw: home as u32 });
                     w.return_pending[client] = true;
                 }
                 GwState::Waking => {
@@ -712,42 +817,113 @@ fn bh2_epoch(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, client: usi
     }
 }
 
-/// One Optimal re-solve (§5.1): demands from the last minute of the trace,
-/// instant migration, full-switch repack.
-fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
-    // Sweep the arrival cursor into the per-client demand windows. Optimal
-    // never schedules `Arrival` events, so this tick is the cursor's only
-    // consumer and reads the same stream window the event loop would.
-    while let Some((_, f)) = w.next_arrival {
-        if f.start > now {
-            break;
-        }
-        w.client_load[f.client.index()].add(f.start.as_millis(), f.bytes);
-        w.next_arrival = None;
-        w.pull_next_arrival();
-    }
+/// Builds one re-solve's [`SolverInput`] from the demand windows at `now`
+/// (§5.1: demands from the last minute of the trace). Shared by the
+/// pre-pass and the event loop's debug cross-check.
+fn optimal_solver_input(
+    cfg: &ScenarioConfig,
+    topo: &Topology,
+    client_load: &mut [LoadWindow],
+    now: SimTime,
+) -> SolverInput {
     let now_ms = now.as_millis();
-    let usable = w.cfg.q_max_utilization * w.cfg.backhaul_bps;
+    let usable = cfg.q_max_utilization * cfg.backhaul_bps;
     let mut demands = Vec::new();
     let mut reach = Vec::new();
-    for c in 0..w.topo.n_clients() {
+    for c in 0..topo.n_clients() {
         // Offered bytes over the window can momentarily exceed what a line
         // can carry (a bulk burst lands in one minute); the carried rate is
         // physically capped, so clip demands at the usable capacity to keep
         // Eq. (1) feasible — such a user simply occupies a gateway alone.
-        let d = w.client_load[c].rate_bps(now_ms).min(usable);
+        let d = client_load[c].rate_bps(now_ms).min(usable);
         if d > 0.0 {
             demands.push(d);
-            reach.push(w.topo.reachable(c).iter().map(|l| (l.gateway, l.rate_bps)).collect());
+            reach.push(topo.reachable(c).iter().map(|l| (l.gateway, l.rate_bps)).collect());
         }
     }
-    let n_gw = w.n_gateways();
+    let n_gw = topo.n_gateways();
     let capacity = vec![usable; n_gw];
-    let input =
-        SolverInput::new(demands, reach, n_gw, capacity, 0).expect("well-formed solver input");
-    let out = solve(&input);
+    SolverInput::new(demands, reach, n_gw, capacity, 0).expect("well-formed solver input")
+}
+
+/// Pre-solves every Optimal re-solve tick before the event loop runs.
+///
+/// Optimal never simulates flows, so the demand windows feeding each
+/// re-solve depend only on the arrival prefix up to the tick time — never
+/// on gateway state, RNG draws or solver outputs. This replays the exact
+/// cursor sweep [`optimal_tick`] performs, snapshots one [`SolverInput`]
+/// per tick, and fans the (pure) solves out over at most `threads` workers
+/// via the index-addressed [`par_map_indexed`] — output `k` is tick `k`'s
+/// online set regardless of which worker produced it, so the plan is
+/// byte-identical at any thread count.
+///
+/// Tick times mirror the scheduling rule exactly: the first tick fires at
+/// `t = 0`, and each delivered tick schedules a successor only while
+/// `now + optimal_period < horizon`.
+fn precompute_optimal_plan(
+    cfg: &ScenarioConfig,
+    topo: &Topology,
+    mut arrivals: ArrivalSource<'_>,
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    let horizon = cfg.horizon();
+    let mut ticks = vec![SimTime::ZERO];
+    let mut t = SimTime::ZERO + cfg.optimal_period;
+    while t < horizon {
+        ticks.push(t);
+        t += cfg.optimal_period;
+    }
+
+    let mut client_load: Vec<LoadWindow> =
+        (0..topo.n_clients()).map(|_| LoadWindow::new(cfg.optimal_period.as_millis())).collect();
+    let mut idx = 0usize;
+    let mut next = arrivals.next(idx);
+    let mut inputs = Vec::with_capacity(ticks.len());
+    for &tick in &ticks {
+        while let Some(f) = next {
+            if f.start > tick {
+                break;
+            }
+            client_load[f.client.index()].add(f.start.as_millis(), f.bytes);
+            idx += 1;
+            next = arrivals.next(idx);
+        }
+        inputs.push(optimal_solver_input(cfg, topo, &mut client_load, tick));
+    }
+    par_map_indexed(inputs.len(), threads, |i| solve(&inputs[i]).online)
+}
+
+/// One Optimal re-solve tick (§5.1): sweep demand, apply the pre-solved
+/// plan, instant migration, full-switch repack.
+fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
+    // Sweep the arrival cursor into the per-client demand windows. Optimal
+    // never schedules `Arrival` events, so this tick is the cursor's only
+    // consumer and reads the same stream window the event loop would. The
+    // sweep stays in the loop even though the solves moved to the pre-pass:
+    // it keeps the cursor (and the stream's work counters) advancing
+    // exactly as before, and it feeds the debug cross-check below.
+    while let Some((_, f)) = w.peek_arrival() {
+        if f.start > now {
+            break;
+        }
+        w.take_arrival();
+        w.client_load[f.client.index()].add(f.start.as_millis(), f.bytes);
+    }
+    // Consume the pre-solved plan strictly by tick index.
+    let tick = w.optimal_tick_idx;
+    w.optimal_tick_idx += 1;
+    #[cfg(debug_assertions)]
+    {
+        let input = optimal_solver_input(w.cfg, w.topo, &mut w.client_load, now);
+        debug_assert_eq!(
+            solve(&input).online,
+            w.optimal_plan[tick],
+            "pre-pass solve diverged from the live demand sweep at tick {tick}"
+        );
+    }
+    let n_gw = w.n_gateways();
     let mut want = vec![false; n_gw];
-    for g in out.online {
+    for &g in &w.optimal_plan[tick] {
         want[g] = true;
     }
     for gw in 0..n_gw {
@@ -756,7 +932,7 @@ fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
                 let done = w.gateways[gw].begin_wake(now).expect("sleeping");
                 w.stats.wakes_optimal += 1;
                 w.dslam.line_powering_on(now, gw);
-                s.schedule_at(done, Ev::WakeDone { gw });
+                s.schedule_at(done, Ev::WakeDone { gw: gw as u32 });
             }
             (false, GwState::Online) => {
                 // try_sleep mutates gateway state; keep the call in the arm
@@ -1313,6 +1489,12 @@ impl TaskWorlds<'_> {
         }
     }
 
+    /// Whether tasks build their shard worlds lazily (streaming) — the
+    /// case where a multi-repetition run benefits from shared prototypes.
+    fn is_lazy(&self) -> bool {
+        matches!(self, TaskWorlds::World(w) if matches!(w.storage, WorldStorage::Lazy { .. }))
+    }
+
     fn shard_dims(&self, s: usize) -> (usize, usize) {
         match self {
             TaskWorlds::Refs(rs) => {
@@ -1327,28 +1509,58 @@ impl TaskWorlds<'_> {
     /// in the worker, streaming — and dropped on return. Also returns the
     /// world-build / stream-setup wall-clock in milliseconds (0 for
     /// prebuilt worlds, where setup happened long before this task).
+    ///
+    /// `protos` is the per-shard prototype cache for multi-repetition lazy
+    /// runs (empty otherwise): every repetition of a shard drives the
+    /// identical trace, so the first task to touch a shard builds its
+    /// stream once — replay cache enabled — and later repetitions clone
+    /// the prototype instead of re-running the setup pass, then replay the
+    /// first drain's recording instead of regenerating. This trades
+    /// retaining O(clients) cursor state per shard for the rest of the run
+    /// against paying setup + regeneration `repetitions` times; worlds
+    /// with one repetition (the giga/tera smokes) keep the build-and-drop
+    /// path untouched.
     fn run_task(
         &self,
         cfg: &ScenarioConfig,
         spec: SchemeSpec,
         shard: usize,
         rng: SimRng,
+        protos: &[OnceLock<(FlowStream, Topology)>],
     ) -> (RunResult, f64) {
+        // Tasks already saturate the worker pool, so the per-run Optimal
+        // pre-solve fan-out is pinned to one thread here: parallelism
+        // lives at exactly one level, never nested (the result is
+        // byte-identical either way).
+        let single = move |arrivals: ArrivalSource<'_>, topo: &Topology| {
+            run_single_source_threads(cfg, spec, arrivals, topo, rng, 1)
+        };
         match self {
             TaskWorlds::Refs(rs) => {
                 let (trace, topo) = rs[shard];
-                (run_single(cfg, spec, trace, topo, rng), 0.0)
+                (single(ArrivalSource::Slice(&trace.flows), topo), 0.0)
             }
             TaskWorlds::World(w) => match &w.storage {
                 WorldStorage::Eager(shards) => {
                     let (trace, topo) = &shards[shard];
-                    (run_single(cfg, spec, trace, topo, rng), 0.0)
+                    (single(ArrivalSource::Slice(&trace.flows), topo), 0.0)
                 }
                 WorldStorage::Lazy { cfg: world_cfg, seed } => {
                     let setup_start = std::time::Instant::now();
-                    let (stream, topo) = build_world_shard_streaming(world_cfg, *seed, shard);
-                    let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
-                    (run_single_streaming(cfg, spec, stream, &topo, rng), setup_ms)
+                    if let Some(slot) = protos.get(shard) {
+                        let (proto, topo) = slot.get_or_init(|| {
+                            let (mut s, t) = build_world_shard_streaming(world_cfg, *seed, shard);
+                            s.enable_replay_cache();
+                            (s, t)
+                        });
+                        let stream = proto.clone();
+                        let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+                        (single(ArrivalSource::Stream(Box::new(stream)), topo), setup_ms)
+                    } else {
+                        let (stream, topo) = build_world_shard_streaming(world_cfg, *seed, shard);
+                        let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+                        (single(ArrivalSource::Stream(Box::new(stream)), &topo), setup_ms)
+                    }
                 }
             },
         }
@@ -1422,6 +1634,15 @@ fn run_scheme_shards(
     // Shard dimensions up front: lazy worlds answer them from the span
     // plan, and resolving each once keeps the fold O(1) per task.
     let shard_dims: Vec<(usize, usize)> = (0..n_shards).map(|sh| worlds.shard_dims(sh)).collect();
+    // Per-shard stream prototypes for multi-repetition lazy runs: built on
+    // first touch, replay-cached, cloned by every later repetition (see
+    // `TaskWorlds::run_task`). Empty — and cost-free — otherwise.
+    let shard_protos: Vec<OnceLock<(FlowStream, Topology)>> =
+        if worlds.is_lazy() && cfg.repetitions > 1 {
+            (0..n_shards).map(|_| OnceLock::new()).collect()
+        } else {
+            Vec::new()
+        };
 
     let mut shard_acc: Vec<ShardAccum> = vec![ShardAccum::default(); n_shards];
     let mut rep_acc: Option<RepAccum> = None;
@@ -1448,7 +1669,7 @@ fn run_scheme_shards(
                 master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
             };
             let task_start = std::time::Instant::now();
-            let (result, setup_ms) = worlds_ref.run_task(cfg, spec, sh, rng);
+            let (result, setup_ms) = worlds_ref.run_task(cfg, spec, sh, rng, &shard_protos);
             let loop_ms = (task_start.elapsed().as_secs_f64() * 1e3 - setup_ms).max(0.0);
             // Report from the worker, at completion: heartbeats must keep
             // flowing even while the in-order folder waits on a slow

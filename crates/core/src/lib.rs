@@ -29,8 +29,8 @@ pub use driver::{
     build_sharded_world, build_sharded_world_seeded, build_world, build_world_seeded,
     build_world_shard, build_world_shard_streaming, run_scheme, run_scheme_on, run_scheme_seeded,
     run_scheme_sharded, run_scheme_sharded_observed, run_single, run_single_source,
-    run_single_streaming, ArrivalSource, DriverStats, RunResult, SchemeResult, ShardSummary,
-    ShardedWorld, TaskProgress,
+    run_single_source_threads, run_single_streaming, ArrivalSource, DriverStats, RunResult,
+    SchemeResult, ShardSummary, ShardedWorld, TaskProgress,
 };
 pub use extrapolate::WorldModel;
 pub use insomnia_telemetry::RunCounters;

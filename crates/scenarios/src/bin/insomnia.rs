@@ -49,12 +49,15 @@ USAGE:
         tolerance (default 0 = byte-equivalent numbers). Exits non-zero on
         any difference: the regression gate for algorithm changes.
 
-    insomnia profile <SIDECAR> [--counters]
+    insomnia profile <SIDECAR> [<SIDECAR_B>] [--counters]
         Render a telemetry sidecar (from run --telemetry) as a phase
         breakdown: wall-clock share per phase, events/s and flows/s,
         per-task spread, and the deterministic counter taxonomy. With
         --counters, print only the thread-count-invariant counter totals
-        as one JSON line (the CI drift-gate payload).
+        as one JSON line (the CI drift-gate payload). With two sidecars,
+        print a before/after delta instead — wall-clock, events/s and
+        flows/s, and per-phase busy time — the one-command A/B for
+        performance work.
 
 SCHEME KEYS:
     no-sleep  soi  soi+k  soi+full  bh2  bh2-nb  bh2+full  optimal
@@ -377,22 +380,41 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
 
 fn cmd_profile(args: &[String]) -> SimResult<()> {
     let flags = Flags::parse(args, &[], &["counters"])?;
-    let [path] = flags.positional.as_slice() else {
-        return Err(SimError::InvalidInput(
-            "profile needs exactly one telemetry sidecar: insomnia profile run.telemetry.jsonl"
-                .into(),
-        ));
+    let load = |path: &str| -> SimResult<ProfileReport> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SimError::InvalidInput(format!("read {path}: {e}")))?;
+        ProfileReport::from_jsonl(&text).map_err(|e| SimError::InvalidInput(format!("{path}: {e}")))
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| SimError::InvalidInput(format!("read {path}: {e}")))?;
-    let report = ProfileReport::from_jsonl(&text).map_err(SimError::InvalidInput)?;
-    if flags.has("counters") {
-        let totals = report.counter_totals().map_err(SimError::InvalidInput)?;
-        let line = serde_json::to_string(&totals)
-            .map_err(|e| SimError::InvalidInput(format!("serialize counter totals: {e}")))?;
-        println!("{line}");
-    } else {
-        print!("{}", report.render());
+    match flags.positional.as_slice() {
+        [path] => {
+            let report = load(path)?;
+            if flags.has("counters") {
+                let totals = report.counter_totals().map_err(SimError::InvalidInput)?;
+                let line = serde_json::to_string(&totals).map_err(|e| {
+                    SimError::InvalidInput(format!("serialize counter totals: {e}"))
+                })?;
+                println!("{line}");
+            } else {
+                print!("{}", report.render());
+            }
+        }
+        [a_path, b_path] => {
+            if flags.has("counters") {
+                return Err(SimError::InvalidInput(
+                    "--counters takes one sidecar; the two-sidecar form prints a delta".into(),
+                ));
+            }
+            let delta = insomnia_telemetry::render_delta(&load(a_path)?, &load(b_path)?)
+                .map_err(SimError::InvalidInput)?;
+            print!("{delta}");
+        }
+        _ => {
+            return Err(SimError::InvalidInput(
+                "profile needs one telemetry sidecar (report) or two (before/after delta): \
+                 insomnia profile run.telemetry.jsonl [other.telemetry.jsonl]"
+                    .into(),
+            ));
+        }
     }
     Ok(())
 }

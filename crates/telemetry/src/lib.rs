@@ -38,7 +38,7 @@ pub mod sink;
 pub mod span;
 
 pub use counters::RunCounters;
-pub use profile::{CounterTotals, ProfileReport};
+pub use profile::{render_delta, CounterTotals, ProfileReport};
 pub use record::{
     JobTelemetryRecord, ManifestRecord, ManifestScenario, PhaseRecord, SummaryRecord, TaskRecord,
     TelemetryRecord, TELEMETRY_SCHEMA_VERSION,

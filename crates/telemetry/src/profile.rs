@@ -237,6 +237,58 @@ impl ProfileReport {
     }
 }
 
+/// Renders a before/after comparison of two sidecars (`insomnia profile A
+/// B`): wall-clock, total events/flows, overall events/s and flows/s, and
+/// the busy time of every phase present in both runs, each with its
+/// relative change. Rates use each run's own wall-clock, so the table
+/// answers "how much faster is B" in one read; a differing event or flow
+/// total is flagged, since then the runs did different work and the rate
+/// delta is not a pure speed comparison.
+pub fn render_delta(a: &ProfileReport, b: &ProfileReport) -> Result<String, String> {
+    let sa = a.summary.as_ref().ok_or("first sidecar has no summary record")?;
+    let sb = b.summary.as_ref().ok_or("second sidecar has no summary record")?;
+    let rate =
+        |n: u64, wall_ms: f64| if wall_ms > 0.0 { n as f64 / (wall_ms / 1_000.0) } else { 0.0 };
+    let delta = |old: f64, new: f64| {
+        if old > 0.0 {
+            format!("{:+.1}%", 100.0 * (new - old) / old)
+        } else {
+            "n/a".to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str("== profile delta (A -> B)\n");
+    out.push_str(&format!("{:<20} {:>14} {:>14} {:>9}\n", "metric", "A", "B", "delta"));
+    let mut row = |name: &str, va: f64, vb: f64, fmt: fn(f64) -> String| {
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>14} {:>9}\n",
+            name,
+            fmt(va),
+            fmt(vb),
+            delta(va, vb)
+        ));
+    };
+    let secs = |v: f64| format!("{:.2} s", v / 1_000.0);
+    let count = |v: f64| format!("{v:.0}");
+    row("wall-clock", sa.wall_ms, sb.wall_ms, secs);
+    row("events", sa.events as f64, sb.events as f64, count);
+    row("flows", sa.flows as f64, sb.flows as f64, count);
+    row("events/s", rate(sa.events, sa.wall_ms), rate(sb.events, sb.wall_ms), count);
+    row("flows/s", rate(sa.flows, sa.wall_ms), rate(sb.flows, sb.wall_ms), count);
+    for pa in &a.phases {
+        if let Some(pb) = b.phases.iter().find(|p| p.phase == pa.phase) {
+            row(&format!("{} [busy]", pa.phase), pa.busy_ms, pb.busy_ms, secs);
+        }
+    }
+    if sa.events != sb.events || sa.flows != sb.flows {
+        out.push_str(
+            "warning: the runs did different amounts of work (event/flow totals differ); \
+             rate deltas are not a pure speed comparison\n",
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +397,32 @@ mod tests {
         assert!(json.starts_with("{\"jobs\":1,\"tasks\":2,\"events\":210,\"flows\":120"), "{json}");
         assert!(!json.contains("wall"), "no wall-clock in the drift payload: {json}");
         assert!(!json.contains("rss"), "no RSS in the drift payload: {json}");
+    }
+
+    #[test]
+    fn delta_reports_rates_and_matching_phases() {
+        let a = ProfileReport::from_jsonl(&sidecar()).unwrap();
+        // B: same work, half the wall-clock and event-loop busy time.
+        let mut b = a.clone();
+        let sb = b.summary.as_mut().unwrap();
+        sb.wall_ms = 25.0;
+        b.phases[0].busy_ms = 20.0;
+        let rendered = render_delta(&a, &b).unwrap();
+        assert!(rendered.contains("wall-clock"), "{rendered}");
+        assert!(rendered.contains("+100.0%"), "events/s doubles: {rendered}");
+        assert!(rendered.contains("event-loop [busy]"), "{rendered}");
+        assert!(rendered.contains("-50.0%"), "busy halves: {rendered}");
+        assert!(!rendered.contains("warning"), "identical work, no warning: {rendered}");
+
+        // Different totals flag the comparison.
+        b.summary.as_mut().unwrap().events += 1;
+        let rendered = render_delta(&a, &b).unwrap();
+        assert!(rendered.contains("warning"), "{rendered}");
+
+        // A summary-less sidecar cannot be compared.
+        let mut c = a.clone();
+        c.summary = None;
+        assert!(render_delta(&a, &c).is_err());
     }
 
     #[test]

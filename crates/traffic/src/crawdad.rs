@@ -281,6 +281,30 @@ pub(crate) fn draw_burst(p: Personality, rng: &mut SimRng) -> (FlowKind, u64) {
     }
 }
 
+/// Draw-for-draw twin of [`draw_burst`] that consumes the identical raw
+/// RNG outputs while skipping the transcendental size math (`powf` for the
+/// Pareto branches, `ln`/`sqrt`/`cos`/`exp` for the log-normal one). Burst
+/// *sizes* never influence control flow — only the branch selectors and
+/// the gap draws do — so a setup pass that only needs to advance the RNG
+/// and count flows can take this path; the streaming equivalence property
+/// tests pin that both leave the generator in the identical state.
+pub(crate) fn draw_burst_skip(p: Personality, rng: &mut SimRng) {
+    let u = rng.f64();
+    if u < 0.45 {
+        // Keepalive: `range_u64` rides on Lemire rejection, whose draw
+        // count is data-dependent — it must run exactly as in
+        // `draw_burst` (it is integer-only and cheap anyway).
+        rng.range_u64(200, 2_000);
+    } else if u < 0.45 + 0.55 * (1.0 - p.heavy_tail_bias) {
+        rng.f64(); // Web: the Pareto body's single uniform, powf skipped.
+    } else if rng.f64() < 0.80 {
+        rng.f64(); // Media: Box–Muller's two uniforms, ln/sqrt/cos/exp
+        rng.f64(); // skipped.
+    } else {
+        rng.f64(); // Bulk: the Pareto body's single uniform, powf skipped.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +315,22 @@ mod tests {
         // A quarter-size building keeps the calibration tests fast while
         // preserving per-AP client density (68/10 ≈ 272/40).
         CrawdadConfig { n_clients: 68, n_aps: 10, ..CrawdadConfig::default() }
+    }
+
+    #[test]
+    fn draw_burst_skip_consumes_identical_draws() {
+        // Same personality, same stream: the skip twin must track the full
+        // draw position burst for burst across every branch.
+        for seed in 0..4u64 {
+            let mut full = SimRng::new(31 + seed);
+            let mut skip = full.clone();
+            let p = Personality { volume: 3.0, heavy_tail_bias: 0.05 + 0.05 * seed as f64 };
+            for i in 0..5_000 {
+                draw_burst(p, &mut full);
+                draw_burst_skip(p, &mut skip);
+                assert_eq!(full, skip, "diverged at burst {i} (seed {seed})");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod flow;
 pub mod gaps;
 pub mod ids;
 pub mod io;
+pub mod merge;
 pub mod session;
 pub mod stats;
 pub mod stream;

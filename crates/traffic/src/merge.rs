@@ -1,0 +1,241 @@
+//! Loser-tree tournament merge: the k-way merge core of [`crate::FlowStream`].
+//!
+//! A classic k-way merge keeps a `BinaryHeap` of `(key, lane)` entries and
+//! pays a pop *and* a push — each O(log k) sift over 16-byte entries —
+//! per merged element. A **loser tree** stores, for each internal match of
+//! a fixed single-elimination bracket, the *loser* of that match; the
+//! overall winner sits at the root. Advancing the winner's lane then
+//! replays only the leaf-to-root path it came from: ⌈log₂ k⌉ comparisons,
+//! no allocation, no sift churn, and the path indices are known in advance
+//! (node `(k + leaf) / 2` upward), so the walk is branch-predictable where
+//! heap sift-down is not.
+//!
+//! Two further twists keep the constant small:
+//!
+//! * Each bracket entry is one `u64`: `key << shift | leaf`, where `shift`
+//!   is the leaf-index width. Because every leaf index fits in `shift`
+//!   bits, the packed integer orders exactly like the pair `(key, leaf)` —
+//!   one register compare per rung, and the node array is half the size
+//!   (cache lines hold eight entries).
+//! * The winner's **path minimum is cached**: in a loser tree the losers
+//!   along the winner's root path are precisely the minima of the sibling
+//!   subtrees, so their minimum is the best of *every other lane*. While
+//!   the same lane keeps winning (bursty lanes do, for runs at a time) and
+//!   its next key stays below that threshold, [`LoserTree::update`] is a
+//!   single store — no walk at all. The cache is only ever consulted by
+//!   the lane that produced it, so it can never go stale.
+//!
+//! `cargo bench -p insomnia-bench --bench streaming` measures heap and
+//! tree side by side on the same lanes.
+//!
+//! Ordering contract: leaf `i` ranks by `(key, i)`, so equal keys resolve
+//! to the lowest leaf index — exactly the tie-break a *stable* sort by key
+//! over lane-major input produces, which is what lets [`crate::FlowStream`]
+//! reproduce the eager generator's stable flow sort flow-for-flow.
+
+use insomnia_simcore::SimTime;
+
+/// Key for an exhausted lane: later than every real key, so drained lanes
+/// sink to the bottom of the bracket. [`LoserTree::winner_key`] returning
+/// this means every lane is exhausted.
+pub const EXHAUSTED: SimTime = SimTime::from_millis(u64::MAX);
+
+/// Packed sentinel for an exhausted lane: compares after every real packed
+/// entry (real keys are bounded by the constructor's assert).
+const PACKED_EXHAUSTED: u64 = u64::MAX;
+
+/// A fixed-size k-lane tournament over [`SimTime`] keys.
+///
+/// The lane count is padded to the next power of two with [`EXHAUSTED`]
+/// leaves; real lanes keep their index, so callers address lanes by the
+/// index they passed at construction. Keys must stay below
+/// `2^(64 − log₂ k)` milliseconds (asserted) — a horizon of centuries even
+/// at 10⁸ lanes — so the packed representation is exact.
+#[derive(Debug, Clone)]
+pub struct LoserTree {
+    /// `nodes[0]` is the overall winner; `nodes[1..k_pad]` hold each
+    /// internal match's loser, each packed as `key << shift | leaf`.
+    nodes: Vec<u64>,
+    /// Leaf count, a power of two.
+    k_pad: usize,
+    /// Bit width of a leaf index within a packed entry.
+    shift: u32,
+    /// `(leaf, path minimum)` of the current winner, when its last update
+    /// walked the full path: the smallest packed entry among every *other*
+    /// lane. Valid until that leaf loses (any walk that dethrones it
+    /// replaces the cache).
+    cached_threshold: Option<(u32, u64)>,
+}
+
+impl LoserTree {
+    /// Builds the bracket over the given initial lane keys (bottom-up, one
+    /// comparison per internal node). At least one lane is required.
+    pub fn new(keys: &[SimTime]) -> LoserTree {
+        assert!(!keys.is_empty(), "a tournament needs at least one lane");
+        let k_pad = keys.len().next_power_of_two();
+        let shift = k_pad.trailing_zeros();
+        let pack = |i: usize| {
+            let key = keys.get(i).copied().unwrap_or(EXHAUSTED);
+            pack_entry(key, i as u32, shift)
+        };
+        if k_pad == 1 {
+            return LoserTree { nodes: vec![pack(0)], k_pad, shift, cached_threshold: None };
+        }
+        let mut nodes = vec![0u64; k_pad];
+        // winners[i] = winner of the subtree rooted at internal node i;
+        // leaves occupy positions k_pad..2·k_pad.
+        let mut winners = vec![0u64; 2 * k_pad];
+        for (i, slot) in winners[k_pad..].iter_mut().enumerate() {
+            *slot = pack(i);
+        }
+        for i in (1..k_pad).rev() {
+            let (a, b) = (winners[2 * i], winners[2 * i + 1]);
+            let (win, lose) = if a < b { (a, b) } else { (b, a) };
+            winners[i] = win;
+            nodes[i] = lose;
+        }
+        nodes[0] = winners[1];
+        LoserTree { nodes, k_pad, shift, cached_threshold: None }
+    }
+
+    /// The current winning leaf (lowest `(key, leaf)` rank). Meaningful
+    /// only while [`LoserTree::winner_key`] is not [`EXHAUSTED`] (drained
+    /// lanes all pack to one sentinel and lose their leaf identity).
+    #[inline]
+    pub fn winner(&self) -> usize {
+        (self.nodes[0] & (self.k_pad as u64 - 1)) as usize
+    }
+
+    /// The winner's key; [`EXHAUSTED`] means every lane has drained.
+    #[inline]
+    pub fn winner_key(&self) -> SimTime {
+        unpack_key(self.nodes[0], self.shift)
+    }
+
+    /// Replaces leaf `w`'s key (its lane advanced — or drained, with
+    /// [`EXHAUSTED`]) and replays the single leaf-to-root path: ⌈log₂ k⌉
+    /// compares over the stored loser entries — or zero when `w` is the
+    /// cached winner and its new key still beats every other lane.
+    #[inline]
+    pub fn update(&mut self, w: usize, key: SimTime) {
+        let cur = pack_entry(key, w as u32, self.shift);
+        if let Some((leaf, threshold)) = self.cached_threshold {
+            if leaf == w as u32 && cur < threshold {
+                self.nodes[0] = cur;
+                return;
+            }
+        }
+        self.walk(w, cur);
+    }
+
+    /// The full leaf-to-root replay; refreshes the winner cache.
+    fn walk(&mut self, w: usize, mut cur: u64) {
+        let mut min_other = PACKED_EXHAUSTED;
+        let mut node = (self.k_pad + w) >> 1;
+        while node >= 1 {
+            let other = self.nodes[node];
+            if other < cur {
+                self.nodes[node] = cur;
+                cur = other;
+            }
+            min_other = min_other.min(self.nodes[node]);
+            node >>= 1;
+        }
+        self.nodes[0] = cur;
+        // `cur` survived every match iff leaf `w` is still the winner; the
+        // path losers are then the sibling subtrees' minima, so their
+        // minimum bounds every other lane.
+        self.cached_threshold = if cur & (self.k_pad as u64 - 1) == w as u64 {
+            Some((w as u32, min_other))
+        } else {
+            None
+        };
+    }
+}
+
+/// Packs `(key, leaf)` so that `u64` order equals the pair's lexicographic
+/// order; [`EXHAUSTED`] maps to the all-ones sentinel.
+#[inline]
+fn pack_entry(key: SimTime, leaf: u32, shift: u32) -> u64 {
+    let ms = key.as_millis();
+    if ms >= (PACKED_EXHAUSTED >> shift) {
+        debug_assert_eq!(key, EXHAUSTED, "key overflows the packed-entry range");
+        return PACKED_EXHAUSTED;
+    }
+    (ms << shift) | u64::from(leaf)
+}
+
+/// Inverse of [`pack_entry`] for the key half.
+#[inline]
+fn unpack_key(packed: u64, shift: u32) -> SimTime {
+    if packed == PACKED_EXHAUSTED {
+        EXHAUSTED
+    } else {
+        SimTime::from_millis(packed >> shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Drains the tournament over per-lane sorted runs, feeding each lane's
+    /// successor on every pop.
+    fn drain(lanes: &[Vec<u64>]) -> Vec<(u64, usize)> {
+        let mut pos = vec![0usize; lanes.len()];
+        let keys: Vec<SimTime> =
+            lanes.iter().map(|l| l.first().map_or(EXHAUSTED, |&ms| t(ms))).collect();
+        let mut tree = LoserTree::new(&keys);
+        let mut out = Vec::new();
+        while tree.winner_key() != EXHAUSTED {
+            let w = tree.winner();
+            out.push((lanes[w][pos[w]], w));
+            pos[w] += 1;
+            tree.update(w, lanes[w].get(pos[w]).map_or(EXHAUSTED, |&ms| t(ms)));
+        }
+        out
+    }
+
+    #[test]
+    fn merges_sorted_lanes_like_a_stable_sort() {
+        let lanes = vec![vec![1, 4, 4, 9], vec![2, 4, 8], vec![], vec![0, 4, 10, 11, 12], vec![4]];
+        let merged = drain(&lanes);
+        // Reference: stable sort by key over lane-major order.
+        let mut expect: Vec<(u64, usize)> = Vec::new();
+        for (lane, run) in lanes.iter().enumerate() {
+            expect.extend(run.iter().map(|&ms| (ms, lane)));
+        }
+        expect.sort_by_key(|&(ms, _)| ms);
+        assert_eq!(merged, expect, "equal keys must pop in lane order");
+    }
+
+    #[test]
+    fn single_lane_and_power_of_two_padding_work() {
+        assert_eq!(drain(&[vec![3, 5, 7]]), vec![(3, 0), (5, 0), (7, 0)]);
+        // 3 lanes pad to 4; the phantom leaf must never win.
+        let merged = drain(&[vec![5], vec![1, 6], vec![2]]);
+        assert_eq!(merged, vec![(1, 1), (2, 2), (5, 0), (6, 1)]);
+    }
+
+    #[test]
+    fn all_lanes_exhausted_reports_exhausted_winner() {
+        let tree = LoserTree::new(&[EXHAUSTED, EXHAUSTED, EXHAUSTED]);
+        assert_eq!(tree.winner_key(), EXHAUSTED);
+    }
+
+    #[test]
+    fn winner_cache_survives_long_single_lane_runs() {
+        // Lane 0 emits a long tight run while lane 1 waits far in the
+        // future: every mid-run update takes the cached fast path, and the
+        // handoff at the end must still be exact.
+        let lanes = vec![(0..1_000u64).collect::<Vec<_>>(), vec![1_000, 1_001]];
+        let merged = drain(&lanes);
+        assert_eq!(merged.len(), 1_002);
+        assert!(merged[..1_000].iter().enumerate().all(|(i, &(ms, l))| ms == i as u64 && l == 0));
+        assert_eq!(&merged[1_000..], &[(1_000, 1), (1_001, 1)]);
+    }
+}

@@ -3,13 +3,14 @@
 //! EXPERIMENTS.md relies on.
 
 use insomnia::core::{
-    build_sharded_world_seeded, build_world, run_scheme_sharded, run_single, CompletionStats,
-    ScenarioConfig, SchemeSpec,
+    build_sharded_world_seeded, build_world, run_scheme_sharded, run_single,
+    run_single_source_threads, ArrivalSource, CompletionStats, ScenarioConfig, SchemeSpec,
 };
 use insomnia::dslphy::{BundleConfig, CrosstalkExperiment};
 use insomnia::scenarios::{parse_scheme_list, run_batch, BatchRun, Registry};
 use insomnia::simcore::{OnlineTimeHist, SimRng, SimTime};
 use insomnia::traffic::crawdad::{self, CrawdadConfig};
+use insomnia::traffic::FlowStream;
 
 #[test]
 fn trace_generation_is_bit_stable() {
@@ -39,6 +40,58 @@ fn full_simulation_is_bit_stable() {
         assert_eq!(a.energy.total_j(), b.energy.total_j(), "{spec}");
         assert_eq!(a.stats, b.stats, "{spec}");
     }
+}
+
+#[test]
+fn optimal_presolve_is_byte_identical_across_solve_thread_counts() {
+    // The Optimal scheme's re-solves run as an index-addressed pre-pass
+    // fan-out before the event loop; the loop consumes outputs strictly in
+    // tick order, so every result byte must be independent of the fan-out
+    // width — on both arrival feeds (slice and stream).
+    let mut cfg = ScenarioConfig::smoke();
+    cfg.trace.horizon = SimTime::from_hours(6);
+    let (trace, topo) = build_world(&cfg);
+    let slice = |threads: usize| {
+        run_single_source_threads(
+            &cfg,
+            SchemeSpec::optimal(),
+            ArrivalSource::Slice(&trace.flows),
+            &topo,
+            SimRng::new(11),
+            threads,
+        )
+    };
+    let a = slice(1);
+    let b = slice(8);
+    assert!(a.counters.optimal_solves > 1, "multiple ticks must fan out");
+    assert_eq!(a.counters, b.counters, "work counters invariant under solve threads");
+    assert_eq!(a.powered_gateways, b.powered_gateways);
+    assert_eq!(a.awake_cards, b.awake_cards);
+    assert_eq!(a.gateway_online_s, b.gateway_online_s);
+    assert_eq!(a.wake_counts, b.wake_counts);
+    assert_eq!(a.energy.total_j(), b.energy.total_j());
+    assert_eq!(a.stats, b.stats);
+
+    // Streaming feed: the pre-pass replays a clone of the stream's cursor
+    // state, so the live stream's drained work counters must stay exactly
+    // what the serial driver reported.
+    let streamed = |threads: usize| {
+        let mut rng = SimRng::new(cfg.seed).fork("trace");
+        let stream = FlowStream::new(&cfg.trace, &mut rng);
+        run_single_source_threads(
+            &cfg,
+            SchemeSpec::optimal(),
+            ArrivalSource::Stream(Box::new(stream)),
+            &topo,
+            SimRng::new(11),
+            threads,
+        )
+    };
+    let sa = streamed(1);
+    let sb = streamed(8);
+    assert_eq!(sa.counters, sb.counters);
+    assert_eq!(sa.powered_gateways, sb.powered_gateways);
+    assert_eq!(sa.energy.total_j(), sb.energy.total_j());
 }
 
 #[test]
