@@ -4,7 +4,11 @@
 //! sleeps; a line card sleeps when *all* of its ports are inactive; the
 //! shelf never sleeps. A line counts as active from the moment its gateway
 //! starts waking (the wake time includes line-card and modem power-up plus
-//! modem resync).
+//! modem resync). The gateway-side doze ladder
+//! ([`crate::power::PowerLadder`]) refines only the *gateway's* sleeping
+//! draw: the DSL line — and therefore the modem and card metering here —
+//! is binary, active iff the gateway is powered, whatever doze depth the
+//! gateway rests at.
 
 use crate::kswitch::{Fabric, SwitchFabric};
 use crate::power::PowerModel;

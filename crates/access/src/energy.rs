@@ -3,7 +3,10 @@
 //! The evaluation's headline metric is "total energy savings of a scheme
 //! with respect to a no-sleep operation" (§5.1), broken down between the
 //! user part (gateways) and the ISP part (modems + line cards + shelf) —
-//! the split behind Fig. 8 and the ⅔-user/⅓-ISP summary.
+//! the split behind Fig. 8 and the ⅔-user/⅓-ISP summary. `user_j`
+//! integrates each gateway's power meter, so multi-level doze draws
+//! ([`crate::power::PowerLadder`]) flow into the breakdown with no change
+//! here: a doze level is just another metered wattage.
 
 use crate::power::PowerModel;
 use serde::{Deserialize, Serialize};

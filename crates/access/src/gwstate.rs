@@ -12,8 +12,16 @@
 //!     ▲    (wake done)     ▲                         │
 //!     └────────────────────┴───── begin_wake ◄───────┘
 //! ```
+//!
+//! The `Sleeping` state is refined by a [`PowerLadder`]: an ordered list of
+//! doze levels, each with its own draw and wake latency. A fixed-timeout
+//! scheme sleeps straight into the deepest level (with a one-level
+//! [`PowerLadder::binary`] ladder this *is* the paper's binary on/off
+//! model, byte-for-byte); a multi-doze scheme enters at the shallowest
+//! level and [`Gateway::descend`]s as idle time grows, so the wake cost
+//! depends on the depth reached.
 
-use crate::power::PowerModel;
+use crate::power::{PowerLadder, PowerModel};
 use insomnia_simcore::{SimDuration, SimTime, TimeWeighted};
 use serde::{Deserialize, Serialize};
 
@@ -31,16 +39,23 @@ pub enum GwState {
     Waking,
 }
 
-/// One user gateway with SoI timers and an energy meter.
+/// One user gateway with SoI timers, a doze ladder and an energy meter.
 #[derive(Debug, Clone)]
 pub struct Gateway {
     state: GwState,
     /// Last instant traffic traversed this gateway (valid while Online).
     last_traffic: SimTime,
     /// SoI idle timeout (paper: 60 s, chosen from the Fig. 4 analysis).
+    /// Adaptive schemes retune it per gateway at runtime.
     idle_timeout: SimDuration,
-    /// Boot + resync duration (paper: 60 s measured average).
-    wake_time: SimDuration,
+    /// Doze states, shallowest first (one binary level = the paper model).
+    ladder: PowerLadder,
+    /// Level a fresh sleep enters: the deepest for fixed-timeout schemes,
+    /// the shallowest for multi-doze descent.
+    sleep_entry: usize,
+    /// Current ladder level (valid while Sleeping; a wake pays the wake
+    /// latency of the level reached).
+    level: usize,
     /// When the in-progress wake completes (valid while Waking).
     wake_done_at: SimTime,
     /// Power signal in watts over time.
@@ -49,12 +64,14 @@ pub struct Gateway {
     online: TimeWeighted,
     /// Number of sleep→wake cycles (wear metric, sensitivity analyses).
     wake_count: u64,
-    power: PowerModel,
+    /// Draw while online or waking, watts.
+    on_w: f64,
 }
 
 impl Gateway {
     /// Creates a gateway at `t0` in the given initial state (the paper's
-    /// simulations start with every gateway sleeping).
+    /// simulations start with every gateway sleeping) over the legacy
+    /// binary on/off model — a one-level [`PowerLadder::binary`] ladder.
     pub fn new(
         t0: SimTime,
         initial: GwState,
@@ -62,15 +79,41 @@ impl Gateway {
         wake_time: SimDuration,
         power: PowerModel,
     ) -> Self {
+        Gateway::with_ladder(
+            t0,
+            initial,
+            idle_timeout,
+            PowerLadder::binary(power.gateway_sleep_w, wake_time),
+            0,
+            power.gateway_on_w,
+        )
+    }
+
+    /// Creates a gateway over an explicit doze ladder. `sleep_entry` is the
+    /// level a fresh sleep enters. A gateway that *starts* sleeping has
+    /// been idle indefinitely before the day, so it starts at the deepest
+    /// level regardless of the entry level.
+    pub fn with_ladder(
+        t0: SimTime,
+        initial: GwState,
+        idle_timeout: SimDuration,
+        ladder: PowerLadder,
+        sleep_entry: usize,
+        on_w: f64,
+    ) -> Self {
+        assert!(sleep_entry < ladder.n_levels(), "sleep entry level outside the ladder");
+        let level = ladder.deepest();
         let w = match initial {
-            GwState::Sleeping => power.gateway_sleep_w,
-            _ => power.gateway_on_w,
+            GwState::Sleeping => ladder.watts(level),
+            _ => on_w,
         };
         Gateway {
             state: initial,
             last_traffic: t0,
             idle_timeout,
-            wake_time,
+            ladder,
+            sleep_entry,
+            level,
             wake_done_at: t0,
             meter: TimeWeighted::new(t0.as_millis(), w),
             online: TimeWeighted::new(
@@ -78,7 +121,7 @@ impl Gateway {
                 if initial == GwState::Sleeping { 0.0 } else { 1.0 },
             ),
             wake_count: 0,
-            power,
+            on_w,
         }
     }
 
@@ -102,9 +145,41 @@ impl Gateway {
         self.idle_timeout
     }
 
-    /// Wake (boot + resync) duration.
+    /// Retunes the idle timeout (the adaptive-SOI scheme's per-gateway
+    /// timer). Takes effect at the next idle-deadline evaluation.
+    pub fn set_idle_timeout(&mut self, timeout: SimDuration) {
+        self.idle_timeout = timeout;
+    }
+
+    /// Wake (boot + resync) duration from the deepest sleep — the legacy
+    /// binary model's single wake time.
     pub fn wake_time(&self) -> SimDuration {
-        self.wake_time
+        self.ladder.wake(self.ladder.deepest())
+    }
+
+    /// The gateway's doze ladder.
+    pub fn ladder(&self) -> &PowerLadder {
+        &self.ladder
+    }
+
+    /// Current doze level (meaningful while Sleeping).
+    pub fn doze_level(&self) -> usize {
+        self.level
+    }
+
+    /// Instantaneous draw, watts: full power while online or waking, the
+    /// current doze level's draw while sleeping.
+    pub fn current_draw_w(&self) -> f64 {
+        if self.state == GwState::Sleeping {
+            self.ladder.watts(self.level)
+        } else {
+            self.on_w
+        }
+    }
+
+    /// True when a sleeping gateway has a deeper doze level to descend to.
+    pub fn can_descend(&self) -> bool {
+        self.state == GwState::Sleeping && self.level < self.ladder.deepest()
     }
 
     /// Completion time of the wake in progress (only meaningful if Waking).
@@ -134,11 +209,13 @@ impl Gateway {
     }
 
     /// Attempts the SoI transition at time `t`: succeeds iff the gateway is
-    /// online and has been idle for the full timeout.
+    /// online and has been idle for the full timeout. Enters the ladder at
+    /// the configured sleep-entry level.
     pub fn try_sleep(&mut self, t: SimTime) -> bool {
         if self.state == GwState::Online && t >= self.idle_deadline() {
             self.state = GwState::Sleeping;
-            self.meter.set(t.as_millis(), self.power.gateway_sleep_w);
+            self.level = self.sleep_entry;
+            self.meter.set(t.as_millis(), self.ladder.watts(self.level));
             self.online.set(t.as_millis(), 0.0);
             true
         } else {
@@ -146,17 +223,30 @@ impl Gateway {
         }
     }
 
-    /// Starts waking a sleeping gateway (WoWLAN / Remote Wake). Returns the
-    /// completion time, or `None` if the gateway is not sleeping (waking an
-    /// online/waking gateway is a no-op for the caller to tolerate).
+    /// Moves a sleeping gateway one doze level deeper (the multi-doze
+    /// descent after the current level's dwell elapsed). Returns the new
+    /// level, or `None` when not sleeping or already at the deepest level.
+    pub fn descend(&mut self, t: SimTime) -> Option<usize> {
+        if !self.can_descend() {
+            return None;
+        }
+        self.level += 1;
+        self.meter.set(t.as_millis(), self.ladder.watts(self.level));
+        Some(self.level)
+    }
+
+    /// Starts waking a sleeping gateway (WoWLAN / Remote Wake), paying the
+    /// wake latency of the doze level reached. Returns the completion time,
+    /// or `None` if the gateway is not sleeping (waking an online/waking
+    /// gateway is a no-op for the caller to tolerate).
     pub fn begin_wake(&mut self, t: SimTime) -> Option<SimTime> {
         if self.state != GwState::Sleeping {
             return None;
         }
         self.state = GwState::Waking;
-        self.wake_done_at = t + self.wake_time;
+        self.wake_done_at = t + self.ladder.wake(self.level);
         self.wake_count += 1;
-        self.meter.set(t.as_millis(), self.power.gateway_on_w);
+        self.meter.set(t.as_millis(), self.on_w);
         self.online.set(t.as_millis(), 1.0);
         Some(self.wake_done_at)
     }
@@ -194,6 +284,7 @@ impl Gateway {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::power::PowerState;
 
     fn gw(initial: GwState) -> Gateway {
         Gateway::new(
@@ -279,5 +370,106 @@ mod tests {
         g.finish(SimTime::from_hours(1));
         assert_eq!(g.energy_j(), 0.0);
         assert_eq!(g.online_seconds(), 0.0);
+    }
+
+    fn doze_ladder() -> PowerLadder {
+        PowerLadder::new(vec![
+            PowerState {
+                watts: 3.0,
+                wake: SimDuration::from_secs(10),
+                dwell: SimDuration::from_secs(100),
+            },
+            PowerState {
+                watts: 1.0,
+                wake: SimDuration::from_secs(30),
+                dwell: SimDuration::from_secs(200),
+            },
+            PowerState { watts: 0.0, wake: SimDuration::from_secs(60), dwell: SimDuration::ZERO },
+        ])
+    }
+
+    fn doze_gw(initial: GwState) -> Gateway {
+        Gateway::with_ladder(
+            SimTime::ZERO,
+            initial,
+            SimDuration::from_secs(60),
+            doze_ladder(),
+            0,
+            9.0,
+        )
+    }
+
+    #[test]
+    fn multi_doze_descends_and_wake_cost_tracks_depth() {
+        // Online 100 s → shallow doze → descend twice → wake from deepest.
+        let mut g = doze_gw(GwState::Online);
+        assert!(g.try_sleep(SimTime::from_secs(100)));
+        assert_eq!(g.doze_level(), 0, "fresh sleep enters the entry level");
+        assert_eq!(g.current_draw_w(), 3.0);
+        assert!(g.can_descend());
+        assert_eq!(g.descend(SimTime::from_secs(200)), Some(1));
+        assert_eq!(g.current_draw_w(), 1.0);
+        assert_eq!(g.descend(SimTime::from_secs(400)), Some(2));
+        assert!(!g.can_descend(), "deepest level has nowhere to go");
+        assert_eq!(g.descend(SimTime::from_secs(500)), None);
+        // Wake from the deepest level pays the deepest latency.
+        let done = g.begin_wake(SimTime::from_secs(600)).unwrap();
+        assert_eq!(done, SimTime::from_secs(660));
+        g.complete_wake(done);
+        g.finish(SimTime::from_secs(660));
+        // 100 s × 9 W online, 100 s × 3 W, 200 s × 1 W, 200 s × 0 W,
+        // 60 s × 9 W waking.
+        let expected = 100.0 * 9.0 + 100.0 * 3.0 + 200.0 * 1.0 + 200.0 * 0.0 + 60.0 * 9.0;
+        assert!((g.energy_j() - expected).abs() < 1e-9, "energy {}", g.energy_j());
+    }
+
+    #[test]
+    fn shallow_wake_is_cheaper_than_deep_wake() {
+        let mut g = doze_gw(GwState::Online);
+        assert!(g.try_sleep(SimTime::from_secs(100)));
+        let done = g.begin_wake(SimTime::from_secs(150)).unwrap();
+        assert_eq!(done, SimTime::from_secs(160), "shallow level wakes in 10 s");
+    }
+
+    #[test]
+    fn initial_sleep_starts_at_the_deepest_level() {
+        // A gateway asleep at t0 has been idle indefinitely: deepest level,
+        // whatever the configured entry level.
+        let g = doze_gw(GwState::Sleeping);
+        assert_eq!(g.doze_level(), 2);
+        assert_eq!(g.current_draw_w(), 0.0);
+    }
+
+    #[test]
+    fn descend_is_noop_unless_sleeping() {
+        let mut g = doze_gw(GwState::Online);
+        assert_eq!(g.descend(SimTime::from_secs(5)), None);
+    }
+
+    #[test]
+    fn adaptive_timeout_retunes_idle_deadline() {
+        let mut g = gw(GwState::Online);
+        g.on_traffic(SimTime::from_secs(10));
+        assert_eq!(g.idle_deadline(), SimTime::from_secs(70));
+        g.set_idle_timeout(SimDuration::from_secs(20));
+        assert_eq!(g.idle_deadline(), SimTime::from_secs(30));
+        assert!(g.try_sleep(SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn binary_ladder_gateway_matches_legacy_semantics() {
+        // The degenerate 2-state machine: one sleep level at the legacy
+        // draw/wake. Every transition instant and meter value must equal
+        // the historical binary gateway's.
+        let mut g = gw(GwState::Online);
+        assert_eq!(g.ladder().n_levels(), 1);
+        assert!(g.try_sleep(SimTime::from_secs(100)));
+        assert_eq!(g.doze_level(), 0);
+        assert!(!g.can_descend(), "binary model has no descent");
+        let done = g.begin_wake(SimTime::from_secs(200)).unwrap();
+        assert_eq!(done, SimTime::from_secs(260), "legacy 60 s wake");
+        g.complete_wake(done);
+        g.finish(SimTime::from_secs(260));
+        assert!((g.energy_j() - (100.0 * 9.0 + 100.0 * 0.0 + 60.0 * 9.0)).abs() < 1e-9);
     }
 }

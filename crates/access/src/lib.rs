@@ -4,8 +4,10 @@
 //! reproduction:
 //!
 //! * [`power`] — measured constant draws (gateway 9 W, line card 98 W,
-//!   shelf 21 W, modem 1 W),
-//! * [`gwstate`] — the gateway Sleep-on-Idle state machine with 60 s wake,
+//!   shelf 21 W, modem 1 W) and the configurable doze ladder
+//!   ([`PowerLadder`]) generalizing the binary on/off model,
+//! * [`gwstate`] — the gateway Sleep-on-Idle state machine with 60 s wake
+//!   and multi-level doze descent,
 //! * [`kswitch`] — the HDF switch fabrics: fixed wiring, the paper's
 //!   k-switches, and the idealized full switch,
 //! * [`dslam`] — shelf + line cards + modems with energy metering,
@@ -29,7 +31,7 @@ pub use gwstate::{Gateway, GwState};
 pub use kswitch::{
     random_mapping, Fabric, FixedFabric, FullFabric, KSwitchFabric, PortLoc, SwitchFabric,
 };
-pub use power::PowerModel;
+pub use power::{PowerLadder, PowerModel, PowerState};
 pub use sleepprob::{
     binomial_coeff, expected_sleeping_cards, full_switch_sleeping_cards, p_at_least, p_card_sleeps,
     p_card_sleeps_monte_carlo, p_card_sleeps_no_switch, p_card_sleeps_paper_formula,

@@ -11,6 +11,7 @@
 //! as a constant draw while awake and (configurable, default zero) residual
 //! draw while asleep.
 
+use insomnia_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// Constant power draws in watts.
@@ -72,6 +73,149 @@ impl PowerModel {
     }
 }
 
+/// One doze level of a gateway's power-state ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerState {
+    /// Draw while resting in this state, watts.
+    pub watts: f64,
+    /// Latency to full-active from this state (boot + DSL resync share).
+    pub wake: SimDuration,
+    /// Idle dwell in this state before a multi-doze descent moves one level
+    /// deeper. Unused at the deepest level (there is nowhere to descend).
+    pub dwell: SimDuration,
+}
+
+/// Ordered doze states of a gateway, shallowest first, deepest last.
+///
+/// The ladder generalizes the paper's binary on/off model: a fixed-timeout
+/// scheme (SoI, BH2, Optimal) sleeps straight into the *deepest* state, a
+/// multi-doze scheme enters at the top and descends as idle time grows.
+/// [`PowerLadder::binary`] is the 2-state degenerate case — one sleep level
+/// with the legacy `gateway_sleep_w` draw and the legacy wake time — and
+/// reproduces the historical gateway byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerLadder {
+    states: Vec<PowerState>,
+}
+
+impl PowerLadder {
+    /// Builds a ladder from explicit states (shallow → deep).
+    ///
+    /// # Panics
+    /// Panics on an empty state list; use [`PowerLadder::validate`] for the
+    /// full well-formedness rules before constructing from user input.
+    pub fn new(states: Vec<PowerState>) -> Self {
+        assert!(!states.is_empty(), "a power ladder needs at least one sleep state");
+        PowerLadder { states }
+    }
+
+    /// The 2-state degenerate case: one sleep level with the legacy draw
+    /// and wake latency. Dwell never matters with a single level.
+    pub fn binary(sleep_w: f64, wake: SimDuration) -> Self {
+        PowerLadder::new(vec![PowerState { watts: sleep_w, wake, dwell: SimDuration::ZERO }])
+    }
+
+    /// Default three-level doze ladder for the multi-doze scheme when the
+    /// scenario configures none: a shallow doze that keeps the PHY warm
+    /// (fast resync, modest savings), a mid doze, and the legacy full sleep
+    /// with the measured full wake. Draws interpolate between the model's
+    /// on/sleep watts so a custom `PowerModel` scales the whole ladder.
+    pub fn default_doze(power: &PowerModel, wake: SimDuration) -> Self {
+        let span = power.gateway_on_w - power.gateway_sleep_w;
+        let quarter = SimDuration::from_millis(wake.as_millis() / 4);
+        let half = SimDuration::from_millis(wake.as_millis() / 2);
+        PowerLadder::new(vec![
+            PowerState {
+                watts: power.gateway_sleep_w + 0.375 * span,
+                wake: quarter,
+                dwell: SimDuration::from_secs(300),
+            },
+            PowerState {
+                watts: power.gateway_sleep_w + 0.125 * span,
+                wake: half,
+                dwell: SimDuration::from_secs(900),
+            },
+            PowerState { watts: power.gateway_sleep_w, wake, dwell: SimDuration::ZERO },
+        ])
+    }
+
+    /// A copy whose every wake latency is zero — the Optimal scheme's
+    /// clairvoyant gateways wake instantaneously (the ILP plans ahead), so
+    /// the driver strips wake costs exactly like the legacy binary path.
+    pub fn with_zero_wake(&self) -> Self {
+        PowerLadder::new(
+            self.states.iter().map(|s| PowerState { wake: SimDuration::ZERO, ..*s }).collect(),
+        )
+    }
+
+    /// The sleep states, shallowest first.
+    pub fn states(&self) -> &[PowerState] {
+        &self.states
+    }
+
+    /// Number of sleep levels (always at least one).
+    pub fn n_levels(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Index of the deepest sleep level.
+    pub fn deepest(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Draw of sleep level `level`, watts.
+    pub fn watts(&self, level: usize) -> f64 {
+        self.states[level].watts
+    }
+
+    /// Wake latency to full-active from sleep level `level`.
+    pub fn wake(&self, level: usize) -> SimDuration {
+        self.states[level].wake
+    }
+
+    /// Idle dwell at sleep level `level` before a multi-doze descent.
+    pub fn dwell(&self, level: usize) -> SimDuration {
+        self.states[level].dwell
+    }
+
+    /// Well-formedness for user-supplied ladders: draws finite and
+    /// non-negative, non-increasing shallow → deep (a deeper state that
+    /// draws *more* is never worth entering); wake latencies non-decreasing
+    /// (deeper sleep cannot wake faster); every non-deepest dwell positive
+    /// (a zero dwell would make the multi-doze descent spin).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.states.iter().enumerate() {
+            if !s.watts.is_finite() || s.watts < 0.0 {
+                return Err(format!("power state {i}: watts must be finite and >= 0"));
+            }
+            if i > 0 {
+                if s.watts > self.states[i - 1].watts {
+                    return Err(format!(
+                        "power state {i}: draw {} W exceeds the shallower level's {} W \
+                         (states must go shallow -> deep)",
+                        s.watts,
+                        self.states[i - 1].watts
+                    ));
+                }
+                if s.wake < self.states[i - 1].wake {
+                    return Err(format!(
+                        "power state {i}: wake {} is shorter than the shallower level's {} \
+                         (deeper sleep cannot wake faster)",
+                        s.wake,
+                        self.states[i - 1].wake
+                    ));
+                }
+            }
+            if i + 1 < self.states.len() && s.dwell.is_zero() {
+                return Err(format!(
+                    "power state {i}: dwell must be positive below the deepest level"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +252,58 @@ mod tests {
         assert!((sharded - 64.0 * p.no_sleep_isp_w(40, 4)).abs() < 1e-9);
         // One shard is exactly the unsharded baseline.
         assert_eq!(p.no_sleep_isp_w_sharded(40, 4, 1), p.no_sleep_isp_w(40, 4));
+    }
+
+    #[test]
+    fn binary_ladder_is_the_legacy_model() {
+        let p = PowerModel::default();
+        let l = PowerLadder::binary(p.gateway_sleep_w, SimDuration::from_secs(60));
+        assert_eq!(l.n_levels(), 1);
+        assert_eq!(l.deepest(), 0);
+        assert_eq!(l.watts(0), p.gateway_sleep_w);
+        assert_eq!(l.wake(0), SimDuration::from_secs(60));
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn default_doze_ladder_is_well_formed() {
+        let p = PowerModel::default();
+        let l = PowerLadder::default_doze(&p, SimDuration::from_secs(60));
+        l.validate().unwrap();
+        assert_eq!(l.n_levels(), 3);
+        // Deepest level is exactly the legacy full sleep.
+        assert_eq!(l.watts(l.deepest()), p.gateway_sleep_w);
+        assert_eq!(l.wake(l.deepest()), SimDuration::from_secs(60));
+        // Shallow levels trade watts for wake latency.
+        assert!(l.watts(0) > l.watts(1) && l.watts(1) > l.watts(2));
+        assert!(l.wake(0) < l.wake(1) && l.wake(1) < l.wake(2));
+        // Zero-wake stripping keeps draws, zeroes latencies.
+        let z = l.with_zero_wake();
+        assert_eq!(z.watts(0), l.watts(0));
+        assert!(z.wake(2).is_zero());
+    }
+
+    #[test]
+    fn ladder_validation_rejects_malformed_ladders() {
+        let s = |w: f64, wake_s: u64, dwell_s: u64| PowerState {
+            watts: w,
+            wake: SimDuration::from_secs(wake_s),
+            dwell: SimDuration::from_secs(dwell_s),
+        };
+        // Draw increasing with depth.
+        let bad = PowerLadder::new(vec![s(1.0, 10, 60), s(2.0, 20, 0)]);
+        assert!(bad.validate().is_err());
+        // Deeper level waking faster.
+        let bad = PowerLadder::new(vec![s(3.0, 30, 60), s(1.0, 10, 0)]);
+        assert!(bad.validate().is_err());
+        // Zero dwell above the deepest level.
+        let bad = PowerLadder::new(vec![s(3.0, 10, 0), s(1.0, 20, 0)]);
+        assert!(bad.validate().is_err());
+        // Negative / non-finite draws.
+        let bad = PowerLadder::new(vec![s(-1.0, 10, 0)]);
+        assert!(bad.validate().is_err());
+        let bad = PowerLadder::new(vec![s(f64::NAN, 10, 0)]);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

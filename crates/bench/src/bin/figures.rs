@@ -83,6 +83,7 @@ fn main() -> ExitCode {
             "completion",
             "summary",
             "ablation",
+            "doze",
         ]
         .into_iter()
         .map(String::from)
@@ -126,6 +127,7 @@ fn main() -> ExitCode {
             "cards" => outputs.push(fig::cards_table(runs.as_ref().expect("main"))),
             "completion" => outputs.push(fig::completion_table(runs.as_ref().expect("main"))),
             "ablation" => outputs.push(fig::ablation(&h)),
+            "doze" => outputs.push(fig::doze_table(&h)),
             "summary" => outputs.push(fig::summary(runs.as_ref().expect("main"))),
             other => eprintln!("unknown figure: {other}"),
         }

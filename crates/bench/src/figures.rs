@@ -481,6 +481,49 @@ pub fn cards_table(runs: &MainRuns) -> FigureData {
     t.with_row_labels(labels)
 }
 
+/// Sleep-policy comparison: the paper's fixed-timeout SoI against the
+/// multi-doze ladder and the adaptive per-gateway timeout, same scenario,
+/// same no-sleep baseline. `doze_descents` counts delivered doze-ladder
+/// descents (0 for the policies that sleep straight to the deepest level).
+pub fn doze_table(h: &Harness) -> FigureData {
+    let cfg = &h.scenario;
+    let world = build_sharded_world(cfg);
+    let threads = insomnia_simcore::default_threads();
+    let run = |spec| run_scheme_sharded(cfg, spec, &world, cfg.seed, threads);
+    let base_user_w = cfg.power.no_sleep_user_w(world.n_gateways());
+    let base_isp_w =
+        cfg.power.no_sleep_isp_w_sharded(world.n_gateways(), cfg.dslam.n_cards, world.n_shards());
+    let mut t = FigureData::new(
+        "doze",
+        "sleep-policy comparison: fixed SoI vs multi-doze ladder vs adaptive-SOI",
+        vec![
+            "mean_savings_pct".into(),
+            "peak_savings_pct".into(),
+            "mean_gw".into(),
+            "wakes_per_gw".into(),
+            "doze_descents".into(),
+        ],
+    );
+    let mut labels = Vec::new();
+    for (name, spec) in [
+        ("soi", SchemeSpec::soi()),
+        ("multi-doze", SchemeSpec::multi_doze()),
+        ("adaptive-soi", SchemeSpec::adaptive_soi()),
+    ] {
+        let r = run(spec);
+        let s = summarize(&r, base_user_w, base_isp_w);
+        labels.push(name.to_string());
+        t.push_row(vec![
+            s.mean_savings_pct,
+            s.peak_savings_pct,
+            s.mean_gateways,
+            r.mean_wake_count,
+            r.counters.doze_ticks as f64,
+        ]);
+    }
+    t.with_row_labels(labels)
+}
+
 /// Sensitivity ablation (§5.1): BH2 savings across the parameter axes the
 /// paper tuned (thresholds, idle timeout, wake time, epoch).
 pub fn ablation(h: &Harness) -> FigureData {

@@ -1,6 +1,6 @@
 //! Evaluation scenario configuration (§5.1 defaults).
 
-use insomnia_access::{DslamConfig, PowerModel};
+use insomnia_access::{DslamConfig, PowerLadder, PowerModel};
 use insomnia_simcore::{SimDuration, SimError, SimResult, SimTime};
 use insomnia_traffic::CrawdadConfig;
 use insomnia_wireless::ChannelModel;
@@ -52,6 +52,33 @@ impl Default for Bh2Params {
     }
 }
 
+/// Adaptive-SOI parameters: the per-gateway idle timeout is retuned to
+/// `clamp(gain × EWMA(inter-arrival gap), min_timeout, max_timeout)` on
+/// every flow arrival at the gateway.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSoiParams {
+    /// Timeout as a multiple of the smoothed inter-arrival gap: the fuse
+    /// outlives `gain` typical gaps before the gateway dares to sleep.
+    pub gain: f64,
+    /// EWMA smoothing factor in (0, 1]; 1 tracks only the latest gap.
+    pub alpha: f64,
+    /// Timeout floor — even a dead-quiet gateway waits at least this long.
+    pub min_timeout: SimDuration,
+    /// Timeout ceiling — even a bursty gateway eventually sleeps.
+    pub max_timeout: SimDuration,
+}
+
+impl Default for AdaptiveSoiParams {
+    fn default() -> Self {
+        AdaptiveSoiParams {
+            gain: 2.0,
+            alpha: 0.25,
+            min_timeout: SimDuration::from_secs(10),
+            max_timeout: SimDuration::from_secs(300),
+        }
+    }
+}
+
 /// Full evaluation scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -75,6 +102,14 @@ pub struct ScenarioConfig {
     pub idle_timeout: SimDuration,
     /// Gateway wake-up time: boot + DSL resync (paper: 60 s measured).
     pub wake_time: SimDuration,
+    /// Explicit gateway doze ladder. `None` (the default) derives one from
+    /// the scheme: fixed-timeout schemes get the binary
+    /// `(gateway_sleep_w, wake_time)` ladder — the legacy on/off model,
+    /// byte-identical — and multi-doze gets
+    /// [`PowerLadder::default_doze`]. A configured ladder overrides both.
+    pub power_states: Option<PowerLadder>,
+    /// Adaptive-SOI timeout controller parameters.
+    pub adaptive: AdaptiveSoiParams,
     /// Maximum allowed gateway utilization in the optimal ILP, `q ∈ (0,1]`.
     pub q_max_utilization: f64,
     /// Re-solve period of the Optimal scheme (paper: every minute).
@@ -132,6 +167,8 @@ impl Default for ScenarioConfig {
             power: PowerModel::default(),
             idle_timeout: SimDuration::from_secs(60),
             wake_time: SimDuration::from_secs(60),
+            power_states: None,
+            adaptive: AdaptiveSoiParams::default(),
             q_max_utilization: 0.5,
             optimal_period: SimDuration::from_secs(60),
             sample_period: SimDuration::from_secs(1),
@@ -276,6 +313,21 @@ impl ScenarioConfig {
         if self.sample_period.is_zero() || self.optimal_period.is_zero() {
             return Err(SimError::InvalidConfig("periods must be positive".into()));
         }
+        if let Some(ladder) = &self.power_states {
+            ladder.validate().map_err(|e| SimError::InvalidConfig(format!("power_states: {e}")))?;
+        }
+        let a = &self.adaptive;
+        if !(a.alpha > 0.0 && a.alpha <= 1.0) {
+            return Err(SimError::InvalidConfig("adaptive alpha must be in (0, 1]".into()));
+        }
+        if !(a.gain > 0.0) || !a.gain.is_finite() {
+            return Err(SimError::InvalidConfig("adaptive gain must be positive".into()));
+        }
+        if a.min_timeout.is_zero() || a.max_timeout < a.min_timeout {
+            return Err(SimError::InvalidConfig(
+                "adaptive timeout bounds need 0 < min ≤ max".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -371,6 +423,41 @@ mod tests {
         cfg.dslam.n_cards = 20;
         cfg.dslam.ports_per_card = 10;
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn power_state_and_adaptive_validation() {
+        use insomnia_access::PowerState;
+
+        // A well-formed explicit ladder passes.
+        let mut cfg = ScenarioConfig::default();
+        cfg.power_states = Some(PowerLadder::default_doze(&cfg.power, cfg.wake_time));
+        cfg.validate().unwrap();
+
+        // A malformed ladder is rejected with the power_states prefix.
+        let mut cfg = ScenarioConfig::default();
+        cfg.power_states = Some(PowerLadder::new(vec![
+            PowerState {
+                watts: 1.0,
+                wake: SimDuration::from_secs(10),
+                dwell: SimDuration::from_secs(60),
+            },
+            PowerState { watts: 5.0, wake: SimDuration::from_secs(60), dwell: SimDuration::ZERO },
+        ]));
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("power_states"), "{err}");
+
+        // Adaptive bounds: alpha in (0, 1], gain positive, 0 < min <= max.
+        let mut cfg = ScenarioConfig::default();
+        cfg.adaptive.alpha = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ScenarioConfig::default();
+        cfg.adaptive.gain = -1.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ScenarioConfig::default();
+        cfg.adaptive.max_timeout = SimDuration::from_secs(5);
+        cfg.adaptive.min_timeout = SimDuration::from_secs(10);
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -8,18 +8,20 @@
 //! averages its 10 runs.
 //!
 //! Event zoo: flow arrivals from the trace; flow departures from the
-//! processor-sharing engine; gateway wake completions; SoI idle checks; BH2
-//! per-terminal decision epochs; the Optimal scheme's per-minute re-solves;
-//! and the metric sampler. The simulation starts with every gateway asleep.
+//! processor-sharing engine; gateway wake completions; SoI idle checks;
+//! multi-doze descent ticks; BH2 per-terminal decision epochs; the Optimal
+//! scheme's per-minute re-solves; and the metric sampler. The simulation
+//! starts with every gateway asleep.
 
 use crate::bh2::{decide, Bh2Decision, VisibleGateway};
 use crate::completion::CompletionStats;
 use crate::config::{ScenarioConfig, TopologyKind};
 use crate::flows::FlowEngine;
 use crate::optimal::{solve, SolverInput};
-use crate::schemes::{Aggregation, FabricKind, SchemeSpec};
+use crate::schemes::{Aggregation, FabricKind, SchemeSpec, SleepPolicy};
 use insomnia_access::{
     Dslam, EnergyBreakdown, Fabric, FixedFabric, FullFabric, Gateway, GwState, KSwitchFabric,
+    PowerLadder,
 };
 use insomnia_simcore::{
     average_runs, default_threads, par_fold_indexed, par_map_indexed, EventToken, OnlineTimeHist,
@@ -53,6 +55,8 @@ enum Ev {
     WakeDone { gw: u32 },
     /// SoI idle-timeout check for a gateway.
     IdleCheck { gw: u32 },
+    /// Multi-doze descent: the current doze level's dwell elapsed.
+    DozeTick { gw: u32 },
     /// BH2 decision epoch for a terminal.
     Bh2Tick { client: u32 },
     /// Optimal scheme re-solve.
@@ -216,6 +220,18 @@ struct World<'a> {
     pending: Vec<Vec<PendingFlow>>,
     /// Outstanding idle-check token per gateway.
     idle_token: Vec<Option<EventToken>>,
+    /// Outstanding doze-descent token per gateway (multi-doze only; a wake
+    /// cancels it, so a delivered tick always finds the gateway sleeping).
+    doze_token: Vec<Option<EventToken>>,
+    /// Last flow arrival routed through each gateway (adaptive-SOI's gap
+    /// observations; `None` before the first arrival).
+    arr_last: Vec<Option<SimTime>>,
+    /// Smoothed inter-arrival gap per gateway, milliseconds (adaptive-SOI;
+    /// 0 = no gap observed yet).
+    gap_ewma_ms: Vec<f64>,
+    /// Draw of the deepest doze level, watts — the sampler's sleeping-draw
+    /// term (equals the legacy `gateway_sleep_w` for binary ladders).
+    sleep_draw_w: f64,
     /// Pending departure event per gateway; superseded ones are cancelled
     /// (they were delivered-and-discarded no-ops before), keeping at most
     /// one live departure entry per busy gateway in the heap.
@@ -283,8 +299,9 @@ impl World<'_> {
                 when,
                 Ev::Departure { gw: gw as u32, gen: self.engine.generation(gw) },
             ));
-        } else if self.spec.sleep_enabled && !self.is_optimal() {
-            self.arm_idle_check(s, gw, t + self.cfg.idle_timeout);
+        } else if self.spec.sleep_enabled() && !self.is_optimal() {
+            let timeout = self.gateways[gw].idle_timeout();
+            self.arm_idle_check(s, gw, t + timeout);
         }
     }
 
@@ -331,6 +348,45 @@ impl World<'_> {
         self.idle_token[gw] = Some(s.schedule_at(at.max(s.now()), Ev::IdleCheck { gw: gw as u32 }));
     }
 
+    /// Arms the next doze-descent tick for a freshly-slept (or
+    /// just-descended) gateway. A no-op outside the multi-doze policy and
+    /// at the ladder's deepest level.
+    fn arm_doze(&mut self, s: &mut Scheduler<Ev>, gw: usize) {
+        if self.spec.sleep != SleepPolicy::MultiDoze || !self.gateways[gw].can_descend() {
+            return;
+        }
+        debug_assert!(self.doze_token[gw].is_none(), "sleep entry cannot race a pending tick");
+        let dwell = self.gateways[gw].ladder().dwell(self.gateways[gw].doze_level());
+        self.doze_token[gw] = Some(s.schedule_at(s.now() + dwell, Ev::DozeTick { gw: gw as u32 }));
+    }
+
+    /// Cancels a pending doze-descent tick (the gateway is waking; its doze
+    /// depth is frozen so [`Gateway::begin_wake`] charges the right
+    /// latency).
+    fn cancel_doze(&mut self, s: &mut Scheduler<Ev>, gw: usize) {
+        if let Some(tok) = self.doze_token[gw].take() {
+            self.counters.cancelled_doze_ticks += 1;
+            s.cancel(tok);
+        }
+    }
+
+    /// Feeds one flow arrival on `gw` into the adaptive-SOI gap estimator
+    /// and retunes the gateway's idle timeout: `gain ×` the smoothed
+    /// inter-arrival gap, clamped to the configured bounds. Bursty gateways
+    /// grow a long fuse; quiet ones sleep sooner.
+    fn observe_arrival_gap(&mut self, now: SimTime, gw: usize) {
+        let a = self.cfg.adaptive;
+        let prev = self.arr_last[gw].replace(now);
+        let Some(prev) = prev else { return };
+        let gap_ms = (now - prev).as_millis() as f64;
+        let e = &mut self.gap_ewma_ms[gw];
+        *e = if *e > 0.0 { a.alpha * gap_ms + (1.0 - a.alpha) * *e } else { gap_ms };
+        let target = SimDuration::from_millis((a.gain * *e).round() as u64)
+            .max(a.min_timeout)
+            .min(a.max_timeout);
+        self.gateways[gw].set_idle_timeout(target);
+    }
+
     /// Starts a flow on an online gateway or parks it at a waking one
     /// (waking the gateway first if needed).
     fn start_or_queue(&mut self, s: &mut Scheduler<Ev>, t: SimTime, gw: usize, f: PendingFlow) {
@@ -345,6 +401,7 @@ impl World<'_> {
                 self.resync_gateway(s, t, gw);
             }
             GwState::Sleeping => {
+                self.cancel_doze(s, gw);
                 let done = self.gateways[gw].begin_wake(t).expect("sleeping gateway wakes");
                 self.stats.wakes_stranded_arrival += 1;
                 self.dslam.line_powering_on(t, gw);
@@ -464,14 +521,41 @@ pub fn run_single_source_threads(
     // Optimal migrates instantly: model with zero timers (§5.1 calls it
     // "certainly infeasible in practice ... a useful upper bound").
     let is_optimal = spec.aggregation == Aggregation::Optimal;
-    let (idle_timeout, wake_time) = if is_optimal {
-        (SimDuration::ZERO, SimDuration::ZERO)
-    } else {
-        (cfg.idle_timeout, cfg.wake_time)
+    let idle_timeout = if is_optimal { SimDuration::ZERO } else { cfg.idle_timeout };
+    // Resolve the power-state ladder: an explicit `power_states` config
+    // wins; otherwise multi-doze synthesizes the default three-level
+    // ladder and every other policy gets the binary on/off degenerate
+    // case — the exact arithmetic the pre-ladder goldens pin.
+    let ladder = {
+        let base = match (&cfg.power_states, spec.sleep) {
+            (Some(l), _) => l.clone(),
+            (None, SleepPolicy::MultiDoze) => PowerLadder::default_doze(&cfg.power, cfg.wake_time),
+            (None, _) => PowerLadder::binary(cfg.power.gateway_sleep_w, cfg.wake_time),
+        };
+        if is_optimal {
+            base.with_zero_wake()
+        } else {
+            base
+        }
     };
-    let initial = if spec.sleep_enabled { GwState::Sleeping } else { GwState::Online };
-    let gateways: Vec<Gateway> =
-        (0..n_gw).map(|_| Gateway::new(t0, initial, idle_timeout, wake_time, cfg.power)).collect();
+    // Multi-doze enters the shallowest level and descends on dwell ticks;
+    // every other policy drops straight to the deepest (for the binary
+    // ladder the two coincide).
+    let sleep_entry = if spec.sleep == SleepPolicy::MultiDoze { 0 } else { ladder.deepest() };
+    let sleep_draw_w = ladder.watts(ladder.deepest());
+    let initial = if spec.sleep_enabled() { GwState::Sleeping } else { GwState::Online };
+    let gateways: Vec<Gateway> = (0..n_gw)
+        .map(|_| {
+            Gateway::with_ladder(
+                t0,
+                initial,
+                idle_timeout,
+                ladder.clone(),
+                sleep_entry,
+                cfg.power.gateway_on_w,
+            )
+        })
+        .collect();
 
     let fabric = match spec.fabric {
         FabricKind::Fixed => Fabric::Fixed(FixedFabric::new(
@@ -495,7 +579,7 @@ pub fn run_single_source_threads(
         }
     };
     let mut dslam = Dslam::new(t0, cfg.dslam, cfg.power, fabric, n_gw);
-    if !spec.sleep_enabled {
+    if !spec.sleep_enabled() {
         for gw in 0..n_gw {
             dslam.line_powering_on(t0, gw);
         }
@@ -543,6 +627,10 @@ pub fn run_single_source_threads(
         optimal_tick_idx: 0,
         pending: vec![Vec::new(); n_gw],
         idle_token: vec![None; n_gw],
+        doze_token: vec![None; n_gw],
+        arr_last: vec![None; n_gw],
+        gap_ewma_ms: vec![0.0; n_gw],
+        sleep_draw_w,
         departure_token: vec![None; n_gw],
         active_flows: 0,
         peak_active: 0,
@@ -643,6 +731,9 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
             let (idx, f) = w.take_arrival().expect("a scheduled arrival is pending");
             let client = f.client.index();
             let gw = w.route_new_flow(now, client);
+            if w.spec.sleep == SleepPolicy::Adaptive {
+                w.observe_arrival_gap(now, gw);
+            }
             w.active_flows += 1;
             w.peak_active = w.peak_active.max(w.active_flows);
             w.start_or_queue(
@@ -700,16 +791,28 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
                 return;
             }
             if w.engine.n_on(gw) > 0 || !w.pending[gw].is_empty() {
-                w.arm_idle_check(s, gw, now + w.cfg.idle_timeout);
+                let timeout = w.gateways[gw].idle_timeout();
+                w.arm_idle_check(s, gw, now + timeout);
                 return;
             }
             let deadline = w.gateways[gw].idle_deadline();
             if now >= deadline {
                 if w.gateways[gw].try_sleep(now) {
                     w.dslam.line_powering_off(now, gw);
+                    w.arm_doze(s, gw);
                 }
             } else {
                 w.arm_idle_check(s, gw, deadline);
+            }
+        }
+        Ev::DozeTick { gw } => {
+            w.counters.doze_ticks += 1;
+            let gw = gw as usize;
+            w.doze_token[gw] = None;
+            // Wakes cancel the pending tick, so a delivered one always
+            // finds the gateway still sleeping at the level that armed it.
+            if w.gateways[gw].descend(now).is_some() {
+                w.arm_doze(s, gw);
             }
         }
         Ev::Bh2Tick { client } => {
@@ -742,8 +845,16 @@ fn handle(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, ev: Ev) {
                 let lines = w.dslam.active_lines();
                 w.powered_series[idx] = powered as f64;
                 w.cards_series[idx] = cards as f64;
-                w.user_w_series[idx] = powered as f64 * w.cfg.power.gateway_on_w
-                    + (w.n_gateways() - powered) as f64 * w.cfg.power.gateway_sleep_w;
+                // Multi-doze sleepers draw level-dependent watts, so sum
+                // per-gateway; every other policy keeps the legacy
+                // closed form (same f64s, same summation order — the
+                // byte-identity the goldens pin).
+                w.user_w_series[idx] = if w.spec.sleep == SleepPolicy::MultiDoze {
+                    w.gateways.iter().map(|g| g.current_draw_w()).sum()
+                } else {
+                    powered as f64 * w.cfg.power.gateway_on_w
+                        + (w.n_gateways() - powered) as f64 * w.sleep_draw_w
+                };
                 w.isp_w_series[idx] = w.cfg.power.shelf_w
                     + cards as f64 * w.cfg.power.line_card_w
                     + lines as f64 * w.cfg.power.isp_modem_w;
@@ -803,6 +914,7 @@ fn bh2_epoch(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime, client: usi
                 GwState::Sleeping => {
                     // Wake home; keep routing through the remote until it is
                     // operative (§5.1).
+                    w.cancel_doze(s, home);
                     let done = w.gateways[home].begin_wake(now).expect("sleeping");
                     w.stats.wakes_return_home += 1;
                     w.dslam.line_powering_on(now, home);
@@ -929,6 +1041,7 @@ fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
     for gw in 0..n_gw {
         match (want[gw], w.gateways[gw].state()) {
             (true, GwState::Sleeping) => {
+                w.cancel_doze(s, gw);
                 let done = w.gateways[gw].begin_wake(now).expect("sleeping");
                 w.stats.wakes_optimal += 1;
                 w.dslam.line_powering_on(now, gw);
@@ -939,6 +1052,7 @@ fn optimal_tick(s: &mut Scheduler<Ev>, w: &mut World<'_>, now: SimTime) {
                 // body rather than a match guard so dispatch stays pure.
                 if w.gateways[gw].try_sleep(now) {
                     w.dslam.line_powering_off(now, gw);
+                    w.arm_doze(s, gw);
                 }
             }
             _ => {}

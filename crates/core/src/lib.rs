@@ -23,7 +23,9 @@ pub mod testbed;
 
 pub use bh2::{decide, Bh2Decision, VisibleGateway};
 pub use completion::CompletionStats;
-pub use config::{Bh2Params, ScenarioConfig, TopologyKind, DEFAULT_COMPLETION_CUTOFF};
+pub use config::{
+    AdaptiveSoiParams, Bh2Params, ScenarioConfig, TopologyKind, DEFAULT_COMPLETION_CUTOFF,
+};
 pub use density::{density_sweep, DensityPoint};
 pub use driver::{
     build_sharded_world, build_sharded_world_seeded, build_world, build_world_seeded,
@@ -42,7 +44,7 @@ pub use metrics::{
 };
 pub use optimal::{solve, SolverInput, SolverOutput};
 pub use report::FigureData;
-pub use schemes::{Aggregation, FabricKind, SchemeSpec};
+pub use schemes::{Aggregation, FabricKind, SchemeSpec, SleepPolicy};
 pub use sensitivity::{
     sweep_epoch, sweep_high_threshold, sweep_idle_timeout, sweep_low_threshold, sweep_wake_time,
     SensitivityPoint,

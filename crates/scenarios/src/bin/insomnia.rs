@@ -61,6 +61,7 @@ USAGE:
 
 SCHEME KEYS:
     no-sleep  soi  soi+k  soi+full  bh2  bh2-nb  bh2+full  optimal
+    multi-doze  adaptive-soi
 
 OPTIONS:
     --seeds N      seeds per (scenario, scheme) cell        [default: 1]

@@ -25,9 +25,15 @@ pub struct MetricDiff {
     pub a: String,
     /// Value in the second file, rendered as text.
     pub b: String,
-    /// Observed relative error for numeric fields (`None` for
-    /// type/shape/string mismatches, which never pass any tolerance).
+    /// Observed error for numeric fields (`None` for type/shape/string
+    /// mismatches, which never pass any tolerance). Relative unless
+    /// `abs_err` is set.
     pub rel_err: Option<f64>,
+    /// True when `rel_err` holds an *absolute* error: exactly one side is
+    /// exactly zero, where every nonzero counterpart has relative error
+    /// 1.0 — tolerance-gating that would reject 0-vs-1e-300 forever, so
+    /// the gate falls back to `|a - b| > tol` instead.
+    pub abs_err: bool,
     /// True when exactly one side is NaN — reported explicitly, since no
     /// relative error exists against a NaN (and NaN-vs-NaN counts as
     /// equal).
@@ -59,6 +65,7 @@ impl CompareReport {
         }
         for d in &self.diffs {
             let rel = match d.rel_err {
+                Some(e) if d.abs_err => format!(" (abs err {e:.3e}, zero baseline)"),
                 Some(e) => format!(" (rel err {e:.3e})"),
                 None if d.nan => " (NaN mismatch)".to_string(),
                 None => " (shape/type mismatch)".to_string(),
@@ -115,7 +122,7 @@ fn diff_value(
         Value::Seq(x) => format!("[{} items]", x.len()),
         Value::Map(x) => format!("{{{} fields}}", x.len()),
     };
-    let push = |diffs: &mut Vec<MetricDiff>, rel: Option<f64>, nan: bool| {
+    let push = |diffs: &mut Vec<MetricDiff>, rel: Option<f64>, nan: bool, abs_err: bool| {
         diffs.push(MetricDiff {
             record: record.to_string(),
             field: path.to_string(),
@@ -123,6 +130,7 @@ fn diff_value(
             b: render(b),
             rel_err: rel,
             nan,
+            abs_err,
         });
     };
     let num = |v: &Value| -> Option<f64> {
@@ -148,6 +156,7 @@ fn diff_value(
             b,
             rel_err: None,
             nan: false,
+            abs_err: false,
         });
     };
     match (a, b) {
@@ -168,7 +177,7 @@ fn diff_value(
         }
         (Value::Seq(sa), Value::Seq(sb)) => {
             if sa.len() != sb.len() {
-                push(diffs, None, false);
+                push(diffs, None, false, false);
                 return;
             }
             for (i, (va, vb)) in sa.iter().zip(sb).enumerate() {
@@ -189,26 +198,42 @@ fn diff_value(
                     let same = (x.is_nan() && y.is_nan()) || x == y;
                     if x.is_nan() || y.is_nan() {
                         if !same {
-                            push(diffs, None, true);
+                            push(diffs, None, true, false);
                         }
                     } else if !same {
                         // ∞ against a finite value (or the opposite
                         // infinity) is a numeric difference with an
                         // unbounded relative error — report it as such,
                         // not as a shape/type mismatch.
-                        push(diffs, Some(f64::INFINITY), false);
+                        push(diffs, Some(f64::INFINITY), false, false);
                     }
                     return;
                 }
                 let scale = x.abs().max(y.abs());
-                let rel = if scale > 0.0 { (x - y).abs() / scale } else { 0.0 };
+                if scale == 0.0 {
+                    return; // 0 vs 0 (either sign): equal.
+                }
+                if x == 0.0 || y == 0.0 {
+                    // Exactly one side is an exact zero: the relative
+                    // error is 1.0 whatever the other side holds, so a
+                    // relative gate rejects 0-vs-1e-300 as hard as
+                    // 0-vs-1e300. Fall back to the absolute error so
+                    // `--tol` keeps its "this much drift is fine"
+                    // meaning around zero baselines.
+                    let abs = (x - y).abs();
+                    if abs > tol {
+                        push(diffs, Some(abs), false, true);
+                    }
+                    return;
+                }
+                let rel = (x - y).abs() / scale;
                 if rel > tol {
-                    push(diffs, Some(rel), false);
+                    push(diffs, Some(rel), false, false);
                 }
             }
             _ => {
                 if a != b {
-                    push(diffs, None, false);
+                    push(diffs, None, false, false);
                 }
             }
         },
@@ -362,6 +387,39 @@ mod tests {
         assert!(!r.matches());
         assert_eq!(r.diffs[0].rel_err, Some(f64::INFINITY));
         assert!(r.render().contains("rel err inf"), "{}", r.render());
+    }
+
+    #[test]
+    fn zero_baselines_gate_on_absolute_error() {
+        // A metric that is exactly 0 in one file and denormally tiny in
+        // the other has relative error 1.0 — the old gate failed it at
+        // every tolerance below 1, making zero baselines un-gateable.
+        let zero = r#"{"scenario":"s","scheme":"soi","seed_index":0,"mean_savings_pct":0.0}"#;
+        let tiny = zero.replace(":0.0}", ":1e-9}");
+        let r = compare_jsonl("a", zero, "b", &tiny, 1e-6).unwrap();
+        assert!(r.matches(), "0 vs 1e-9 must pass a 1e-6 tolerance: {}", r.render());
+        // Symmetric: the zero may sit on either side.
+        let r = compare_jsonl("a", &tiny, "b", zero, 1e-6).unwrap();
+        assert!(r.matches(), "{}", r.render());
+
+        // A genuine drift from zero still fails, reported as an absolute
+        // error so the rendering does not claim a meaningless 1.0.
+        let big = zero.replace(":0.0}", ":0.5}");
+        let r = compare_jsonl("a", zero, "b", &big, 1e-6).unwrap();
+        assert!(!r.matches());
+        assert_eq!(r.diffs.len(), 1);
+        assert!(r.diffs[0].abs_err);
+        assert_eq!(r.diffs[0].rel_err, Some(0.5));
+        assert!(r.render().contains("abs err"), "{}", r.render());
+
+        // Exact zeros on both sides (any signs) stay equal, and nonzero
+        // pairs keep the relative gate.
+        let neg = zero.replace(":0.0}", ":-0.0}");
+        assert!(compare_jsonl("a", zero, "b", &neg, 0.0).unwrap().matches());
+        let x = zero.replace(":0.0}", ":100.0}");
+        let y = zero.replace(":0.0}", ":100.5}");
+        let r = compare_jsonl("a", &x, "b", &y, 1e-2).unwrap();
+        assert!(r.matches(), "0.5%% drift under 1%% tol: {}", r.render());
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub use insomnia_telemetry::{ProfileReport, Telemetry};
 pub use registry::{Preset, Registry};
 pub use rss::{check_rss_budget, peak_rss_mib};
 pub use schemes::{parse_scheme, parse_scheme_list, scheme_key};
-pub use spec::{Bh2Spec, ScenarioSpec, SurgeSpec};
+pub use spec::{AdaptiveSoiSpec, Bh2Spec, PowerStatesSpec, ScenarioSpec, SurgeSpec};

@@ -19,6 +19,8 @@ pub fn all() -> Vec<(&'static str, SchemeSpec)> {
         ("bh2-nb", SchemeSpec::bh2_no_backup_k_switch()),
         ("bh2+full", SchemeSpec::bh2_full_switch()),
         ("optimal", SchemeSpec::optimal()),
+        ("multi-doze", SchemeSpec::multi_doze()),
+        ("adaptive-soi", SchemeSpec::adaptive_soi()),
     ]
 }
 
@@ -68,6 +70,14 @@ mod tests {
             assert_eq!(parse_scheme(key).unwrap(), spec);
             assert_eq!(scheme_key(spec), key);
         }
+    }
+
+    #[test]
+    fn doze_schemes_have_stable_keys() {
+        assert_eq!(parse_scheme("multi-doze").unwrap(), SchemeSpec::multi_doze());
+        assert_eq!(parse_scheme("adaptive-soi").unwrap(), SchemeSpec::adaptive_soi());
+        assert_eq!(scheme_key(SchemeSpec::multi_doze()), "multi-doze");
+        assert_eq!(scheme_key(SchemeSpec::adaptive_soi()), "adaptive-soi");
     }
 
     #[test]

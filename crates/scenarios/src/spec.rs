@@ -23,7 +23,8 @@
 //! intensity = 5.0
 //! ```
 
-use insomnia_core::{Bh2Params, ScenarioConfig, TopologyKind};
+use insomnia_access::{PowerLadder, PowerState};
+use insomnia_core::{AdaptiveSoiParams, Bh2Params, ScenarioConfig, TopologyKind};
 use insomnia_simcore::{SimDuration, SimError, SimResult, SimTime};
 use insomnia_traffic::{DiurnalKind, SurgeWindow};
 use serde::{Deserialize, Serialize, Value};
@@ -43,6 +44,74 @@ pub struct Bh2Spec {
     pub backup: Option<usize>,
     /// §3.1's verbatim return-home rule (ablation).
     pub literal_return_home: Option<bool>,
+}
+
+/// Gateway power-state ladder override, shallowest level first. Expressed
+/// as parallel scalar arrays (the TOML layer has no arrays-of-tables):
+/// level `i` is `watts[i]` / `wake_s[i]` / `dwell_s[i]`.
+///
+/// ```toml
+/// [power_states]
+/// watts = [6.0, 4.0, 2.0]
+/// wake_s = [5.0, 20.0, 60.0]
+/// dwell_s = [300.0, 900.0, 0.0]
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerStatesSpec {
+    /// Draw per level, watts (non-increasing with depth).
+    pub watts: Option<Vec<f64>>,
+    /// Wake latency to full-active per level, seconds (non-decreasing).
+    pub wake_s: Option<Vec<f64>>,
+    /// Idle dwell per level before a multi-doze descent, seconds. Must be
+    /// positive above the deepest level; the deepest entry is unused.
+    /// Unset = all zero (a ladder only fixed-policy schemes can use).
+    pub dwell_s: Option<Vec<f64>>,
+}
+
+impl PowerStatesSpec {
+    fn to_ladder(&self) -> SimResult<PowerLadder> {
+        let bad = |msg: String| SimError::InvalidConfig(format!("power_states: {msg}"));
+        let watts =
+            self.watts.as_ref().ok_or_else(|| bad("needs `watts` (one entry per level)".into()))?;
+        let wake_s = self
+            .wake_s
+            .as_ref()
+            .ok_or_else(|| bad("needs `wake_s` (one entry per level)".into()))?;
+        if watts.is_empty() {
+            return Err(bad("needs at least one level".into()));
+        }
+        if wake_s.len() != watts.len()
+            || self.dwell_s.as_ref().is_some_and(|d| d.len() != watts.len())
+        {
+            return Err(bad(format!(
+                "arrays must be parallel: {} watts, {} wake_s, {:?} dwell_s entries",
+                watts.len(),
+                wake_s.len(),
+                self.dwell_s.as_ref().map(Vec::len),
+            )));
+        }
+        let states = (0..watts.len())
+            .map(|i| PowerState {
+                watts: watts[i],
+                wake: SimDuration::from_secs_f64(wake_s[i]),
+                dwell: SimDuration::from_secs_f64(self.dwell_s.as_ref().map_or(0.0, |d| d[i])),
+            })
+            .collect();
+        Ok(PowerLadder::new(states))
+    }
+}
+
+/// Adaptive-SOI estimator overrides.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSoiSpec {
+    /// Timeout = `gain ×` the smoothed inter-arrival gap (default 2).
+    pub gain: Option<f64>,
+    /// EWMA smoothing factor in `(0, 1]` (default 0.25).
+    pub alpha: Option<f64>,
+    /// Lower clamp on the adapted timeout, seconds (default 10).
+    pub min_timeout_s: Option<f64>,
+    /// Upper clamp on the adapted timeout, seconds (default 300).
+    pub max_timeout_s: Option<f64>,
 }
 
 /// Flash-crowd window overrides.
@@ -106,6 +175,11 @@ pub struct ScenarioSpec {
     pub idle_timeout_s: Option<f64>,
     /// Gateway wake-up time, seconds (paper: 60).
     pub wake_time_s: Option<f64>,
+    /// Gateway power-state ladder override (unset = the binary on/off
+    /// model, or multi-doze's default three-level ladder).
+    pub power_states: Option<PowerStatesSpec>,
+    /// Adaptive-SOI estimator overrides.
+    pub adaptive_soi: Option<AdaptiveSoiSpec>,
     /// Max gateway utilization in the optimal ILP, `(0, 1]`.
     pub q_max_utilization: Option<f64>,
     /// Optimal scheme re-solve period, seconds (paper: 60).
@@ -252,6 +326,16 @@ impl ScenarioSpec {
 
         set_duration(&mut cfg.idle_timeout, &self.idle_timeout_s);
         set_duration(&mut cfg.wake_time, &self.wake_time_s);
+        if let Some(ps) = &self.power_states {
+            cfg.power_states = Some(ps.to_ladder()?);
+        }
+        if let Some(a) = &self.adaptive_soi {
+            let p: &mut AdaptiveSoiParams = &mut cfg.adaptive;
+            set(&mut p.gain, &a.gain);
+            set(&mut p.alpha, &a.alpha);
+            set_duration(&mut p.min_timeout, &a.min_timeout_s);
+            set_duration(&mut p.max_timeout, &a.max_timeout_s);
+        }
         set(&mut cfg.q_max_utilization, &self.q_max_utilization);
         set_duration(&mut cfg.optimal_period, &self.optimal_period_s);
         set_duration(&mut cfg.sample_period, &self.sample_period_s);
@@ -309,6 +393,17 @@ impl ScenarioSpec {
             k_switch: Some(cfg.k_switch),
             idle_timeout_s: Some(cfg.idle_timeout.as_secs_f64()),
             wake_time_s: Some(cfg.wake_time.as_secs_f64()),
+            power_states: cfg.power_states.as_ref().map(|l| PowerStatesSpec {
+                watts: Some(l.states().iter().map(|s| s.watts).collect()),
+                wake_s: Some(l.states().iter().map(|s| s.wake.as_secs_f64()).collect()),
+                dwell_s: Some(l.states().iter().map(|s| s.dwell.as_secs_f64()).collect()),
+            }),
+            adaptive_soi: Some(AdaptiveSoiSpec {
+                gain: Some(cfg.adaptive.gain),
+                alpha: Some(cfg.adaptive.alpha),
+                min_timeout_s: Some(cfg.adaptive.min_timeout.as_secs_f64()),
+                max_timeout_s: Some(cfg.adaptive.max_timeout.as_secs_f64()),
+            }),
             q_max_utilization: Some(cfg.q_max_utilization),
             optimal_period_s: Some(cfg.optimal_period.as_secs_f64()),
             sample_period_s: Some(cfg.sample_period.as_secs_f64()),
@@ -530,6 +625,63 @@ epoch_s = 300.0
             ..Default::default()
         };
         assert!(spec.to_config().is_err());
+    }
+
+    #[test]
+    fn power_states_and_adaptive_soi_land_in_config() {
+        let spec = ScenarioSpec::from_toml(
+            r#"
+[power_states]
+watts = [6.0, 4.0, 2.0]
+wake_s = [5.0, 20.0, 60.0]
+dwell_s = [300.0, 900.0, 0.0]
+
+[adaptive_soi]
+gain = 3.0
+alpha = 0.5
+min_timeout_s = 15.0
+max_timeout_s = 120.0
+"#,
+        )
+        .unwrap();
+        let cfg = spec.to_config().unwrap();
+        let ladder = cfg.power_states.as_ref().unwrap();
+        assert_eq!(ladder.n_levels(), 3);
+        assert_eq!(ladder.watts(1), 4.0);
+        assert_eq!(ladder.wake(2), SimDuration::from_secs(60));
+        assert_eq!(ladder.dwell(0), SimDuration::from_secs(300));
+        assert_eq!(cfg.adaptive.gain, 3.0);
+        assert_eq!(cfg.adaptive.alpha, 0.5);
+        assert_eq!(cfg.adaptive.min_timeout, SimDuration::from_secs(15));
+        assert_eq!(cfg.adaptive.max_timeout, SimDuration::from_secs(120));
+        // Unset sections keep the defaults.
+        let plain = ScenarioSpec::default().to_config().unwrap();
+        assert!(plain.power_states.is_none());
+        assert_eq!(plain.adaptive.gain, 2.0);
+    }
+
+    #[test]
+    fn malformed_power_states_are_rejected() {
+        // Ragged parallel arrays.
+        let ragged =
+            ScenarioSpec::from_toml("[power_states]\nwatts = [6.0, 2.0]\nwake_s = [60.0]\n")
+                .unwrap();
+        assert!(ragged.to_config().is_err());
+        // Missing wake_s entirely.
+        let partial = ScenarioSpec::from_toml("[power_states]\nwatts = [6.0, 2.0]\n").unwrap();
+        assert!(partial.to_config().is_err());
+        // Watts increasing with depth fail the ladder's own validation.
+        let rising = ScenarioSpec::from_toml(
+            "[power_states]\nwatts = [2.0, 6.0]\nwake_s = [5.0, 60.0]\ndwell_s = [300.0, 0.0]\n",
+        )
+        .unwrap();
+        assert!(rising.to_config().is_err());
+        // Bad adaptive clamps are rejected too.
+        let clamps = ScenarioSpec::from_toml(
+            "[adaptive_soi]\nmin_timeout_s = 300.0\nmax_timeout_s = 10.0\n",
+        )
+        .unwrap();
+        assert!(clamps.to_config().is_err());
     }
 
     #[test]

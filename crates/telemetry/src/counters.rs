@@ -7,10 +7,10 @@
 //! commutative, peaks take the max). `tests/determinism.rs` pins the
 //! invariance at 1 vs 8 threads.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Deterministic counters of one run (or an order-invariant merge of many).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunCounters {
     /// Trace-arrival events delivered.
     pub arrivals: u64,
@@ -26,10 +26,14 @@ pub struct RunCounters {
     pub optimal_solves: u64,
     /// Metric-sampler events delivered.
     pub samples: u64,
+    /// Multi-doze descent ticks delivered (one per doze-level descent).
+    pub doze_ticks: u64,
     /// Departure events cancelled by gateway resyncs (superseded timers).
     pub cancelled_departures: u64,
     /// Idle-check events cancelled by re-arms.
     pub cancelled_idle_checks: u64,
+    /// Doze-descent ticks cancelled by wakes.
+    pub cancelled_doze_ticks: u64,
     /// Events pushed onto the scheduler heap (delivered + cancelled +
     /// still pending at the horizon).
     pub heap_pushes: u64,
@@ -53,6 +57,75 @@ pub struct RunCounters {
     pub fold_absorptions: u64,
 }
 
+// Serialization is hand-written so the two doze fields are *omitted when
+// zero*: every counter golden predating the doze ladder — and every run of
+// a scheme that never dozes — stays byte-identical, while doze-scheme runs
+// record their transitions. The legacy seventeen keys always serialize, in
+// the historical order; absent doze keys deserialize to 0.
+impl Serialize for RunCounters {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = Vec::with_capacity(19);
+        let mut put = |k: &str, v: u64| m.push((k.to_string(), Value::Int(v as i128)));
+        put("arrivals", self.arrivals);
+        put("departures", self.departures);
+        put("wake_dones", self.wake_dones);
+        put("idle_checks", self.idle_checks);
+        put("bh2_ticks", self.bh2_ticks);
+        put("optimal_solves", self.optimal_solves);
+        put("samples", self.samples);
+        if self.doze_ticks > 0 {
+            put("doze_ticks", self.doze_ticks);
+        }
+        put("cancelled_departures", self.cancelled_departures);
+        put("cancelled_idle_checks", self.cancelled_idle_checks);
+        if self.cancelled_doze_ticks > 0 {
+            put("cancelled_doze_ticks", self.cancelled_doze_ticks);
+        }
+        put("heap_pushes", self.heap_pushes);
+        put("peak_heap", self.peak_heap);
+        put("flows_total", self.flows_total);
+        put("flows_completed", self.flows_completed);
+        put("peak_active_flows", self.peak_active_flows);
+        put("stream_refills", self.stream_refills);
+        put("merge_pops", self.merge_pops);
+        put("fold_absorptions", self.fold_absorptions);
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for RunCounters {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::expected("map", v))?;
+        let get = |name: &str| -> Result<u64, Error> {
+            match m.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => u64::from_value(v),
+                None => Ok(0),
+            }
+        };
+        Ok(RunCounters {
+            arrivals: get("arrivals")?,
+            departures: get("departures")?,
+            wake_dones: get("wake_dones")?,
+            idle_checks: get("idle_checks")?,
+            bh2_ticks: get("bh2_ticks")?,
+            optimal_solves: get("optimal_solves")?,
+            samples: get("samples")?,
+            doze_ticks: get("doze_ticks")?,
+            cancelled_departures: get("cancelled_departures")?,
+            cancelled_idle_checks: get("cancelled_idle_checks")?,
+            cancelled_doze_ticks: get("cancelled_doze_ticks")?,
+            heap_pushes: get("heap_pushes")?,
+            peak_heap: get("peak_heap")?,
+            flows_total: get("flows_total")?,
+            flows_completed: get("flows_completed")?,
+            peak_active_flows: get("peak_active_flows")?,
+            stream_refills: get("stream_refills")?,
+            merge_pops: get("merge_pops")?,
+            fold_absorptions: get("fold_absorptions")?,
+        })
+    }
+}
+
 impl RunCounters {
     /// Total events delivered, summed over kinds.
     pub fn delivered(&self) -> u64 {
@@ -63,11 +136,12 @@ impl RunCounters {
             + self.bh2_ticks
             + self.optimal_solves
             + self.samples
+            + self.doze_ticks
     }
 
     /// Total events cancelled, summed over kinds.
     pub fn cancelled(&self) -> u64 {
-        self.cancelled_departures + self.cancelled_idle_checks
+        self.cancelled_departures + self.cancelled_idle_checks + self.cancelled_doze_ticks
     }
 
     /// Absorbs another task's counters: sums everywhere, maxes on the two
@@ -81,8 +155,10 @@ impl RunCounters {
         self.bh2_ticks += other.bh2_ticks;
         self.optimal_solves += other.optimal_solves;
         self.samples += other.samples;
+        self.doze_ticks += other.doze_ticks;
         self.cancelled_departures += other.cancelled_departures;
         self.cancelled_idle_checks += other.cancelled_idle_checks;
+        self.cancelled_doze_ticks += other.cancelled_doze_ticks;
         self.heap_pushes += other.heap_pushes;
         self.peak_heap = self.peak_heap.max(other.peak_heap);
         self.flows_total += other.flows_total;
@@ -107,8 +183,10 @@ mod tests {
             bh2_ticks: k + 1,
             optimal_solves: k % 3,
             samples: 7,
+            doze_ticks: 0,
             cancelled_departures: k / 4,
             cancelled_idle_checks: k / 5,
+            cancelled_doze_ticks: 0,
             heap_pushes: 9 * k,
             peak_heap: 100 + k,
             flows_total: k,
@@ -138,9 +216,13 @@ mod tests {
 
     #[test]
     fn delivered_and_cancelled_sum_the_kinds() {
-        let c = sample(10);
+        let mut c = sample(10);
         assert_eq!(c.delivered(), 10 + 20 + 5 + 30 + 11 + 1 + 7);
         assert_eq!(c.cancelled(), 2 + 2);
+        c.doze_ticks = 4;
+        c.cancelled_doze_ticks = 3;
+        assert_eq!(c.delivered(), 10 + 20 + 5 + 30 + 11 + 1 + 7 + 4);
+        assert_eq!(c.cancelled(), 2 + 2 + 3);
     }
 
     #[test]
@@ -150,5 +232,28 @@ mod tests {
         assert!(json.contains("\"fold_absorptions\":1"));
         let back: RunCounters = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sample(3));
+    }
+
+    #[test]
+    fn doze_fields_are_omitted_when_zero_and_roundtrip_when_set() {
+        // Zero doze counters serialize to the exact legacy key set — the
+        // invariant that keeps pre-doze counter goldens byte-identical.
+        let legacy = serde_json::to_string(&sample(3)).unwrap();
+        assert!(!legacy.contains("doze"), "{legacy}");
+
+        let mut c = sample(3);
+        c.doze_ticks = 11;
+        c.cancelled_doze_ticks = 5;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            json.contains("\"samples\":7,\"doze_ticks\":11,\"cancelled_departures\""),
+            "{json}"
+        );
+        assert!(json.contains("\"cancelled_idle_checks\":0,\"cancelled_doze_ticks\":5"), "{json}");
+        let back: RunCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // Absent doze keys deserialize to zero (old sidecars stay readable).
+        let old: RunCounters = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old, sample(3));
     }
 }

@@ -150,6 +150,14 @@ impl ProfileReport {
                 s.jobs,
                 s.tasks,
             ));
+        } else {
+            // An absent summary means the producing run died before its
+            // final record: every rate below would silently render as 0 /
+            // "-". Say so instead of letting the zeros read as measurements.
+            out.push_str(
+                "warning: incomplete sidecar (no summary) — wall-clock shares, event/flow \
+                 rates and counter totals are unavailable\n",
+            );
         }
 
         out.push_str("\n== phases\n");
@@ -210,7 +218,7 @@ impl ProfileReport {
         if let Some(s) = &self.summary {
             out.push_str("\n== deterministic counters\n");
             let c = &s.counters;
-            let rows: [(&str, u64); 17] = [
+            let rows: [(&str, u64); 19] = [
                 ("arrivals", c.arrivals),
                 ("departures", c.departures),
                 ("wake_dones", c.wake_dones),
@@ -218,8 +226,10 @@ impl ProfileReport {
                 ("bh2_ticks", c.bh2_ticks),
                 ("optimal_solves", c.optimal_solves),
                 ("samples", c.samples),
+                ("doze_ticks", c.doze_ticks),
                 ("cancelled_departures", c.cancelled_departures),
                 ("cancelled_idle_checks", c.cancelled_idle_checks),
+                ("cancelled_doze_ticks", c.cancelled_doze_ticks),
                 ("heap_pushes", c.heap_pushes),
                 ("peak_heap", c.peak_heap),
                 ("flows_total", c.flows_total),
@@ -252,6 +262,11 @@ pub fn render_delta(a: &ProfileReport, b: &ProfileReport) -> Result<String, Stri
     let delta = |old: f64, new: f64| {
         if old > 0.0 {
             format!("{:+.1}%", 100.0 * (new - old) / old)
+        } else if new > 0.0 {
+            // A zero baseline admits no percentage (the naive division
+            // prints inf%); B's column already shows the absolute value, so
+            // just flag that the metric appeared.
+            "(was 0)".to_string()
         } else {
             "n/a".to_string()
         }
@@ -281,10 +296,17 @@ pub fn render_delta(a: &ProfileReport, b: &ProfileReport) -> Result<String, Stri
         }
     }
     if sa.events != sb.events || sa.flows != sb.flows {
-        out.push_str(
-            "warning: the runs did different amounts of work (event/flow totals differ); \
-             rate deltas are not a pure speed comparison\n",
-        );
+        if sa.events == 0 || sb.events == 0 {
+            out.push_str(
+                "warning: one run reports zero delivered events — incomplete sidecar (summary \
+                 written before any work?); its rates render as 0, not as measured speed\n",
+            );
+        } else {
+            out.push_str(
+                "warning: the runs did different amounts of work (event/flow totals differ); \
+                 rate deltas are not a pure speed comparison\n",
+            );
+        }
     }
     Ok(out)
 }
@@ -423,6 +445,51 @@ mod tests {
         let mut c = a.clone();
         c.summary = None;
         assert!(render_delta(&a, &c).is_err());
+    }
+
+    #[test]
+    fn summaryless_sidecar_warns_instead_of_rendering_zero_rates() {
+        // Keep only the records preceding the summary: a run that died
+        // mid-batch leaves exactly this shape behind.
+        let truncated: String = sidecar()
+            .lines()
+            .filter(|l| !l.contains("\"summary\""))
+            .map(|l| [l, "\n"].concat())
+            .collect();
+        let report = ProfileReport::from_jsonl(&truncated).unwrap();
+        assert!(report.summary.is_none());
+        let rendered = report.render();
+        assert!(rendered.contains("incomplete sidecar (no summary)"), "{rendered}");
+        // The complete sidecar must not carry the warning.
+        let full = ProfileReport::from_jsonl(&sidecar()).unwrap().render();
+        assert!(!full.contains("incomplete sidecar"), "{full}");
+    }
+
+    #[test]
+    fn delta_zero_baseline_renders_was_zero_not_inf() {
+        let a = ProfileReport::from_jsonl(&sidecar()).unwrap();
+        let mut b = a.clone();
+        // A metric absent in A, present in B: flows 0 -> 120.
+        let mut a0 = a.clone();
+        a0.summary.as_mut().unwrap().flows = 0;
+        let rendered = render_delta(&a0, &b).unwrap();
+        assert!(rendered.contains("(was 0)"), "{rendered}");
+        assert!(!rendered.contains("inf"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+
+        // Zero on both sides stays n/a.
+        b.summary.as_mut().unwrap().flows = 0;
+        let rendered = render_delta(&a0, &b).unwrap();
+        assert!(rendered.contains("n/a"), "{rendered}");
+    }
+
+    #[test]
+    fn delta_flags_zero_event_runs_as_incomplete() {
+        let a = ProfileReport::from_jsonl(&sidecar()).unwrap();
+        let mut b = a.clone();
+        b.summary.as_mut().unwrap().events = 0;
+        let rendered = render_delta(&a, &b).unwrap();
+        assert!(rendered.contains("incomplete sidecar"), "{rendered}");
     }
 
     #[test]

@@ -2,13 +2,14 @@
 //! the whole stack — the property every simulation result in
 //! EXPERIMENTS.md relies on.
 
+use insomnia::access::{PowerLadder, PowerState};
 use insomnia::core::{
     build_sharded_world_seeded, build_world, run_scheme_sharded, run_single,
     run_single_source_threads, ArrivalSource, CompletionStats, ScenarioConfig, SchemeSpec,
 };
 use insomnia::dslphy::{BundleConfig, CrosstalkExperiment};
 use insomnia::scenarios::{parse_scheme_list, run_batch, BatchRun, Registry};
-use insomnia::simcore::{OnlineTimeHist, SimRng, SimTime};
+use insomnia::simcore::{OnlineTimeHist, Scheduler, SimDuration, SimRng, SimTime};
 use insomnia::traffic::crawdad::{self, CrawdadConfig};
 use insomnia::traffic::FlowStream;
 
@@ -268,6 +269,114 @@ fn merged_shard_quantiles_are_merge_order_invariant() {
     assert_eq!(merge_all(&fwd).quantiles(&qs), rep_online.quantiles(&qs));
     assert_eq!(merge_all(&bwd).quantiles(&qs), rep_online.quantiles(&qs));
     assert_eq!(merge_all(&fwd).gateways(), rep_online.gateways());
+}
+
+#[test]
+fn explicit_two_state_ladder_is_byte_identical_to_legacy_binary() {
+    // The power-state machine's 2-state degenerate case must reproduce the
+    // legacy binary on/off model *exactly*: configuring the binary ladder
+    // explicitly (vs leaving `power_states` unset) may not move a single
+    // byte of the batch JSONL, for every pre-ladder scheme family.
+    let with_ladder = |mut cfg: ScenarioConfig| {
+        cfg.power_states = Some(PowerLadder::binary(cfg.power.gateway_sleep_w, cfg.wake_time));
+        cfg
+    };
+    let jsonl = |cfg: ScenarioConfig, schemes: &str| {
+        let batch = BatchRun {
+            scenarios: vec![("two-state".into(), cfg)],
+            schemes: parse_scheme_list(schemes).unwrap(),
+            seeds: 1,
+            threads: 2,
+        };
+        let mut out = Vec::new();
+        run_batch(&batch, &mut out).unwrap();
+        out
+    };
+    // The sharded path over the no-sleep / SoI / BH2 families...
+    let sharded = dense_metro_reduced(2);
+    assert_eq!(
+        jsonl(sharded.clone(), "no-sleep,soi,bh2"),
+        jsonl(with_ladder(sharded), "no-sleep,soi,bh2"),
+        "binary ladder must not perturb no-sleep/soi/bh2 bytes"
+    );
+    // ...and Optimal, whose legacy path forces wake time to zero (the
+    // ladder equivalent: `with_zero_wake`), on the smoke world.
+    let mut smoke = ScenarioConfig::smoke();
+    smoke.trace.horizon = SimTime::from_hours(4);
+    assert_eq!(
+        jsonl(smoke.clone(), "optimal"),
+        jsonl(with_ladder(smoke), "optimal"),
+        "binary ladder must not perturb optimal bytes"
+    );
+}
+
+#[test]
+fn doze_schemes_on_the_calendar_queue_are_thread_count_invariant() {
+    // The new sleep policies at calendar-queue scale: a single dense-metro
+    // neighborhood big enough that the scheduler's occupancy hint picks
+    // the calendar backend, run through the batch runner at 1 vs 8
+    // threads. Multi-doze's descent ticks and adaptive-SOI's per-gateway
+    // timeouts must be as thread-count invariant as every other timer.
+    // One giant neighborhood, DSLAM scaled to carry every line. The shape
+    // threads the needle between two hard bounds: the queue hint
+    // (3·gateways + clients + 4) must clear the calendar threshold while
+    // clients × gateways stays under the topology pair budget — which
+    // pins the density near 28 clients per gateway.
+    let mut cfg = Registry::builtin().resolve("dense-metro").unwrap();
+    cfg.trace.n_aps = 2_152;
+    cfg.trace.n_clients = 28 * cfg.trace.n_aps;
+    cfg.dslam.n_cards = 216;
+    cfg.shards = 1;
+    cfg.trace.horizon = SimTime::from_secs_f64(1_800.0);
+    cfg.completion_cutoff = 0;
+    cfg.online_cutoff = 0;
+    // An explicit three-level ladder with dwells short enough that the
+    // half-hour overnight window sees real descents.
+    cfg.power_states = Some(PowerLadder::new(vec![
+        PowerState {
+            watts: cfg.power.gateway_sleep_w + 1.0,
+            wake: SimDuration::from_secs(15),
+            dwell: SimDuration::from_secs(45),
+        },
+        PowerState {
+            watts: cfg.power.gateway_sleep_w + 0.5,
+            wake: SimDuration::from_secs(30),
+            dwell: SimDuration::from_secs(90),
+        },
+        PowerState {
+            watts: cfg.power.gateway_sleep_w,
+            wake: cfg.wake_time,
+            dwell: SimDuration::ZERO,
+        },
+    ]));
+    cfg.validate().unwrap();
+
+    // The worlds this test runs really sit on the calendar backend.
+    let world = build_sharded_world_seeded(&cfg, cfg.seed);
+    let (_, topo) = &world.shards()[0];
+    let hint = 3 * topo.n_gateways() + topo.n_clients() + 4;
+    let probe: Scheduler<u32> = Scheduler::with_queue_hint(hint);
+    assert_eq!(probe.queue_backend(), "calendar", "hint {hint} must select the calendar queue");
+
+    let batch = |threads: usize| BatchRun {
+        scenarios: vec![("doze-metro".into(), cfg.clone())],
+        schemes: parse_scheme_list("multi-doze,adaptive-soi").unwrap(),
+        seeds: 1,
+        threads,
+    };
+    let mut single = Vec::new();
+    run_batch(&batch(1), &mut single).unwrap();
+    let mut multi = Vec::new();
+    run_batch(&batch(8), &mut multi).unwrap();
+    assert_eq!(single, multi, "doze-scheme JSONL must be thread-count invariant");
+
+    // The run actually exercised the ladder: overnight re-sleeps descend
+    // doze levels, and the counters ride the same order-invariant fold.
+    let r1 = run_scheme_sharded(&cfg, SchemeSpec::multi_doze(), &world, cfg.seed, 1);
+    let r8 = run_scheme_sharded(&cfg, SchemeSpec::multi_doze(), &world, cfg.seed, 8);
+    assert_eq!(r1.counters, r8.counters);
+    assert!(r1.counters.doze_ticks > 0, "multi-doze must deliver descent ticks");
+    assert_eq!(r1.counters.delivered(), r1.events, "doze ticks counted as delivered events");
 }
 
 #[test]
