@@ -19,9 +19,14 @@
 //!   when a single run over the pooled samples would have.
 
 use insomnia_simcore::QuantileSketch;
+use serde::{Deserialize, Serialize};
 
 /// Completion-time statistics of one run (or a merge of runs).
-#[derive(Debug, Clone)]
+///
+/// The serialized form is the exact private state (flow totals, sketch,
+/// per-flow samples while retained), so a checkpointed or remotely-computed
+/// `CompletionStats` resumes `absorb`ing bit-for-bit where it stopped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompletionStats {
     /// Trace flows the run was driven by (completed or not).
     total_flows: u64,
@@ -211,5 +216,34 @@ mod tests {
         let empty = CompletionStats::pooled(&[]);
         assert_eq!(empty.total_flows(), 0);
         assert_eq!(empty.completed_frac(), None);
+    }
+
+    #[test]
+    fn wire_form_roundtrips_and_keeps_absorbing_identically() {
+        use serde::{Deserialize as _, Serialize as _};
+
+        // Exact tier: unfinished flows (None) and samples both survive.
+        let exact = CompletionStats::from_samples(vec![Some(1.5), None, Some(0.25), None], 1_000);
+        let back = CompletionStats::from_value(&exact.to_value()).expect("roundtrip");
+        assert_eq!(back.total_flows(), exact.total_flows());
+        assert_eq!(back.completed(), exact.completed());
+        assert_eq!(back.per_flow(), exact.per_flow());
+
+        // Sketch-only tier: a rebuilt stats keeps absorbing bit-for-bit.
+        let sketchy = CompletionStats::from_samples(
+            (0..50).map(|i| Some(((i * 7) % 13) as f64 + 0.5)).collect(),
+            8,
+        );
+        assert!(!sketchy.is_exact());
+        let mut back = CompletionStats::from_value(&sketchy.to_value()).expect("roundtrip");
+        assert!(back.per_flow().is_none());
+        let extra = CompletionStats::from_samples(vec![Some(100.0)], 8);
+        let mut direct = sketchy.clone();
+        direct.absorb(extra.clone());
+        back.absorb(extra);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(back.quantile(q), direct.quantile(q), "q {q}");
+        }
+        assert_eq!(back.total_flows(), direct.total_flows());
     }
 }

@@ -24,12 +24,13 @@ use insomnia_access::{
     PowerLadder,
 };
 use insomnia_simcore::{
-    average_runs, default_threads, par_fold_indexed, par_map_indexed, EventToken, OnlineTimeHist,
-    Scheduler, SimDuration, SimRng, SimTime,
+    average_runs, default_threads, par_fold_indexed, par_map_indexed, retry_unwind, EventToken,
+    OnlineTimeHist, Scheduler, SimDuration, SimRng, SimTime,
 };
 use insomnia_telemetry::RunCounters;
 use insomnia_traffic::{FlowRecord, FlowStream, Trace};
 use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWindow, Topology};
+use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
 /// Simulation events.
@@ -122,9 +123,17 @@ struct PendingFlow {
     bytes: u64,
 }
 
+/// Version of the serialized task-result / accumulator wire form shipped
+/// across the process boundary: checkpoint sidecars embed it in their
+/// manifest and refuse to resume from a mismatching schema, and the
+/// upcoming distributed shard fan-out will version its worker records the
+/// same way. Bump whenever [`RunResult`] (or anything it embeds —
+/// [`CompletionStats`], sketches, counters) changes shape.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
 /// Diagnostic counters of one run (wake causes and BH2 decision mix) —
 /// the observability needed to understand a scheme's equilibrium.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DriverStats {
     /// Gateway wakes because a flow arrived with no online alternative.
     pub wakes_stranded_arrival: u64,
@@ -143,7 +152,12 @@ pub struct DriverStats {
 }
 
 /// Metrics of one simulated day.
-#[derive(Debug, Clone)]
+///
+/// The serialized form (versioned by [`CHECKPOINT_SCHEMA_VERSION`]) is the
+/// complete task payload: a deserialized `RunResult` folds into
+/// [`run_scheme_sharded`]'s accumulators bit-for-bit like the original, so
+/// checkpoint replay and remote workers produce byte-identical aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Sampling period in seconds.
     pub sample_period_s: f64,
@@ -1476,6 +1490,7 @@ pub fn build_sharded_world(cfg: &ScenarioConfig) -> ShardedWorld {
 /// then the finalized repetition is pushed into the per-rep products and
 /// the accumulator is dropped. At most one `RepAccum` is alive at a time;
 /// nothing O(total gateways) or O(rep × shard) survives a task's fold.
+#[derive(Serialize, Deserialize)]
 struct RepAccum {
     powered: Vec<f64>,
     cards: Vec<f64>,
@@ -1535,7 +1550,7 @@ impl RepAccum {
 /// Per-shard scalar aggregates of the fold — the `O(shards)` state behind
 /// [`ShardSummary`]; repetitions accumulate in repetition order (the fold
 /// is repetition-major), matching the historical summation order.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Copy, Default, Serialize, Deserialize)]
 struct ShardAccum {
     n_flows: usize,
     energy_j: f64,
@@ -1576,8 +1591,87 @@ pub fn run_scheme_seeded(
         TaskWorlds::Refs(&[(trace, topo)]),
         seed,
         default_threads(),
-        &|_| {},
+        &TaskHooks::observed(&|_| {}),
     )
+}
+
+/// Panic payload of a `(repetition × shard)` task whose bounded retry
+/// budget is exhausted. Callers that `catch_unwind` around a scheme run
+/// downcast to this to report the failed span precisely (and exit nonzero)
+/// instead of reprinting an anonymous panic.
+#[derive(Debug)]
+pub struct TaskFailure {
+    /// Repetition index of the failed task.
+    pub rep: usize,
+    /// Shard index of the failed task.
+    pub shard: usize,
+    /// Attempts made (all panicked).
+    pub attempts: usize,
+    /// The final attempt's panic message.
+    pub message: String,
+}
+
+/// Panic payload a worker raises when [`TaskHooks::cancel`] is set before
+/// its task starts: the cooperative interrupt path (SIGINT) aborts the
+/// fold without simulating further tasks. Already-persisted checkpoint
+/// records stay valid, so the run can resume later.
+#[derive(Debug)]
+pub struct TaskCancelled;
+
+/// Checkpoint persistence callback: `(task index, freshly simulated
+/// result)`, invoked from the worker before the result is folded.
+pub type PersistFn<'a> = &'a (dyn Fn(usize, &RunResult) + Sync);
+
+/// Control hooks a crash-safe batch runner threads through the shard-fold
+/// core — all optional, all observation-or-replay only: no hook can change
+/// the bytes of a run that completes.
+pub struct TaskHooks<'a> {
+    /// Per-task completion heartbeat (see [`run_scheme_sharded_observed`]).
+    pub observe: &'a (dyn Fn(TaskProgress) + Sync),
+    /// Checkpoint replay: given a task index, returns a previously
+    /// persisted [`RunResult`] to fold instead of simulating. The replayed
+    /// result is marked in `counters.tasks_resumed` (telemetry only).
+    pub cached: Option<&'a (dyn Fn(usize) -> Option<RunResult> + Sync)>,
+    /// Checkpoint persistence: called from the worker with each freshly
+    /// simulated task's result, in completion order, before it is folded.
+    pub persist: Option<PersistFn<'a>>,
+    /// Total attempts per task (clamped to ≥ 1; 1 = no retry). Retries
+    /// re-derive the identical RNG stream — the attempt number must never
+    /// leak into fork labels — so a transient panic cannot change bytes.
+    pub max_attempts: usize,
+    /// Deterministic fault injection: `fault(task, attempt)` returning
+    /// `true` makes that attempt panic before simulating (chaos tests).
+    pub fault: Option<&'a (dyn Fn(usize, u64) -> bool + Sync)>,
+    /// Cooperative cancel flag: workers raise [`TaskCancelled`] instead of
+    /// starting a task once it reads `true`.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
+}
+
+impl<'a> TaskHooks<'a> {
+    /// Plain observation, no durability: the hooks every pre-existing
+    /// entry point runs with (single attempt, no cache, no faults).
+    pub fn observed(observe: &'a (dyn Fn(TaskProgress) + Sync)) -> Self {
+        TaskHooks {
+            observe,
+            cached: None,
+            persist: None,
+            max_attempts: 1,
+            fault: None,
+            cancel: None,
+        }
+    }
+}
+
+/// Best-effort panic-payload text (matches std's unwind reporting for
+/// `&str`/`String` payloads).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// What a `(repetition × shard)` task simulates: borrowed prebuilt worlds,
@@ -1699,7 +1793,14 @@ pub fn run_scheme_sharded(
     seed: u64,
     max_threads: usize,
 ) -> SchemeResult {
-    run_scheme_shards(cfg, spec, TaskWorlds::World(world), seed, max_threads, &|_| {})
+    run_scheme_shards(
+        cfg,
+        spec,
+        TaskWorlds::World(world),
+        seed,
+        max_threads,
+        &TaskHooks::observed(&|_| {}),
+    )
 }
 
 /// [`run_scheme_sharded`] with a shard-level progress observer: `observe`
@@ -1717,7 +1818,32 @@ pub fn run_scheme_sharded_observed(
     max_threads: usize,
     observe: &(dyn Fn(TaskProgress) + Sync),
 ) -> SchemeResult {
-    run_scheme_shards(cfg, spec, TaskWorlds::World(world), seed, max_threads, observe)
+    run_scheme_shards(
+        cfg,
+        spec,
+        TaskWorlds::World(world),
+        seed,
+        max_threads,
+        &TaskHooks::observed(observe),
+    )
+}
+
+/// [`run_scheme_sharded_observed`] with the full crash-safety hook set:
+/// checkpoint replay (`cached`) and persistence (`persist`), bounded
+/// deterministic retry (`max_attempts`), fault injection and cooperative
+/// cancellation — see [`TaskHooks`]. A run that completes is byte-identical
+/// to [`run_scheme_sharded`] regardless of which hooks fired (replay feeds
+/// the same fold in the same order; retries replay the same RNG stream);
+/// only the omit-when-zero recovery counters record that anything happened.
+pub fn run_scheme_sharded_hooks(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    world: &ShardedWorld,
+    seed: u64,
+    max_threads: usize,
+    hooks: &TaskHooks<'_>,
+) -> SchemeResult {
+    run_scheme_shards(cfg, spec, TaskWorlds::World(world), seed, max_threads, hooks)
 }
 
 /// The shard-fold core: `(repetition × shard)` tasks run on the worker
@@ -1735,7 +1861,7 @@ fn run_scheme_shards(
     worlds: TaskWorlds<'_>,
     seed: u64,
     max_threads: usize,
-    observe: &(dyn Fn(TaskProgress) + Sync),
+    hooks: &TaskHooks<'_>,
 ) -> SchemeResult {
     let master = SimRng::new(seed);
     let n_shards = worlds.n_shards();
@@ -1777,20 +1903,80 @@ fn run_scheme_shards(
         max_threads,
         |i| {
             let (rep, sh) = (i / n_shards, i % n_shards);
-            let rng = if n_shards == 1 {
-                master.fork_idx("rep", rep as u64)
-            } else {
-                master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
-            };
+            if let Some(cancel) = hooks.cancel {
+                if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::panic::panic_any(TaskCancelled);
+                }
+            }
+            // Checkpoint replay: a cached result folds exactly like a
+            // fresh one (same index, same bytes); only the resumed-task
+            // telemetry counter records the difference.
+            if let Some(cached) = hooks.cached {
+                if let Some(mut result) = cached(i) {
+                    result.counters.tasks_resumed += 1;
+                    let done = finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    let merged_now = merged.load(std::sync::atomic::Ordering::Relaxed);
+                    (hooks.observe)(TaskProgress {
+                        rep,
+                        shard: sh,
+                        n_shards,
+                        finished: done,
+                        total: n_tasks,
+                        merged: merged_now,
+                        fold_queue: done.saturating_sub(merged_now + 1),
+                        events: result.events,
+                        peak_heap: result.peak_heap,
+                        peak_active_flows: result.peak_active_flows,
+                        setup_ms: 0.0,
+                        loop_ms: 0.0,
+                        counters: result.counters,
+                    });
+                    return result;
+                }
+            }
             let task_start = std::time::Instant::now();
-            let (result, setup_ms) = worlds_ref.run_task(cfg, spec, sh, rng, &shard_protos);
+            // Bounded deterministic retry: every attempt re-derives the
+            // identical RNG stream (fork labels depend only on (rep, sh)),
+            // so a transient panic cannot change a single output byte.
+            let mut attempt = 0u64;
+            let mut injected = 0u64;
+            let outcome = retry_unwind(hooks.max_attempts, || {
+                let this_attempt = attempt;
+                attempt += 1;
+                if let Some(fault) = hooks.fault {
+                    if fault(i, this_attempt) {
+                        injected += 1;
+                        panic!("injected worker fault (task {i}, attempt {this_attempt})");
+                    }
+                }
+                let rng = if n_shards == 1 {
+                    master.fork_idx("rep", rep as u64)
+                } else {
+                    master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
+                };
+                worlds_ref.run_task(cfg, spec, sh, rng, &shard_protos)
+            });
+            let (retries, (mut result, setup_ms)) = match outcome {
+                Ok(retried) => (retried.retries, retried.value),
+                Err(payload) => std::panic::panic_any(TaskFailure {
+                    rep,
+                    shard: sh,
+                    attempts: attempt as usize,
+                    message: payload_message(payload.as_ref()),
+                }),
+            };
+            result.counters.tasks_retried += retries;
+            result.counters.faults_injected += injected;
             let loop_ms = (task_start.elapsed().as_secs_f64() * 1e3 - setup_ms).max(0.0);
+            if let Some(persist) = hooks.persist {
+                persist(i, &result);
+            }
             // Report from the worker, at completion: heartbeats must keep
             // flowing even while the in-order folder waits on a slow
             // earlier task. Merge progress rides along as a snapshot.
             let done = finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             let merged_now = merged.load(std::sync::atomic::Ordering::Relaxed);
-            observe(TaskProgress {
+            (hooks.observe)(TaskProgress {
                 rep,
                 shard: sh,
                 n_shards,
@@ -2197,5 +2383,141 @@ mod tests {
         let (b, _) = &world.shards()[1];
         assert_ne!(a.total_bytes(), b.total_bytes(), "shards draw independent streams");
         assert_eq!(a.n_clients() + b.n_clients(), 136);
+    }
+
+    /// Bit-level equality of every deterministic field of two scheme runs
+    /// (recovery counters excluded — they record *how* a run got here).
+    fn assert_results_identical(a: &SchemeResult, b: &SchemeResult) {
+        assert_eq!(a.powered_gateways, b.powered_gateways);
+        assert_eq!(a.awake_cards, b.awake_cards);
+        assert_eq!(a.user_power_w, b.user_power_w);
+        assert_eq!(a.isp_power_w, b.isp_power_w);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.mean_wake_count.to_bits(), b.mean_wake_count.to_bits());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.completion.len(), b.completion.len());
+        for (ca, cb) in a.completion.iter().zip(&b.completion) {
+            assert_eq!(ca.to_value(), cb.to_value());
+        }
+        for (oa, ob) in a.online_time.iter().zip(&b.online_time) {
+            assert_eq!(oa.to_value(), ob.to_value());
+        }
+        let strip = |c: &RunCounters| {
+            let mut c = *c;
+            c.tasks_retried = 0;
+            c.faults_injected = 0;
+            c.tasks_resumed = 0;
+            c
+        };
+        assert_eq!(strip(&a.counters), strip(&b.counters));
+    }
+
+    #[test]
+    fn run_result_wire_form_roundtrips_exactly() {
+        let cfg = quick_cfg();
+        let (trace, topo) = build_world(&cfg);
+        let r = run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(5));
+        let wire = r.to_value();
+        let back = RunResult::from_value(&wire).expect("wire form deserializes");
+        // The rebuilt result re-serializes to the identical tree: every
+        // f64 bit, every sketch bucket, every counter survives the trip.
+        assert_eq!(back.to_value(), wire);
+        assert_eq!(back.powered_gateways, r.powered_gateways);
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.counters, r.counters);
+    }
+
+    #[test]
+    fn rep_and_shard_accums_have_wire_forms() {
+        let cfg = quick_cfg();
+        let (trace, topo) = build_world(&cfg);
+        let run = run_single(&cfg, SchemeSpec::soi(), &trace, &topo, SimRng::new(6));
+        let acc = RepAccum::start(run, cfg.online_cutoff);
+        let back = RepAccum::from_value(&acc.to_value()).expect("RepAccum wire form");
+        assert_eq!(back.to_value(), acc.to_value());
+        let sa =
+            ShardAccum { n_flows: 7, energy_j: 1.25, mean_gateways: 3.5, mean_wake_count: 0.5 };
+        let back = ShardAccum::from_value(&sa.to_value()).expect("ShardAccum wire form");
+        assert_eq!(back.to_value(), sa.to_value());
+    }
+
+    #[test]
+    fn transient_fault_with_retry_changes_no_bytes() {
+        let mut cfg = sharded_cfg(2);
+        cfg.repetitions = 2;
+        let world = build_sharded_world_seeded(&cfg, 11);
+        let plain = run_scheme_sharded(&cfg, SchemeSpec::soi(), &world, 11, 2);
+        // Task 1's first attempt panics (injected); the retry replays the
+        // identical RNG stream, so every deterministic byte matches.
+        let fault = |task: usize, attempt: u64| task == 1 && attempt == 0;
+        let obs = |_: TaskProgress| {};
+        let hooks = TaskHooks { max_attempts: 2, fault: Some(&fault), ..TaskHooks::observed(&obs) };
+        let retried = run_scheme_sharded_hooks(&cfg, SchemeSpec::soi(), &world, 11, 2, &hooks);
+        assert_results_identical(&plain, &retried);
+        assert_eq!(retried.counters.tasks_retried, 1);
+        assert_eq!(retried.counters.faults_injected, 1);
+        assert_eq!(plain.counters.tasks_retried, 0);
+    }
+
+    #[test]
+    fn cached_replay_folds_byte_identically_and_counts_resumes() {
+        let mut cfg = sharded_cfg(2);
+        cfg.repetitions = 2;
+        let world = build_sharded_world_seeded(&cfg, 13);
+        let store: std::sync::Mutex<std::collections::BTreeMap<usize, RunResult>> =
+            std::sync::Mutex::new(std::collections::BTreeMap::new());
+        let persist = |i: usize, r: &RunResult| {
+            store.lock().unwrap().insert(i, r.clone());
+        };
+        let obs = |_: TaskProgress| {};
+        let hooks = TaskHooks { persist: Some(&persist), ..TaskHooks::observed(&obs) };
+        let first = run_scheme_sharded_hooks(&cfg, SchemeSpec::soi(), &world, 13, 2, &hooks);
+        let n_tasks = cfg.repetitions * 2;
+        assert_eq!(store.lock().unwrap().len(), n_tasks, "one persisted record per task");
+
+        // Replay half the tasks from the store (as a resume would, after
+        // a round-trip through the wire form), simulate the rest.
+        let cached = |i: usize| -> Option<RunResult> {
+            if i.is_multiple_of(2) {
+                let r = store.lock().unwrap().get(&i).cloned().expect("persisted");
+                Some(RunResult::from_value(&r.to_value()).expect("wire roundtrip"))
+            } else {
+                None
+            }
+        };
+        let hooks = TaskHooks { cached: Some(&cached), ..TaskHooks::observed(&obs) };
+        let resumed = run_scheme_sharded_hooks(&cfg, SchemeSpec::soi(), &world, 13, 2, &hooks);
+        assert_results_identical(&first, &resumed);
+        assert_eq!(resumed.counters.tasks_resumed, n_tasks.div_ceil(2) as u64);
+    }
+
+    #[test]
+    fn exhausted_retries_raise_a_task_failure_span() {
+        let cfg = sharded_cfg(2);
+        let world = build_sharded_world_seeded(&cfg, 17);
+        let fault = |task: usize, _attempt: u64| task == 1;
+        let obs = |_: TaskProgress| {};
+        let hooks = TaskHooks { max_attempts: 2, fault: Some(&fault), ..TaskHooks::observed(&obs) };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scheme_sharded_hooks(&cfg, SchemeSpec::soi(), &world, 17, 1, &hooks)
+        }))
+        .expect_err("budget exhausted");
+        let failure = err.downcast_ref::<TaskFailure>().expect("TaskFailure payload");
+        assert_eq!((failure.rep, failure.shard, failure.attempts), (0, 1, 2));
+        assert!(failure.message.contains("injected worker fault"), "{}", failure.message);
+    }
+
+    #[test]
+    fn cancel_flag_raises_task_cancelled() {
+        let cfg = sharded_cfg(2);
+        let world = build_sharded_world_seeded(&cfg, 19);
+        let cancel = std::sync::atomic::AtomicBool::new(true);
+        let obs = |_: TaskProgress| {};
+        let hooks = TaskHooks { cancel: Some(&cancel), ..TaskHooks::observed(&obs) };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scheme_sharded_hooks(&cfg, SchemeSpec::soi(), &world, 19, 1, &hooks)
+        }))
+        .expect_err("cancelled before the first task");
+        assert!(err.downcast_ref::<TaskCancelled>().is_some(), "TaskCancelled payload");
     }
 }

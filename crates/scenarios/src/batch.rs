@@ -28,10 +28,12 @@
 //! per-job → phase table → summary; see `insomnia profile`), `--quiet`
 //! is an empty bundle.
 
+use crate::checkpoint::{CheckpointWriter, WriteFaults};
+use crate::faults::{FaultPlan, ResolvedFaults};
 use crate::schemes::scheme_key;
 use insomnia_core::{
-    completion_quantiles, online_time_quantiles, run_scheme_sharded_observed, summarize,
-    ScenarioConfig, SchemeResult, SchemeSpec, ShardedWorld,
+    completion_quantiles, online_time_quantiles, run_scheme_sharded_hooks, summarize, RunResult,
+    ScenarioConfig, SchemeResult, SchemeSpec, ShardedWorld, TaskCancelled, TaskFailure, TaskHooks,
 };
 use insomnia_simcore::{SimError, SimResult, SimRng};
 use insomnia_telemetry::{
@@ -39,10 +41,10 @@ use insomnia_telemetry::{
     TaskRecord, Telemetry, TelemetryRecord, TELEMETRY_SCHEMA_VERSION,
 };
 use serde::{Deserialize, Serialize, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// One expanded batch: named scenarios × schemes × seed indices.
@@ -331,6 +333,83 @@ impl BatchRun {
     }
 }
 
+/// Crash-safety controls of one batch run: checkpointing, resume replay,
+/// fault injection, cooperative cancellation and the per-task retry
+/// budget. [`Default`] is the plain uncontrolled run (no checkpoint, one
+/// attempt per task).
+pub struct RunControl {
+    /// Open checkpoint writer; every completed `(repetition × shard)` task
+    /// appends one flushed record.
+    pub checkpoint: Option<CheckpointWriter>,
+    /// Task results replayed from a loaded checkpoint, keyed
+    /// `(job, task)`; replayed tasks skip simulation and fold the cached
+    /// bytes in index order — the output stays byte-identical.
+    pub resume: Option<BTreeMap<(usize, usize), RunResult>>,
+    /// Deterministic fault plan (worker panics, checkpoint IO errors,
+    /// torn tail), resolved against the batch's global task ordinals.
+    pub faults: Option<FaultPlan>,
+    /// Cooperative cancellation (the SIGINT path): once set, workers stop
+    /// claiming tasks and the run exits with [`SimError::Interrupted`]
+    /// after flushing in-flight checkpoint records and telemetry.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Attempts per task before the job fails (≥ 1). Retries re-fork the
+    /// task's RNG stream from scratch, so a retried run is byte-identical
+    /// to an untroubled one.
+    pub max_attempts: usize,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl { checkpoint: None, resume: None, faults: None, cancel: None, max_attempts: 1 }
+    }
+}
+
+/// What one worker hands the collector per job.
+enum JobOutcome {
+    /// The job's JSONL record plus its telemetry sidecar record.
+    Done(Box<(JobRecord, JobTelemetryRecord)>),
+    /// A task exhausted its retry budget; the message names the span.
+    Failed(String),
+    /// The cancel flag stopped the job before it finished.
+    Cancelled,
+}
+
+/// Per-job slice of the run-wide control state, handed to [`run_job`].
+struct JobControl<'a> {
+    writer: Option<&'a CheckpointWriter>,
+    cache: Option<&'a Mutex<BTreeMap<(usize, usize), RunResult>>>,
+    faults: Option<&'a ResolvedFaults>,
+    cancel: Option<&'a AtomicBool>,
+    max_attempts: usize,
+    /// First global task ordinal of this job (fault plans and checkpoint
+    /// records address tasks run-wide, not per job).
+    task_base: usize,
+}
+
+/// Decodes job index `j` into `(scenario, scheme, seed)` coordinates.
+fn job_coords(batch: &BatchRun, j: usize) -> (usize, usize, usize) {
+    let per_scenario = batch.schemes.len() * batch.seeds;
+    (j / per_scenario, (j % per_scenario) / batch.seeds, j % batch.seeds)
+}
+
+/// Global task ordinal layout: `base[j]` is the first ordinal of job `j`,
+/// `base[n_jobs]` the batch's task total. Tasks are the `(repetition ×
+/// shard)` units, numbered in job order — a thread-count-independent
+/// address space shared by fault plans and checkpoint records.
+fn task_bases(batch: &BatchRun) -> Vec<usize> {
+    let n_jobs = batch.n_jobs();
+    let mut bases = Vec::with_capacity(n_jobs + 1);
+    let mut total = 0usize;
+    for j in 0..n_jobs {
+        bases.push(total);
+        let (si, _, _) = job_coords(batch, j);
+        let cfg = &batch.scenarios[si].1;
+        total += cfg.repetitions * cfg.shards.max(1);
+    }
+    bases.push(total);
+    bases
+}
+
 /// Master seed of job seed-index `k` under a scenario: fork `k` of the
 /// scenario seed's `"batch"` stream. Stable against how many seeds, schemes
 /// or threads a batch uses.
@@ -357,6 +436,32 @@ pub fn run_batch_telemetry<W: Write>(
     batch: &BatchRun,
     out: &mut W,
     tel: &Telemetry,
+) -> SimResult<BatchSummary> {
+    run_batch_controlled(batch, out, tel, RunControl::default())
+}
+
+/// [`run_batch_telemetry`] under a [`RunControl`]: the crash-safe entry
+/// point behind `insomnia run --checkpoint/--resume/--faults`.
+///
+/// Determinism contract: none of the controls may change a result byte.
+/// Replayed checkpoint tasks fold the persisted wire form at the same
+/// index a live task would; retried tasks re-fork the identical RNG
+/// stream; fault injection only ever panics (caught) or drops checkpoint
+/// records (re-simulated on resume). A run that completes — clean,
+/// retried, or resumed — writes the same JSONL as an uninterrupted
+/// single-attempt run.
+///
+/// Failure semantics: a task that exhausts `max_attempts` fails its job;
+/// the collector keeps every line *before* the failed job (the JSONL stays
+/// a valid prefix), telemetry phases and summary still flush, the
+/// checkpoint stays valid for `--resume`, and the run returns
+/// [`SimError::TaskFailed`]. A set cancel flag ends the run the same way
+/// with [`SimError::Interrupted`].
+pub fn run_batch_controlled<W: Write>(
+    batch: &BatchRun,
+    out: &mut W,
+    tel: &Telemetry,
+    ctl: RunControl,
 ) -> SimResult<BatchSummary> {
     batch.validate()?;
     let wall_start = Instant::now();
@@ -389,6 +494,27 @@ pub fn run_batch_telemetry<W: Write>(
     // drops it on completion, keeping peak RSS at O(threads × shard).
     let worlds = build_worlds(batch);
 
+    // Crash-safety state. The fault plan resolves against the batch's
+    // global task ordinals; write-side faults (IO errors, torn tail) are
+    // installed into the checkpoint writer, panic faults ride into the
+    // per-task hooks.
+    let bases = task_bases(batch);
+    let faults = ctl.faults.as_ref().map(|p| p.resolve(bases[n_jobs]));
+    if let (Some(writer), Some(f)) = (&ctl.checkpoint, &faults) {
+        writer.set_faults(WriteFaults {
+            io_error_tasks: f.io_error_tasks.clone(),
+            torn_tail_task: f.torn_tail_task,
+        });
+    }
+    let writer = ctl.checkpoint;
+    let resuming = ctl.resume.is_some();
+    let cache = Mutex::new(ctl.resume.unwrap_or_default());
+    let cancel = ctl.cancel;
+    let max_attempts = ctl.max_attempts.max(1);
+    // Raised on the first failed/cancelled job so idle workers stop
+    // claiming new jobs instead of burning through a doomed batch.
+    let abort = AtomicBool::new(false);
+
     // Task-level phase spans accumulate from worker threads as tasks
     // finish (world-build = per-task stream setup, event-loop = the run
     // proper); fold and write spans accumulate on the collector.
@@ -403,11 +529,15 @@ pub fn run_batch_telemetry<W: Write>(
 
     // Phase 2: the scheme jobs. Workers send finished records through a
     // channel; the collector releases JSONL lines strictly in job order,
-    // then emits the job's telemetry record.
-    let (tx, rx) = mpsc::channel::<(usize, (JobRecord, JobTelemetryRecord))>();
+    // then emits the job's telemetry record. A failed or cancelled job
+    // stalls the release point permanently — the JSONL stays a valid
+    // in-order prefix — while surviving workers drain.
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
     let cursor = AtomicUsize::new(0);
     let mut records: Vec<Option<JobRecord>> = Vec::new();
     records.resize_with(n_jobs, || None);
+    let mut first_failure: Option<(usize, String)> = None;
+    let mut cancelled = false;
 
     std::thread::scope(|scope| -> SimResult<()> {
         for _ in 0..threads {
@@ -415,25 +545,95 @@ pub fn run_batch_telemetry<W: Write>(
             let cursor = &cursor;
             let worlds = &worlds;
             let phases = &phases;
+            let bases = &bases;
+            let writer = writer.as_ref();
+            let cache = &cache;
+            let faults = faults.as_ref();
+            let cancel = cancel.as_deref();
+            let abort = &abort;
             scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed)
+                    || cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+                {
+                    break;
+                }
                 let j = cursor.fetch_add(1, Ordering::Relaxed);
                 if j >= n_jobs {
                     break;
                 }
-                let rec = run_job(batch, worlds, j, threads_per_job, tel, phases);
-                if tx.send((j, rec)).is_err() {
+                let jc = JobControl {
+                    writer,
+                    cache: resuming.then_some(cache),
+                    faults,
+                    cancel,
+                    max_attempts,
+                    task_base: bases[j],
+                };
+                // Panic isolation: a job that dies — retry budget spent or
+                // cancel flag raised — must not poison the pool. The
+                // payload is typed, so the collector can tell "task rep 1
+                // shard 3 kept failing" from an interrupt.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_job(batch, worlds, j, threads_per_job, tel, phases, &jc)
+                }));
+                let outcome = match outcome {
+                    Ok(rec) => JobOutcome::Done(Box::new(rec)),
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        if payload.downcast_ref::<TaskCancelled>().is_some() {
+                            JobOutcome::Cancelled
+                        } else if let Some(f) = payload.downcast_ref::<TaskFailure>() {
+                            let (si, ci, ki) = job_coords(batch, j);
+                            JobOutcome::Failed(format!(
+                                "job {j} ({} / {} seed {ki}): repetition {} shard {} \
+                                 failed after {} attempt(s): {}",
+                                batch.scenarios[si].0,
+                                scheme_key(batch.schemes[ci]),
+                                f.rep,
+                                f.shard,
+                                f.attempts,
+                                f.message,
+                            ))
+                        } else {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            JobOutcome::Failed(format!("job {j} panicked: {msg}"))
+                        }
+                    }
+                };
+                if tx.send((j, outcome)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
 
-        // Reorder buffer: write line `k` only once lines `0..k` are out.
+        // Reorder buffer: write line `k` only once lines `0..k` are out
+        // and none of them failed.
         let mut pending: BTreeMap<usize, (JobRecord, JobTelemetryRecord)> = BTreeMap::new();
+        let mut bad_jobs: BTreeSet<usize> = BTreeSet::new();
         let mut next = 0usize;
-        for (j, rec) in rx {
-            pending.insert(j, rec);
-            while let Some((rec, telemetry)) = pending.remove(&next) {
+        for (j, outcome) in rx {
+            match outcome {
+                JobOutcome::Done(rec) => {
+                    pending.insert(j, *rec);
+                }
+                JobOutcome::Failed(msg) => {
+                    bad_jobs.insert(j);
+                    if first_failure.as_ref().is_none_or(|(fj, _)| j < *fj) {
+                        first_failure = Some((j, msg));
+                    }
+                }
+                JobOutcome::Cancelled => {
+                    bad_jobs.insert(j);
+                    cancelled = true;
+                }
+            }
+            while !bad_jobs.contains(&next) {
+                let Some((rec, telemetry)) = pending.remove(&next) else { break };
                 let write_start = Instant::now();
                 let line = serde_json::to_string(&rec)
                     .map_err(|e| SimError::InvalidInput(format!("serialize record: {e}")))?;
@@ -452,14 +652,26 @@ pub fn run_batch_telemetry<W: Write>(
         Ok(())
     })?;
 
-    // Freeze the phase table and the run summary.
+    // Close the checkpoint before reporting: whatever happened above, the
+    // file on disk is a valid manifest + record prefix for `--resume`.
+    let ckpt_stats = writer.map(CheckpointWriter::finish);
+
+    // Freeze the phase table and the run summary — also on the failure
+    // and interrupt paths, so a crashed run still leaves a usable sidecar.
     let TaskPhases { world_build, event_loop } = phases.into_inner().expect("phase lock");
     tasks_total += event_loop.tasks();
     let mut config_phase = PhaseAccum::new("config");
     config_phase.add(tel.config_ms);
-    for phase in [&config_phase, &world_build, &event_loop, &fold_phase, &write_phase] {
+    for phase in [&config_phase, &world_build, &event_loop, &fold_phase] {
         tel.emit(&TelemetryRecord::Phase(phase.record()));
     }
+    if let Some(stats) = &ckpt_stats {
+        // The checkpoint-write span appears only for checkpointed runs, so
+        // pre-existing sidecar phase tables stay unchanged.
+        tel.emit(&TelemetryRecord::Phase(stats.phase.clone()));
+        counters.faults_injected += stats.faults_injected;
+    }
+    tel.emit(&TelemetryRecord::Phase(write_phase.record()));
     tel.emit(&TelemetryRecord::Summary(SummaryRecord {
         // Attribute the caller's config span to the run's wall-clock too,
         // so `insomnia profile` shares sum against the right total.
@@ -471,6 +683,16 @@ pub fn run_batch_telemetry<W: Write>(
         peak_rss_mib: crate::rss::peak_rss_mib(),
         counters,
     }));
+
+    if let Some((_, msg)) = first_failure {
+        return Err(SimError::TaskFailed(msg));
+    }
+    if cancelled || cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        let durable = records.iter().filter(|r| r.is_some()).count();
+        return Err(SimError::Interrupted(format!(
+            "batch stopped after {durable} of {n_jobs} jobs were written"
+        )));
+    }
 
     let records: Vec<JobRecord> =
         records.into_iter().map(|r| r.expect("all jobs completed")).collect();
@@ -494,7 +716,10 @@ fn build_worlds(batch: &BatchRun) -> Vec<ShardedWorld> {
 }
 
 /// Decodes job index `j` into (scenario, scheme, seed) and runs it on a
-/// `max_threads`-wide slice of the pool, timing the run.
+/// `max_threads`-wide slice of the pool, timing the run. The [`JobControl`]
+/// slice threads the run-wide crash-safety state into the task hooks:
+/// checkpoint persistence, resume replay, fault injection, cancellation
+/// and the retry budget.
 fn run_job(
     batch: &BatchRun,
     worlds: &[ShardedWorld],
@@ -502,12 +727,9 @@ fn run_job(
     max_threads: usize,
     tel: &Telemetry,
     phases: &Mutex<TaskPhases>,
+    jc: &JobControl<'_>,
 ) -> (JobRecord, JobTelemetryRecord) {
-    let per_scenario = batch.schemes.len() * batch.seeds;
-    let si = j / per_scenario;
-    let rem = j % per_scenario;
-    let ci = rem / batch.seeds;
-    let ki = rem % batch.seeds;
+    let (si, ci, ki) = job_coords(batch, j);
     let (name, cfg) = &batch.scenarios[si];
     let spec = batch.schemes[ci];
     let world = &worlds[si * batch.seeds + ki];
@@ -547,7 +769,33 @@ fn run_job(
             counters: p.counters,
         }));
     };
-    let result = run_scheme_sharded_observed(cfg, spec, world, seed, max_threads, &observe);
+    // Assemble the task hooks. The closures must be bound to locals (not
+    // temporaries) because `TaskHooks` borrows them for the whole run.
+    let n_shards_decode = cfg.shards.max(1);
+    let base = jc.task_base;
+    let cached_fn;
+    let persist_fn;
+    let fault_fn;
+    let mut hooks = TaskHooks {
+        max_attempts: jc.max_attempts,
+        cancel: jc.cancel,
+        ..TaskHooks::observed(&observe)
+    };
+    if let Some(cache) = jc.cache {
+        cached_fn = move |i: usize| cache.lock().expect("resume cache").remove(&(j, i));
+        hooks.cached = Some(&cached_fn);
+    }
+    if let Some(writer) = jc.writer {
+        persist_fn = move |i: usize, r: &RunResult| {
+            writer.write_task(base + i, j, i, i / n_shards_decode, i % n_shards_decode, r);
+        };
+        hooks.persist = Some(&persist_fn);
+    }
+    if let Some(f) = jc.faults {
+        fault_fn = move |i: usize, attempt: u64| f.should_panic(base + i, attempt);
+        hooks.fault = Some(&fault_fn);
+    }
+    let result = run_scheme_sharded_hooks(cfg, spec, world, seed, max_threads, &hooks);
     let telemetry = JobTelemetryRecord {
         job: j,
         scenario: name.clone(),
@@ -837,6 +1085,128 @@ mod tests {
         assert_eq!(back.shards, Some(4));
         assert_eq!(back.shard_summaries.unwrap().len(), 4);
         assert!(back.completion_quantiles.unwrap().exact);
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("insomnia-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run_controlled(batch: &BatchRun, ctl: RunControl) -> (SimResult<BatchSummary>, Vec<u8>) {
+        let mut buf = Vec::new();
+        let res = run_batch_controlled(batch, &mut buf, &Telemetry::quiet(), ctl);
+        (res, buf)
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_byte_identically() {
+        let batch = tiny_batch(2);
+        let path = tmp_path("resume.ckpt");
+        let manifest = crate::checkpoint::manifest_for(&batch);
+
+        // Uninterrupted reference run (no controls at all).
+        let (base, reference) = run_controlled(&batch, RunControl::default());
+        base.unwrap();
+
+        // Checkpointed run, then pretend it died: reload the sidecar and
+        // keep only some tasks (as if the rest never flushed).
+        let writer = CheckpointWriter::create(&path, &manifest).unwrap();
+        let ctl = RunControl { checkpoint: Some(writer), ..RunControl::default() };
+        let (res, checkpointed) = run_controlled(&batch, ctl);
+        res.unwrap();
+        assert_eq!(checkpointed, reference, "checkpointing must not change a byte");
+
+        let mut loaded = crate::checkpoint::load_checkpoint(&path).unwrap();
+        loaded.manifest.verify_against(&manifest).unwrap();
+        assert_eq!(loaded.tasks.len(), 4, "one record per (rep × shard) task");
+        loaded.tasks.remove(&(3, 0));
+
+        // Resume: three tasks replay, one re-simulates, output identical.
+        let writer = CheckpointWriter::append(&path).unwrap();
+        let ctl = RunControl {
+            checkpoint: Some(writer),
+            resume: Some(loaded.tasks),
+            ..RunControl::default()
+        };
+        let (res, resumed) = run_controlled(&batch, ctl);
+        res.unwrap();
+        assert_eq!(resumed, reference, "resume must be byte-identical");
+
+        // The re-simulated task appended, so a second load sees all four
+        // again (the replayed three were not rewritten).
+        let reloaded = crate::checkpoint::load_checkpoint(&path).unwrap();
+        assert_eq!(reloaded.tasks.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_faults_with_retry_change_no_bytes() {
+        let batch = tiny_batch(2);
+        let (base, reference) = run_controlled(&batch, RunControl::default());
+        base.unwrap();
+
+        // Panic two of the four tasks once each; one retry recovers.
+        let plan = FaultPlan { panic_tasks: vec![1, 2], ..FaultPlan::default() };
+        let ctl = RunControl { faults: Some(plan), max_attempts: 2, ..RunControl::default() };
+        let (res, faulted) = run_controlled(&batch, ctl);
+        res.unwrap();
+        assert_eq!(faulted, reference, "retried tasks must replay the identical stream");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_job_but_keep_the_prefix() {
+        let mut batch = tiny_batch(1);
+        batch.threads = 1;
+        // Task ordinal 1 (= job 1) panics on every attempt.
+        let plan =
+            FaultPlan { panic_tasks: vec![1], panic_attempts: u64::MAX, ..FaultPlan::default() };
+        let path = tmp_path("failed.ckpt");
+        let writer =
+            CheckpointWriter::create(&path, &crate::checkpoint::manifest_for(&batch)).unwrap();
+        let ctl = RunControl {
+            checkpoint: Some(writer),
+            faults: Some(plan),
+            max_attempts: 2,
+            ..RunControl::default()
+        };
+        let (res, out) = run_controlled(&batch, ctl);
+        let err = res.unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("task failed"), "{msg}");
+        assert!(msg.contains("repetition 0 shard 0"), "span must be named: {msg}");
+        assert!(msg.contains("after 2 attempt(s)"), "{msg}");
+        assert!(msg.contains("injected worker fault"), "{msg}");
+        // Jobs before the failure were written; nothing after.
+        let lines: Vec<&str> =
+            std::str::from_utf8(&out).unwrap().lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 1, "only job 0 precedes the failed job");
+        assert!(lines[0].contains("no-sleep"));
+        // The checkpoint survives the failure and still loads.
+        let loaded = crate::checkpoint::load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.tasks.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cancel_flag_interrupts_the_run() {
+        let batch = tiny_batch(2);
+        let cancel = Arc::new(AtomicBool::new(true));
+        let ctl = RunControl { cancel: Some(cancel), ..RunControl::default() };
+        let (res, _) = run_controlled(&batch, ctl);
+        let err = res.unwrap_err();
+        assert!(err.to_string().contains("interrupted"), "{err}");
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_manifest() {
+        let batch = tiny_batch(1);
+        let mut other = tiny_batch(1);
+        other.seeds = 3;
+        let a = crate::checkpoint::manifest_for(&batch);
+        let b = crate::checkpoint::manifest_for(&other);
+        let err = b.verify_against(&a).unwrap_err().to_string();
+        assert!(err.contains("does not match"), "{err}");
     }
 
     #[test]

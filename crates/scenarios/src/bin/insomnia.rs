@@ -8,13 +8,67 @@
 //! ```
 
 use insomnia_scenarios::{
-    check_rss_budget, compare_jsonl, parse_scheme_list, peak_rss_mib, run_batch_telemetry,
-    BatchRun, ProfileReport, Registry, ScenarioSpec, Telemetry,
+    check_rss_budget, compare_jsonl, load_checkpoint, manifest_for, parse_scheme_list,
+    peak_rss_mib, run_batch_controlled, BatchRun, CheckpointWriter, FaultPlan, ProfileReport,
+    Registry, RunControl, ScenarioSpec, Telemetry,
 };
 use insomnia_simcore::{SimError, SimResult};
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// SIGINT → a cooperative cancel flag. First ^C asks the batch runner to
+/// stop (workers finish their in-flight task, the checkpoint and telemetry
+/// sidecar flush, the process exits 130); the handler then restores the
+/// default disposition so a second ^C kills immediately.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    // Declared by hand: the workspace vendors no libc crate, but std
+    // already links the platform libc this symbol lives in.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_: i32) {
+        // Only async-signal-safe work here: one atomic store, then
+        // restore the default handler (signal(2) is on the safe list).
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    /// Installs the handler (idempotent) and returns the shared flag.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// No signal wiring off Unix; the flag simply never trips.
+    pub fn install() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+}
 
 const USAGE: &str = "\
 insomnia — scenario orchestration for the Insomnia in the Access reproduction
@@ -30,6 +84,7 @@ USAGE:
                  --schemes KEY[,KEY...] [--seeds N] [--threads N]
                  [--shards N] [--out FILE] [--set dotted.key=value]...
                  [--quick] [--max-rss-mib N] [--telemetry FILE] [--quiet]
+                 [--checkpoint FILE [--resume]] [--retries N] [--faults FILE]
         Expand the (scenario x scheme x seed) matrix, run it in parallel,
         stream one JSON line per job (stdout, or FILE with --out) and print
         the aggregated summary table. Per-job wall-clock and event-count
@@ -38,6 +93,11 @@ USAGE:
         a structured sidecar (one JSON record per line: manifest, task, job,
         phase, summary) for `insomnia profile`; --quiet suppresses the
         stderr heartbeat/telemetry lines without touching the result JSONL.
+        --checkpoint appends one CRC-framed record per completed
+        (repetition x shard) task to FILE; after a crash or ^C (exit 130),
+        the same command plus --resume replays those records and simulates
+        only what is missing — the final JSONL is byte-identical to an
+        uninterrupted run.
 
     insomnia sweep --param dotted.key --values V1,V2,...
                  [--scenario NAME] [--spec FILE]
@@ -78,6 +138,20 @@ OPTIONS:
                    (never mixed into the result JSONL)
     --quiet        suppress the stderr heartbeat/telemetry lines; results,
                    sidecars and exit codes are unchanged
+    --checkpoint FILE  append a CRC-framed JSONL record per completed
+                   (repetition x shard) task, flushed as it completes; the
+                   file starts with a manifest (schema version, config
+                   hash, seeds, schemes) that --resume verifies
+    --resume       with --checkpoint: verify the manifest, drop a torn
+                   final record if the last run died mid-write, replay the
+                   cached tasks and simulate only the missing ones
+    --retries N    extra attempts for a (repetition x shard) task whose
+                   simulation panics (default: 1; 0 disables). Retries
+                   replay the identical RNG stream, so a transient fault
+                   changes no output bytes
+    --faults FILE  deterministic fault injection from a [faults] TOML
+                   table (panic_tasks, random_panics, io_error_tasks,
+                   torn_tail_task) — the chaos-test harness
     --counters     profile: print only the deterministic counter totals
     --tol REL      compare: per-metric relative tolerance   [default: 0]
 ";
@@ -88,7 +162,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("insomnia: {e}");
-            ExitCode::FAILURE
+            // 130 = died of SIGINT, the shell convention scripts test for.
+            if matches!(e, SimError::Interrupted(_)) {
+                ExitCode::from(130u8)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
@@ -241,8 +320,11 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
             "values",
             "max-rss-mib",
             "telemetry",
+            "checkpoint",
+            "retries",
+            "faults",
         ],
-        &["quick", "quiet"],
+        &["quick", "quiet", "resume"],
     )?;
     if sweep.is_none() && (flags.get("param").is_some() || flags.get("values").is_some()) {
         return Err(SimError::InvalidInput(
@@ -326,25 +408,76 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
     }
     tel.config_ms = config_start.elapsed().as_secs_f64() * 1e3;
 
-    let summary = match flags.get("out") {
+    // Crash-safety wiring: checkpoint sidecar, resume cache, retry budget,
+    // fault plan, and the ^C cancel flag.
+    let checkpoint_path = flags.get("checkpoint").map(str::to_string);
+    if flags.has("resume") && checkpoint_path.is_none() {
+        return Err(SimError::InvalidInput("--resume needs --checkpoint FILE".into()));
+    }
+    let mut ctl = RunControl {
+        max_attempts: flags.get_usize("retries", 1)?.saturating_add(1),
+        cancel: Some(sigint::install()),
+        ..RunControl::default()
+    };
+    if let Some(path) = flags.get("faults") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SimError::InvalidInput(format!("read {path}: {e}")))?;
+        ctl.faults = Some(FaultPlan::from_toml(&text)?);
+    }
+    if let Some(path) = &checkpoint_path {
+        let manifest = manifest_for(&batch);
+        if flags.has("resume") {
+            let loaded = load_checkpoint(Path::new(path))?;
+            loaded.manifest.verify_against(&manifest)?;
+            if !quiet {
+                if loaded.dropped_tail {
+                    eprintln!("# checkpoint {path}: dropped a torn final record");
+                }
+                eprintln!("# resuming: replaying {} checkpointed task(s)", loaded.tasks.len());
+            }
+            ctl.resume = Some(loaded.tasks);
+            ctl.checkpoint = Some(CheckpointWriter::append(Path::new(path))?);
+        } else {
+            ctl.checkpoint = Some(CheckpointWriter::create(Path::new(path), &manifest)?);
+        }
+    }
+
+    let result = match flags.get("out") {
         Some(path) => {
             let mut file = std::io::BufWriter::new(
                 std::fs::File::create(path)
                     .map_err(|e| SimError::InvalidInput(format!("create {path}: {e}")))?,
             );
-            let s = run_batch_telemetry(&batch, &mut file, &tel)?;
+            let r = run_batch_controlled(&batch, &mut file, &tel, ctl);
             file.flush().map_err(|e| SimError::InvalidInput(format!("flush {path}: {e}")))?;
-            if !quiet {
+            if let (Ok(s), false) = (&r, quiet) {
                 eprintln!("wrote {} records to {path}", s.records.len());
             }
-            s
+            r
         }
         None => {
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            let s = run_batch_telemetry(&batch, &mut lock, &tel)?;
+            let r = run_batch_controlled(&batch, &mut lock, &tel, ctl);
             lock.flush().ok();
-            s
+            r
+        }
+    };
+    let summary = match result {
+        Ok(s) => s,
+        Err(e) => {
+            // The checkpoint stays valid on both failure paths; spell out
+            // the recovery command so the hint survives log scraping.
+            if let Some(path) = &checkpoint_path {
+                match &e {
+                    SimError::Interrupted(_) | SimError::TaskFailed(_) => eprintln!(
+                        "insomnia: completed tasks are saved — re-run the same command \
+                         with --checkpoint {path} --resume"
+                    ),
+                    _ => {}
+                }
+            }
+            return Err(e);
         }
     };
     if !quiet {
@@ -464,8 +597,11 @@ fn cmd_sweep(args: &[String]) -> SimResult<()> {
             "values",
             "max-rss-mib",
             "telemetry",
+            "checkpoint",
+            "retries",
+            "faults",
         ],
-        &["quick", "quiet"],
+        &["quick", "quiet", "resume"],
     )?;
     let param = flags
         .get("param")

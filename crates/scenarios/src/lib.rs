@@ -23,7 +23,11 @@
 //!   streams, streams one JSON line per job in job order (byte-identical
 //!   at any thread count), and aggregates a summary table,
 //! * [`compare`] — the regression gate: diff two batch JSONL outputs with
-//!   a per-metric relative tolerance.
+//!   a per-metric relative tolerance,
+//! * [`checkpoint`] + [`faults`] — crash safety: a CRC-framed JSONL
+//!   checkpoint sidecar (`--checkpoint`/`--resume`, byte-identical
+//!   resume), bounded deterministic task retry, and a seeded
+//!   fault-injection harness (`--faults`) that proves both.
 //!
 //! The `insomnia` binary (`src/bin/insomnia.rs`) puts `list`, `show`,
 //! `run`, `sweep` and `compare` subcommands on top.
@@ -32,17 +36,24 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod compare;
+pub mod faults;
 pub mod registry;
 pub mod rss;
 pub mod schemes;
 pub mod spec;
 
 pub use batch::{
-    run_batch, run_batch_telemetry, BatchRun, BatchSummary, JobRecord, OnlineRecord,
-    QuantileRecord, ShardRecord, SummaryRow,
+    run_batch, run_batch_controlled, run_batch_telemetry, BatchRun, BatchSummary, JobRecord,
+    OnlineRecord, QuantileRecord, RunControl, ShardRecord, SummaryRow,
+};
+pub use checkpoint::{
+    crc32, load_checkpoint, manifest_for, CheckpointWriteStats, CheckpointWriter, LoadedCheckpoint,
+    Manifest, WriteFaults,
 };
 pub use compare::{compare_jsonl, CompareReport, MetricDiff};
+pub use faults::{FaultPlan, ResolvedFaults};
 pub use insomnia_telemetry::{ProfileReport, Telemetry};
 pub use registry::{Preset, Registry};
 pub use rss::{check_rss_budget, peak_rss_mib};

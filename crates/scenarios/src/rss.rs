@@ -6,18 +6,43 @@
 //! after the batch and turns a budget overrun into a non-zero exit.
 
 use insomnia_simcore::{SimError, SimResult};
+use std::sync::Once;
+
+static WARN_ONCE: Once = Once::new();
 
 /// Peak resident set size of this process in MiB, from the `VmHWM` line of
-/// `/proc/self/status`. `None` where procfs is unavailable (non-Linux).
+/// `/proc/self/status`. `None` where the probe fails (non-Linux procfs, or
+/// a status file we cannot parse) — in that case the *reason* is warned to
+/// stderr once per process, so a memory gate that silently stopped
+/// measuring is visible in the log instead of passing vacuously.
 pub fn peak_rss_mib() -> Option<f64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    parse_vm_hwm_kib(&status).map(|kib| kib as f64 / 1024.0)
+    match probe_vm_hwm_kib() {
+        Ok(kib) => Some(kib as f64 / 1024.0),
+        Err(reason) => {
+            WARN_ONCE.call_once(|| {
+                eprintln!("insomnia: warning: peak RSS unavailable: {reason}");
+            });
+            None
+        }
+    }
+}
+
+/// Reads and parses `VmHWM`, keeping the failure reason.
+fn probe_vm_hwm_kib() -> Result<u64, String> {
+    let status = std::fs::read_to_string("/proc/self/status")
+        .map_err(|e| format!("read /proc/self/status: {e}"))?;
+    parse_vm_hwm_kib(&status)
 }
 
 /// Extracts the `VmHWM` value in KiB from `/proc/self/status` text.
-fn parse_vm_hwm_kib(status: &str) -> Option<u64> {
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
+fn parse_vm_hwm_kib(status: &str) -> Result<u64, String> {
+    let line = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .ok_or_else(|| "no VmHWM line in /proc/self/status".to_string())?;
+    let field =
+        line.split_whitespace().nth(1).ok_or_else(|| format!("malformed VmHWM line `{line}`"))?;
+    field.parse().map_err(|_| format!("unparseable VmHWM value `{field}`"))
 }
 
 /// Enforces a peak-RSS budget: `Ok` with the measured peak when under
@@ -41,8 +66,13 @@ mod tests {
     #[test]
     fn parses_vm_hwm_from_status_text() {
         let status = "Name:\tinsomnia\nVmPeak:\t  123 kB\nVmHWM:\t  204800 kB\nThreads:\t1\n";
-        assert_eq!(parse_vm_hwm_kib(status), Some(204_800));
-        assert_eq!(parse_vm_hwm_kib("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm_kib(status), Ok(204_800));
+        let err = parse_vm_hwm_kib("Name:\tx\n").unwrap_err();
+        assert!(err.contains("no VmHWM line"), "{err}");
+        let err = parse_vm_hwm_kib("VmHWM:\n").unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+        let err = parse_vm_hwm_kib("VmHWM:\tlots kB\n").unwrap_err();
+        assert!(err.contains("unparseable VmHWM value `lots`"), "{err}");
     }
 
     #[test]

@@ -210,10 +210,106 @@ pub struct ScenarioSpec {
     pub bh2: Option<Bh2Spec>,
 }
 
+/// Every legal top-level key/section of a scenario spec, in declaration
+/// order — the whitelist [`ScenarioSpec::from_toml`] checks documents
+/// against. Derived deserialization ignores unknown keys, which turns a
+/// typo'd section (`[power_state]` for `[power_states]`) into a silently
+/// default run; rejecting up front with a did-you-mean hint is cheaper
+/// than debugging a wrong experiment.
+const SPEC_KEYS: &[&str] = &[
+    "name",
+    "base",
+    "summary",
+    "n_clients",
+    "n_aps",
+    "horizon_hours",
+    "always_on_frac",
+    "worker_frac",
+    "rate_scale",
+    "diurnal",
+    "surge",
+    "topology",
+    "mean_networks_in_range",
+    "home_mbps",
+    "neighbor_mbps",
+    "backhaul_mbps",
+    "n_cards",
+    "ports_per_card",
+    "k_switch",
+    "idle_timeout_s",
+    "wake_time_s",
+    "power_states",
+    "adaptive_soi",
+    "q_max_utilization",
+    "optimal_period_s",
+    "sample_period_s",
+    "shards",
+    "repetitions",
+    "seed",
+    "completion_cutoff",
+    "online_cutoff",
+    "bh2",
+];
+
+/// Levenshtein edit distance (small strings only — key names).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Formats an unknown-key error, appending a `did you mean` hint when a
+/// known key sits within a small edit distance of the typo.
+pub(crate) fn unknown_key_message(prefix: &str, key: &str, known: &[&str]) -> String {
+    let best = known
+        .iter()
+        .map(|k| (levenshtein(key, k), *k))
+        .min()
+        .filter(|&(d, _)| d <= 1 + key.len() / 4);
+    match best {
+        Some((_, hint)) => format!("{prefix} (did you mean `{hint}`?)"),
+        None => prefix.to_string(),
+    }
+}
+
+/// Rejects unknown top-level keys/sections of a parsed spec document.
+fn check_spec_keys(doc: &Value, context: &str) -> SimResult<()> {
+    let Some(m) = doc.as_map() else {
+        return Ok(());
+    };
+    for (key, _) in m {
+        if !SPEC_KEYS.contains(&key.as_str()) {
+            return Err(SimError::InvalidInput(unknown_key_message(
+                &format!("{context}: unknown key `{key}`"),
+                key,
+                SPEC_KEYS,
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl ScenarioSpec {
-    /// Parses a spec from TOML text.
+    /// Parses a spec from TOML text. Unknown top-level keys or sections
+    /// are rejected (with a did-you-mean hint) rather than silently
+    /// ignored — a typo'd `[power_state]` must not run a default-config
+    /// experiment.
     pub fn from_toml(text: &str) -> SimResult<Self> {
-        toml::from_str(text).map_err(|e| SimError::InvalidInput(format!("scenario TOML: {e}")))
+        let doc: Value = toml::parse_document(text)
+            .map_err(|e| SimError::InvalidInput(format!("scenario TOML: {e}")))?;
+        check_spec_keys(&doc, "scenario TOML")?;
+        ScenarioSpec::from_value(&doc)
+            .map_err(|e| SimError::InvalidInput(format!("scenario TOML: {e}")))
     }
 
     /// Renders the spec as TOML (unset fields omitted).
@@ -240,6 +336,7 @@ impl ScenarioSpec {
                 "override `{assignment}` assigns nothing (expected key = value)"
             )));
         }
+        check_spec_keys(&frag, &format!("override `{assignment}`"))?;
         let mut tree = self.to_value();
         merge_value(&mut tree, &frag);
         ScenarioSpec::from_value(&tree)
@@ -682,6 +779,32 @@ max_timeout_s = 120.0
         )
         .unwrap();
         assert!(clamps.to_config().is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_a_hint() {
+        // The classic silent footgun: a typo'd section name used to parse
+        // fine and run a default-config experiment.
+        let err =
+            ScenarioSpec::from_toml("[power_state]\nwatts = [6.0, 2.0]\nwake_s = [5.0, 60.0]\n")
+                .unwrap_err()
+                .to_string();
+        assert!(err.contains("unknown key `power_state`"), "{err}");
+        assert!(err.contains("did you mean `power_states`?"), "{err}");
+
+        let err = ScenarioSpec::from_toml("n_client = 68\n").unwrap_err().to_string();
+        assert!(err.contains("did you mean `n_clients`?"), "{err}");
+
+        // A key nowhere near the schema gets no misleading hint.
+        let err = ScenarioSpec::from_toml("zzzzzzzzzz = 1\n").unwrap_err().to_string();
+        assert!(err.contains("unknown key"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+
+        // Overrides go through the same gate.
+        let err = ScenarioSpec::default().with_override("repetition = 3").unwrap_err().to_string();
+        assert!(err.contains("did you mean `repetitions`?"), "{err}");
+        // Known dotted keys still work.
+        assert!(ScenarioSpec::default().with_override("bh2.backup = 2").is_ok());
     }
 
     #[test]

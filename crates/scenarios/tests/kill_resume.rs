@@ -1,0 +1,136 @@
+//! Kill-mid-run integration tests for `insomnia run --checkpoint`.
+//!
+//! The library-level chaos tests (`tests/chaos.rs` at the workspace root)
+//! prove resume semantics in-process; these two drive the released CLI
+//! contract end to end: a run killed hard (SIGKILL — no destructors, a
+//! possibly torn final record) or interrupted politely (SIGINT — flush,
+//! hint, exit 130) must resume with `--resume` to output byte-identical
+//! to an uninterrupted run.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_insomnia")
+}
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("insomnia-kill-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The shared batch command: 3 schemes × 2 quick repetitions = 6 tasks,
+/// serial so a signal always lands with tasks still pending in debug
+/// builds.
+const RUN_ARGS: &[&str] = &[
+    "run",
+    "--scenario",
+    "paper-default",
+    "--schemes",
+    "no-sleep,soi,bh2",
+    "--seeds",
+    "1",
+    "--quick",
+    "--quiet",
+    "--threads",
+    "1",
+];
+
+/// Reference output of the uninterrupted command (one shared run).
+fn reference_bytes() -> &'static [u8] {
+    static REF: OnceLock<Vec<u8>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let out = tmp_dir().join("reference.jsonl");
+        let status = Command::new(bin())
+            .args(RUN_ARGS)
+            .args(["--out", out.to_str().unwrap()])
+            .status()
+            .expect("spawn reference run");
+        assert!(status.success(), "reference run failed: {status}");
+        std::fs::read(&out).unwrap()
+    })
+}
+
+/// Complete (newline-terminated) lines currently in the checkpoint file.
+fn complete_lines(path: &Path) -> usize {
+    std::fs::read(path).map_or(0, |raw| raw.iter().filter(|&&b| b == b'\n').count())
+}
+
+/// Waits until the manifest plus at least `tasks` task records are
+/// durable, i.e. the run is provably mid-flight.
+fn wait_for_records(path: &Path, tasks: usize, child: &mut std::process::Child) {
+    let deadline = Instant::now() + Duration::from_secs(240);
+    while complete_lines(path) < 1 + tasks {
+        if child.try_wait().expect("poll child").is_some() {
+            panic!("run finished before the signal could land mid-flight");
+        }
+        assert!(Instant::now() < deadline, "no checkpoint records after 240 s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn resume_and_compare(ckpt: &Path, out: &Path) {
+    let status = Command::new(bin())
+        .args(RUN_ARGS)
+        .args(["--checkpoint", ckpt.to_str().unwrap(), "--resume", "--out", out.to_str().unwrap()])
+        .status()
+        .expect("spawn resume run");
+    assert!(status.success(), "resume run failed: {status}");
+    assert_eq!(
+        std::fs::read(out).unwrap(),
+        reference_bytes(),
+        "resumed output differs from the uninterrupted reference"
+    );
+}
+
+#[test]
+fn sigkill_mid_run_then_resume_is_byte_identical() {
+    let dir = tmp_dir();
+    let ckpt = dir.join("sigkill.ckpt.jsonl");
+    let out = dir.join("sigkill.jsonl");
+    let mut child = Command::new(bin())
+        .args(RUN_ARGS)
+        .args(["--checkpoint", ckpt.to_str().unwrap(), "--out", out.to_str().unwrap()])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointed run");
+    wait_for_records(&ckpt, 1, &mut child);
+    child.kill().expect("SIGKILL");
+    child.wait().unwrap();
+
+    let durable = complete_lines(&ckpt);
+    assert!(durable >= 2, "manifest + at least one task must have survived");
+    assert!(durable < 1 + 6, "the kill must have cost some records, or it landed too late");
+    resume_and_compare(&ckpt, &out);
+}
+
+#[test]
+fn sigint_flushes_hints_and_exits_130() {
+    let dir = tmp_dir();
+    let ckpt = dir.join("sigint.ckpt.jsonl");
+    let out = dir.join("sigint.jsonl");
+    let stderr_path = dir.join("sigint.stderr");
+    let stderr = std::fs::File::create(&stderr_path).unwrap();
+    let mut child = Command::new(bin())
+        .args(RUN_ARGS)
+        .args(["--checkpoint", ckpt.to_str().unwrap(), "--out", out.to_str().unwrap()])
+        .stderr(Stdio::from(stderr))
+        .spawn()
+        .expect("spawn checkpointed run");
+    wait_for_records(&ckpt, 1, &mut child);
+    let status =
+        Command::new("kill").args(["-INT", &child.id().to_string()]).status().expect("send SIGINT");
+    assert!(status.success());
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(130), "SIGINT must exit with the shell convention 130");
+
+    let log = std::fs::read_to_string(&stderr_path).unwrap();
+    assert!(log.contains("interrupted"), "stderr must say why it stopped:\n{log}");
+    assert!(log.contains("--resume"), "stderr must hint at the resume command:\n{log}");
+    resume_and_compare(&ckpt, &out);
+}

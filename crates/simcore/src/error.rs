@@ -16,6 +16,14 @@ pub enum SimError {
     /// A solver or iterative procedure exhausted its budget without a
     /// feasible/optimal answer.
     BudgetExhausted(String),
+    /// A worker task kept failing after its bounded retries were spent.
+    /// The message names the failed (repetition × shard) span so operators
+    /// know exactly which task to investigate; any checkpoint written so
+    /// far remains valid for `--resume`.
+    TaskFailed(String),
+    /// The run was interrupted (e.g. SIGINT) after flushing in-flight
+    /// state; a checkpointed run can continue with `--resume`.
+    Interrupted(String),
 }
 
 impl fmt::Display for SimError {
@@ -24,6 +32,8 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SimError::BudgetExhausted(msg) => write!(f, "budget exhausted: {msg}"),
+            SimError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+            SimError::Interrupted(msg) => write!(f, "interrupted: {msg}"),
         }
     }
 }
@@ -45,6 +55,10 @@ mod tests {
         assert!(e.to_string().contains("empty trace"));
         let e = SimError::BudgetExhausted("B&B nodes".into());
         assert!(e.to_string().contains("B&B nodes"));
+        let e = SimError::TaskFailed("rep 1 shard 3".into());
+        assert_eq!(e.to_string(), "task failed: rep 1 shard 3");
+        let e = SimError::Interrupted("SIGINT".into());
+        assert_eq!(e.to_string(), "interrupted: SIGINT");
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub mod time;
 
 pub use engine::Scheduler;
 pub use error::{SimError, SimResult};
-pub use par::{default_threads, par_fold_indexed, par_map_indexed, FoldStep};
+pub use par::{
+    default_threads, par_fold_indexed, par_map_indexed, retry_unwind, FoldStep, Retried,
+};
 pub use queue::{EventQueue, EventToken};
 pub use rng::{SimRng, SplitMix64};
 pub use series::{average_runs, downsample_mean, BinSeries};

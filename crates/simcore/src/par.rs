@@ -235,6 +235,45 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// A value that survived [`retry_unwind`], plus how many attempts panicked
+/// before it (0 on a clean first try).
+#[derive(Debug)]
+pub struct Retried<T> {
+    /// The successful attempt's result.
+    pub value: T,
+    /// Panicking attempts that preceded it.
+    pub retries: u64,
+}
+
+/// Runs `f` under [`std::panic::catch_unwind`], retrying up to
+/// `max_attempts` total attempts; the last attempt's panic payload is
+/// returned when every attempt unwinds.
+///
+/// Determinism contract: `f` must be a pure function of its captured
+/// inputs — in particular, a retried simulation task must re-derive its
+/// RNG stream from the *same* fork labels, never from the attempt number,
+/// so a transient fault cannot change a single output byte. The attempt
+/// count is exposed only through [`Retried::retries`], for telemetry.
+///
+/// `max_attempts` is clamped to at least 1. Unwind safety is asserted the
+/// same way the worker pool does: a panicking attempt abandons its partial
+/// state entirely, so observing a broken invariant afterwards is
+/// impossible for callers that rebuild state per attempt.
+pub fn retry_unwind<T>(
+    max_attempts: usize,
+    mut f: impl FnMut() -> T,
+) -> Result<Retried<T>, Box<dyn std::any::Any + Send + 'static>> {
+    let attempts = max_attempts.max(1);
+    let mut last_payload = None;
+    for attempt in 0..attempts {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut f)) {
+            Ok(value) => return Ok(Retried { value, retries: attempt as u64 }),
+            Err(payload) => last_payload = Some(payload),
+        }
+    }
+    Err(last_payload.expect("at least one attempt ran"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +344,33 @@ mod tests {
         // Queue depth is scheduling-dependent but always bounded by the
         // results still outstanding past the one being folded.
         par_fold_indexed(64, 8, |i| i, |step, _| assert!(step.queued < 64 - step.index));
+    }
+
+    #[test]
+    fn retry_unwind_retries_panics_and_reports_the_count() {
+        // Succeeds on the third attempt; the first two panics are absorbed.
+        let mut calls = 0;
+        let got = retry_unwind(3, || {
+            calls += 1;
+            if calls < 3 {
+                panic!("transient");
+            }
+            calls * 10
+        })
+        .expect("third attempt succeeds");
+        assert_eq!((got.value, got.retries), (30, 2));
+
+        // A clean first try reports zero retries.
+        let clean = retry_unwind(3, || 7).expect("no panic");
+        assert_eq!((clean.value, clean.retries), (7, 0));
+
+        // Exhausted budget surfaces the final payload.
+        let err = retry_unwind(2, || -> u8 { panic!("persistent") }).expect_err("exhausted");
+        assert_eq!(err.downcast_ref::<&str>().copied(), Some("persistent"));
+
+        // max_attempts = 0 still runs once.
+        let once = retry_unwind(0, || 1).expect("ran once");
+        assert_eq!((once.value, once.retries), (1, 0));
     }
 
     #[test]

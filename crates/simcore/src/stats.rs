@@ -8,7 +8,7 @@
 //! [`Cdf`]s, completion-time quantiles at 10⁶-client scale come from a
 //! [`QuantileSketch`], and so on.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Streaming mean/variance via Welford's algorithm (numerically stable).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -509,6 +509,34 @@ impl QuantileSketch {
     }
 }
 
+// The wire form is the exact private state — cutoff, count, exact samples
+// (null once spilled), bucket counters — so a deserialized sketch continues
+// absorbing/merging bit-for-bit where the serialized one stopped. This is
+// what checkpointed (rep × shard) folds and the upcoming distributed shard
+// fan-out ship across the process boundary.
+impl Serialize for QuantileSketch {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("cutoff".to_string(), self.cutoff.to_value()),
+            ("count".to_string(), self.count.to_value()),
+            ("exact".to_string(), self.exact.to_value()),
+            ("buckets".to_string(), self.buckets.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QuantileSketch {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::expected("map", v))?;
+        Ok(QuantileSketch {
+            cutoff: serde::__field(m, "cutoff")?,
+            count: serde::__field(m, "count")?,
+            exact: serde::__field(m, "exact")?,
+            buckets: serde::__field(m, "buckets")?,
+        })
+    }
+}
+
 /// A mergeable histogram of per-gateway online (powered) seconds — the
 /// streaming replacement for concatenating one `f64` per gateway across
 /// every shard of a metro-scale world.
@@ -604,6 +632,27 @@ impl OnlineTimeHist {
     /// `None` once the histogram spilled into buckets.
     pub fn per_gateway(&self) -> Option<&[f64]> {
         self.sketch.samples()
+    }
+}
+
+// Wire form: the inner sketch plus the exact running sum — everything a
+// resumed or remote fold needs to keep merging bit-for-bit.
+impl Serialize for OnlineTimeHist {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("sketch".to_string(), self.sketch.to_value()),
+            ("sum_s".to_string(), self.sum_s.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for OnlineTimeHist {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::expected("map", v))?;
+        Ok(OnlineTimeHist {
+            sketch: serde::__field(m, "sketch")?,
+            sum_s: serde::__field(m, "sum_s")?,
+        })
     }
 }
 
@@ -910,6 +959,45 @@ mod tests {
             assert_eq!(rl.quantile(q), union.quantile(q), "merge order, q {q}");
         }
         assert_eq!(lr.gateways(), union.gateways());
+    }
+
+    #[test]
+    fn sketch_and_hist_wire_forms_roundtrip_in_both_tiers() {
+        // Exact tier: raw samples (insertion order) survive the roundtrip.
+        let mut exact = QuantileSketch::new(8);
+        for x in [3.5, 0.0, 1e-4, 7.25, 2.0] {
+            exact.push(x);
+        }
+        let back = QuantileSketch::from_value(&exact.to_value()).expect("roundtrip");
+        assert_eq!(back.cutoff(), exact.cutoff());
+        assert_eq!(back.count(), exact.count());
+        assert_eq!(back.samples(), exact.samples());
+
+        // Bucket tier: counters and the spilled state survive, and the
+        // rebuilt sketch keeps merging identically to the original.
+        let mut spilled = QuantileSketch::new(4);
+        for i in 0..40 {
+            spilled.push(((i * 31) % 37) as f64 + 0.125);
+        }
+        assert!(!spilled.is_exact());
+        let mut back = QuantileSketch::from_value(&spilled.to_value()).expect("roundtrip");
+        assert_eq!(back.count(), spilled.count());
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(back.quantile(q), spilled.quantile(q), "q {q}");
+        }
+        let mut more = QuantileSketch::new(4);
+        more.push(1e6);
+        back.merge(&more);
+        let mut direct = spilled.clone();
+        direct.merge(&more);
+        assert_eq!(back.quantile(1.0), direct.quantile(1.0));
+
+        // Histogram wraps the sketch plus an exact sum.
+        let hist = OnlineTimeHist::from_samples(&[10.0, 0.5, 86_400.0], 16);
+        let back = OnlineTimeHist::from_value(&hist.to_value()).expect("roundtrip");
+        assert_eq!(back.per_gateway(), hist.per_gateway());
+        assert_eq!(back.sum_s(), hist.sum_s());
+        assert_eq!(back.gateways(), hist.gateways());
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub struct RunCounters {
     /// `(repetition × shard)` task results absorbed by the deterministic
     /// in-order folder (1 for a bare single run).
     pub fold_absorptions: u64,
+    /// Worker-task attempts that panicked and were retried (a task retried
+    /// twice counts 2). Retries replay the identical RNG stream, so this
+    /// is pure observability — never part of result bytes.
+    pub tasks_retried: u64,
+    /// Faults a [`FaultPlan`]-style chaos harness injected (worker panics,
+    /// checkpoint IO errors, torn tails).
+    pub faults_injected: u64,
+    /// `(repetition × shard)` tasks replayed from a checkpoint instead of
+    /// simulated on a `--resume` run.
+    pub tasks_resumed: u64,
 }
 
 // Serialization is hand-written so the two doze fields are *omitted when
@@ -89,6 +99,18 @@ impl Serialize for RunCounters {
         put("stream_refills", self.stream_refills);
         put("merge_pops", self.merge_pops);
         put("fold_absorptions", self.fold_absorptions);
+        // Recovery counters follow the doze precedent: omitted when zero,
+        // so every fault-free run — including the committed giga/tera
+        // counter goldens — keeps the legacy key set byte-identical.
+        if self.tasks_retried > 0 {
+            put("tasks_retried", self.tasks_retried);
+        }
+        if self.faults_injected > 0 {
+            put("faults_injected", self.faults_injected);
+        }
+        if self.tasks_resumed > 0 {
+            put("tasks_resumed", self.tasks_resumed);
+        }
         Value::Map(m)
     }
 }
@@ -122,6 +144,9 @@ impl Deserialize for RunCounters {
             stream_refills: get("stream_refills")?,
             merge_pops: get("merge_pops")?,
             fold_absorptions: get("fold_absorptions")?,
+            tasks_retried: get("tasks_retried")?,
+            faults_injected: get("faults_injected")?,
+            tasks_resumed: get("tasks_resumed")?,
         })
     }
 }
@@ -167,6 +192,9 @@ impl RunCounters {
         self.stream_refills += other.stream_refills;
         self.merge_pops += other.merge_pops;
         self.fold_absorptions += other.fold_absorptions;
+        self.tasks_retried += other.tasks_retried;
+        self.faults_injected += other.faults_injected;
+        self.tasks_resumed += other.tasks_resumed;
     }
 }
 
@@ -195,6 +223,9 @@ mod tests {
             stream_refills: k,
             merge_pops: k,
             fold_absorptions: 1,
+            tasks_retried: 0,
+            faults_injected: 0,
+            tasks_resumed: 0,
         }
     }
 
@@ -255,5 +286,33 @@ mod tests {
         // Absent doze keys deserialize to zero (old sidecars stay readable).
         let old: RunCounters = serde_json::from_str(&legacy).unwrap();
         assert_eq!(old, sample(3));
+    }
+
+    #[test]
+    fn recovery_fields_are_omitted_when_zero_and_roundtrip_when_set() {
+        let legacy = serde_json::to_string(&sample(3)).unwrap();
+        assert!(!legacy.contains("retried"), "{legacy}");
+        assert!(!legacy.contains("faults"), "{legacy}");
+        assert!(!legacy.contains("resumed"), "{legacy}");
+
+        let mut c = sample(3);
+        c.tasks_retried = 2;
+        c.faults_injected = 3;
+        c.tasks_resumed = 5;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            json.ends_with("\"tasks_retried\":2,\"faults_injected\":3,\"tasks_resumed\":5}"),
+            "{json}"
+        );
+        let back: RunCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // Recovery counters never count as delivered simulation events.
+        assert_eq!(back.delivered(), sample(3).delivered());
+
+        let mut merged = sample(3);
+        merged.merge(&c);
+        assert_eq!(merged.tasks_retried, 2);
+        assert_eq!(merged.faults_injected, 3);
+        assert_eq!(merged.tasks_resumed, 5);
     }
 }
