@@ -20,7 +20,7 @@ use insomnia_core::{
 };
 use insomnia_simcore::{EventQueue, SimRng, SimTime, SplitMix64};
 use insomnia_traffic::crawdad::{generate_eager, CrawdadConfig};
-use insomnia_traffic::merge::{LoserTree, EXHAUSTED};
+use insomnia_traffic::merge::{LoserTree, PackedHeap, EXHAUSTED, HEAP_MIN_LANES};
 use insomnia_traffic::FlowStream;
 use std::collections::BinaryHeap;
 use std::hint::black_box;
@@ -46,7 +46,7 @@ fn shard_scenario() -> ScenarioConfig {
 }
 
 struct Row {
-    name: &'static str,
+    name: String,
     unit: &'static str,
     /// Work units per iteration (flows generated / events delivered / ops).
     work: f64,
@@ -127,6 +127,24 @@ fn merge_lanes(k: usize, per_lane: usize) -> Vec<Vec<SimTime>> {
         .collect()
 }
 
+/// Bursty variant: each lane emits tight ~32-entry runs separated by long
+/// jumps, so one lane keeps winning for stretches — the regime the loser
+/// tree's cached winner threshold was built for.
+fn merge_lanes_bursty(k: usize, per_lane: usize) -> Vec<Vec<SimTime>> {
+    let mut mix = SplitMix64::new(0xb417);
+    (0..k)
+        .map(|_| {
+            let mut t = mix.next_u64() % 1_000;
+            (0..per_lane)
+                .map(|i| {
+                    t += if i % 32 == 0 { 50_000 + mix.next_u64() % 200_000 } else { 2 };
+                    SimTime::from_millis(t)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// K-way merge via the pre-loser-tree shape: a `BinaryHeap` of
 /// `(Reverse(key), Reverse(lane))` entries paying one pop *and* one push
 /// per merged element.
@@ -164,6 +182,27 @@ fn merge_loser_tree(lanes: &[Vec<SimTime>]) -> f64 {
         merged += 1;
         pos[w] += 1;
         tree.update(w, lanes[w].get(pos[w]).copied().unwrap_or(EXHAUSTED));
+    }
+    merged as f64
+}
+
+/// The same merge through [`PackedHeap`] — the wide-merge backend
+/// [`insomnia_traffic::merge::TournamentMerge`] picks past
+/// [`HEAP_MIN_LANES`] lanes: same packed `u64` entries as the tree, one
+/// pop + push per merged element.
+fn merge_packed_heap(lanes: &[Vec<SimTime>]) -> f64 {
+    let mut pos = vec![0usize; lanes.len()];
+    let keys: Vec<SimTime> = lanes.iter().map(|l| l[0]).collect();
+    let mut heap = PackedHeap::new(&keys);
+    let mut merged = 0u64;
+    let mut last = SimTime::ZERO;
+    while heap.winner_key() != EXHAUSTED {
+        let w = heap.winner();
+        debug_assert!(heap.winner_key() >= last);
+        last = heap.winner_key();
+        merged += 1;
+        pos[w] += 1;
+        heap.update(w, lanes[w].get(pos[w]).copied().unwrap_or(EXHAUSTED));
     }
     merged as f64
 }
@@ -237,7 +276,7 @@ fn write_snapshot(
         results: rows
             .iter()
             .map(|r| BenchRow {
-                name: r.name.into(),
+                name: r.name.clone(),
                 work_per_iter: r.work.round(),
                 mean_ms: (r.mean_s * 1e6).round() / 1e3,
                 throughput: r.per_s().round(),
@@ -302,7 +341,7 @@ fn main() {
                 .into_iter()
                 .zip(timed)
         {
-            rows.push(Row { name, unit: "flows/s", work: flows, mean_s });
+            rows.push(Row { name: name.into(), unit: "flows/s", work: flows, mean_s });
         }
     }
 
@@ -339,7 +378,7 @@ fn main() {
         for (name, (mean_s, events)) in
             ["driver/soi_eager_trace", "driver/soi_streamed_world"].into_iter().zip(timed)
         {
-            rows.push(Row { name, unit: "events/s", work: events, mean_s });
+            rows.push(Row { name: name.into(), unit: "events/s", work: events, mean_s });
         }
     }
 
@@ -356,24 +395,56 @@ fn main() {
             }],
         );
         for (name, (mean_s, _)) in ["queue/binary_heap", "queue/calendar"].into_iter().zip(timed) {
-            rows.push(Row { name, unit: "holds/s", work: holds as f64, mean_s });
+            rows.push(Row { name: name.into(), unit: "holds/s", work: holds as f64, mean_s });
         }
     }
 
-    // Merge microbench: the stream's old heap merge vs its loser tree,
-    // over identical sorted lanes (1600 lanes — one per dense-metro
-    // client).
+    // Merge microbench: the stream's historical 16-byte-entry heap merge,
+    // its loser tree, and the packed-entry heap backend, over identical
+    // sorted lanes (1600 lanes — one per dense-metro client).
     if wanted("merge") {
         let lanes = merge_lanes(1_600, 400);
         let timed = time_alternating(
             3,
             2,
-            &mut [&mut || merge_heap(&lanes), &mut || merge_loser_tree(&lanes)],
+            &mut [&mut || merge_heap(&lanes), &mut || merge_loser_tree(&lanes), &mut || {
+                merge_packed_heap(&lanes)
+            }],
         );
         for (name, (mean_s, merged)) in
-            ["merge/binary_heap", "merge/loser_tree"].into_iter().zip(timed)
+            ["merge/binary_heap", "merge/loser_tree", "merge/packed_heap"].into_iter().zip(timed)
         {
-            rows.push(Row { name, unit: "pops/s", work: merged, mean_s });
+            rows.push(Row { name: name.into(), unit: "pops/s", work: merged, mean_s });
+        }
+        // Crossover sweep: identical total pops at several lane counts,
+        // interleaved and bursty lane shapes, to locate where the packed
+        // heap overtakes the tree — the measured basis of HEAP_MIN_LANES
+        // (asserted to sit inside the sweep).
+        const { assert!(HEAP_MIN_LANES >= 16 && HEAP_MIN_LANES <= 1_024) };
+        for k in [16usize, 64, 256, 1_024] {
+            let mixed = merge_lanes(k, 640_000 / k);
+            let bursty = merge_lanes_bursty(k, 640_000 / k);
+            let timed = time_alternating(
+                3,
+                2,
+                &mut [
+                    &mut || merge_loser_tree(&mixed),
+                    &mut || merge_packed_heap(&mixed),
+                    &mut || merge_loser_tree(&bursty),
+                    &mut || merge_packed_heap(&bursty),
+                ],
+            );
+            for (name, (mean_s, merged)) in [
+                format!("merge/loser_tree_k{k}"),
+                format!("merge/packed_heap_k{k}"),
+                format!("merge/loser_tree_bursty_k{k}"),
+                format!("merge/packed_heap_bursty_k{k}"),
+            ]
+            .into_iter()
+            .zip(timed)
+            {
+                rows.push(Row { name, unit: "pops/s", work: merged, mean_s });
+            }
         }
     }
 
@@ -391,7 +462,12 @@ fn main() {
         return; // partial runs never append a partial snapshot
     }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
-    match write_snapshot(path, &cfg, "batched refills + loser tree + repetition replay", &rows) {
+    match write_snapshot(
+        path,
+        &cfg,
+        "shard-major proto cache + merge backend by k + cached gap thresholds",
+        &rows,
+    ) {
         Ok(()) => println!("appended snapshot to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -31,7 +31,8 @@ use insomnia_telemetry::RunCounters;
 use insomnia_traffic::{FlowRecord, FlowStream, Trace};
 use insomnia_wireless::{binomial_topology, overlap_topology, shard_spans, LoadWindow, Topology};
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Simulation events.
 ///
@@ -1674,6 +1675,76 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// One shard's shared world prototype: the stream (replay cache enabled,
+/// recording pre-published) plus topology, built once by whichever consumer
+/// reaches the cell first and cloned by every other.
+type ShardProto = Arc<OnceLock<(FlowStream, Topology)>>;
+
+/// A refcounted per-shard prototype cache for lazy worlds whose shards are
+/// consumed more than once — by several repetitions of one scheme run, or,
+/// under the batch runner's shard-major schedule, by every scheme ×
+/// repetition touching one (scenario, seed) world.
+///
+/// Each shard slot hands out one shared [`ShardProto`] and counts down its
+/// configured consumers; the slot drops its own reference at the last
+/// [`acquire`](Self::acquire) (or [`skip`](Self::skip)), so a prototype's
+/// O(clients) state lives exactly from first claim to last consumer's
+/// drop. With shard-major scheduling a shard's consumers run consecutively,
+/// so at most O(worker threads) prototypes are ever live — the same
+/// peak-RSS model as the build-and-drop path, minus the redundant setup
+/// passes.
+pub struct WorldProtoCache {
+    slots: Vec<Mutex<ProtoSlot>>,
+}
+
+struct ProtoSlot {
+    proto: Option<ShardProto>,
+    remaining: usize,
+}
+
+impl WorldProtoCache {
+    /// A cache for `world`'s shards, each consumed exactly
+    /// `consumers_per_shard` times. `None` unless the world is lazy
+    /// (prebuilt worlds already share by reference) and sharing can help
+    /// (at least two consumers per shard).
+    pub fn new(world: &ShardedWorld, consumers_per_shard: usize) -> Option<WorldProtoCache> {
+        if !world.is_lazy() || consumers_per_shard < 2 {
+            return None;
+        }
+        Some(WorldProtoCache {
+            slots: (0..world.n_shards())
+                .map(|_| Mutex::new(ProtoSlot { proto: None, remaining: consumers_per_shard }))
+                .collect(),
+        })
+    }
+
+    /// Claims shard `shard`'s prototype for one consumer. The returned cell
+    /// is initialized by the first claimant to reach `get_or_init`; the
+    /// slot's own reference drops with the last claim, leaving the
+    /// in-flight clones as the only owners.
+    fn acquire(&self, shard: usize) -> ShardProto {
+        let mut slot = self.slots[shard].lock().expect("proto slot lock");
+        slot.remaining = slot.remaining.saturating_sub(1);
+        let proto = slot.proto.get_or_insert_with(Default::default).clone();
+        if slot.remaining == 0 {
+            slot.proto = None;
+        }
+        proto
+    }
+
+    /// Releases one consumer's claim without touching the prototype — the
+    /// checkpoint-replay path, where a resumed task never simulates. Keeps
+    /// the refcount exact so a partially resumed run still frees each
+    /// shard's prototype at its true last consumer.
+    fn skip(&self, shard: usize) {
+        let mut slot = self.slots[shard].lock().expect("proto slot lock");
+        slot.remaining = slot.remaining.saturating_sub(1);
+        if slot.remaining == 0 {
+            slot.proto = None;
+        }
+    }
+}
+
 /// What a `(repetition × shard)` task simulates: borrowed prebuilt worlds,
 /// or a [`ShardedWorld`] whose lazy shards each task builds (streaming) and
 /// drops inside its worker.
@@ -1697,12 +1768,6 @@ impl TaskWorlds<'_> {
         }
     }
 
-    /// Whether tasks build their shard worlds lazily (streaming) — the
-    /// case where a multi-repetition run benefits from shared prototypes.
-    fn is_lazy(&self) -> bool {
-        matches!(self, TaskWorlds::World(w) if matches!(w.storage, WorldStorage::Lazy { .. }))
-    }
-
     fn shard_dims(&self, s: usize) -> (usize, usize) {
         match self {
             TaskWorlds::Refs(rs) => {
@@ -1718,23 +1783,28 @@ impl TaskWorlds<'_> {
     /// world-build / stream-setup wall-clock in milliseconds (0 for
     /// prebuilt worlds, where setup happened long before this task).
     ///
-    /// `protos` is the per-shard prototype cache for multi-repetition lazy
-    /// runs (empty otherwise): every repetition of a shard drives the
-    /// identical trace, so the first task to touch a shard builds its
-    /// stream once — replay cache enabled — and later repetitions clone
-    /// the prototype instead of re-running the setup pass, then replay the
-    /// first drain's recording instead of regenerating. This trades
-    /// retaining O(clients) cursor state per shard for the rest of the run
-    /// against paying setup + regeneration `repetitions` times; worlds
-    /// with one repetition (the giga/tera smokes) keep the build-and-drop
-    /// path untouched.
+    /// `proto` is this task's claim on the shard's [`WorldProtoCache`]
+    /// slot, if a cache is active: every consumer of a shard drives the
+    /// identical trace (the world-build RNG forks depend only on `(seed,
+    /// shard)` — never the scheme or repetition), so the first consumer to
+    /// reach the cell builds the stream once — replay cache enabled, and
+    /// its recording published up front by draining a throwaway clone —
+    /// and every other consumer clones the prototype and replays the
+    /// recording instead of re-running the setup pass. The up-front drain
+    /// keeps each consumer's own stream work counters deterministic: no
+    /// consumer ever races the recording's publication. Cache hits report
+    /// `setup_ms = 0` exactly (the one real build is the only setup span);
+    /// `built` reports whether any of this task's attempts was the
+    /// builder. Cacheless tasks (the giga/tera smokes' single-consumer
+    /// worlds) keep the build-and-drop path untouched.
     fn run_task(
         &self,
         cfg: &ScenarioConfig,
         spec: SchemeSpec,
         shard: usize,
         rng: SimRng,
-        protos: &[OnceLock<(FlowStream, Topology)>],
+        proto: Option<&ShardProto>,
+        built: &mut bool,
     ) -> (RunResult, f64) {
         // Tasks already saturate the worker pool, so the per-run Optimal
         // pre-solve fan-out is pinned to one thread here: parallelism
@@ -1755,14 +1825,33 @@ impl TaskWorlds<'_> {
                 }
                 WorldStorage::Lazy { cfg: world_cfg, seed } => {
                     let setup_start = std::time::Instant::now();
-                    if let Some(slot) = protos.get(shard) {
-                        let (proto, topo) = slot.get_or_init(|| {
+                    if let Some(slot) = proto {
+                        let mut was_built = false;
+                        let (stream_proto, topo) = slot.get_or_init(|| {
+                            was_built = true;
                             let (mut s, t) = build_world_shard_streaming(world_cfg, *seed, shard);
-                            s.enable_replay_cache();
+                            if s.enable_replay_cache() {
+                                // Publish the recording before any consumer
+                                // runs: drain a throwaway clone so every
+                                // consumer — this one included — replays.
+                                let mut probe = s.clone();
+                                while probe.next_flow().is_some() {}
+                            }
                             (s, t)
                         });
-                        let stream = proto.clone();
-                        let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+                        if was_built {
+                            // Sticky across retry attempts: a task that
+                            // built the prototype and then retried is still
+                            // the builder.
+                            *built = true;
+                        }
+                        let stream = stream_proto.clone();
+                        // A panicking init leaves the cell empty (OnceLock
+                        // does not poison), so a retried builder rebuilds
+                        // safely; hits attribute zero setup — the one real
+                        // build is the only setup span of the shard.
+                        let setup_ms =
+                            if was_built { setup_start.elapsed().as_secs_f64() * 1e3 } else { 0.0 };
                         (single(ArrivalSource::Stream(Box::new(stream)), topo), setup_ms)
                     } else {
                         let (stream, topo) = build_world_shard_streaming(world_cfg, *seed, shard);
@@ -1773,6 +1862,358 @@ impl TaskWorlds<'_> {
             },
         }
     }
+}
+
+/// Shared completion/merge counters of one scheme run's `(repetition ×
+/// shard)` task pool — the state behind [`TaskProgress`] heartbeats
+/// (`finished` from the workers, `merged` echoed back by the folder). The
+/// per-run entry points keep one per call; the batch runner's shard-major
+/// scheduler keeps one per job and threads it through [`run_scheme_task`].
+pub struct SchemeProgress {
+    finished: AtomicUsize,
+    merged: AtomicUsize,
+    total: usize,
+    n_shards: usize,
+}
+
+impl SchemeProgress {
+    /// Progress state for a run of `total` tasks over `n_shards` shards.
+    pub fn new(total: usize, n_shards: usize) -> SchemeProgress {
+        SchemeProgress {
+            finished: AtomicUsize::new(0),
+            merged: AtomicUsize::new(0),
+            total,
+            n_shards,
+        }
+    }
+
+    /// Records that the in-order folder has absorbed tasks `0..merged`.
+    pub fn note_merged(&self, merged: usize) {
+        self.merged.store(merged, Ordering::Relaxed);
+    }
+}
+
+/// The deterministic in-order fold state of one scheme run: absorbs
+/// `(repetition × shard)` task results **strictly in task order**
+/// (repetition-major, shard-minor) and finalizes into a [`SchemeResult`].
+///
+/// Extracted from the shard-fold core so the batch runner's shard-major
+/// scheduler can keep one folder per job and feed them all from a single
+/// interleaved worker pool; [`run_scheme_shards`] drives the same folder
+/// through `par_fold_indexed`. Absorb order defines the bytes — the
+/// arithmetic is exactly the historical collect-then-merge, so aggregates
+/// are bit-identical at any thread count and under any task interleaving
+/// that preserves per-job order.
+pub struct SchemeFolder {
+    spec: SchemeSpec,
+    reps: usize,
+    online_cutoff: usize,
+    sample_period_s: f64,
+    n_shards: usize,
+    n_gateways: usize,
+    shard_dims: Vec<(usize, usize)>,
+    shard_acc: Vec<ShardAccum>,
+    rep_acc: Option<RepAccum>,
+    powered: Vec<Vec<f64>>,
+    cards: Vec<Vec<f64>>,
+    user_w: Vec<Vec<f64>>,
+    isp_w: Vec<Vec<f64>>,
+    energy: EnergyBreakdown,
+    completions: Vec<CompletionStats>,
+    online_time: Vec<OnlineTimeHist>,
+    wakes: f64,
+    events: u64,
+    counters: RunCounters,
+    fold_ms: f64,
+}
+
+impl SchemeFolder {
+    /// A folder for one scheme run over `world` (the batch entry point).
+    pub fn new(cfg: &ScenarioConfig, spec: SchemeSpec, world: &ShardedWorld) -> SchemeFolder {
+        SchemeFolder::for_worlds(cfg, spec, &TaskWorlds::World(world))
+    }
+
+    fn for_worlds(cfg: &ScenarioConfig, spec: SchemeSpec, worlds: &TaskWorlds<'_>) -> SchemeFolder {
+        let n_shards = worlds.n_shards();
+        SchemeFolder {
+            spec,
+            reps: cfg.repetitions,
+            online_cutoff: cfg.online_cutoff,
+            sample_period_s: cfg.sample_period.as_secs_f64(),
+            n_shards,
+            n_gateways: worlds.n_gateways(),
+            // Shard dimensions up front: lazy worlds answer them from the
+            // span plan, and resolving each once keeps absorbs O(1).
+            shard_dims: (0..n_shards).map(|sh| worlds.shard_dims(sh)).collect(),
+            shard_acc: vec![ShardAccum::default(); n_shards],
+            rep_acc: None,
+            powered: Vec::new(),
+            cards: Vec::new(),
+            user_w: Vec::new(),
+            isp_w: Vec::new(),
+            energy: EnergyBreakdown::default(),
+            completions: Vec::new(),
+            online_time: Vec::new(),
+            wakes: 0.0,
+            events: 0,
+            counters: RunCounters::default(),
+            fold_ms: 0.0,
+        }
+    }
+
+    /// Total `(repetition × shard)` tasks this folder expects.
+    pub fn n_tasks(&self) -> usize {
+        self.reps * self.n_shards
+    }
+
+    /// Absorbs task `index`'s result. Must be called exactly once per task,
+    /// strictly in increasing `index` order.
+    pub fn absorb(&mut self, index: usize, run: RunResult) {
+        let fold_start = std::time::Instant::now();
+        let (rep, sh) = (index / self.n_shards, index % self.n_shards);
+
+        // Counters merge order-invariantly (sums and maxes), so the total
+        // is byte-identical at any thread count even though the fold
+        // itself runs in task order.
+        self.counters.merge(&run.counters);
+        self.counters.fold_absorptions += 1;
+
+        // Per-shard scalar summaries, accumulated in repetition order.
+        let sa = &mut self.shard_acc[sh];
+        let shard_gateways = self.shard_dims[sh].1;
+        if rep == 0 {
+            // Every repetition drives the same shard trace; read the flow
+            // count from the run so lazy worlds never have to materialize
+            // (or regenerate) one just to count it.
+            sa.n_flows = run.completion.total_flows() as usize;
+        }
+        sa.energy_j += run.energy.total_j();
+        sa.mean_gateways +=
+            run.powered_gateways.iter().sum::<f64>() / run.powered_gateways.len().max(1) as f64;
+        sa.mean_wake_count +=
+            run.wake_counts.iter().sum::<u64>() as f64 / shard_gateways.max(1) as f64;
+
+        // The repetition merge proper: shard 0 starts the accumulator,
+        // later shards absorb in shard order, the last shard finalizes.
+        if let Some(acc) = self.rep_acc.as_mut() {
+            acc.absorb(run);
+        } else {
+            self.rep_acc = Some(RepAccum::start(run, self.online_cutoff));
+        }
+        if sh == self.n_shards - 1 {
+            let acc = self.rep_acc.take().expect("repetition in progress");
+            self.powered.push(acc.powered);
+            self.cards.push(acc.cards);
+            self.user_w.push(acc.user_w);
+            self.isp_w.push(acc.isp_w);
+            self.energy = self.energy.plus(&acc.energy);
+            self.completions.push(acc.completion);
+            self.online_time.push(acc.online);
+            self.wakes += acc.wake_total as f64 / self.n_gateways as f64;
+            self.events += acc.events;
+        }
+        self.fold_ms += fold_start.elapsed().as_secs_f64() * 1e3;
+    }
+
+    /// Finalizes the averaged [`SchemeResult`] after the last absorb.
+    pub fn finish(self) -> SchemeResult {
+        let k = self.reps as f64;
+        let shard_dims = self.shard_dims;
+        let shard_summaries: Vec<ShardSummary> = self
+            .shard_acc
+            .into_iter()
+            .enumerate()
+            .map(|(sh, sa)| {
+                let (shard_clients, shard_gateways) = shard_dims[sh];
+                ShardSummary {
+                    n_clients: shard_clients,
+                    n_gateways: shard_gateways,
+                    n_flows: sa.n_flows,
+                    energy_j: sa.energy_j / k,
+                    mean_gateways: sa.mean_gateways / k,
+                    mean_wake_count: sa.mean_wake_count / k,
+                }
+            })
+            .collect();
+
+        SchemeResult {
+            spec: self.spec,
+            sample_period_s: self.sample_period_s,
+            powered_gateways: average_runs(&self.powered),
+            awake_cards: average_runs(&self.cards),
+            user_power_w: average_runs(&self.user_w),
+            isp_power_w: average_runs(&self.isp_w),
+            energy: EnergyBreakdown {
+                user_j: self.energy.user_j / k,
+                modems_j: self.energy.modems_j / k,
+                cards_j: self.energy.cards_j / k,
+                shelf_j: self.energy.shelf_j / k,
+            },
+            completion: self.completions,
+            online_time: self.online_time,
+            mean_wake_count: self.wakes / k,
+            events: self.events,
+            counters: self.counters,
+            fold_ms: self.fold_ms,
+            shard_summaries,
+        }
+    }
+}
+
+/// One `(repetition × shard)` task of a scheme run, end to end: the cancel
+/// check, checkpoint replay, bounded deterministic retry, RNG fork
+/// discipline, prototype-cache accounting and the completion heartbeat.
+/// Exactly the worker body of the shard-fold core; the batch runner's
+/// shard-major scheduler calls it through [`run_scheme_task`] from its own
+/// interleaved pool.
+#[allow(clippy::too_many_arguments)]
+fn run_task_inner(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    worlds: &TaskWorlds<'_>,
+    master: &SimRng,
+    i: usize,
+    cache: Option<&WorldProtoCache>,
+    hooks: &TaskHooks<'_>,
+    progress: &SchemeProgress,
+) -> RunResult {
+    let n_shards = progress.n_shards;
+    let (rep, sh) = (i / n_shards, i % n_shards);
+    if let Some(cancel) = hooks.cancel {
+        if cancel.load(Ordering::Relaxed) {
+            std::panic::panic_any(TaskCancelled);
+        }
+    }
+    // Checkpoint replay: a cached result folds exactly like a fresh one
+    // (same index, same bytes); only the resumed-task telemetry counter
+    // records the difference.
+    if let Some(cached) = hooks.cached {
+        if let Some(mut result) = cached(i) {
+            result.counters.tasks_resumed += 1;
+            // A replayed task never touches the prototype; release its
+            // claim so the shard still frees at its true last consumer.
+            if let Some(cache) = cache {
+                cache.skip(sh);
+            }
+            let done = progress.finished.fetch_add(1, Ordering::Relaxed) + 1;
+            let merged_now = progress.merged.load(Ordering::Relaxed);
+            (hooks.observe)(TaskProgress {
+                rep,
+                shard: sh,
+                n_shards,
+                finished: done,
+                total: progress.total,
+                merged: merged_now,
+                fold_queue: done.saturating_sub(merged_now + 1),
+                events: result.events,
+                peak_heap: result.peak_heap,
+                peak_active_flows: result.peak_active_flows,
+                setup_ms: 0.0,
+                loop_ms: 0.0,
+                counters: result.counters,
+            });
+            return result;
+        }
+    }
+    let task_start = std::time::Instant::now();
+    // Claim the shard's prototype exactly once per task, *outside* the
+    // retry loop: a retried attempt must not decrement the refcount again.
+    let proto = cache.map(|c| c.acquire(sh));
+    // Bounded deterministic retry: every attempt re-derives the identical
+    // RNG stream (fork labels depend only on (rep, sh)), so a transient
+    // panic cannot change a single output byte.
+    let mut attempt = 0u64;
+    let mut injected = 0u64;
+    let mut built = false;
+    let outcome = retry_unwind(hooks.max_attempts, || {
+        let this_attempt = attempt;
+        attempt += 1;
+        if let Some(fault) = hooks.fault {
+            if fault(i, this_attempt) {
+                injected += 1;
+                panic!("injected worker fault (task {i}, attempt {this_attempt})");
+            }
+        }
+        let rng = if n_shards == 1 {
+            master.fork_idx("rep", rep as u64)
+        } else {
+            master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
+        };
+        worlds.run_task(cfg, spec, sh, rng, proto.as_ref(), &mut built)
+    });
+    let (retries, (mut result, setup_ms)) = match outcome {
+        Ok(retried) => (retried.retries, retried.value),
+        Err(payload) => std::panic::panic_any(TaskFailure {
+            rep,
+            shard: sh,
+            attempts: attempt as usize,
+            message: payload_message(payload.as_ref()),
+        }),
+    };
+    result.counters.tasks_retried += retries;
+    result.counters.faults_injected += injected;
+    if proto.is_some() {
+        // Per-task attribution is scheduling-dependent (whoever reaches
+        // the cell first builds), but the *totals* are exact: one build
+        // per shard, every other consumer a hit.
+        if built {
+            result.counters.proto_cache_builds += 1;
+        } else {
+            result.counters.proto_cache_hits += 1;
+        }
+    }
+    let loop_ms = (task_start.elapsed().as_secs_f64() * 1e3 - setup_ms).max(0.0);
+    if let Some(persist) = hooks.persist {
+        persist(i, &result);
+    }
+    // Report from the worker, at completion: heartbeats must keep flowing
+    // even while the in-order folder waits on a slow earlier task. Merge
+    // progress rides along as a snapshot.
+    let done = progress.finished.fetch_add(1, Ordering::Relaxed) + 1;
+    let merged_now = progress.merged.load(Ordering::Relaxed);
+    (hooks.observe)(TaskProgress {
+        rep,
+        shard: sh,
+        n_shards,
+        finished: done,
+        total: progress.total,
+        merged: merged_now,
+        fold_queue: done.saturating_sub(merged_now + 1),
+        events: result.events,
+        peak_heap: result.peak_heap,
+        peak_active_flows: result.peak_active_flows,
+        setup_ms,
+        loop_ms,
+        counters: result.counters,
+    });
+    result
+}
+
+/// Runs one `(repetition × shard)` task of the scheme run `(cfg, spec,
+/// world, seed)` — the entry point of the batch runner's shard-major
+/// scheduler, which owns the cross-job task interleaving and the per-job
+/// [`SchemeFolder`]s itself. Task `i` encodes `(repetition, shard)` exactly
+/// as the per-run pool does (`i = rep * n_shards + shard`), the RNG stream
+/// is derived identically, and results must be absorbed into the job's
+/// folder strictly in `i` order — so a shard-major batch is byte-identical
+/// to the job-major one. `cache`, if any, must be this `world`'s
+/// [`WorldProtoCache`], and every one of its consumers must call this (or
+/// be `skip`ped) exactly once.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheme_task(
+    cfg: &ScenarioConfig,
+    spec: SchemeSpec,
+    world: &ShardedWorld,
+    seed: u64,
+    i: usize,
+    cache: Option<&WorldProtoCache>,
+    hooks: &TaskHooks<'_>,
+    progress: &SchemeProgress,
+) -> RunResult {
+    // Forks are id-based and non-mutating, so re-deriving the master per
+    // task reproduces the per-run pool's streams exactly.
+    let master = SimRng::new(seed);
+    run_task_inner(cfg, spec, &TaskWorlds::World(world), &master, i, cache, hooks, progress)
 }
 
 /// Runs all repetitions of one scheme over every shard of a
@@ -1866,219 +2307,29 @@ fn run_scheme_shards(
     let master = SimRng::new(seed);
     let n_shards = worlds.n_shards();
     let n_tasks = cfg.repetitions * n_shards;
-    let finished = std::sync::atomic::AtomicUsize::new(0);
-    let merged = std::sync::atomic::AtomicUsize::new(0);
-    let worlds_ref = &worlds;
-    let k = cfg.repetitions as f64;
-    let n_gateways: usize = worlds.n_gateways();
-    // Shard dimensions up front: lazy worlds answer them from the span
-    // plan, and resolving each once keeps the fold O(1) per task.
-    let shard_dims: Vec<(usize, usize)> = (0..n_shards).map(|sh| worlds.shard_dims(sh)).collect();
+    let progress = SchemeProgress::new(n_tasks, n_shards);
     // Per-shard stream prototypes for multi-repetition lazy runs: built on
     // first touch, replay-cached, cloned by every later repetition (see
-    // `TaskWorlds::run_task`). Empty — and cost-free — otherwise.
-    let shard_protos: Vec<OnceLock<(FlowStream, Topology)>> =
-        if worlds.is_lazy() && cfg.repetitions > 1 {
-            (0..n_shards).map(|_| OnceLock::new()).collect()
-        } else {
-            Vec::new()
-        };
-
-    let mut shard_acc: Vec<ShardAccum> = vec![ShardAccum::default(); n_shards];
-    let mut rep_acc: Option<RepAccum> = None;
-    let mut powered = Vec::new();
-    let mut cards = Vec::new();
-    let mut user_w = Vec::new();
-    let mut isp_w = Vec::new();
-    let mut energy = EnergyBreakdown::default();
-    let mut completions = Vec::new();
-    let mut online_time = Vec::new();
-    let mut wakes = 0.0;
-    let mut events = 0u64;
-    let mut counters = RunCounters::default();
-    let mut fold_ms = 0.0f64;
+    // `TaskWorlds::run_task`). `None` — and cost-free — otherwise.
+    let cache = match &worlds {
+        TaskWorlds::World(w) => WorldProtoCache::new(w, cfg.repetitions),
+        TaskWorlds::Refs(_) => None,
+    };
+    let mut folder = SchemeFolder::for_worlds(cfg, spec, &worlds);
+    let worlds_ref = &worlds;
+    let progress_ref = &progress;
 
     par_fold_indexed(
         n_tasks,
         max_threads,
-        |i| {
-            let (rep, sh) = (i / n_shards, i % n_shards);
-            if let Some(cancel) = hooks.cancel {
-                if cancel.load(std::sync::atomic::Ordering::Relaxed) {
-                    std::panic::panic_any(TaskCancelled);
-                }
-            }
-            // Checkpoint replay: a cached result folds exactly like a
-            // fresh one (same index, same bytes); only the resumed-task
-            // telemetry counter records the difference.
-            if let Some(cached) = hooks.cached {
-                if let Some(mut result) = cached(i) {
-                    result.counters.tasks_resumed += 1;
-                    let done = finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                    let merged_now = merged.load(std::sync::atomic::Ordering::Relaxed);
-                    (hooks.observe)(TaskProgress {
-                        rep,
-                        shard: sh,
-                        n_shards,
-                        finished: done,
-                        total: n_tasks,
-                        merged: merged_now,
-                        fold_queue: done.saturating_sub(merged_now + 1),
-                        events: result.events,
-                        peak_heap: result.peak_heap,
-                        peak_active_flows: result.peak_active_flows,
-                        setup_ms: 0.0,
-                        loop_ms: 0.0,
-                        counters: result.counters,
-                    });
-                    return result;
-                }
-            }
-            let task_start = std::time::Instant::now();
-            // Bounded deterministic retry: every attempt re-derives the
-            // identical RNG stream (fork labels depend only on (rep, sh)),
-            // so a transient panic cannot change a single output byte.
-            let mut attempt = 0u64;
-            let mut injected = 0u64;
-            let outcome = retry_unwind(hooks.max_attempts, || {
-                let this_attempt = attempt;
-                attempt += 1;
-                if let Some(fault) = hooks.fault {
-                    if fault(i, this_attempt) {
-                        injected += 1;
-                        panic!("injected worker fault (task {i}, attempt {this_attempt})");
-                    }
-                }
-                let rng = if n_shards == 1 {
-                    master.fork_idx("rep", rep as u64)
-                } else {
-                    master.fork_idx("rep", rep as u64).fork_idx("shard", sh as u64)
-                };
-                worlds_ref.run_task(cfg, spec, sh, rng, &shard_protos)
-            });
-            let (retries, (mut result, setup_ms)) = match outcome {
-                Ok(retried) => (retried.retries, retried.value),
-                Err(payload) => std::panic::panic_any(TaskFailure {
-                    rep,
-                    shard: sh,
-                    attempts: attempt as usize,
-                    message: payload_message(payload.as_ref()),
-                }),
-            };
-            result.counters.tasks_retried += retries;
-            result.counters.faults_injected += injected;
-            let loop_ms = (task_start.elapsed().as_secs_f64() * 1e3 - setup_ms).max(0.0);
-            if let Some(persist) = hooks.persist {
-                persist(i, &result);
-            }
-            // Report from the worker, at completion: heartbeats must keep
-            // flowing even while the in-order folder waits on a slow
-            // earlier task. Merge progress rides along as a snapshot.
-            let done = finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-            let merged_now = merged.load(std::sync::atomic::Ordering::Relaxed);
-            (hooks.observe)(TaskProgress {
-                rep,
-                shard: sh,
-                n_shards,
-                finished: done,
-                total: n_tasks,
-                merged: merged_now,
-                fold_queue: done.saturating_sub(merged_now + 1),
-                events: result.events,
-                peak_heap: result.peak_heap,
-                peak_active_flows: result.peak_active_flows,
-                setup_ms,
-                loop_ms,
-                counters: result.counters,
-            });
-            result
-        },
+        |i| run_task_inner(cfg, spec, worlds_ref, &master, i, cache.as_ref(), hooks, progress_ref),
         |step, run| {
-            let fold_start = std::time::Instant::now();
-            let (rep, sh) = (step.index / n_shards, step.index % n_shards);
-            merged.store(step.index + 1, std::sync::atomic::Ordering::Relaxed);
-
-            // Counters merge order-invariantly (sums and maxes), so the
-            // total is byte-identical at any thread count even though the
-            // fold itself runs in task order.
-            counters.merge(&run.counters);
-            counters.fold_absorptions += 1;
-
-            // Per-shard scalar summaries, accumulated in repetition order.
-            let sa = &mut shard_acc[sh];
-            let shard_gateways = shard_dims[sh].1;
-            if rep == 0 {
-                // Every repetition drives the same shard trace; read the
-                // flow count from the run so lazy worlds never have to
-                // materialize (or regenerate) one just to count it.
-                sa.n_flows = run.completion.total_flows() as usize;
-            }
-            sa.energy_j += run.energy.total_j();
-            sa.mean_gateways +=
-                run.powered_gateways.iter().sum::<f64>() / run.powered_gateways.len().max(1) as f64;
-            sa.mean_wake_count +=
-                run.wake_counts.iter().sum::<u64>() as f64 / shard_gateways.max(1) as f64;
-
-            // The repetition merge proper: shard 0 starts the accumulator,
-            // later shards absorb in shard order, the last shard finalizes.
-            if let Some(acc) = rep_acc.as_mut() {
-                acc.absorb(run);
-            } else {
-                rep_acc = Some(RepAccum::start(run, cfg.online_cutoff));
-            }
-            if sh == n_shards - 1 {
-                let acc = rep_acc.take().expect("repetition in progress");
-                powered.push(acc.powered);
-                cards.push(acc.cards);
-                user_w.push(acc.user_w);
-                isp_w.push(acc.isp_w);
-                energy = energy.plus(&acc.energy);
-                completions.push(acc.completion);
-                online_time.push(acc.online);
-                wakes += acc.wake_total as f64 / n_gateways as f64;
-                events += acc.events;
-            }
-            fold_ms += fold_start.elapsed().as_secs_f64() * 1e3;
+            progress.note_merged(step.index + 1);
+            folder.absorb(step.index, run);
         },
     );
 
-    let shard_summaries: Vec<ShardSummary> = shard_acc
-        .into_iter()
-        .enumerate()
-        .map(|(sh, sa)| {
-            let (shard_clients, shard_gateways) = shard_dims[sh];
-            ShardSummary {
-                n_clients: shard_clients,
-                n_gateways: shard_gateways,
-                n_flows: sa.n_flows,
-                energy_j: sa.energy_j / k,
-                mean_gateways: sa.mean_gateways / k,
-                mean_wake_count: sa.mean_wake_count / k,
-            }
-        })
-        .collect();
-
-    SchemeResult {
-        spec,
-        sample_period_s: cfg.sample_period.as_secs_f64(),
-        powered_gateways: average_runs(&powered),
-        awake_cards: average_runs(&cards),
-        user_power_w: average_runs(&user_w),
-        isp_power_w: average_runs(&isp_w),
-        energy: EnergyBreakdown {
-            user_j: energy.user_j / k,
-            modems_j: energy.modems_j / k,
-            cards_j: energy.cards_j / k,
-            shelf_j: energy.shelf_j / k,
-        },
-        completion: completions,
-        online_time,
-        mean_wake_count: wakes / k,
-        events,
-        counters,
-        fold_ms,
-        shard_summaries,
-    }
+    folder.finish()
 }
 
 /// Convenience: build the world and run one scheme.
@@ -2407,6 +2658,8 @@ mod tests {
             c.tasks_retried = 0;
             c.faults_injected = 0;
             c.tasks_resumed = 0;
+            c.proto_cache_builds = 0;
+            c.proto_cache_hits = 0;
             c
         };
         assert_eq!(strip(&a.counters), strip(&b.counters));

@@ -7,10 +7,16 @@
 //! worker through the streaming trace generator (no flow vector is ever
 //! materialized) and drops it on completion, so the batch's peak RSS is
 //! O(worker threads × shard), not O(world) — the property the memory-gated
-//! giga-metro CI smoke enforces. Jobs execute on a scoped worker pool (the
-//! environment vendors no rayon, so this is a work-stealing-free
-//! equivalent: an atomic job cursor over the matrix), and each job fans
-//! its (repetition × shard) runs over its own slice of the thread budget.
+//! giga-metro CI smoke enforces. By default the `(repetition × shard)`
+//! tasks of every job execute **shard-major** ([`ExecOrder::ShardMajor`]):
+//! one flat pool runs all scheme tasks touching one (seed, shard) back to
+//! back off a refcounted world-prototype cache, so the per-shard stream
+//! setup pass runs once for the whole batch instead of once per scheme.
+//! [`ExecOrder::JobMajor`] keeps the historical one-job-per-worker pool
+//! (an atomic job cursor over the matrix; each job fans its tasks over its
+//! own slice of the thread budget). Both orders fold each job's results
+//! strictly in task order and release JSONL lines strictly in job order,
+//! so every output byte is identical either way.
 //!
 //! Determinism: job `k` of scenario `s` derives its RNG master from the
 //! scenario's configured seed via the same fork discipline the driver
@@ -32,10 +38,11 @@ use crate::checkpoint::{CheckpointWriter, WriteFaults};
 use crate::faults::{FaultPlan, ResolvedFaults};
 use crate::schemes::scheme_key;
 use insomnia_core::{
-    completion_quantiles, online_time_quantiles, run_scheme_sharded_hooks, summarize, RunResult,
-    ScenarioConfig, SchemeResult, SchemeSpec, ShardedWorld, TaskCancelled, TaskFailure, TaskHooks,
+    completion_quantiles, online_time_quantiles, run_scheme_sharded_hooks, run_scheme_task,
+    summarize, RunResult, ScenarioConfig, SchemeFolder, SchemeProgress, SchemeResult, SchemeSpec,
+    ShardedWorld, TaskCancelled, TaskFailure, TaskHooks, WorldProtoCache,
 };
-use insomnia_simcore::{SimError, SimResult, SimRng};
+use insomnia_simcore::{par_fold_grouped, SimError, SimResult, SimRng};
 use insomnia_telemetry::{
     JobTelemetryRecord, ManifestRecord, ManifestScenario, PhaseAccum, RunCounters, SummaryRecord,
     TaskRecord, Telemetry, TelemetryRecord, TELEMETRY_SCHEMA_VERSION,
@@ -44,7 +51,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// One expanded batch: named scenarios × schemes × seed indices.
@@ -333,6 +340,28 @@ impl BatchRun {
     }
 }
 
+/// Execution order of the batch's `(scenario × scheme × seed) ×
+/// (repetition × shard)` task matrix. The order is pure scheduling: both
+/// variants fold each job's results strictly in task order and release
+/// JSONL lines strictly in job order, so the output bytes are identical.
+/// Only wall-clock, peak RSS and the world-prototype cache counters
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecOrder {
+    /// Interleave jobs so every scheme task touching one `(seed,
+    /// repetition, shard)` runs back to back, served from a refcounted
+    /// per-shard world-prototype cache: the stream setup pass runs once
+    /// per shard for the whole batch instead of once per scheme. The
+    /// default.
+    #[default]
+    ShardMajor,
+    /// The historical order: each worker runs one whole job at a time and
+    /// every job rebuilds its own shards. No cross-scheme prototype reuse;
+    /// useful as a determinism cross-check and for single-scheme batches
+    /// (where shard-major has nothing to share).
+    JobMajor,
+}
+
 /// Crash-safety controls of one batch run: checkpointing, resume replay,
 /// fault injection, cooperative cancellation and the per-task retry
 /// budget. [`Default`] is the plain uncontrolled run (no checkpoint, one
@@ -356,11 +385,20 @@ pub struct RunControl {
     /// task's RNG stream from scratch, so a retried run is byte-identical
     /// to an untroubled one.
     pub max_attempts: usize,
+    /// Task-matrix scheduling order; byte-neutral (see [`ExecOrder`]).
+    pub exec_order: ExecOrder,
 }
 
 impl Default for RunControl {
     fn default() -> Self {
-        RunControl { checkpoint: None, resume: None, faults: None, cancel: None, max_attempts: 1 }
+        RunControl {
+            checkpoint: None,
+            resume: None,
+            faults: None,
+            cancel: None,
+            max_attempts: 1,
+            exec_order: ExecOrder::ShardMajor,
+        }
     }
 }
 
@@ -384,6 +422,101 @@ struct JobControl<'a> {
     /// First global task ordinal of this job (fault plans and checkpoint
     /// records address tasks run-wide, not per job).
     task_base: usize,
+}
+
+/// Per-job bookkeeping of the shard-major pool: the job's coordinates and
+/// config plus the pieces shared between worker threads (progress atomics,
+/// lazily stamped start time). The deterministic fold state lives on the
+/// collector as one [`SchemeFolder`] per job.
+struct JobState<'a> {
+    j: usize,
+    name: &'a str,
+    cfg: &'a ScenarioConfig,
+    spec: SchemeSpec,
+    scheme: String,
+    seed_index: usize,
+    /// Index into `worlds` (and the per-world prototype caches).
+    world_idx: usize,
+    world: &'a ShardedWorld,
+    seed: u64,
+    n_shards: usize,
+    progress: SchemeProgress,
+    /// Stamped by whichever worker claims the job's first task; read when
+    /// the last task folds to report the job's wall-clock span.
+    started: OnceLock<Instant>,
+}
+
+/// Panic payload the shard-major worker wraps around a task abort
+/// ([`TaskCancelled`] or [`TaskFailure`]) so the collector can name the
+/// failed job exactly like the job-major path does.
+struct BatchTaskAbort {
+    job: usize,
+    inner: Box<dyn std::any::Any + Send>,
+}
+
+/// One `(repetition × shard)` task of a shard-major job: assembles the
+/// same observe/resume/persist/fault hooks [`run_job`] wires for a whole
+/// job, then runs the single task against the job's world — consuming one
+/// reference of the world's prototype cache if one is active.
+fn run_job_task(
+    js: &JobState<'_>,
+    i: usize,
+    cache: Option<&WorldProtoCache>,
+    tel: &Telemetry,
+    phases: &Mutex<TaskPhases>,
+    jc: &JobControl<'_>,
+) -> RunResult {
+    let j = js.j;
+    let observe = move |p: insomnia_core::TaskProgress| {
+        {
+            let mut ph = phases.lock().expect("phase lock");
+            if p.setup_ms > 0.0 {
+                ph.world_build.add(p.setup_ms);
+            }
+            ph.event_loop.add(p.loop_ms);
+        }
+        tel.emit(&TelemetryRecord::Task(TaskRecord {
+            job: j,
+            scenario: js.name.to_string(),
+            scheme: js.scheme.clone(),
+            seed_index: js.seed_index,
+            rep: p.rep,
+            shard: p.shard,
+            n_shards: p.n_shards,
+            setup_ms: p.setup_ms,
+            loop_ms: p.loop_ms,
+            finished: p.finished,
+            total: p.total,
+            merged: p.merged,
+            fold_queue: p.fold_queue,
+            counters: p.counters,
+        }));
+    };
+    let n_shards = js.n_shards;
+    let base = jc.task_base;
+    let cached_fn;
+    let persist_fn;
+    let fault_fn;
+    let mut hooks = TaskHooks {
+        max_attempts: jc.max_attempts,
+        cancel: jc.cancel,
+        ..TaskHooks::observed(&observe)
+    };
+    if let Some(cache) = jc.cache {
+        cached_fn = move |i: usize| cache.lock().expect("resume cache").remove(&(j, i));
+        hooks.cached = Some(&cached_fn);
+    }
+    if let Some(writer) = jc.writer {
+        persist_fn = move |i: usize, r: &RunResult| {
+            writer.write_task(base + i, j, i, i / n_shards, i % n_shards, r);
+        };
+        hooks.persist = Some(&persist_fn);
+    }
+    if let Some(f) = jc.faults {
+        fault_fn = move |i: usize, attempt: u64| f.should_panic(base + i, attempt);
+        hooks.fault = Some(&fault_fn);
+    }
+    run_scheme_task(js.cfg, js.spec, js.world, js.seed, i, cache, &hooks, &js.progress)
 }
 
 /// Decodes job index `j` into `(scenario, scheme, seed)` coordinates.
@@ -506,6 +639,7 @@ pub fn run_batch_controlled<W: Write>(
             torn_tail_task: f.torn_tail_task,
         });
     }
+    let exec_order = ctl.exec_order;
     let writer = ctl.checkpoint;
     let resuming = ctl.resume.is_some();
     let cache = Mutex::new(ctl.resume.unwrap_or_default());
@@ -527,130 +661,346 @@ pub fn run_batch_controlled<W: Write>(
     let mut counters = RunCounters::default();
     let mut tasks_total = 0u64;
 
-    // Phase 2: the scheme jobs. Workers send finished records through a
-    // channel; the collector releases JSONL lines strictly in job order,
-    // then emits the job's telemetry record. A failed or cancelled job
-    // stalls the release point permanently — the JSONL stays a valid
-    // in-order prefix — while surviving workers drain.
-    let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
-    let cursor = AtomicUsize::new(0);
+    // Phase 2: the task matrix, under the configured execution order.
+    // Either way the collector releases JSONL lines strictly in job order
+    // and a failed or cancelled job stalls the release point permanently —
+    // the JSONL stays a valid in-order prefix.
     let mut records: Vec<Option<JobRecord>> = Vec::new();
     records.resize_with(n_jobs, || None);
     let mut first_failure: Option<(usize, String)> = None;
     let mut cancelled = false;
 
-    std::thread::scope(|scope| -> SimResult<()> {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let worlds = &worlds;
-            let phases = &phases;
-            let bases = &bases;
-            let writer = writer.as_ref();
-            let cache = &cache;
-            let faults = faults.as_ref();
-            let cancel = cancel.as_deref();
-            let abort = &abort;
-            scope.spawn(move || loop {
-                if abort.load(Ordering::Relaxed)
-                    || cancel.is_some_and(|c| c.load(Ordering::Relaxed))
-                {
-                    break;
+    match exec_order {
+        ExecOrder::JobMajor => {
+            // Workers claim whole jobs off an atomic cursor and send
+            // finished records through a channel to the reorder buffer.
+            let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| -> SimResult<()> {
+                for _ in 0..threads {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let worlds = &worlds;
+                    let phases = &phases;
+                    let bases = &bases;
+                    let writer = writer.as_ref();
+                    let cache = &cache;
+                    let faults = faults.as_ref();
+                    let cancel = cancel.as_deref();
+                    let abort = &abort;
+                    scope.spawn(move || loop {
+                        if abort.load(Ordering::Relaxed)
+                            || cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+                        {
+                            break;
+                        }
+                        let j = cursor.fetch_add(1, Ordering::Relaxed);
+                        if j >= n_jobs {
+                            break;
+                        }
+                        let jc = JobControl {
+                            writer,
+                            cache: resuming.then_some(cache),
+                            faults,
+                            cancel,
+                            max_attempts,
+                            task_base: bases[j],
+                        };
+                        // Panic isolation: a job that dies — retry budget
+                        // spent or cancel flag raised — must not poison the
+                        // pool. The payload is typed, so the collector can
+                        // tell "task rep 1 shard 3 kept failing" from an
+                        // interrupt.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_job(batch, worlds, j, threads_per_job, tel, phases, &jc)
+                            }));
+                        let outcome = match outcome {
+                            Ok(rec) => JobOutcome::Done(Box::new(rec)),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                if payload.downcast_ref::<TaskCancelled>().is_some() {
+                                    JobOutcome::Cancelled
+                                } else if let Some(f) = payload.downcast_ref::<TaskFailure>() {
+                                    let (si, ci, ki) = job_coords(batch, j);
+                                    JobOutcome::Failed(format!(
+                                        "job {j} ({} / {} seed {ki}): repetition {} shard {} \
+                                         failed after {} attempt(s): {}",
+                                        batch.scenarios[si].0,
+                                        scheme_key(batch.schemes[ci]),
+                                        f.rep,
+                                        f.shard,
+                                        f.attempts,
+                                        f.message,
+                                    ))
+                                } else {
+                                    let msg = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".into());
+                                    JobOutcome::Failed(format!("job {j} panicked: {msg}"))
+                                }
+                            }
+                        };
+                        if tx.send((j, outcome)).is_err() {
+                            break;
+                        }
+                    });
                 }
-                let j = cursor.fetch_add(1, Ordering::Relaxed);
-                if j >= n_jobs {
-                    break;
-                }
-                let jc = JobControl {
-                    writer,
-                    cache: resuming.then_some(cache),
-                    faults,
-                    cancel,
-                    max_attempts,
-                    task_base: bases[j],
-                };
-                // Panic isolation: a job that dies — retry budget spent or
-                // cancel flag raised — must not poison the pool. The
-                // payload is typed, so the collector can tell "task rep 1
-                // shard 3 kept failing" from an interrupt.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_job(batch, worlds, j, threads_per_job, tel, phases, &jc)
-                }));
-                let outcome = match outcome {
-                    Ok(rec) => JobOutcome::Done(Box::new(rec)),
-                    Err(payload) => {
-                        abort.store(true, Ordering::Relaxed);
-                        if payload.downcast_ref::<TaskCancelled>().is_some() {
-                            JobOutcome::Cancelled
-                        } else if let Some(f) = payload.downcast_ref::<TaskFailure>() {
-                            let (si, ci, ki) = job_coords(batch, j);
-                            JobOutcome::Failed(format!(
-                                "job {j} ({} / {} seed {ki}): repetition {} shard {} \
-                                 failed after {} attempt(s): {}",
-                                batch.scenarios[si].0,
-                                scheme_key(batch.schemes[ci]),
-                                f.rep,
-                                f.shard,
-                                f.attempts,
-                                f.message,
-                            ))
-                        } else {
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".into());
-                            JobOutcome::Failed(format!("job {j} panicked: {msg}"))
+                drop(tx);
+
+                // Reorder buffer: write line `k` only once lines `0..k`
+                // are out and none of them failed.
+                let mut pending: BTreeMap<usize, (JobRecord, JobTelemetryRecord)> = BTreeMap::new();
+                let mut bad_jobs: BTreeSet<usize> = BTreeSet::new();
+                let mut next = 0usize;
+                for (j, outcome) in rx {
+                    match outcome {
+                        JobOutcome::Done(rec) => {
+                            pending.insert(j, *rec);
+                        }
+                        JobOutcome::Failed(msg) => {
+                            bad_jobs.insert(j);
+                            if first_failure.as_ref().is_none_or(|(fj, _)| j < *fj) {
+                                first_failure = Some((j, msg));
+                            }
+                        }
+                        JobOutcome::Cancelled => {
+                            bad_jobs.insert(j);
+                            cancelled = true;
                         }
                     }
-                };
-                if tx.send((j, outcome)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-
-        // Reorder buffer: write line `k` only once lines `0..k` are out
-        // and none of them failed.
-        let mut pending: BTreeMap<usize, (JobRecord, JobTelemetryRecord)> = BTreeMap::new();
-        let mut bad_jobs: BTreeSet<usize> = BTreeSet::new();
-        let mut next = 0usize;
-        for (j, outcome) in rx {
-            match outcome {
-                JobOutcome::Done(rec) => {
-                    pending.insert(j, *rec);
-                }
-                JobOutcome::Failed(msg) => {
-                    bad_jobs.insert(j);
-                    if first_failure.as_ref().is_none_or(|(fj, _)| j < *fj) {
-                        first_failure = Some((j, msg));
+                    while !bad_jobs.contains(&next) {
+                        let Some((rec, telemetry)) = pending.remove(&next) else { break };
+                        let write_start = Instant::now();
+                        let line = serde_json::to_string(&rec).map_err(|e| {
+                            SimError::InvalidInput(format!("serialize record: {e}"))
+                        })?;
+                        writeln!(out, "{line}")
+                            .map_err(|e| SimError::InvalidInput(format!("write JSONL: {e}")))?;
+                        write_phase.add(write_start.elapsed().as_secs_f64() * 1_000.0);
+                        // Jobs release in job order, so the counter merge
+                        // order is fixed — though merge() is
+                        // order-invariant anyway.
+                        counters.merge(&telemetry.counters);
+                        fold_phase.add(telemetry.fold_ms);
+                        tel.emit(&TelemetryRecord::Job(telemetry));
+                        records[next] = Some(rec);
+                        next += 1;
                     }
                 }
-                JobOutcome::Cancelled => {
-                    bad_jobs.insert(j);
-                    cancelled = true;
+                Ok(())
+            })?;
+        }
+        ExecOrder::ShardMajor => {
+            // Per-job state shared by the workers (progress atomics, start
+            // stamp); the deterministic fold state — one folder per job —
+            // lives on the collector below.
+            let jobs: Vec<JobState<'_>> = (0..n_jobs)
+                .map(|j| {
+                    let (si, ci, ki) = job_coords(batch, j);
+                    let (name, cfg) = &batch.scenarios[si];
+                    let spec = batch.schemes[ci];
+                    let n_shards = cfg.shards.max(1);
+                    JobState {
+                        j,
+                        name,
+                        cfg,
+                        spec,
+                        scheme: scheme_key(spec),
+                        seed_index: ki,
+                        world_idx: si * batch.seeds + ki,
+                        world: &worlds[si * batch.seeds + ki],
+                        seed: job_seed(cfg.seed, ki),
+                        n_shards,
+                        progress: SchemeProgress::new(cfg.repetitions * n_shards, n_shards),
+                        started: OnceLock::new(),
+                    }
+                })
+                .collect();
+            // One refcounted prototype cache per (scenario, seed) world:
+            // each shard has exactly `schemes × repetitions` consumers, so
+            // the stream setup pass runs once per shard for the whole
+            // batch and the prototype drops the moment its last consumer
+            // claims it.
+            let caches: Vec<Option<WorldProtoCache>> = worlds
+                .iter()
+                .enumerate()
+                .map(|(w, world)| {
+                    let reps = batch.scenarios[w / batch.seeds].1.repetitions;
+                    WorldProtoCache::new(world, batch.schemes.len() * reps)
+                })
+                .collect();
+            // The execution plan: for every (scenario, seed, repetition,
+            // shard), all scheme tasks back to back — consecutive
+            // consumers of one prototype. Within each job the task index
+            // increases monotonically along the plan (repetitions outer,
+            // shards inner), which is exactly the per-group fold order
+            // par_fold_grouped requires.
+            let mut plan: Vec<(usize, usize)> = Vec::with_capacity(bases[n_jobs]);
+            for (si, (_, cfg)) in batch.scenarios.iter().enumerate() {
+                let n_shards = cfg.shards.max(1);
+                for ki in 0..batch.seeds {
+                    for r in 0..cfg.repetitions {
+                        for sh in 0..n_shards {
+                            for ci in 0..batch.schemes.len() {
+                                let j = (si * batch.schemes.len() + ci) * batch.seeds + ki;
+                                plan.push((j, r * n_shards + sh));
+                            }
+                        }
+                    }
                 }
             }
-            while !bad_jobs.contains(&next) {
-                let Some((rec, telemetry)) = pending.remove(&next) else { break };
-                let write_start = Instant::now();
-                let line = serde_json::to_string(&rec)
-                    .map_err(|e| SimError::InvalidInput(format!("serialize record: {e}")))?;
-                writeln!(out, "{line}")
-                    .map_err(|e| SimError::InvalidInput(format!("write JSONL: {e}")))?;
-                write_phase.add(write_start.elapsed().as_secs_f64() * 1_000.0);
-                // Jobs release in job order, so the counter merge order is
-                // fixed — though merge() is order-invariant anyway.
-                counters.merge(&telemetry.counters);
-                fold_phase.add(telemetry.fold_ms);
-                tel.emit(&TelemetryRecord::Job(telemetry));
-                records[next] = Some(rec);
-                next += 1;
+            debug_assert_eq!(plan.len(), bases[n_jobs]);
+
+            let mut folders: Vec<Option<SchemeFolder>> =
+                jobs.iter().map(|js| Some(SchemeFolder::new(js.cfg, js.spec, js.world))).collect();
+            let mut pending: BTreeMap<usize, (JobRecord, JobTelemetryRecord)> = BTreeMap::new();
+            let mut next = 0usize;
+            // JSONL write errors can't abort mid-fold (the fold closure
+            // has no return channel); remember the first and surface it
+            // once the pool drains.
+            let mut io_err: Option<SimError> = None;
+
+            // One flat pool over the whole matrix: tasks are the unit of
+            // scheduling (the driver pins per-task inner parallelism, so
+            // the budget applies directly).
+            let pool = batch.thread_budget().min(plan.len().max(1));
+            let jobs = &jobs;
+            let caches = &caches;
+            let plan_ref = &plan;
+            let writer_ref = writer.as_ref();
+            let cancel_ref = cancel.as_deref();
+            let faults_ref = faults.as_ref();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                par_fold_grouped(
+                    plan_ref,
+                    pool,
+                    |pos| {
+                        let (j, i) = plan_ref[pos];
+                        let js = &jobs[j];
+                        js.started.get_or_init(Instant::now);
+                        let jc = JobControl {
+                            writer: writer_ref,
+                            cache: resuming.then_some(&cache),
+                            faults: faults_ref,
+                            cancel: cancel_ref,
+                            max_attempts,
+                            task_base: bases[j],
+                        };
+                        // Tag aborts with the job so the collector can name
+                        // the failed span exactly like the job-major path.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_job_task(js, i, caches[js.world_idx].as_ref(), tel, &phases, &jc)
+                        })) {
+                            Ok(r) => r,
+                            Err(inner) => std::panic::panic_any(BatchTaskAbort { job: j, inner }),
+                        }
+                    },
+                    |j, step, run| {
+                        let js = &jobs[j];
+                        js.progress.note_merged(step.index + 1);
+                        let folder = folders[j].as_mut().expect("one fold per task");
+                        folder.absorb(step.index, run);
+                        if step.index + 1 != folder.n_tasks() {
+                            return;
+                        }
+                        // Last task of the job: finalize it, then release
+                        // every finished job in job order — the same
+                        // reorder discipline as the job-major collector.
+                        let result = folders[j].take().expect("folder finalized once").finish();
+                        let wall_ms = js
+                            .started
+                            .get()
+                            .map(|t| t.elapsed().as_secs_f64() * 1_000.0)
+                            .unwrap_or(0.0);
+                        let telemetry = JobTelemetryRecord {
+                            job: j,
+                            scenario: js.name.to_string(),
+                            scheme: js.scheme.clone(),
+                            seed_index: js.seed_index,
+                            wall_ms,
+                            fold_ms: result.fold_ms,
+                            shards: js.n_shards,
+                            counters: result.counters,
+                        };
+                        let rec = make_record(
+                            js.name,
+                            js.cfg,
+                            js.spec,
+                            js.seed_index,
+                            js.seed,
+                            js.world,
+                            &result,
+                        );
+                        pending.insert(j, (rec, telemetry));
+                        while let Some((rec, telemetry)) = pending.remove(&next) {
+                            if io_err.is_none() {
+                                let write_start = Instant::now();
+                                let written = serde_json::to_string(&rec)
+                                    .map_err(|e| {
+                                        SimError::InvalidInput(format!("serialize record: {e}"))
+                                    })
+                                    .and_then(|line| {
+                                        writeln!(out, "{line}").map_err(|e| {
+                                            SimError::InvalidInput(format!("write JSONL: {e}"))
+                                        })
+                                    });
+                                match written {
+                                    Ok(()) => write_phase
+                                        .add(write_start.elapsed().as_secs_f64() * 1_000.0),
+                                    Err(e) => io_err = Some(e),
+                                }
+                            }
+                            counters.merge(&telemetry.counters);
+                            fold_phase.add(telemetry.fold_ms);
+                            tel.emit(&TelemetryRecord::Job(telemetry));
+                            records[next] = Some(rec);
+                            next += 1;
+                        }
+                    },
+                )
+            }));
+            if let Err(payload) = outcome {
+                match payload.downcast::<BatchTaskAbort>() {
+                    Ok(abort) => {
+                        let j = abort.job;
+                        if abort.inner.downcast_ref::<TaskCancelled>().is_some() {
+                            cancelled = true;
+                        } else if let Some(f) = abort.inner.downcast_ref::<TaskFailure>() {
+                            let (si, ci, ki) = job_coords(batch, j);
+                            first_failure = Some((
+                                j,
+                                format!(
+                                    "job {j} ({} / {} seed {ki}): repetition {} shard {} \
+                                     failed after {} attempt(s): {}",
+                                    batch.scenarios[si].0,
+                                    scheme_key(batch.schemes[ci]),
+                                    f.rep,
+                                    f.shard,
+                                    f.attempts,
+                                    f.message,
+                                ),
+                            ));
+                        } else {
+                            let msg = abort
+                                .inner
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| abort.inner.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            first_failure = Some((j, format!("job {j} panicked: {msg}")));
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            if let Some(e) = io_err {
+                return Err(e);
             }
         }
-        Ok(())
-    })?;
+    }
 
     // Close the checkpoint before reporting: whatever happened above, the
     // file on disk is a valid manifest + record prefix for `--resume`.
@@ -1182,9 +1532,12 @@ mod tests {
             std::str::from_utf8(&out).unwrap().lines().filter(|l| !l.is_empty()).collect();
         assert_eq!(lines.len(), 1, "only job 0 precedes the failed job");
         assert!(lines[0].contains("no-sleep"));
-        // The checkpoint survives the failure and still loads.
+        // The checkpoint survives the failure and still loads. Shard-major
+        // order visits seed 0 of *both* schemes before seed 1 of either,
+        // so job 2's task checkpointed before job 1 failed — the JSONL
+        // above is still the in-order one-line prefix.
         let loaded = crate::checkpoint::load_checkpoint(&path).unwrap();
-        assert_eq!(loaded.tasks.len(), 1);
+        assert_eq!(loaded.tasks.len(), 2);
         std::fs::remove_file(&path).ok();
     }
 

@@ -9,8 +9,8 @@
 
 use insomnia_scenarios::{
     check_rss_budget, compare_jsonl, load_checkpoint, manifest_for, parse_scheme_list,
-    peak_rss_mib, run_batch_controlled, BatchRun, CheckpointWriter, FaultPlan, ProfileReport,
-    Registry, RunControl, ScenarioSpec, Telemetry,
+    peak_rss_mib, run_batch_controlled, BatchRun, CheckpointWriter, ExecOrder, FaultPlan,
+    ProfileReport, Registry, RunControl, ScenarioSpec, Telemetry,
 };
 use insomnia_simcore::{SimError, SimResult};
 use std::io::Write;
@@ -85,6 +85,7 @@ USAGE:
                  [--shards N] [--out FILE] [--set dotted.key=value]...
                  [--quick] [--max-rss-mib N] [--telemetry FILE] [--quiet]
                  [--checkpoint FILE [--resume]] [--retries N] [--faults FILE]
+                 [--exec-order shard-major|job-major]
         Expand the (scenario x scheme x seed) matrix, run it in parallel,
         stream one JSON line per job (stdout, or FILE with --out) and print
         the aggregated summary table. Per-job wall-clock and event-count
@@ -152,6 +153,11 @@ OPTIONS:
     --faults FILE  deterministic fault injection from a [faults] TOML
                    table (panic_tasks, random_panics, io_error_tasks,
                    torn_tail_task) — the chaos-test harness
+    --exec-order ORDER  task scheduling order: shard-major (default —
+                   all schemes of one (seed, shard) run consecutively,
+                   sharing one world prototype per shard) or job-major
+                   (one job's tasks at a time). Byte-neutral: only
+                   wall-clock, peak RSS and cache counters differ
     --counters     profile: print only the deterministic counter totals
     --tol REL      compare: per-metric relative tolerance   [default: 0]
 ";
@@ -323,6 +329,7 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
             "checkpoint",
             "retries",
             "faults",
+            "exec-order",
         ],
         &["quick", "quiet", "resume"],
     )?;
@@ -423,6 +430,17 @@ fn cmd_run(args: &[String], sweep: Option<(&str, &[&str])>) -> SimResult<()> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| SimError::InvalidInput(format!("read {path}: {e}")))?;
         ctl.faults = Some(FaultPlan::from_toml(&text)?);
+    }
+    if let Some(order) = flags.get("exec-order") {
+        ctl.exec_order = match order {
+            "shard-major" => ExecOrder::ShardMajor,
+            "job-major" => ExecOrder::JobMajor,
+            other => {
+                return Err(SimError::InvalidInput(format!(
+                    "--exec-order expects `shard-major` or `job-major`, got `{other}`"
+                )))
+            }
+        };
     }
     if let Some(path) = &checkpoint_path {
         let manifest = manifest_for(&batch);
@@ -600,6 +618,7 @@ fn cmd_sweep(args: &[String]) -> SimResult<()> {
             "checkpoint",
             "retries",
             "faults",
+            "exec-order",
         ],
         &["quick", "quiet", "resume"],
     )?;

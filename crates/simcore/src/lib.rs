@@ -62,7 +62,8 @@ pub mod time;
 pub use engine::Scheduler;
 pub use error::{SimError, SimResult};
 pub use par::{
-    default_threads, par_fold_indexed, par_map_indexed, retry_unwind, FoldStep, Retried,
+    default_threads, par_fold_grouped, par_fold_indexed, par_map_indexed, retry_unwind, FoldStep,
+    Retried,
 };
 pub use queue::{EventQueue, EventToken};
 pub use rng::{SimRng, SplitMix64};

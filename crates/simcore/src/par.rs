@@ -229,6 +229,137 @@ pub fn par_fold_indexed<T: Send, F: Fn(usize) -> T + Sync>(
     }
 }
 
+/// Runs an *interleaved* task pool on at most `max_threads` workers and
+/// feeds several per-group in-order folders from it — the multi-fold
+/// sibling of [`par_fold_indexed`].
+///
+/// `tasks[pos] = (group, index)` lists every task in execution order:
+/// workers claim positions left to right through one atomic cursor, so the
+/// caller chooses which tasks run near each other (e.g. every consumer of
+/// one expensive shared input, back to back) independently of how results
+/// are folded. Each group's results are folded **strictly in that group's
+/// listed index order**, so every per-group accumulator is bit-identical
+/// at any worker count; only the cross-group interleaving of fold calls is
+/// scheduling-dependent.
+///
+/// Deadlock-freedom requires the **subsequence property** (debug-asserted
+/// up front): each group's indices must appear in increasing order along
+/// `tasks`. Then the globally oldest outstanding claimed position's
+/// same-group predecessors are all folded already, so its completion
+/// always folds immediately and returns a claim permit — the gate
+/// (`2 × workers` permits, exactly as in [`par_fold_indexed`]) can never
+/// wedge with every worker parked behind an unfoldable hole.
+///
+/// `f(pos)` must depend only on `tasks[pos]` (and captured shared state).
+/// The fold callback receives the task's group, a [`FoldStep`] whose
+/// `index` is the within-group index and whose `queued` counts results
+/// parked across *all* groups, and the task's result. With
+/// `max_threads <= 1` (or one task) tasks run inline and fold in execution
+/// order — valid because, per group, execution order *is* index order.
+/// Worker panics propagate to the caller after the pool drains, exactly
+/// like [`par_fold_indexed`].
+pub fn par_fold_grouped<T: Send, F: Fn(usize) -> T + Sync>(
+    tasks: &[(usize, usize)],
+    max_threads: usize,
+    f: F,
+    mut fold: impl FnMut(usize, FoldStep, T),
+) {
+    let n = tasks.len();
+    #[cfg(debug_assertions)]
+    {
+        let mut last: BTreeMap<usize, usize> = BTreeMap::new();
+        for &(g, i) in tasks {
+            if let Some(prev) = last.insert(g, i) {
+                debug_assert!(
+                    prev < i,
+                    "group {g}: index {i} listed at or before index {prev} — \
+                     per-group indices must be increasing (subsequence property)"
+                );
+            }
+        }
+    }
+    let threads = max_threads.min(n).max(1);
+    if threads == 1 {
+        for (pos, &(g, i)) in tasks.iter().enumerate() {
+            fold(g, FoldStep { index: i, queued: 0 }, f(pos));
+        }
+        return;
+    }
+    let n_groups = tasks.iter().map(|&(g, _)| g + 1).max().unwrap_or(0);
+    let cursor = AtomicUsize::new(0);
+    let gate = FoldGate::new(2 * threads);
+    let panicked: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let gate = &gate;
+            let panicked = &panicked;
+            let f = &f;
+            scope.spawn(move || loop {
+                if !gate.acquire() {
+                    break;
+                }
+                let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                if pos >= n {
+                    break;
+                }
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(pos))) {
+                    Ok(v) => {
+                        if tx.send((pos, v)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        let mut slot = panicked.lock().expect("panic slot lock");
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        drop(slot);
+                        gate.close();
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Per-group reorder buffers plus each group's expected index
+        // sequence (its listed order). `parked` counts results waiting
+        // across all groups; the gate keeps it O(workers).
+        let _close = GateCloseGuard(&gate);
+        let mut pending: Vec<BTreeMap<usize, T>> = Vec::new();
+        pending.resize_with(n_groups, BTreeMap::new);
+        let mut expect: Vec<std::collections::VecDeque<usize>> =
+            vec![std::collections::VecDeque::new(); n_groups];
+        for &(g, i) in tasks {
+            expect[g].push_back(i);
+        }
+        let mut parked = 0usize;
+        for (pos, v) in rx {
+            let (g, _) = tasks[pos];
+            pending[g].insert(tasks[pos].1, v);
+            parked += 1;
+            while let Some(&want) = expect[g].front() {
+                let Some(v) = pending[g].remove(&want) else { break };
+                expect[g].pop_front();
+                parked -= 1;
+                fold(g, FoldStep { index: want, queued: parked }, v);
+                gate.release();
+            }
+        }
+        debug_assert!(
+            panicked.lock().expect("panic slot lock").is_some()
+                || (parked == 0 && expect.iter().all(|q| q.is_empty())),
+            "all results folded"
+        );
+    });
+    if let Some(payload) = panicked.into_inner().expect("panic slot lock") {
+        std::panic::resume_unwind(payload);
+    }
+}
+
 /// The machine's available parallelism (1 when undetectable) — the default
 /// worker budget for [`par_map_indexed`] call sites.
 pub fn default_threads() -> usize {
@@ -344,6 +475,96 @@ mod tests {
         // Queue depth is scheduling-dependent but always bounded by the
         // results still outstanding past the one being folded.
         par_fold_indexed(64, 8, |i| i, |step, _| assert!(step.queued < 64 - step.index));
+    }
+
+    /// The interleaved plan the batch runner uses: groups' indices climb
+    /// in round-robin order, so per-group fold order is pinned while the
+    /// cross-group schedule is free.
+    fn round_robin_plan(groups: usize, per_group: usize) -> Vec<(usize, usize)> {
+        let mut plan = Vec::new();
+        for i in 0..per_group {
+            for g in 0..groups {
+                plan.push((g, i));
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn grouped_fold_is_in_order_per_group_at_any_width() {
+        let plan = round_robin_plan(3, 32);
+        let run = |threads: usize| {
+            let mut orders = vec![Vec::new(); 3];
+            let mut accs = vec![0u64; 3];
+            par_fold_grouped(
+                &plan,
+                threads,
+                |pos| (pos as u64) * 7 + 3,
+                |g, step, v| {
+                    orders[g].push(step.index);
+                    // Non-commutative per-group fold: order changes bits.
+                    accs[g] = accs[g].wrapping_mul(31).wrapping_add(v);
+                },
+            );
+            (orders, accs)
+        };
+        let (serial_orders, serial_accs) = run(1);
+        for order in &serial_orders {
+            assert_eq!(order, &(0..32).collect::<Vec<_>>());
+        }
+        for threads in [2, 3, 8, 200] {
+            let (orders, accs) = run(threads);
+            assert_eq!(orders, serial_orders, "threads = {threads}");
+            assert_eq!(accs, serial_accs, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn grouped_fold_handles_tiny_inputs_and_bounds_the_park_queue() {
+        let mut seen = 0;
+        par_fold_grouped(&[], 4, |_| unreachable!(), |_, _: FoldStep, _: u8| seen += 1);
+        assert_eq!(seen, 0);
+        par_fold_grouped(
+            &[(5, 0)],
+            4,
+            |pos| pos + 10,
+            |g, step, v| {
+                assert_eq!((g, step.index, step.queued, v), (5, 0, 0, 10));
+                seen += 1;
+            },
+        );
+        assert_eq!(seen, 1);
+        let plan = round_robin_plan(4, 16);
+        par_fold_grouped(&plan, 8, |pos| pos, |_, step, _| assert!(step.queued < plan.len()));
+    }
+
+    #[test]
+    fn grouped_fold_propagates_worker_panics_instead_of_deadlocking() {
+        let plan = round_robin_plan(2, 20);
+        let result = std::panic::catch_unwind(|| {
+            let mut folded = 0usize;
+            par_fold_grouped(
+                &plan,
+                4,
+                |pos| {
+                    if pos == 13 {
+                        panic!("task 13 exploded");
+                    }
+                    pos
+                },
+                |_, _, _| folded += 1,
+            );
+        });
+        let payload = result.expect_err("the task panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 13 exploded");
+    }
+
+    #[test]
+    #[should_panic(expected = "subsequence property")]
+    #[cfg(debug_assertions)]
+    fn grouped_fold_rejects_decreasing_indices_within_a_group() {
+        par_fold_grouped(&[(0, 1), (0, 0)], 1, |pos| pos, |_, _, _| {});
     }
 
     #[test]

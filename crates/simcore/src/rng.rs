@@ -110,6 +110,7 @@ impl SimRng {
     }
 
     /// Uniform float in `[lo, hi)`.
+    #[inline]
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         debug_assert!(hi >= lo);
         lo + (hi - lo) * self.f64()
@@ -119,6 +120,7 @@ impl SimRng {
     ///
     /// # Panics
     /// Panics if `n == 0`.
+    #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
         // Lemire's nearly-divisionless rejection method.
@@ -137,17 +139,20 @@ impl SimRng {
     }
 
     /// Uniform integer in `[lo, hi)`.
+    #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(hi > lo, "empty range");
         lo + self.below(hi - lo)
     }
 
     /// Uniform usize in `[0, n)`.
+    #[inline]
     pub fn below_usize(&mut self, n: usize) -> usize {
         self.below(n as u64) as usize
     }
 
     /// Bernoulli draw.
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         self.f64() < p
     }
@@ -181,6 +186,7 @@ impl SimRng {
     }
 
     /// Exponential variate with the given mean (`mean = 1/λ`).
+    #[inline]
     pub fn exp(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
         // Inverse transform; 1-f64() ∈ (0,1] avoids ln(0).
@@ -188,12 +194,14 @@ impl SimRng {
     }
 
     /// Pareto variate with scale `xm > 0` and shape `alpha > 0`.
+    #[inline]
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
         debug_assert!(xm > 0.0 && alpha > 0.0);
         xm / (1.0 - self.f64()).powf(1.0 / alpha)
     }
 
     /// Standard normal variate (Box–Muller, one value per call).
+    #[inline]
     pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
         let u1 = 1.0 - self.f64(); // (0,1]
         let u2 = self.f64();
@@ -202,6 +210,7 @@ impl SimRng {
     }
 
     /// Log-normal variate parameterized by the underlying normal's μ and σ.
+    #[inline]
     pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
         self.normal(mu, sigma).exp()
     }

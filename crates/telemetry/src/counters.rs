@@ -65,6 +65,12 @@ pub struct RunCounters {
     /// `(repetition × shard)` tasks replayed from a checkpoint instead of
     /// simulated on a `--resume` run.
     pub tasks_resumed: u64,
+    /// Shard prototypes built by the world-prototype cache (one real
+    /// `FlowStream` setup pass each; 0 when the cache is inactive).
+    pub proto_cache_builds: u64,
+    /// Tasks served a cached shard prototype instead of rebuilding it
+    /// (`setup_ms = 0` attribution; 0 when the cache is inactive).
+    pub proto_cache_hits: u64,
 }
 
 // Serialization is hand-written so the two doze fields are *omitted when
@@ -111,6 +117,14 @@ impl Serialize for RunCounters {
         if self.tasks_resumed > 0 {
             put("tasks_resumed", self.tasks_resumed);
         }
+        // World-prototype cache counters, same omit-when-zero contract:
+        // cache-off runs (every pre-existing golden) keep their key set.
+        if self.proto_cache_builds > 0 {
+            put("proto_cache_builds", self.proto_cache_builds);
+        }
+        if self.proto_cache_hits > 0 {
+            put("proto_cache_hits", self.proto_cache_hits);
+        }
         Value::Map(m)
     }
 }
@@ -147,6 +161,8 @@ impl Deserialize for RunCounters {
             tasks_retried: get("tasks_retried")?,
             faults_injected: get("faults_injected")?,
             tasks_resumed: get("tasks_resumed")?,
+            proto_cache_builds: get("proto_cache_builds")?,
+            proto_cache_hits: get("proto_cache_hits")?,
         })
     }
 }
@@ -195,6 +211,8 @@ impl RunCounters {
         self.tasks_retried += other.tasks_retried;
         self.faults_injected += other.faults_injected;
         self.tasks_resumed += other.tasks_resumed;
+        self.proto_cache_builds += other.proto_cache_builds;
+        self.proto_cache_hits += other.proto_cache_hits;
     }
 }
 
@@ -226,6 +244,8 @@ mod tests {
             tasks_retried: 0,
             faults_injected: 0,
             tasks_resumed: 0,
+            proto_cache_builds: 0,
+            proto_cache_hits: 0,
         }
     }
 
@@ -314,5 +334,35 @@ mod tests {
         assert_eq!(merged.tasks_retried, 2);
         assert_eq!(merged.faults_injected, 3);
         assert_eq!(merged.tasks_resumed, 5);
+    }
+
+    #[test]
+    fn proto_cache_fields_are_omitted_when_zero_and_trail_the_recovery_keys() {
+        let legacy = serde_json::to_string(&sample(3)).unwrap();
+        assert!(!legacy.contains("proto_cache"), "{legacy}");
+
+        let mut c = sample(3);
+        c.tasks_resumed = 5;
+        c.proto_cache_builds = 64;
+        c.proto_cache_hits = 128;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            json.ends_with(
+                "\"tasks_resumed\":5,\"proto_cache_builds\":64,\"proto_cache_hits\":128}"
+            ),
+            "{json}"
+        );
+        let back: RunCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // Cache accounting never counts as delivered simulation events, and
+        // absent keys deserialize to zero (old sidecars stay readable).
+        assert_eq!(back.delivered(), sample(3).delivered());
+        let old: RunCounters = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old, sample(3));
+
+        let mut merged = sample(3);
+        merged.merge(&c);
+        assert_eq!(merged.proto_cache_builds, 64);
+        assert_eq!(merged.proto_cache_hits, 128);
     }
 }

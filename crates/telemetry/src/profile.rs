@@ -242,6 +242,18 @@ impl ProfileReport {
             for (name, v) in rows {
                 out.push_str(&format!("{name:<22} {v}\n"));
             }
+            // Shard-major runs that reused prototype worlds across schemes
+            // get a note quantifying the skipped setup passes; runs without
+            // the cache (single scheme, eager worlds, job-major order, any
+            // legacy sidecar) render exactly as before.
+            if c.proto_cache_builds > 0 || c.proto_cache_hits > 0 {
+                out.push_str(&format!(
+                    "\nworld-reuse: {} prototype world build(s) served {} cached task \
+                     setup(s) — the shard-major cross-scheme cache skipped that many \
+                     FlowStream setup passes\n",
+                    c.proto_cache_builds, c.proto_cache_hits,
+                ));
+            }
         }
         out
     }
@@ -407,6 +419,22 @@ mod tests {
         assert!(rendered.contains("peak RSS 24 MiB"), "{rendered}");
         assert!(rendered.contains("attributed: 80.0%"), "{rendered}");
         assert!(rendered.contains("fold_absorptions       2"), "{rendered}");
+        // No prototype-cache activity in this sidecar: the world-reuse note
+        // must stay absent so legacy renders are unchanged.
+        assert!(!rendered.contains("world-reuse"), "{rendered}");
+    }
+
+    #[test]
+    fn world_reuse_note_appears_with_proto_cache_activity() {
+        let mut report = ProfileReport::from_jsonl(&sidecar()).unwrap();
+        let c = &mut report.summary.as_mut().unwrap().counters;
+        c.proto_cache_builds = 2;
+        c.proto_cache_hits = 4;
+        let rendered = report.render();
+        assert!(
+            rendered.contains("world-reuse: 2 prototype world build(s) served 4 cached task"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -100,18 +100,27 @@ pub(crate) struct Personality {
     /// Multiplier on burst sizes (log-normal across the population: a few
     /// heavy hitters dominate bytes, as in all measured traffic).
     pub(crate) volume: f64,
-    /// Probability that a non-keepalive burst is a media/bulk transfer.
-    pub(crate) heavy_tail_bias: f64,
+    /// Branch cut separating web bursts from media/bulk in [`draw_burst`]:
+    /// `0.45 + 0.55 * (1.0 - heavy_tail_bias)`, where `heavy_tail_bias` is
+    /// the probability that a non-keepalive burst is a media/bulk transfer.
+    /// Precomputed once per client so the per-burst selector compares
+    /// against a constant instead of re-deriving the cut on every draw.
+    pub(crate) web_cut: f64,
 }
 
 impl Personality {
+    /// Assembles a personality from its raw parameters, deriving the
+    /// cached burst-branch cut.
+    pub(crate) fn from_parts(volume: f64, heavy_tail_bias: f64) -> Personality {
+        Personality { volume, web_cut: 0.45 + 0.55 * (1.0 - heavy_tail_bias) }
+    }
+
     /// Draws one client's personality; the first draws of that client's
     /// segment of the master RNG stream (both generators share this).
     pub(crate) fn draw(cfg: &CrawdadConfig, rng: &mut SimRng) -> Personality {
-        Personality {
-            volume: rng.lognormal(1.9, 0.8) * cfg.rate_scale,
-            heavy_tail_bias: rng.range_f64(0.05, 0.25),
-        }
+        let volume = rng.lognormal(1.9, 0.8) * cfg.rate_scale;
+        let heavy_tail_bias = rng.range_f64(0.05, 0.25);
+        Personality::from_parts(volume, heavy_tail_bias)
     }
 }
 
@@ -261,12 +270,13 @@ fn generate_bursts(
 /// (6 Mbps × 60 s = 45 MB): the paper's trace carries light continuous
 /// traffic where gateway saturation "does not happen often" (§5.1), and
 /// its stretched flows are explicitly "short-lived (few seconds)" (§5.2.4).
+#[inline]
 pub(crate) fn draw_burst(p: Personality, rng: &mut SimRng) -> (FlowKind, u64) {
     let u = rng.f64();
     if u < 0.45 {
         // Background presence traffic: keepalives, polling, push channels.
         (FlowKind::Keepalive, rng.range_u64(200, 2_000))
-    } else if u < 0.45 + 0.55 * (1.0 - p.heavy_tail_bias) {
+    } else if u < p.web_cut {
         // Web-ish request bursts: Pareto body, capped at ~0.5 s of backhaul.
         let b = (rng.pareto(10_000.0, 1.3) * p.volume).min(6.0e5);
         (FlowKind::Web, b.max(1_000.0) as u64)
@@ -288,6 +298,7 @@ pub(crate) fn draw_burst(p: Personality, rng: &mut SimRng) -> (FlowKind, u64) {
 /// the gap draws do — so a setup pass that only needs to advance the RNG
 /// and count flows can take this path; the streaming equivalence property
 /// tests pin that both leave the generator in the identical state.
+#[inline]
 pub(crate) fn draw_burst_skip(p: Personality, rng: &mut SimRng) {
     let u = rng.f64();
     if u < 0.45 {
@@ -295,7 +306,7 @@ pub(crate) fn draw_burst_skip(p: Personality, rng: &mut SimRng) {
         // count is data-dependent — it must run exactly as in
         // `draw_burst` (it is integer-only and cheap anyway).
         rng.range_u64(200, 2_000);
-    } else if u < 0.45 + 0.55 * (1.0 - p.heavy_tail_bias) {
+    } else if u < p.web_cut {
         rng.f64(); // Web: the Pareto body's single uniform, powf skipped.
     } else if rng.f64() < 0.80 {
         rng.f64(); // Media: Box–Muller's two uniforms, ln/sqrt/cos/exp
@@ -324,7 +335,7 @@ mod tests {
         for seed in 0..4u64 {
             let mut full = SimRng::new(31 + seed);
             let mut skip = full.clone();
-            let p = Personality { volume: 3.0, heavy_tail_bias: 0.05 + 0.05 * seed as f64 };
+            let p = Personality::from_parts(3.0, 0.05 + 0.05 * seed as f64);
             for i in 0..5_000 {
                 draw_burst(p, &mut full);
                 draw_burst_skip(p, &mut skip);

@@ -98,6 +98,7 @@ impl DiurnalProfile {
 
     /// Weight at a given instant, linearly interpolated between hour marks
     /// (wrapping at midnight).
+    #[inline]
     pub fn weight_at(&self, t: SimTime) -> f64 {
         let h = t.as_hours_f64() % 24.0;
         let h0 = h.floor() as usize % 24;

@@ -58,10 +58,34 @@ impl Default for GapModel {
     }
 }
 
+/// Precomputed cumulative branch thresholds of a [`GapModel`] — the three
+/// cut-points its mixture selector is compared against. The setup pass of
+/// the streaming generator draws one gap per burst, so callers that sit in
+/// that loop cache these once ([`GapModel::thresholds`]) instead of
+/// re-adding the weights on every draw. The partial sums are formed in the
+/// exact association order the inline comparisons historically used, so
+/// cached and uncached sampling are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct GapThresholds {
+    c_short: f64,
+    c_medium: f64,
+    c_long: f64,
+}
+
 impl GapModel {
     /// Samples one gap at full (peak) intensity.
     pub fn sample_peak(&self, rng: &mut SimRng) -> SimDuration {
         self.sample(rng, 1.0)
+    }
+
+    /// Precomputes the cumulative mixture thresholds consumed by
+    /// [`GapModel::sample_with`].
+    pub fn thresholds(&self) -> GapThresholds {
+        GapThresholds {
+            c_short: self.w_short,
+            c_medium: self.w_short + self.w_medium,
+            c_long: self.w_short + self.w_medium + self.w_long,
+        }
     }
 
     /// Samples one gap at the given intensity; `1.0` is the calibrated peak,
@@ -70,13 +94,27 @@ impl GapModel {
     /// `[0.02, 50.0]` so pathological inputs can produce neither
     /// near-infinite nor sub-millisecond-degenerate gaps.
     pub fn sample(&self, rng: &mut SimRng, intensity: f64) -> SimDuration {
+        self.sample_with(&self.thresholds(), rng, intensity)
+    }
+
+    /// [`GapModel::sample`] against cached [`GapThresholds`]. The
+    /// thresholds must come from this model's [`GapModel::thresholds`];
+    /// given that, the draw sequence and every returned bit match
+    /// [`GapModel::sample`].
+    #[inline]
+    pub fn sample_with(
+        &self,
+        cum: &GapThresholds,
+        rng: &mut SimRng,
+        intensity: f64,
+    ) -> SimDuration {
         let intensity = intensity.clamp(0.02, 50.0);
         let u = rng.f64();
-        let gap_s = if u < self.w_short {
+        let gap_s = if u < cum.c_short {
             rng.exp(self.short_mean_s)
-        } else if u < self.w_short + self.w_medium {
+        } else if u < cum.c_medium {
             rng.exp(self.medium_mean_s)
-        } else if u < self.w_short + self.w_medium + self.w_long {
+        } else if u < cum.c_long {
             rng.range_f64(20.0, 60.0)
         } else {
             60.0 + rng.pareto(self.silence_scale_s, self.silence_alpha)
@@ -124,6 +162,24 @@ mod tests {
             (empirical - analytic).abs() / analytic < 0.05,
             "empirical {empirical:.2}s vs analytic {analytic:.2}s"
         );
+    }
+
+    #[test]
+    fn cached_thresholds_sample_bit_identically() {
+        // `sample_with` over precomputed thresholds must consume the same
+        // draws and return the same bits as the self-contained `sample`,
+        // across every mixture branch and intensity.
+        let m = GapModel::default();
+        let cum = m.thresholds();
+        let mut a = SimRng::new(77);
+        let mut b = a.clone();
+        for i in 0..50_000 {
+            let intensity = 0.02 + (i % 100) as f64 * 0.05;
+            let x = m.sample(&mut a, intensity);
+            let y = m.sample_with(&cum, &mut b, intensity);
+            assert_eq!(x, y, "diverged at draw {i}");
+            assert_eq!(a, b, "RNG position diverged at draw {i}");
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use adsl::{AdslConfig, AdslPopulation, Direction};
 pub use crawdad::{CrawdadConfig, SurgeWindow};
 pub use diurnal::{DiurnalKind, DiurnalProfile};
 pub use flow::{FlowKind, FlowRecord};
-pub use gaps::GapModel;
+pub use gaps::{GapModel, GapThresholds};
 pub use ids::{ApId, ClientId};
 pub use session::Session;
 pub use stream::FlowStream;

@@ -25,8 +25,19 @@
 //!   single store — no walk at all. The cache is only ever consulted by
 //!   the lane that produced it, so it can never go stale.
 //!
-//! `cargo bench -p insomnia-bench --bench streaming` measures heap and
-//! tree side by side on the same lanes.
+//! The tree is not uniformly the faster backend, though. Its win is the
+//! cached-threshold fast path, which pays off when one lane keeps winning
+//! for runs at a time — the regime of a small-k merge over bursty client
+//! cursors. On wide merges with heavy cross-lane interleaving (dense-metro
+//! shards put 1 600 lanes in the bracket) the cache rarely holds and every
+//! pop walks ⌈log₂ k⌉ *dependent* loads up the bracket, where a binary
+//! heap over the same packed `u64` entries ([`PackedHeap`]) resolves its
+//! sift with better locality. `cargo bench -p insomnia-bench --bench
+//! streaming` measures both backends across a lane-count sweep; the
+//! measured crossover is baked into [`TournamentMerge::for_lanes`], which
+//! is what [`crate::FlowStream`] constructs — either backend yields the
+//! byte-identical merged sequence (property-tested), so the choice is pure
+//! throughput.
 //!
 //! Ordering contract: leaf `i` ranks by `(key, i)`, so equal keys resolve
 //! to the lowest leaf index — exactly the tie-break a *stable* sort by key
@@ -34,6 +45,8 @@
 //! reproduce the eager generator's stable flow sort flow-for-flow.
 
 use insomnia_simcore::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Key for an exhausted lane: later than every real key, so drained lanes
 /// sink to the bottom of the bracket. [`LoserTree::winner_key`] returning
@@ -153,6 +166,135 @@ impl LoserTree {
     }
 }
 
+/// Binary-heap merge backend over the same packed `(key, lane)` `u64`
+/// entries as [`LoserTree`] — one register compare per sift rung, entries
+/// half the size of the historical `(SimTime, usize)` pairs. Exhausted
+/// lanes are simply absent (never re-pushed), so an empty heap means every
+/// lane has drained.
+///
+/// Unlike the tree, [`PackedHeap::update`] is only valid for the *current
+/// winner* (it pops the top and reinserts), which is exactly the only
+/// update a k-way merge ever makes.
+#[derive(Debug, Clone)]
+pub struct PackedHeap {
+    /// Min-heap of live packed entries (`Reverse` flips `BinaryHeap`'s
+    /// max-order).
+    heap: BinaryHeap<Reverse<u64>>,
+    /// Leaf-index mask (`k_pad − 1`).
+    mask: u64,
+    /// Bit width of a leaf index within a packed entry.
+    shift: u32,
+}
+
+impl PackedHeap {
+    /// Builds the heap over the given initial lane keys; [`EXHAUSTED`]
+    /// lanes start absent. At least one lane is required.
+    pub fn new(keys: &[SimTime]) -> PackedHeap {
+        assert!(!keys.is_empty(), "a merge needs at least one lane");
+        let k_pad = keys.len().next_power_of_two();
+        let shift = k_pad.trailing_zeros();
+        let heap = keys
+            .iter()
+            .enumerate()
+            .filter(|&(_, &key)| key != EXHAUSTED)
+            .map(|(i, &key)| Reverse(pack_entry(key, i as u32, shift)))
+            .collect();
+        PackedHeap { heap, mask: k_pad as u64 - 1, shift }
+    }
+
+    /// The current winning lane (lowest `(key, lane)` rank). Meaningful
+    /// only while [`PackedHeap::winner_key`] is not [`EXHAUSTED`].
+    #[inline]
+    pub fn winner(&self) -> usize {
+        self.heap.peek().map_or(0, |&Reverse(e)| (e & self.mask) as usize)
+    }
+
+    /// The winner's key; [`EXHAUSTED`] means every lane has drained.
+    #[inline]
+    pub fn winner_key(&self) -> SimTime {
+        self.heap.peek().map_or(EXHAUSTED, |&Reverse(e)| unpack_key(e, self.shift))
+    }
+
+    /// Replaces the *current winner* `w`'s key: pops the top entry and
+    /// reinserts it under `key`, or retires the lane on [`EXHAUSTED`].
+    #[inline]
+    pub fn update(&mut self, w: usize, key: SimTime) {
+        debug_assert_eq!(w, self.winner(), "heap backend can only update the winner");
+        self.heap.pop();
+        if key != EXHAUSTED {
+            self.heap.push(Reverse(pack_entry(key, w as u32, self.shift)));
+        }
+    }
+}
+
+/// Lane count at which [`TournamentMerge::for_lanes`] switches from the
+/// loser tree to the packed binary heap. The `merge/` lane sweep in
+/// `BENCH_streaming.json` measures both backends on two lane shapes: on
+/// *bursty* lanes (tight same-lane runs — the shape a narrow merge over
+/// few client cursors actually sees) the tree's cached threshold is 2–4×
+/// faster at every k, while on heavily *interleaved* lanes (the shape of a
+/// wide merge over thousands of clients, where consecutive flows almost
+/// never share a lane) the packed heap is ~2× faster at every k — a
+/// verdict the end-to-end `trace/flow_stream_drain` row confirms at
+/// dense-metro width. The constant therefore encodes where a shard's
+/// merge stops being burst-dominated, not a single-shape crossover.
+pub const HEAP_MIN_LANES: usize = 256;
+
+/// The k-way merge behind [`crate::FlowStream`]: a [`LoserTree`] for
+/// narrow merges, a [`PackedHeap`] for wide ones (see [`HEAP_MIN_LANES`]).
+/// Both backends rank lanes by the identical packed `(key, lane)` order,
+/// so the merged sequence is byte-identical either way — property-tested
+/// in this module — and the backend choice is invisible to callers.
+///
+/// Contract inherited from the heap backend: [`TournamentMerge::update`]
+/// may only target the current winner (the only update a merge makes).
+#[derive(Debug, Clone)]
+pub enum TournamentMerge {
+    /// Loser-tree backend (narrow merges).
+    Tree(LoserTree),
+    /// Packed binary-heap backend (wide merges).
+    Heap(PackedHeap),
+}
+
+impl TournamentMerge {
+    /// Picks the measured-faster backend for this lane count.
+    pub fn for_lanes(keys: &[SimTime]) -> TournamentMerge {
+        if keys.len() >= HEAP_MIN_LANES {
+            TournamentMerge::Heap(PackedHeap::new(keys))
+        } else {
+            TournamentMerge::Tree(LoserTree::new(keys))
+        }
+    }
+
+    /// The current winning lane; see [`LoserTree::winner`].
+    #[inline]
+    pub fn winner(&self) -> usize {
+        match self {
+            TournamentMerge::Tree(t) => t.winner(),
+            TournamentMerge::Heap(h) => h.winner(),
+        }
+    }
+
+    /// The winner's key; [`EXHAUSTED`] means every lane has drained.
+    #[inline]
+    pub fn winner_key(&self) -> SimTime {
+        match self {
+            TournamentMerge::Tree(t) => t.winner_key(),
+            TournamentMerge::Heap(h) => h.winner_key(),
+        }
+    }
+
+    /// Replaces the current winner `w`'s key (its lane advanced — or
+    /// drained, with [`EXHAUSTED`]).
+    #[inline]
+    pub fn update(&mut self, w: usize, key: SimTime) {
+        match self {
+            TournamentMerge::Tree(t) => t.update(w, key),
+            TournamentMerge::Heap(h) => h.update(w, key),
+        }
+    }
+}
+
 /// Packs `(key, leaf)` so that `u64` order equals the pair's lexicographic
 /// order; [`EXHAUSTED`] maps to the all-ones sentinel.
 #[inline]
@@ -225,6 +367,78 @@ mod tests {
     fn all_lanes_exhausted_reports_exhausted_winner() {
         let tree = LoserTree::new(&[EXHAUSTED, EXHAUSTED, EXHAUSTED]);
         assert_eq!(tree.winner_key(), EXHAUSTED);
+    }
+
+    /// [`drain`] over any backend through the [`TournamentMerge`] API.
+    fn drain_merge(lanes: &[Vec<u64>], mut m: TournamentMerge) -> Vec<(u64, usize)> {
+        let mut pos = vec![0usize; lanes.len()];
+        let mut out = Vec::new();
+        while m.winner_key() != EXHAUSTED {
+            let w = m.winner();
+            out.push((lanes[w][pos[w]], w));
+            pos[w] += 1;
+            m.update(w, lanes[w].get(pos[w]).map_or(EXHAUSTED, |&ms| t(ms)));
+        }
+        out
+    }
+
+    fn head_keys(lanes: &[Vec<u64>]) -> Vec<SimTime> {
+        lanes.iter().map(|l| l.first().map_or(EXHAUSTED, |&ms| t(ms))).collect()
+    }
+
+    #[test]
+    fn heap_and_tree_backends_merge_byte_identically() {
+        use insomnia_simcore::SimRng;
+        let mut rng = SimRng::new(0x6d65_7267);
+        for trial in 0..60 {
+            // Lane counts straddle HEAP_MIN_LANES so both wrapper arms see
+            // randomized traffic; short lanes + small key steps force heavy
+            // cross-lane ties (the tie-break is the risky part).
+            let k = 1 + rng.range_u64(0, 2 * HEAP_MIN_LANES as u64) as usize;
+            let lanes: Vec<Vec<u64>> = (0..k)
+                .map(|_| {
+                    let n = rng.range_u64(0, 12) as usize;
+                    let mut key = rng.range_u64(0, 8);
+                    (0..n)
+                        .map(|_| {
+                            key += rng.range_u64(0, 3);
+                            key
+                        })
+                        .collect()
+                })
+                .collect();
+            let via_tree =
+                drain_merge(&lanes, TournamentMerge::Tree(LoserTree::new(&head_keys(&lanes))));
+            let via_heap =
+                drain_merge(&lanes, TournamentMerge::Heap(PackedHeap::new(&head_keys(&lanes))));
+            let mut expect: Vec<(u64, usize)> = Vec::new();
+            for (lane, run) in lanes.iter().enumerate() {
+                expect.extend(run.iter().map(|&ms| (ms, lane)));
+            }
+            expect.sort_by_key(|&(ms, _)| ms);
+            assert_eq!(via_tree, expect, "tree diverged from stable sort (trial {trial}, k {k})");
+            assert_eq!(via_heap, expect, "heap diverged from stable sort (trial {trial}, k {k})");
+        }
+    }
+
+    #[test]
+    fn for_lanes_picks_the_backend_by_lane_count() {
+        let narrow = vec![t(1); HEAP_MIN_LANES - 1];
+        let wide = vec![t(1); HEAP_MIN_LANES];
+        assert!(matches!(TournamentMerge::for_lanes(&narrow), TournamentMerge::Tree(_)));
+        assert!(matches!(TournamentMerge::for_lanes(&wide), TournamentMerge::Heap(_)));
+    }
+
+    #[test]
+    fn heap_backend_handles_empty_and_exhausted_lanes() {
+        // All-exhausted heads build an empty heap that reports EXHAUSTED.
+        let empty = PackedHeap::new(&[EXHAUSTED, EXHAUSTED, EXHAUSTED]);
+        assert_eq!(empty.winner_key(), EXHAUSTED);
+        // Mixed live/empty lanes drain like the tree does.
+        let lanes = vec![vec![5], vec![], vec![1, 6], vec![2]];
+        let merged =
+            drain_merge(&lanes, TournamentMerge::Heap(PackedHeap::new(&head_keys(&lanes))));
+        assert_eq!(merged, vec![(1, 2), (2, 3), (5, 0), (6, 2)]);
     }
 
     #[test]

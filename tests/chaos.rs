@@ -150,6 +150,75 @@ fn torn_tail_and_lost_records_resume_byte_identically() {
     assert!(!reloaded.dropped_tail);
 }
 
+/// A two-scheme batch over a sharded lazy world, small enough to run per
+/// thread count: under the default shard-major order the world-prototype
+/// cache is live, so interrupting and resuming this batch exercises the
+/// cache's resume bookkeeping (checkpointed tasks skip their prototype
+/// claim) on top of ordinary replay.
+fn sharded_batch(threads: usize) -> BatchRun {
+    let mut cfg = Registry::builtin().resolve("dense-metro").unwrap();
+    cfg.trace.n_clients = 1_600 * 2;
+    cfg.trace.n_aps = 200 * 2;
+    cfg.shards = 2;
+    cfg.trace.horizon = insomnia::simcore::SimTime::from_hours(1);
+    cfg.completion_cutoff = 0;
+    cfg.online_cutoff = 0;
+    cfg.validate().unwrap();
+    BatchRun {
+        scenarios: vec![("dense-metro-reduced".into(), cfg)],
+        schemes: parse_scheme_list("no-sleep,soi").unwrap(),
+        seeds: 1,
+        threads,
+    }
+}
+
+/// A shard-major run killed mid-batch (a permanently panicking task, no
+/// retry budget) must leave a checkpoint that resumes to byte-identical
+/// output, serial and parallel.
+#[test]
+fn interrupted_shard_major_run_resumes_byte_identically() {
+    for threads in [1, 8] {
+        let batch = sharded_batch(threads);
+        let reference = run_with(&batch, RunControl::default());
+
+        // Global task ordinal 2 is the second scheme's first task: by the
+        // time it panics, at least the first scheme's opening task — served
+        // from the same shard's freshly built prototype — has checkpointed.
+        let path = tmp_path(&format!("shard-major-{threads}.ckpt.jsonl"));
+        let manifest = manifest_for(&batch);
+        let writer = CheckpointWriter::create(&path, &manifest).unwrap();
+        let plan = FaultPlan { panic_tasks: vec![2], ..FaultPlan::default() };
+        let mut partial = Vec::new();
+        let err = run_batch_controlled(
+            &batch,
+            &mut partial,
+            &Telemetry::quiet(),
+            RunControl { checkpoint: Some(writer), faults: Some(plan), ..RunControl::default() },
+        )
+        .expect_err("a panicking task with max_attempts = 1 must fail the run");
+        assert!(err.to_string().contains("failed"), "unexpected error: {err}");
+        assert!(
+            reference.starts_with(&partial),
+            "the interrupted JSONL must be an in-order prefix of the reference \
+             at {threads} thread(s)"
+        );
+
+        // Resume replays the checkpointed tasks and re-simulates the rest.
+        let loaded = load_checkpoint(&path).unwrap();
+        loaded.manifest.verify_against(&manifest).unwrap();
+        assert!(!loaded.tasks.is_empty(), "the interrupted run must have checkpointed tasks");
+        let resumed = run_with(
+            &batch,
+            RunControl {
+                checkpoint: Some(CheckpointWriter::append(&path).unwrap()),
+                resume: Some(loaded.tasks),
+                ..RunControl::default()
+            },
+        );
+        assert_eq!(resumed, reference, "shard-major resume drifted at {threads} thread(s)");
+    }
+}
+
 /// Shared fixture for the damage property: an intact checkpoint of the
 /// tiny batch plus the uninterrupted reference output.
 fn damage_fixture() -> &'static (Vec<u8>, Vec<u8>) {

@@ -8,10 +8,15 @@ use insomnia::core::{
     run_single_source_threads, ArrivalSource, CompletionStats, ScenarioConfig, SchemeSpec,
 };
 use insomnia::dslphy::{BundleConfig, CrosstalkExperiment};
-use insomnia::scenarios::{parse_scheme_list, run_batch, BatchRun, Registry};
+use insomnia::scenarios::{
+    parse_scheme_list, run_batch, run_batch_controlled, BatchRun, ExecOrder, Registry, RunControl,
+};
 use insomnia::simcore::{OnlineTimeHist, Scheduler, SimDuration, SimRng, SimTime};
+use insomnia::telemetry::{CounterTotals, ProfileReport, Telemetry};
 use insomnia::traffic::crawdad::{self, CrawdadConfig};
 use insomnia::traffic::FlowStream;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn trace_generation_is_bit_stable() {
@@ -219,6 +224,78 @@ fn run_counters_are_byte_identical_across_thread_counts() {
     assert_eq!(r1.counters.fold_absorptions, (cfg.repetitions * cfg.shards) as u64);
     assert!(r1.counters.heap_pushes >= r1.counters.delivered() + r1.counters.cancelled());
     assert_eq!(r1.counters.arrivals, r1.counters.flows_total);
+}
+
+/// A `Write` handle over a shared buffer so a boxed sidecar sink's output
+/// can be read back after the run (mirrors `tests/telemetry.rs`).
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn shard_major_and_job_major_batches_are_byte_identical() {
+    // A three-scheme batch over a sharded lazy world: the default
+    // shard-major order serves each shard's setup pass from the prototype
+    // cache across schemes, job-major rebuilds it per scheme. Neither the
+    // order nor the thread count may move a byte of the result JSONL, and
+    // within one order the sidecar counter totals must be thread-count
+    // invariant too.
+    let batch = |threads: usize| BatchRun {
+        scenarios: vec![("dense-metro-reduced".into(), dense_metro_reduced(2))],
+        schemes: parse_scheme_list("no-sleep,soi,bh2").unwrap(),
+        seeds: 1,
+        threads,
+    };
+    let run = |threads: usize, order: ExecOrder| -> (Vec<u8>, CounterTotals) {
+        let sidecar = SharedBuf::default();
+        let tel = Telemetry::quiet().with_jsonl(Box::new(sidecar.clone()));
+        let mut out = Vec::new();
+        let ctl = RunControl { exec_order: order, ..RunControl::default() };
+        run_batch_controlled(&batch(threads), &mut out, &tel, ctl).unwrap();
+        let text = String::from_utf8(sidecar.0.lock().unwrap().clone()).unwrap();
+        let totals = ProfileReport::from_jsonl(&text).unwrap().counter_totals().unwrap();
+        (out, totals)
+    };
+    let (sm1, ct_sm1) = run(1, ExecOrder::ShardMajor);
+    let (sm8, ct_sm8) = run(8, ExecOrder::ShardMajor);
+    let (jm1, ct_jm1) = run(1, ExecOrder::JobMajor);
+    let (jm8, ct_jm8) = run(8, ExecOrder::JobMajor);
+    assert_eq!(sm1, sm8, "shard-major JSONL must be thread-count invariant");
+    assert_eq!(jm1, jm8, "job-major JSONL must be thread-count invariant");
+    assert_eq!(sm1, jm1, "execution order must be byte-neutral on the result JSONL");
+
+    let json = |t: &CounterTotals| serde_json::to_string(t).unwrap();
+    assert_eq!(json(&ct_sm1), json(&ct_sm8), "shard-major drift payload thread-invariant");
+    assert_eq!(json(&ct_jm1), json(&ct_jm8), "job-major drift payload thread-invariant");
+
+    // Shard-major built each of the 2 shard prototypes once and served the
+    // other two schemes from the cache; job-major has nothing to share.
+    assert_eq!(ct_sm1.counters.proto_cache_builds, 2);
+    assert_eq!(ct_sm1.counters.proto_cache_hits, 4, "(schemes - 1) x shards x reps");
+    assert_eq!(ct_jm1.counters.proto_cache_builds, 0);
+    assert_eq!(ct_jm1.counters.proto_cache_hits, 0);
+
+    // Across orders, only the scheduling-dependent *work* counters may
+    // move (cache hits replay the prototype's recording instead of
+    // re-merging); every simulation counter matches exactly.
+    let neutral = |mut t: CounterTotals| {
+        t.counters.proto_cache_builds = 0;
+        t.counters.proto_cache_hits = 0;
+        t.counters.stream_refills = 0;
+        t.counters.merge_pops = 0;
+        t
+    };
+    assert_eq!(json(&neutral(ct_sm1)), json(&neutral(ct_jm1)));
 }
 
 #[test]
